@@ -1,0 +1,508 @@
+package dpiservice
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 6), plus the ablation benches listed in
+// DESIGN.md. The cmd/dpibench binary runs the same experiments at the
+// paper's full parameter ranges and prints tables; these benches are
+// the quick, `go test -bench=.` entry point.
+
+import (
+	"bytes"
+	"testing"
+
+	"dpiservice/internal/bench"
+	"dpiservice/internal/core"
+	"dpiservice/internal/mpm"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/patterns"
+	"dpiservice/internal/traffic"
+)
+
+const benchSeed = 1
+
+// corpus builds a deterministic HTTP-mix corpus with a sub-10% match
+// fraction drawn from set.
+func benchCorpus(set *patterns.Set, totalBytes int) [][]byte {
+	var inject []string
+	if set != nil {
+		all := set.Strings()
+		for i := 0; i < len(all) && i < 64; i++ {
+			inject = append(inject, all[i])
+		}
+	}
+	g := traffic.NewGenerator(traffic.Config{
+		Seed: benchSeed + 7, Mix: traffic.HTTPMix,
+		MatchFraction: 0.08, InjectPatterns: inject,
+	})
+	return g.Corpus(totalBytes)
+}
+
+func buildAC(b *testing.B, sets ...*patterns.Set) *mpm.ACFull {
+	b.Helper()
+	bd := mpm.NewBuilder()
+	for i, s := range sets {
+		if err := bd.AddSet(i, s.Strings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a, err := bd.BuildFull()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func scanCorpus(b *testing.B, a mpm.Automaton, corpus [][]byte) {
+	b.Helper()
+	var total int64
+	for _, p := range corpus {
+		total += int64(len(p))
+	}
+	emit := func(refs []mpm.PatternRef, end int) {}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state := a.Start()
+		for _, p := range corpus {
+			state = a.Scan(p, state, mpm.AllSets, emit)
+		}
+	}
+}
+
+// BenchmarkFig8PatternCount is Figure 8's dominant effect: AC
+// throughput versus the number of patterns. (The virtualization
+// comparison, which needs wall-clock goroutine plumbing, lives in
+// cmd/dpibench fig8.)
+func BenchmarkFig8PatternCount(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000, patterns.ClamAVFullSize} {
+		set := patterns.ClamAVLike(n, benchSeed)
+		corpus := benchCorpus(set, 1<<20)
+		a := buildAC(b, set)
+		b.Run(name("patterns", n), func(b *testing.B) {
+			b.ReportMetric(float64(a.MemoryBytes())/1e6, "MB")
+			scanCorpus(b, a, corpus)
+		})
+	}
+}
+
+// BenchmarkTable2 measures the three configurations of Table 2:
+// Snort1, Snort2, and the merged Snort1+Snort2 automaton.
+func BenchmarkTable2(b *testing.B) {
+	full := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	halves, err := patterns.Split(full, 2, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := benchCorpus(full, 1<<20)
+	for _, tc := range []struct {
+		name string
+		sets []*patterns.Set
+	}{
+		{"Snort1", halves[:1]},
+		{"Snort2", halves[1:]},
+		{"Snort1+Snort2", halves},
+	} {
+		a := buildAC(b, tc.sets...)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportMetric(float64(a.MemoryBytes())/1e6, "MB")
+			scanCorpus(b, a, corpus)
+		})
+	}
+}
+
+// BenchmarkFig9aPipelineVsVirtual measures the two architectures of
+// Figure 9(a) at the full Snort-like scale: a pipeline of two separate
+// middleboxes (every packet scanned twice — once per set) versus the
+// merged virtual-DPI automaton (scanned once; two instances then double
+// the aggregate, see EXPERIMENTS.md).
+func BenchmarkFig9aPipelineVsVirtual(b *testing.B) {
+	full := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	halves, err := patterns.Split(full, 2, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := benchCorpus(full, 1<<20)
+	a1, a2 := buildAC(b, halves[0]), buildAC(b, halves[1])
+	comb := buildAC(b, halves[0], halves[1])
+	b.Run("pipeline", func(b *testing.B) {
+		var total int64
+		for _, p := range corpus {
+			total += int64(len(p))
+		}
+		emit := func(refs []mpm.PatternRef, end int) {}
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s1, s2 := a1.Start(), a2.Start()
+			for _, p := range corpus {
+				s1 = a1.Scan(p, s1, mpm.AllSets, emit)
+				s2 = a2.Scan(p, s2, mpm.AllSets, emit)
+			}
+		}
+	})
+	b.Run("virtual-combined", func(b *testing.B) {
+		scanCorpus(b, comb, corpus)
+	})
+}
+
+// BenchmarkFig9bSnortPlusClamAV is Figure 9(b)'s heavyweight point:
+// full Snort-like plus full ClamAV-like sets.
+func BenchmarkFig9bSnortPlusClamAV(b *testing.B) {
+	if testing.Short() {
+		b.Skip("builds a ~36k-pattern full-table DFA")
+	}
+	snort := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	clam := patterns.ClamAVLike(patterns.ClamAVFullSize, benchSeed)
+	corpus := benchCorpus(snort, 1<<20)
+	aS, aC := buildAC(b, snort), buildAC(b, clam)
+	comb := buildAC(b, snort, clam)
+	b.Run("pipeline", func(b *testing.B) {
+		var total int64
+		for _, p := range corpus {
+			total += int64(len(p))
+		}
+		emit := func(refs []mpm.PatternRef, end int) {}
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s1, s2 := aS.Start(), aC.Start()
+			for _, p := range corpus {
+				s1 = aS.Scan(p, s1, mpm.AllSets, emit)
+				s2 = aC.Scan(p, s2, mpm.AllSets, emit)
+			}
+		}
+	})
+	b.Run("virtual-combined", func(b *testing.B) {
+		scanCorpus(b, comb, corpus)
+	})
+}
+
+// BenchmarkFig10Regions measures the three throughputs from which the
+// Figure 10 regions are drawn: each dedicated box and the merged
+// automaton (rectangle sides and triangle budget).
+func BenchmarkFig10Regions(b *testing.B) {
+	full := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	halves, err := patterns.Split(full, 2, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := benchCorpus(full, 1<<20)
+	for _, tc := range []struct {
+		name string
+		sets []*patterns.Set
+	}{
+		{"rect-sideA", halves[:1]},
+		{"rect-sideB", halves[1:]},
+		{"triangle-combined", halves},
+	} {
+		a := buildAC(b, tc.sets...)
+		b.Run(tc.name, func(b *testing.B) { scanCorpus(b, a, corpus) })
+	}
+}
+
+// BenchmarkFig11ReportBuild measures the full instance path that
+// produces Figure 11's reports: inspect, filter, coalesce, encode.
+func BenchmarkFig11ReportBuild(b *testing.B) {
+	set := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	cfg := core.Config{
+		Profiles: []core.Profile{{ID: 0, Name: "ids", Patterns: set}},
+		Chains:   map[uint16][]int{1: {0}},
+	}
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := benchCorpus(set, 1<<20)
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, DstPort: 80, Protocol: packet.IPProtoTCP}
+	var total int64
+	for _, p := range corpus {
+		total += int64(len(p))
+	}
+	var encoded []byte
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range corpus {
+			tuple.SrcPort = uint16(j)
+			rep, err := e.Inspect(1, tuple, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep != nil {
+				encoded = rep.AppendEncoded(encoded[:0])
+			}
+		}
+	}
+}
+
+// BenchmarkSlowdownScanVsConsume is the Section 1 footnote: the
+// per-packet cost of scanning versus consuming a prebuilt result.
+func BenchmarkSlowdownScanVsConsume(b *testing.B) {
+	set := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	corpus := benchCorpus(set, 1<<20)
+	cfg := core.Config{
+		Profiles: []core.Profile{{ID: 0, Name: "ids", Patterns: set}},
+		Chains:   map[uint16][]int{1: {0}},
+	}
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, DstPort: 80, Protocol: packet.IPProtoTCP}
+
+	b.Run("middlebox-with-dpi", func(b *testing.B) {
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			p := corpus[n%len(corpus)]
+			tuple.SrcPort = uint16(n)
+			if _, err := e.Inspect(1, tuple, p); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	})
+	b.Run("middlebox-consuming-results", func(b *testing.B) {
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports := make([][]byte, len(corpus))
+		for j, p := range corpus {
+			tuple.SrcPort = uint16(j)
+			rep, err := e.Inspect(1, tuple, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep != nil {
+				reports[j] = rep.AppendEncoded(nil)
+			}
+		}
+		var rep packet.Report
+		var rules uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc := reports[i%len(reports)]
+			if enc == nil {
+				continue
+			}
+			if _, err := packet.DecodeReport(enc, &rep); err != nil {
+				b.Fatal(err)
+			}
+			if sec := rep.SectionFor(0); sec != nil {
+				for _, en := range sec.Entries {
+					rules += uint64(en.Count)
+				}
+			}
+		}
+		_ = rules
+	})
+}
+
+// BenchmarkAblationMatchers compares the three matcher representations
+// (the space-time tradeoff behind MCA² dedicated instances).
+func BenchmarkAblationMatchers(b *testing.B) {
+	set := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	corpus := benchCorpus(set, 1<<20)
+	bd := mpm.NewBuilder()
+	if err := bd.AddSet(0, set.Strings()); err != nil {
+		b.Fatal(err)
+	}
+	full, err := bd.BuildFull()
+	if err != nil {
+		b.Fatal(err)
+	}
+	compact, err := bd.BuildCompact()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bitmap, err := bd.BuildBitmap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wm, err := bd.BuildWuManber()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ac-full", func(b *testing.B) { scanCorpus(b, full, corpus) })
+	b.Run("ac-bitmap", func(b *testing.B) { scanCorpus(b, bitmap, corpus) })
+	b.Run("ac-compact", func(b *testing.B) { scanCorpus(b, compact, corpus) })
+	b.Run("wu-manber", func(b *testing.B) {
+		var total int64
+		for _, p := range corpus {
+			total += int64(len(p))
+		}
+		emit := func(refs []mpm.PatternRef, end int) {}
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range corpus {
+				wm.Find(p, emit)
+			}
+		}
+	})
+}
+
+// BenchmarkWarmStart compares building the merged automaton from
+// patterns against loading it from a snapshot — the instance
+// warm-start path used when the controller scales out (Section 4.3).
+func BenchmarkWarmStart(b *testing.B) {
+	set := patterns.SnortLike(patterns.SnortFullSize, benchSeed)
+	bd := mpm.NewBuilder()
+	if err := bd.AddSet(0, set.Strings()); err != nil {
+		b.Fatal(err)
+	}
+	built, err := bd.BuildFull()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if _, err := built.WriteTo(&snap); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("build-from-patterns", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bd := mpm.NewBuilder()
+			if err := bd.AddSet(0, set.Strings()); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bd.BuildFull(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load-snapshot", func(b *testing.B) {
+		b.SetBytes(int64(snap.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := mpm.ReadACFull(bytes.NewReader(snap.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBitmapFiltering scans an 8-set merged automaton with
+// 1 vs 8 sets active: the per-state bitmap should make inactive sets
+// nearly free.
+func BenchmarkAblationBitmapFiltering(b *testing.B) {
+	bd := mpm.NewBuilder()
+	var first *patterns.Set
+	for s := 0; s < 8; s++ {
+		set := patterns.SnortLike(500, benchSeed+int64(s))
+		if s == 0 {
+			first = set
+		}
+		if err := bd.AddSet(s, set.Strings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a, err := bd.BuildFull()
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := benchCorpus(first, 1<<20)
+	for _, k := range []int{1, 8} {
+		var active uint64
+		for s := 0; s < k; s++ {
+			active |= mpm.SetBit(s)
+		}
+		b.Run(name("active", k), func(b *testing.B) {
+			var total int64
+			for _, p := range corpus {
+				total += int64(len(p))
+			}
+			emit := func(refs []mpm.PatternRef, end int) {}
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				state := a.Start()
+				for _, p := range corpus {
+					state = a.Scan(p, state, active, emit)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStatefulVsStateless isolates the cost of per-flow
+// state maintenance in the instance path.
+func BenchmarkEngineStatefulVsStateless(b *testing.B) {
+	set := patterns.SnortLike(2000, benchSeed)
+	corpus := benchCorpus(set, 1<<20)
+	for _, stateful := range []bool{false, true} {
+		nm := "stateless"
+		if stateful {
+			nm = "stateful"
+		}
+		b.Run(nm, func(b *testing.B) {
+			cfg := core.Config{
+				Profiles: []core.Profile{{ID: 0, Stateful: stateful, Patterns: set}},
+				Chains:   map[uint16][]int{1: {0}},
+			}
+			e, err := core.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := bench.MeasureEngine(nm, e, 1, corpus, 64, 1)
+			_ = r
+			tuple := packet.FiveTuple{Src: packet.IP4{1, 1, 1, 1}, Dst: packet.IP4{2, 2, 2, 2}, DstPort: 80, Protocol: packet.IPProtoTCP}
+			var total int64
+			for _, p := range corpus {
+				total += int64(len(p))
+			}
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, p := range corpus {
+					tuple.SrcPort = uint16(j % 64)
+					if _, err := e.Inspect(1, tuple, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReportEncodeDecode measures the wire codec of Section 6.5.
+func BenchmarkReportEncodeDecode(b *testing.B) {
+	var r packet.Report
+	r.PacketID = 1
+	for i := uint32(0); i < 8; i++ {
+		r.AddMatch(uint8(i%3), uint16(i*7), 10+i*13)
+	}
+	enc := r.AppendEncoded(nil)
+	b.Run("encode", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = r.AppendEncoded(buf[:0])
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		var dst packet.Report
+		for i := 0; i < b.N; i++ {
+			if _, err := packet.DecodeReport(enc, &dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func name(prefix string, n int) string {
+	// Small helper: "patterns-500" style subbench names.
+	return prefix + "-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,227 @@
+// Command dpibench regenerates every table and figure of the paper's
+// evaluation (Section 6) at full parameter ranges and prints them in
+// the paper's layout. See EXPERIMENTS.md for paper-vs-measured values.
+//
+// Usage:
+//
+//	dpibench [flags] <experiment>
+//
+// Experiments: fig8, table2, fig9a, fig9b, fig10a, fig10b, fig11,
+// slowdown, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpiservice/internal/bench"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "small pattern sets and corpus (seconds instead of minutes)")
+		corpus = flag.Int("corpus", 0, "corpus size in bytes per measurement (default 4 MiB)")
+		repeat = flag.Int("repeat", 0, "corpus passes per measurement (default 1)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|ablations|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := bench.Options{Quick: *quick, CorpusBytes: *corpus, Repeat: *repeat, Seed: *seed}
+
+	exps := map[string]func(bench.Options) error{
+		"fig8":      runFig8,
+		"table2":    runTable2,
+		"fig9a":     runFig9a,
+		"fig9b":     runFig9b,
+		"fig10a":    runFig10a,
+		"fig10b":    runFig10b,
+		"fig11":     runFig11,
+		"slowdown":  runSlowdown,
+		"ablations": runAblations,
+	}
+	run := func(name string) {
+		fn, ok := exps[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dpibench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err := fn(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "dpibench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{"slowdown", "fig8", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "ablations"} {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}
+
+func runFig8(opt bench.Options) error {
+	fmt.Println("== Figure 8: AC throughput vs number of patterns (virtualization effect) ==")
+	rows, err := bench.Fig8(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %18s %14s %18s\n", "patterns", "standalone[Mbps]", "1 VM [Mbps]", "4 VMs avg [Mbps]")
+	for _, r := range rows {
+		fmt.Printf("%10d %18.0f %14.0f %18.0f\n", r.Patterns, r.StandaloneMbps, r.OneVMMbps, r.FourVMAvgMbps)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runTable2(opt bench.Options) error {
+	fmt.Println("== Table 2: separate vs combined pattern sets ==")
+	rows, err := bench.Table2(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %10s %10s %12s\n", "Sets", "Patterns", "Space", "Throughput")
+	for _, r := range rows {
+		fmt.Printf("%-16s %10d %8.1fMB %8.0fMbps\n", r.Sets, r.Patterns, r.SpaceMB, r.Mbps)
+	}
+	if len(rows) == 3 && rows[0].Mbps > 0 {
+		fmt.Printf("combined vs separate: %.0f%% of Snort1's throughput\n\n", rows[2].Mbps/rows[0].Mbps*100)
+	}
+	return nil
+}
+
+func runFig9a(opt bench.Options) error {
+	fmt.Println("== Figure 9(a): two pipelined middleboxes vs two virtual DPI instances (Snort1+Snort2) ==")
+	rows, err := bench.Fig9a(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig9(rows))
+	fmt.Println()
+	return nil
+}
+
+func runFig9b(opt bench.Options) error {
+	fmt.Println("== Figure 9(b): two pipelined middleboxes vs two virtual DPI instances (Snort+ClamAV) ==")
+	rows, err := bench.Fig9b(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig9(rows))
+	fmt.Println()
+	return nil
+}
+
+func runFig10a(opt bench.Options) error {
+	res, err := bench.Fig10a(opt)
+	if err != nil {
+		return err
+	}
+	printFig10("Figure 10(a)", res)
+	return nil
+}
+
+func runFig10b(opt bench.Options) error {
+	res, err := bench.Fig10b(opt)
+	if err != nil {
+		return err
+	}
+	printFig10("Figure 10(b)", res)
+	return nil
+}
+
+func printFig10(title string, r *bench.Fig10Result) {
+	fmt.Printf("== %s: achievable throughput regions (%s vs %s) ==\n", title, r.NameA, r.NameB)
+	fmt.Printf("separate middleboxes (rectangle): x <= %.0f Mbps, y <= %.0f Mbps\n", r.RectAMbps, r.RectBMbps)
+	fmt.Printf("virtual DPI (triangle):           x + y <= %.0f Mbps (one machine: %.0f Mbps)\n",
+		r.TriangleBudget, r.CombinedMbps)
+	fmt.Printf("capacity borrowable by %s when %s is idle: %+.0f%%\n", r.NameA, r.NameB, r.BorrowablePctA())
+	fmt.Printf("capacity borrowable by %s when %s is idle: %+.0f%%\n", r.NameB, r.NameA, r.BorrowablePctB())
+	// Region boundary samples for plotting.
+	fmt.Printf("%12s %14s %14s\n", "x [Mbps]", "rect y", "triangle y")
+	steps := 5
+	for i := 0; i <= steps; i++ {
+		x := r.TriangleBudget * float64(i) / float64(steps)
+		rectY := r.RectBMbps
+		if x > r.RectAMbps {
+			rectY = 0
+		}
+		triY := r.TriangleBudget - x
+		fmt.Printf("%12.0f %14.0f %14.0f\n", x, rectY, triY)
+	}
+	fmt.Println()
+}
+
+func runFig11(opt bench.Options) error {
+	fmt.Println("== Figure 11: CDF of non-empty match report sizes ==")
+	res, err := bench.Fig11(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packets: %d, no-match: %.1f%%, mean report: %.1f B, p50/p90/p99: %d/%d/%d B\n",
+		res.Packets, res.PctNoMatch, res.MeanBytes, res.P50, res.P90, res.P99)
+	fmt.Printf("%14s %12s\n", "size [bytes]", "cum %")
+	step := len(res.CDF)/16 + 1
+	for i := 0; i < len(res.CDF); i += step {
+		fmt.Printf("%14d %11.1f%%\n", res.CDF[i].SizeBytes, res.CDF[i].CumPct)
+	}
+	if len(res.CDF) > 0 {
+		last := res.CDF[len(res.CDF)-1]
+		fmt.Printf("%14d %11.1f%%\n", last.SizeBytes, last.CumPct)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runSlowdown(opt bench.Options) error {
+	fmt.Println("== Section 1 footnote: DPI slowdown inside a middlebox ==")
+	res, err := bench.Slowdown(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scan per packet:    %8.0f ns\n", res.ScanNsPerPkt)
+	fmt.Printf("consume per packet: %8.0f ns\n", res.ConsumeNsPerPkt)
+	fmt.Printf("slowdown factor:    %8.1fx (paper: >= 2.9x)\n\n", res.Factor)
+	return nil
+}
+
+func runAblations(opt bench.Options) error {
+	fmt.Println("== Ablation: matcher representations ==")
+	mrows, err := bench.AblationMatchers(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %12s %10s\n", "matcher", "Mbps", "space")
+	for _, r := range mrows {
+		fmt.Printf("%-12s %12.0f %8.1fMB\n", r.Matcher, r.Mbps, r.SpaceMB)
+	}
+
+	fmt.Println("\n== Ablation: per-state middlebox bitmap filtering ==")
+	brows, err := bench.AblationBitmap(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %12s %12s\n", "active sets", "Mbps", "matches")
+	for _, r := range brows {
+		fmt.Printf("%12d %12.0f %12d\n", r.ActiveSets, r.Mbps, r.Matches)
+	}
+
+	fmt.Println("\n== Ablation: instance automaton kind (regular vs MCA2-dedicated) ==")
+	krows, err := bench.AblationEngineKinds(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %12s %10s\n", "kind", "Mbps", "space")
+	for _, r := range krows {
+		fmt.Printf("%-12s %12.0f %8.1fMB\n", r.Kind, r.Mbps, r.SpaceMB)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command dpictl runs the DPI controller daemon (Section 4.1): it
+// accepts middlebox registrations, pattern updates, policy chains from
+// the TSA, instance hellos and telemetry on a TCP control port.
+//
+// Usage:
+//
+//	dpictl [-listen addr]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpiservice/internal/controller"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9090", "control-plane listen address")
+	stateFile := flag.String("state", "", "load/save controller state at this path")
+	flag.Parse()
+
+	ctl := controller.New()
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			err := ctl.LoadState(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("dpictl: load state: %v", err)
+			}
+			log.Printf("dpictl: restored state from %s (%d chains)", *stateFile, len(ctl.ChainTags()))
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("dpictl: open state: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("dpictl: listen: %v", err)
+	}
+	srv := controller.Serve(ctl, ln)
+	log.Printf("dpictl: controller listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("dpictl: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("dpictl: close: %v", err)
+	}
+	if *stateFile != "" {
+		if err := saveState(ctl, *stateFile); err != nil {
+			log.Printf("dpictl: save state: %v", err)
+		} else {
+			log.Printf("dpictl: state saved to %s", *stateFile)
+		}
+	}
+}
+
+// saveState writes the snapshot atomically (temp file + rename).
+func saveState(ctl *controller.Controller, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ctl.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

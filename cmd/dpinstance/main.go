@@ -1,0 +1,196 @@
+// Command dpinstance runs one DPI service instance daemon: it fetches
+// its configuration from the controller (Section 5.1), listens for
+// framed packets on a data port, scans each exactly once, answers with
+// match reports, and periodically exports telemetry for the MCA²
+// stress monitor (Section 4.3.1).
+//
+// Usage:
+//
+//	dpinstance [-controller addr] [-data addr] [-id name] [-dedicated]
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+)
+
+func main() {
+	var (
+		ctlAddr   = flag.String("controller", "127.0.0.1:9090", "DPI controller address")
+		dataAddr  = flag.String("data", "127.0.0.1:9191", "data-plane listen address")
+		id        = flag.String("id", "dpi-1", "instance identifier")
+		dedicated = flag.Bool("dedicated", false, "run as an MCA2 dedicated instance (compact automaton)")
+		telEvery  = flag.Duration("telemetry", 10*time.Second, "telemetry export interval (0 disables)")
+	)
+	flag.Parse()
+
+	cl, err := controller.Dial(*ctlAddr)
+	if err != nil {
+		log.Fatalf("dpinstance: controller: %v", err)
+	}
+	init, err := cl.InstanceHello(*id, nil, *dedicated)
+	if err != nil {
+		log.Fatalf("dpinstance: hello: %v", err)
+	}
+	cfg, err := controller.ConfigFromInit(init)
+	if err != nil {
+		log.Fatalf("dpinstance: init: %v", err)
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		log.Fatalf("dpinstance: engine: %v", err)
+	}
+	var eng atomic.Pointer[core.Engine]
+	eng.Store(engine)
+	version := init.Version
+	log.Printf("dpinstance %s: config v%d — %d patterns, %d states, %.1f MB, %d chains",
+		*id, version, engine.NumPatterns(), engine.NumStates(),
+		float64(engine.MemoryBytes())/1e6, len(engine.Chains()))
+
+	ln, err := net.Listen("tcp", *dataAddr)
+	if err != nil {
+		log.Fatalf("dpinstance: data listen: %v", err)
+	}
+	log.Printf("dpinstance %s: data plane on %s", *id, ln.Addr())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	if *telEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exportAndRefresh(cl, *id, *dedicated, &eng, &version, *telEvery, stop)
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serveData(conn, &eng)
+			}()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	ln.Close()
+	cl.Close()
+	wg.Wait()
+	s := eng.Load().Snapshot()
+	log.Printf("dpinstance %s: done — %d packets, %d bytes, %d matches",
+		*id, s.Packets, s.Bytes, s.Matches)
+}
+
+// serveData handles one data connection: packet in, report out. The
+// engine pointer is reloaded per packet so controller-pushed updates
+// apply without dropping the connection.
+func serveData(conn net.Conn, eng *atomic.Pointer[core.Engine]) {
+	defer conn.Close()
+	var payload, enc []byte
+	for {
+		tag, tuple, p, err := ctlproto.ReadDataPacket(conn, payload)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				log.Printf("dpinstance: data read: %v", err)
+			}
+			return
+		}
+		payload = p
+		rep, err := eng.Load().Inspect(tag, tuple, p)
+		if err != nil {
+			log.Printf("dpinstance: inspect: %v", err)
+			if err := ctlproto.WriteResultFrame(conn, nil); err != nil {
+				return
+			}
+			continue
+		}
+		enc = enc[:0]
+		if rep != nil {
+			enc = rep.AppendEncoded(enc)
+		}
+		if err := ctlproto.WriteResultFrame(conn, enc); err != nil {
+			return
+		}
+	}
+}
+
+// exportAndRefresh periodically ships counters and heavy flows, and
+// re-requests the instance configuration, hot-swapping the engine when
+// the controller's version advanced (the runtime pattern-update path).
+func exportAndRefresh(cl *controller.Client, id string, dedicated bool, eng *atomic.Pointer[core.Engine], version *uint64, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		init, err := cl.InstanceHello(id, nil, dedicated)
+		if err != nil {
+			log.Printf("dpinstance: refresh: %v", err)
+			return
+		}
+		if init.Version != *version {
+			cfg, err := controller.ConfigFromInit(init)
+			if err != nil {
+				log.Printf("dpinstance: bad update: %v", err)
+			} else if fresh, err := core.NewEngine(cfg); err != nil {
+				log.Printf("dpinstance: rebuild: %v", err)
+			} else {
+				eng.Store(fresh)
+				*version = init.Version
+				log.Printf("dpinstance %s: applied config v%d (%d patterns)",
+					id, *version, fresh.NumPatterns())
+			}
+		}
+		engine := eng.Load()
+		s := engine.Snapshot()
+		tel := ctlproto.Telemetry{
+			InstanceID: id, Packets: s.Packets, Bytes: s.Bytes,
+			BytesScanned: s.BytesScanned, Matches: s.Matches,
+		}
+		for _, f := range engine.FlowStats() {
+			if f.Bytes == 0 || float64(f.Matches)/float64(f.Bytes) < 0.01 {
+				continue
+			}
+			tel.HeavyFlows = append(tel.HeavyFlows, ctlproto.FlowTelemetry{
+				Flow: ctlproto.FlowKey{
+					Src: f.Tuple.Src.String(), Dst: f.Tuple.Dst.String(),
+					SrcPort: f.Tuple.SrcPort, DstPort: f.Tuple.DstPort,
+					Protocol: f.Tuple.Protocol,
+				},
+				Bytes: f.Bytes, Matches: f.Matches,
+			})
+			if len(tel.HeavyFlows) >= 16 {
+				break
+			}
+		}
+		if err := cl.SendTelemetry(tel); err != nil {
+			log.Printf("dpinstance: telemetry: %v", err)
+			return
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Command trafficgen generates synthetic workloads (Section 6.2's
+// trace substitutes) and either writes payloads to a file or drives a
+// running dpinstance daemon over its data port, measuring end-to-end
+// throughput and match-report statistics.
+//
+// Usage:
+//
+//	trafficgen -target 127.0.0.1:9191 -tag 1 [-mix http|campus|attack]
+//	           [-bytes N] [-flows N] [-match 0.08] [-inject N]
+//	trafficgen -out payloads.bin [-mix ...] [-bytes N]
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/patterns"
+	"dpiservice/internal/pcap"
+	"dpiservice/internal/traffic"
+)
+
+func main() {
+	var (
+		target  = flag.String("target", "", "dpinstance data address to drive")
+		out     = flag.String("out", "", "write length-prefixed payloads to this file instead")
+		pcapOut = flag.String("pcap", "", "write full Ethernet frames to this pcap file instead")
+		replay  = flag.String("replay", "", "replay payloads from this pcap file toward -target")
+		tag     = flag.Uint("tag", 1, "policy chain tag to stamp on packets")
+		mix     = flag.String("mix", "http", "content mix: http, campus or attack")
+		bytesN  = flag.Int("bytes", 16<<20, "total payload bytes to generate")
+		flows   = flag.Int("flows", 64, "number of flows to spread packets over")
+		matchFr = flag.Float64("match", 0.08, "fraction of packets with injected matches")
+		injectN = flag.Int("inject", 64, "number of synthetic patterns to inject from")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if *replay != "" {
+		if *target == "" {
+			fmt.Fprintln(os.Stderr, "trafficgen: -replay requires -target")
+			os.Exit(2)
+		}
+		if err := replayPcap(*replay, *target, uint16(*tag)); err != nil {
+			log.Fatalf("trafficgen: %v", err)
+		}
+		return
+	}
+	modes := 0
+	for _, m := range []string{*target, *out, *pcapOut} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "trafficgen: exactly one of -target, -out or -pcap is required")
+		os.Exit(2)
+	}
+
+	var m traffic.Mix
+	switch *mix {
+	case "http":
+		m = traffic.HTTPMix
+	case "campus":
+		m = traffic.CampusMix
+	case "attack":
+		m = traffic.AttackMix
+	default:
+		log.Fatalf("trafficgen: unknown mix %q", *mix)
+	}
+	inject := patterns.SnortLike(*injectN, *seed).Strings()
+	gen := traffic.NewGenerator(traffic.Config{
+		Seed: *seed, Mix: m, MatchFraction: *matchFr, InjectPatterns: inject,
+	})
+	corpus := gen.Corpus(*bytesN)
+
+	if *out != "" {
+		if err := writeCorpus(*out, corpus); err != nil {
+			log.Fatalf("trafficgen: %v", err)
+		}
+		log.Printf("trafficgen: wrote %d payloads to %s", len(corpus), *out)
+		return
+	}
+	if *pcapOut != "" {
+		if err := writePcap(*pcapOut, corpus, *flows); err != nil {
+			log.Fatalf("trafficgen: %v", err)
+		}
+		log.Printf("trafficgen: wrote %d frames to %s", len(corpus), *pcapOut)
+		return
+	}
+
+	if err := drive(*target, uint16(*tag), corpus, *flows); err != nil {
+		log.Fatalf("trafficgen: %v", err)
+	}
+}
+
+// writeCorpus stores payloads as [4B len][bytes] records.
+func writeCorpus(path string, corpus [][]byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var hdr [4]byte
+	for _, p := range corpus {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// writePcap stores full frames as a capture file, spreading packets
+// over nFlows flows with sequential timestamps.
+func writePcap(path string, corpus [][]byte, nFlows int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	w, err := pcap.NewWriter(bw, 0)
+	if err != nil {
+		return err
+	}
+	var fb traffic.FrameBuilder
+	fb.SrcMAC = packet.MAC{2, 0, 0, 0, 0, 1}
+	fb.DstMAC = packet.MAC{2, 0, 0, 0, 0, 2}
+	ts := time.Unix(1700000000, 0)
+	for i, p := range corpus {
+		tuple := packet.FiveTuple{
+			Src:      packet.IP4{10, 0, byte((i % nFlows) >> 8), byte(i % nFlows)},
+			Dst:      packet.IP4{10, 0, 0, 2},
+			SrcPort:  uint16(1024 + i%nFlows),
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+		if err := w.WritePacket(ts, fb.Build(tuple, p)); err != nil {
+			return err
+		}
+		ts = ts.Add(time.Microsecond * 50)
+	}
+	return bw.Flush()
+}
+
+// replayPcap reads a capture and drives the instance with the frames'
+// actual tuples and payloads.
+func replayPcap(path, target string, tag uint16) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	br := bufio.NewReaderSize(conn, 1<<16)
+
+	type pkt struct {
+		tuple   packet.FiveTuple
+		payload []byte
+	}
+	var pkts []pkt
+	var scratch []byte
+	var sum packet.Summary
+	skipped := 0
+	for {
+		frame, _, err := r.Next(scratch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		scratch = frame
+		if packet.Summarize(frame, &sum) != nil || sum.IsReport || len(sum.Payload) == 0 {
+			skipped++
+			continue
+		}
+		pl := make([]byte, len(sum.Payload))
+		copy(pl, sum.Payload)
+		pkts = append(pkts, pkt{tuple: sum.Tuple, payload: pl})
+	}
+	log.Printf("trafficgen: replaying %d packets (%d skipped) from %s", len(pkts), skipped, path)
+
+	errc := make(chan error, 1)
+	go func() {
+		for _, p := range pkts {
+			if err := ctlproto.WriteDataPacket(bw, tag, p.tuple, p.payload); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- bw.Flush()
+	}()
+	var total int64
+	withMatches := 0
+	var buf []byte
+	start := time.Now()
+	for _, p := range pkts {
+		total += int64(len(p.payload))
+		enc, err := ctlproto.ReadResultFrame(br, buf)
+		if err != nil {
+			return err
+		}
+		buf = enc
+		if enc != nil {
+			withMatches++
+		}
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	log.Printf("trafficgen: %.1f MB in %v — %.0f Mbps, %d packets with matches",
+		float64(total)/1e6, elapsed.Round(time.Millisecond),
+		float64(total)*8/1e6/elapsed.Seconds(), withMatches)
+	return nil
+}
+
+// drive streams the corpus to a dpinstance and reads back reports,
+// printing throughput and match statistics.
+func drive(target string, tag uint16, corpus [][]byte, nFlows int) error {
+	conn, err := net.Dial("tcp", target)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	br := bufio.NewReaderSize(conn, 1<<16)
+
+	tuples := make([]packet.FiveTuple, nFlows)
+	for i := range tuples {
+		tuples[i] = packet.FiveTuple{
+			Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
+			Dst:      packet.IP4{10, 0, 0, 2},
+			SrcPort:  uint16(1024 + i),
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+	}
+
+	// Pipeline: writer goroutine streams packets while we read
+	// results — the daemon answers in order.
+	errc := make(chan error, 1)
+	go func() {
+		for i, p := range corpus {
+			if err := ctlproto.WriteDataPacket(bw, tag, tuples[i%nFlows], p); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- bw.Flush()
+	}()
+
+	var (
+		totalBytes  int64
+		withMatches int
+		reportBytes int64
+		rep         packet.Report
+		buf         []byte
+	)
+	start := time.Now()
+	for _, p := range corpus {
+		totalBytes += int64(len(p))
+		enc, err := ctlproto.ReadResultFrame(br, buf)
+		if err != nil {
+			return err
+		}
+		buf = enc
+		if enc != nil {
+			withMatches++
+			reportBytes += int64(len(enc))
+			if _, err := packet.DecodeReport(enc, &rep); err != nil {
+				return err
+			}
+		}
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	mbps := float64(totalBytes) * 8 / 1e6 / elapsed.Seconds()
+	log.Printf("trafficgen: %d packets, %.1f MB in %v — %.0f Mbps",
+		len(corpus), float64(totalBytes)/1e6, elapsed.Round(time.Millisecond), mbps)
+	pct := float64(len(corpus)-withMatches) / float64(len(corpus)) * 100
+	log.Printf("trafficgen: %.1f%% of packets had no matches; mean non-empty report %.1f B",
+		pct, mean(reportBytes, withMatches))
+	return nil
+}
+
+func mean(total int64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}

@@ -1,0 +1,78 @@
+// Package dpiservice is a complete implementation of "Deep Packet
+// Inspection as a Service" (Bremler-Barr, Harchol, Hay, Koral —
+// CoNEXT 2014): DPI is extracted from individual middleboxes and
+// offered as a network service that scans each packet exactly once
+// against the merged pattern sets of every middlebox on its policy
+// chain, delivering per-middlebox match reports alongside (or instead
+// of) the packets.
+//
+// This root package is the public façade: it re-exports the library's
+// primary types so applications depend on one import path. The pieces:
+//
+//   - Engine (internal/core): the virtual DPI engine — a merged
+//     Aho-Corasick automaton with dense accepting-state numbering,
+//     per-state middlebox bitmaps and a direct-access match table;
+//     stateful cross-packet scanning; stopping conditions; and
+//     anchor-based regular expression pre-filtering.
+//   - Controller (internal/controller): the logically-centralized DPI
+//     controller — middlebox registration, global pattern set with
+//     reference counting, policy-chain tags, instance configuration,
+//     telemetry.
+//   - Report (internal/packet): the compact match-report wire format
+//     (4-byte matches, 6-byte ranges).
+//   - The SDN substrate (internal/netsim, internal/openflow,
+//     internal/sdn) and data-plane nodes (internal/middlebox) used by
+//     the examples and experiments.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package dpiservice
+
+import (
+	"dpiservice/internal/controller"
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/patterns"
+)
+
+// Engine is the DPI service instance engine (see internal/core).
+type Engine = core.Engine
+
+// Config configures an Engine.
+type Config = core.Config
+
+// Profile describes one middlebox's pattern set and scan properties.
+type Profile = core.Profile
+
+// NewEngine compiles a configuration into a ready engine.
+func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
+
+// Controller is the logically-centralized DPI controller.
+type Controller = controller.Controller
+
+// NewController returns an empty controller.
+func NewController() *Controller { return controller.New() }
+
+// Register is the middlebox registration message.
+type Register = ctlproto.Register
+
+// PatternDef carries one pattern in controller messages.
+type PatternDef = ctlproto.PatternDef
+
+// Report is a decoded match report.
+type Report = packet.Report
+
+// FiveTuple identifies a transport flow.
+type FiveTuple = packet.FiveTuple
+
+// PatternSet is a named collection of patterns and regexes.
+type PatternSet = patterns.Set
+
+// Regex is a regular-expression rule within a PatternSet.
+type Regex = patterns.Regex
+
+// PatternSetFromStrings builds a set with sequential IDs.
+func PatternSetFromStrings(name string, pats []string) *PatternSet {
+	return patterns.FromStrings(name, pats)
+}

@@ -1,0 +1,96 @@
+package dpiservice_test
+
+import (
+	"fmt"
+
+	"dpiservice"
+)
+
+// Example demonstrates the core idea: one engine scans a packet once
+// against the merged pattern sets of every middlebox on its policy
+// chain, and each middlebox reads its own section of the match report.
+func Example() {
+	ids := dpiservice.PatternSetFromStrings("ids", []string{"/etc/passwd", "attack-sig"})
+	av := dpiservice.PatternSetFromStrings("av", []string{"malware-body"})
+
+	engine, err := dpiservice.NewEngine(dpiservice.Config{
+		Profiles: []dpiservice.Profile{
+			{ID: 0, Name: "ids", Stateful: true, ReadOnly: true, Patterns: ids},
+			{ID: 1, Name: "av", Patterns: av},
+		},
+		Chains: map[uint16][]int{1: {0, 1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	flow := dpiservice.FiveTuple{
+		Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2},
+		SrcPort: 12345, DstPort: 80, Protocol: 6,
+	}
+	report, err := engine.Inspect(1, flow, []byte("GET /etc/passwd + malware-body"))
+	if err != nil {
+		panic(err)
+	}
+	for _, sec := range report.Sections {
+		for _, e := range sec.Entries {
+			fmt.Printf("middlebox %d: rule %d at byte %d\n", sec.Mbox, e.Pattern, e.Pos)
+		}
+	}
+	// Output:
+	// middlebox 0: rule 0 at byte 15
+	// middlebox 1: rule 0 at byte 30
+}
+
+// ExampleEngine_Inspect_stateful shows a pattern split across two
+// packets of one flow: the stateful middlebox sees it, a stateless one
+// would not.
+func ExampleEngine_Inspect_stateful() {
+	set := dpiservice.PatternSetFromStrings("ids", []string{"cross-packet"})
+	engine, err := dpiservice.NewEngine(dpiservice.Config{
+		Profiles: []dpiservice.Profile{{ID: 0, Stateful: true, Patterns: set}},
+		Chains:   map[uint16][]int{1: {0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	flow := dpiservice.FiveTuple{SrcPort: 1, DstPort: 80, Protocol: 6}
+
+	first, _ := engine.Inspect(1, flow, []byte("...cross-"))
+	second, _ := engine.Inspect(1, flow, []byte("packet..."))
+	fmt.Println("first packet report:", first)
+	fmt.Println("second packet matches:", second.NumMatches())
+	// Output:
+	// first packet report: <nil>
+	// second packet matches: 1
+}
+
+// ExampleNewController walks the control plane: register middleboxes,
+// push patterns, define a chain, and derive an instance configuration.
+func ExampleNewController() {
+	ctl := dpiservice.NewController()
+	if _, err := ctl.Register(dpiservice.Register{MboxID: "ids-1", Type: "ids"}); err != nil {
+		panic(err)
+	}
+	if err := ctl.AddPatterns("ids-1", []dpiservice.PatternDef{
+		{RuleID: 0, Content: []byte("attack-sig")},
+	}); err != nil {
+		panic(err)
+	}
+	tag, err := ctl.DefineChain([]string{"ids-1"})
+	if err != nil {
+		panic(err)
+	}
+	cfg, err := ctl.InstanceConfig([]uint16{tag}, false)
+	if err != nil {
+		panic(err)
+	}
+	engine, err := dpiservice.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	report, _ := engine.Inspect(tag, dpiservice.FiveTuple{Protocol: 6}, []byte("an attack-sig"))
+	fmt.Println("chain", tag, "matches:", report.NumMatches())
+	// Output:
+	// chain 1 matches: 1
+}

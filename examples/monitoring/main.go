@@ -1,0 +1,94 @@
+// Monitoring demonstrates the Big-Tap-style result-only deployment
+// (Section 4.2, third option) with three read-only consumers from
+// Table 1 — a network-analytics box, a DLP box with regular-expression
+// rules, and a counting IDS — fed purely by result packets while data
+// goes straight to its destination, plus the session-reconstruction
+// service reordering TCP segments before the scan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/middlebox"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/sdn"
+	"dpiservice/internal/system"
+	"dpiservice/internal/traffic"
+)
+
+func main() {
+	tb, err := system.NewTestbed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Stop()
+
+	// Analytics: protocol identification by signature (Qosmos row of
+	// Table 1).
+	analytics := middlebox.NewAnalyticsLogic(map[uint16]string{0: "http", 1: "sip"})
+	if _, err := tb.AddConsumerMbox("analytics-1", "analytics",
+		ctlproto.Register{ReadOnly: true, StopAfter: 512},
+		[]string{"HTTP/1.1", "INVITE sip:"}, analytics); err != nil {
+		log.Fatal(err)
+	}
+
+	// DLP: a regex rule for payment-card-like numbers (Check Point DLP
+	// row). Registered over the wire-style pattern API with a regex.
+	dlp := middlebox.NewDLPLogic()
+	dlpNode, err := tb.AddConsumerMbox("dlp-1", "dlp",
+		ctlproto.Register{ReadOnly: true}, nil, dlp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = dlpNode
+	if err := tb.DPICtl.AddPatterns("dlp-1", []ctlproto.PatternDef{
+		{RuleID: 0, Regex: `card=[0-9]{16}`},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	idsLogic := middlebox.NewCountLogic()
+	if _, err := tb.AddConsumerMbox("ids-1", "ids",
+		ctlproto.Register{ReadOnly: true, Stateful: true},
+		[]string{"attack-marker"}, idsLogic); err != nil {
+		log.Fatal(err)
+	}
+
+	spec := sdn.ChainSpec{Src: "src", Dst: "dst", Elements: []string{"analytics-1", "dlp-1", "ids-1"}}
+	tag, err := tb.TSA.InstallResultOnlyChain(spec, "dpi-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dpi, err := tb.AddDPIInstance("dpi-1", []uint16{tag}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dpi.SetResultOnly(tag, true)
+	fmt.Println("monitoring fabric: data src->dpi-1->dst; results dpi-1->analytics->dlp->ids")
+
+	var fb traffic.FrameBuilder
+	http := packet.FiveTuple{Src: tb.Src.IP, Dst: tb.Dst.IP, SrcPort: 1111, DstPort: 80, Protocol: packet.IPProtoTCP}
+	sip := packet.FiveTuple{Src: tb.Src.IP, Dst: tb.Dst.IP, SrcPort: 2222, DstPort: 5060, Protocol: packet.IPProtoUDP}
+	leak := packet.FiveTuple{Src: tb.Src.IP, Dst: tb.Dst.IP, SrcPort: 3333, DstPort: 80, Protocol: packet.IPProtoTCP}
+
+	tb.Src.Send(fb.Build(http, []byte("GET / HTTP/1.1\r\nHost: shop.test\r\n\r\n")))
+	tb.Src.Send(fb.Build(http, []byte("more of the same http flow")))
+	tb.Src.Send(fb.Build(sip, []byte("INVITE sip:alice@example.test SIP/2.0")))
+	tb.Src.Send(fb.Build(leak, []byte("POST /pay HTTP/1.1\r\n\r\ncard=4111111111111111&cvv=123")))
+	tb.Src.Send(fb.Build(http, []byte("an attack-marker rides the http flow")))
+
+	tb.Net.Flush(2 * time.Second)
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Printf("\ndata packets at dst: %d of 5 (read-only chain never drops)\n", tb.Dst.Received())
+	fmt.Printf("analytics: flows by protocol = %v, bytes = %v\n", analytics.Flows(), analytics.Bytes())
+	fmt.Printf("dlp: %d leak occurrences, flow blocked (advisory in read-only mode): %v\n",
+		dlp.Leaks, dlp.FlowBlocked(leak))
+	fmt.Printf("ids: %d rule hits\n", idsLogic.Total())
+	s := dpi.Engine().Snapshot()
+	fmt.Printf("dpi-1: %d packets scanned, %d regex confirmations, %d hits\n",
+		s.Packets, s.RegexConfirms+s.RegexHits, s.RegexHits)
+}

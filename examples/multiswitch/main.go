@@ -1,0 +1,103 @@
+// Multiswitch steers a policy chain across a two-switch fabric
+// (Figure 5's general topology): the source and the DPI service
+// instance live on one switch, the IDS and the destination on another,
+// and SIMPLE-style per-segment tags route data and result packets over
+// the trunk. DPI still happens exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/middlebox"
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/openflow"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/sdn"
+	"dpiservice/internal/traffic"
+)
+
+func main() {
+	net := netsim.NewNetwork()
+	defer net.Stop()
+	ctl := controller.New()
+	fabric := sdn.NewFabric(ctl)
+
+	s1, s2 := openflow.NewSwitch("s1"), openflow.NewSwitch("s2")
+	for _, sw := range []*openflow.Switch{s1, s2} {
+		fabric.AddSwitch(sw)
+		must(net.AddNode(sw))
+	}
+	must(net.Connect(s1, s2, netsim.LinkOpts{}))
+	must(fabric.Trunk(s1, s2))
+
+	mkHost := func(name string, sw *openflow.Switch, last byte) *netsim.Host {
+		h := netsim.NewHost(name, packet.MAC{2, 0, 0, 0, 0, last}, packet.IP4{10, 0, 0, last})
+		must(net.AddNode(h))
+		must(net.Connect(h, sw, netsim.LinkOpts{}))
+		must(fabric.Place(name, sw))
+		return h
+	}
+	src := mkHost("src", s1, 1)
+	dpiHost := mkHost("dpi-1", s1, 2)
+	idsHost := mkHost("ids-1", s2, 3)
+	dst := mkHost("dst", s2, 4)
+
+	// Control plane: the IDS registers its patterns; the TSA-equivalent
+	// fabric installs the chain across both switches.
+	if _, err := ctl.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids"}); err != nil {
+		log.Fatal(err)
+	}
+	must(ctl.AddPatterns("ids-1", []ctlproto.PatternDef{
+		{RuleID: 0, Content: []byte("lateral-movement")},
+	}))
+	ic, err := fabric.InstallChainWithDPI(
+		sdn.ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ids-1"}}, "dpi-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain %d installed across s1/s2; segment tags %v\n", ic.Tag, ic.SegTags)
+
+	// Data plane: the instance engine is keyed by the tag its packets
+	// arrive under.
+	cfg, err := ctl.InstanceConfig([]uint16{ic.Tag}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Chains[ic.InstanceKey] = cfg.Chains[ic.Tag]
+	if ic.InstanceKey != ic.Tag {
+		delete(cfg.Chains, ic.Tag)
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dpi := middlebox.NewDPINode("dpi-1", dpiHost, engine)
+	counter := middlebox.NewCountLogic()
+	middlebox.NewConsumerNode(idsHost, 0, counter)
+
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: src.IP, Dst: dst.IP, SrcPort: 7, DstPort: 80, Protocol: packet.IPProtoTCP}
+	src.Send(fb.Build(tuple, []byte("benign cross-switch traffic")))
+	src.Send(fb.Build(tuple, []byte("signs of lateral-movement here")))
+	net.Flush(2 * time.Second)
+	time.Sleep(50 * time.Millisecond)
+
+	s := dpi.Engine().Snapshot()
+	fmt.Printf("dpi-1 (on s1) scanned %d packets once each\n", s.Packets)
+	fmt.Printf("ids-1 (on s2) counted %d rule hits from result packets over the trunk\n", counter.Total())
+	// dst sees the two data frames plus the result frame that rode the
+	// chain past its last middlebox (an end host ignores the unknown
+	// ethertype).
+	fmt.Printf("dst received %d frames, untagged\n", dst.Received())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Servicechain reproduces the paper's Figure 1(b)/Figure 2(b) pipeline
+// on the virtual network: traffic is steered src -> DPI service -> IDS
+// -> AntiVirus -> dst by the TSA, the DPI instance scans each packet
+// once against both middleboxes' merged pattern sets, marks matching
+// packets via ECN, and emits dedicated result packets that each
+// middlebox pairs with its data packet — no middlebox scans anything.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/middlebox"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/sdn"
+	"dpiservice/internal/system"
+	"dpiservice/internal/traffic"
+)
+
+func main() {
+	tb, err := system.NewTestbed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Stop()
+
+	// Two middleboxes register with the DPI controller and push their
+	// pattern sets (Section 4.1). The IDS is stateful and read-only;
+	// the AV acts on packets.
+	idsLogic := middlebox.NewCountLogic()
+	avLogic := middlebox.NewIPSLogic(0) // AV drops packets matching its rule 0
+	if _, err := tb.AddConsumerMbox("ids-1", "ids",
+		ctlproto.Register{Stateful: true, ReadOnly: true},
+		[]string{"attack-signature", "/etc/passwd"}, idsLogic); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tb.AddConsumerMbox("av-1", "av", ctlproto.Register{},
+		[]string{"malware-body-marker"}, avLogic); err != nil {
+		log.Fatal(err)
+	}
+
+	// The TSA installs the policy chain with the DPI service
+	// prepended, then the controller-derived instance is deployed.
+	spec := sdn.ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ids-1", "av-1"}}
+	tag, err := tb.TSA.InstallChainWithDPI(spec, "dpi-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dpi, err := tb.AddDPIInstance("dpi-1", []uint16{tag}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain %d installed: src -> dpi-1 -> ids-1 -> av-1 -> dst\n", tag)
+	fmt.Printf("instance dpi-1: %d patterns in %d states\n\n",
+		dpi.Engine().NumPatterns(), dpi.Engine().NumStates())
+
+	// Count what actually reaches the destination, separating data
+	// packets from result packets that rode the chain past the last
+	// middlebox (an end host simply ignores the unknown ethertype).
+	var dataAtDst, reportsAtDst, marked int
+	tb.Dst.SetHandler(func(frame []byte) {
+		var s packet.Summary
+		if packet.Summarize(frame, &s) != nil {
+			return
+		}
+		if s.IsReport {
+			reportsAtDst++
+		} else {
+			dataAtDst++
+			if s.ECNMarked {
+				marked++
+			}
+		}
+	})
+
+	// Send a small mixed workload.
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: tb.Src.IP, Dst: tb.Dst.IP, SrcPort: 40000, DstPort: 80, Protocol: packet.IPProtoTCP}
+	payloads := []string{
+		"an entirely benign request",
+		"this one carries the attack-signature string",
+		"cat /etc/passwd please",
+		"dropped: malware-body-marker present",
+		"benign again",
+	}
+	for _, p := range payloads {
+		tb.Src.Send(fb.Build(tuple, []byte(p)))
+	}
+	tb.Net.Flush(2 * time.Second)
+	time.Sleep(50 * time.Millisecond)
+
+	fmt.Printf("dst received %d of %d data packets (AV dropped the malware one), %d marked, %d stray result packets\n",
+		dataAtDst, len(payloads), marked, reportsAtDst)
+	fmt.Printf("IDS (never scanned a byte) counted %d rule hits\n", idsLogic.Total())
+	fmt.Printf("AV dropped %d packets\n", avLogic.Drops.Load())
+	s := dpi.Engine().Snapshot()
+	fmt.Printf("DPI instance: %d packets scanned once each, %d matches, %d reports\n",
+		s.Packets, s.Matches, s.Reports)
+}

@@ -1,0 +1,3 @@
+module dpiservice
+
+go 1.22

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 5}
+
+func TestFig8Quick(t *testing.T) {
+	rows, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.StandaloneMbps <= 0 || r.OneVMMbps <= 0 || r.FourVMAvgMbps <= 0 {
+			t.Errorf("non-positive throughput: %+v", r)
+		}
+	}
+	// The paper's first finding: the pattern count has major impact.
+	if rows[1].StandaloneMbps >= rows[0].StandaloneMbps {
+		t.Logf("note: throughput did not drop with pattern count on tiny quick sets (%+v)", rows)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	rows, err := Table2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Patterns+rows[1].Patterns != rows[2].Patterns {
+		t.Errorf("combined patterns %d != %d + %d", rows[2].Patterns, rows[0].Patterns, rows[1].Patterns)
+	}
+	// Space observation of Table 2: merged < sum of separates.
+	if rows[2].SpaceMB >= rows[0].SpaceMB+rows[1].SpaceMB {
+		t.Errorf("merged space %.1f not below %.1f + %.1f",
+			rows[2].SpaceMB, rows[0].SpaceMB, rows[1].SpaceMB)
+	}
+	for _, r := range rows {
+		if r.Mbps <= 0 {
+			t.Errorf("no throughput: %+v", r)
+		}
+	}
+}
+
+func TestFig9aQuick(t *testing.T) {
+	rows, err := Fig9a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.VirtualMbps <= r.PipelineMbps {
+			t.Errorf("virtual DPI (%.0f) not faster than pipeline (%.0f) at %d patterns — "+
+				"the paper's headline result must hold in shape",
+				r.VirtualMbps, r.PipelineMbps, r.TotalPatterns)
+		}
+	}
+	if s := FormatFig9(rows); !strings.Contains(s, "pipeline") {
+		t.Errorf("FormatFig9 output %q", s)
+	}
+}
+
+func TestFig9bQuick(t *testing.T) {
+	rows, err := Fig9b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.VirtualMbps <= r.PipelineMbps {
+			t.Errorf("virtual (%.0f) <= pipeline (%.0f) at %d", r.VirtualMbps, r.PipelineMbps, r.TotalPatterns)
+		}
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	for name, fn := range map[string]func(Options) (*Fig10Result, error){
+		"a": Fig10a, "b": Fig10b,
+	} {
+		res, err := fn(quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The triangle must exceed at least the slower middlebox's
+		// rectangle side: when the faster set's box is idle, the
+		// slower traffic class can borrow its capacity (the paper's
+		// ClamAV-above-the-rectangle observation).
+		slower := res.RectAMbps
+		if res.RectBMbps < slower {
+			slower = res.RectBMbps
+		}
+		if res.TriangleBudget <= slower {
+			t.Errorf("%s: triangle budget %.0f does not exceed the slower side %.0f",
+				name, res.TriangleBudget, slower)
+		}
+		if res.BorrowablePctA() <= 0 && res.BorrowablePctB() <= 0 {
+			t.Errorf("%s: nothing borrowable on either axis: %+v", name, res)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	res, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("no packets")
+	}
+	// Section 6.5: more than 90% of packets have no matches.
+	if res.PctNoMatch < 80 {
+		t.Errorf("PctNoMatch = %.1f%%, expected the large majority clean", res.PctNoMatch)
+	}
+	if res.MeanBytes <= 0 || len(res.CDF) == 0 {
+		t.Errorf("result = %+v", res)
+	}
+	// CDF is monotone and ends at 100%.
+	last := 0.0
+	for _, p := range res.CDF {
+		if p.CumPct < last {
+			t.Fatalf("CDF not monotone at %+v", p)
+		}
+		last = p.CumPct
+	}
+	if last < 99.99 {
+		t.Errorf("CDF ends at %.2f%%", last)
+	}
+	if res.P50 > res.P90 || res.P90 > res.P99 {
+		t.Errorf("percentiles disordered: %+v", res)
+	}
+}
+
+func TestSlowdownQuick(t *testing.T) {
+	res, err := Slowdown(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scanning must cost more than consuming results; the paper
+	// reports >= 2.9x for Snort. Quick sets are small, so just require
+	// a clear win.
+	if res.Factor < 2 {
+		t.Errorf("slowdown factor = %.1f, expected scanning >> consuming", res.Factor)
+	}
+}
+
+func TestAblationMatchersQuick(t *testing.T) {
+	rows, err := AblationMatchers(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byName := map[string]AblationMatcherRow{}
+	for _, r := range rows {
+		if r.Mbps <= 0 {
+			t.Errorf("no throughput: %+v", r)
+		}
+		byName[r.Matcher] = r
+	}
+	if byName["ac-compact"].SpaceMB >= byName["ac-full"].SpaceMB {
+		t.Error("compact AC not smaller than full AC")
+	}
+	if byName["ac-bitmap"].SpaceMB >= byName["ac-full"].SpaceMB {
+		t.Error("bitmap AC not smaller than full AC")
+	}
+	if byName["ac-full"].Mbps <= byName["ac-compact"].Mbps {
+		t.Error("full AC not faster than compact AC")
+	}
+}
+
+func TestAblationBitmapQuick(t *testing.T) {
+	rows, err := AblationBitmap(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// More active sets must never yield fewer matches.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Matches < rows[i-1].Matches {
+			t.Errorf("matches decreased with more active sets: %+v", rows)
+		}
+	}
+}
+
+func TestAblationEngineKindsQuick(t *testing.T) {
+	rows, err := AblationEngineKinds(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].SpaceMB <= rows[1].SpaceMB {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestMeasureResultString(t *testing.T) {
+	r := Result{Name: "x", Patterns: 10, MemBytes: 2e6, Bytes: 1e6, Elapsed: 1e9}
+	if r.ThroughputMbps() != 8 {
+		t.Errorf("ThroughputMbps = %f", r.ThroughputMbps())
+	}
+	if !strings.Contains(r.String(), "Mbps") {
+		t.Errorf("String = %q", r.String())
+	}
+	if (Result{}).ThroughputMbps() != 0 {
+		t.Error("zero-elapsed result has throughput")
+	}
+}

@@ -1,0 +1,107 @@
+// Package bench is the measurement harness that regenerates every table
+// and figure of the paper's evaluation (Section 6): workload
+// construction, throughput measurement of raw automata and full service
+// instances, and the experiment drivers for Figure 8, Table 2,
+// Figures 9(a)/9(b), Figures 10(a)/10(b), Figure 11 and the Section 1
+// DPI-slowdown observation, plus ablations of this implementation's
+// design choices. The cmd/dpibench binary prints the results in the
+// paper's layout; EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/mpm"
+	"dpiservice/internal/packet"
+)
+
+// Result is one throughput measurement.
+type Result struct {
+	Name     string
+	Patterns int
+	States   int
+	MemBytes int64
+	Bytes    int64
+	Elapsed  time.Duration
+	Matches  uint64
+}
+
+// ThroughputMbps returns the measured scan rate in megabits per second
+// (the unit of the paper's figures).
+func (r Result) ThroughputMbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / 1e6 / r.Elapsed.Seconds()
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d patterns, %.1f MB, %.0f Mbps",
+		r.Name, r.Patterns, float64(r.MemBytes)/1e6, r.ThroughputMbps())
+}
+
+// MeasureAutomaton scans the corpus `repeat` times through a raw
+// automaton and reports throughput — the pure-algorithm measurement of
+// Figure 8.
+func MeasureAutomaton(name string, a mpm.Automaton, corpus [][]byte, repeat int) Result {
+	r := Result{Name: name, Patterns: a.NumPatterns(), States: a.NumStates(), MemBytes: a.MemoryBytes()}
+	var matches uint64
+	emit := func(refs []mpm.PatternRef, end int) { matches += uint64(len(refs)) }
+	start := time.Now()
+	for i := 0; i < repeat; i++ {
+		state := a.Start()
+		for _, p := range corpus {
+			state = a.Scan(p, state, mpm.AllSets, emit)
+			r.Bytes += int64(len(p))
+		}
+	}
+	r.Elapsed = time.Since(start)
+	r.Matches = matches
+	return r
+}
+
+// MeasureEngine pushes the corpus through a full DPI service instance
+// (per-packet tag resolution, flow state, report construction) under
+// one chain tag, rotating across nFlows flow tuples, and reports
+// throughput.
+func MeasureEngine(name string, e *core.Engine, tag uint16, corpus [][]byte, nFlows, repeat int) Result {
+	r := Result{Name: name, Patterns: e.NumPatterns(), States: e.NumStates(), MemBytes: e.MemoryBytes()}
+	tuples := make([]packet.FiveTuple, nFlows)
+	for i := range tuples {
+		tuples[i] = packet.FiveTuple{
+			Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
+			Dst:      packet.IP4{10, 0, 0, 2},
+			SrcPort:  uint16(1024 + i),
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+	}
+	start := time.Now()
+	for i := 0; i < repeat; i++ {
+		for j, p := range corpus {
+			_, err := e.Inspect(tag, tuples[j%nFlows], p)
+			if err != nil {
+				panic(err) // harness misconfiguration, not a data error
+			}
+			r.Bytes += int64(len(p))
+		}
+	}
+	r.Elapsed = time.Since(start)
+	s := e.Snapshot()
+	r.Matches = s.Matches
+	return r
+}
+
+// minMbps returns the lower of two results' throughputs — the
+// sustainable rate of a pipeline whose every packet crosses both
+// (Figure 9's "two separate middleboxes" baseline).
+func minMbps(a, b Result) float64 {
+	ta, tb := a.ThroughputMbps(), b.ThroughputMbps()
+	if ta < tb {
+		return ta
+	}
+	return tb
+}

@@ -1,0 +1,132 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"dpiservice/internal/ctlproto"
+)
+
+// Client is the middlebox/instance-side handle to the DPI controller: a
+// synchronous request/response wrapper over one control connection. A
+// Client is not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	seq  uint64
+}
+
+// Dial connects to a controller at addr (TCP).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established control connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the control connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its reply, surfacing protocol
+// errors as Go errors.
+func (c *Client) roundTrip(typ ctlproto.MsgType, body any) (*ctlproto.Envelope, error) {
+	c.seq++
+	if err := ctlproto.WriteMsg(c.conn, typ, c.seq, body); err != nil {
+		return nil, err
+	}
+	env, err := ctlproto.ReadMsg(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if env.Type == ctlproto.TypeError {
+		var e ctlproto.Error
+		if err := env.Decode(&e); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("controller rejected %s: %s", typ, e.Reason)
+	}
+	if env.Seq != c.seq {
+		return nil, fmt.Errorf("controller: reply seq %d for request %d", env.Seq, c.seq)
+	}
+	return env, nil
+}
+
+// Register registers a middlebox and returns its pattern-set index.
+func (c *Client) Register(reg ctlproto.Register) (int, error) {
+	env, err := c.roundTrip(ctlproto.TypeRegister, reg)
+	if err != nil {
+		return 0, err
+	}
+	if env.Type != ctlproto.TypeRegisterAck {
+		return 0, errors.New("controller: unexpected reply " + string(env.Type))
+	}
+	var ack ctlproto.RegisterAck
+	if err := env.Decode(&ack); err != nil {
+		return 0, err
+	}
+	return ack.Set, nil
+}
+
+// Deregister removes a middlebox registration.
+func (c *Client) Deregister(mboxID string) error {
+	_, err := c.roundTrip(ctlproto.TypeDeregister, ctlproto.Deregister{MboxID: mboxID})
+	return err
+}
+
+// AddPatterns registers patterns for a middlebox.
+func (c *Client) AddPatterns(mboxID string, defs []ctlproto.PatternDef) error {
+	_, err := c.roundTrip(ctlproto.TypeAddPatterns, ctlproto.AddPatterns{MboxID: mboxID, Patterns: defs})
+	return err
+}
+
+// RemovePatterns drops a middlebox's references to rule IDs.
+func (c *Client) RemovePatterns(mboxID string, ruleIDs []int) error {
+	_, err := c.roundTrip(ctlproto.TypeRemovePatterns, ctlproto.RemovePatterns{MboxID: mboxID, RuleIDs: ruleIDs})
+	return err
+}
+
+// ReportChains reports policy chains (as the TSA) and returns them with
+// the controller-assigned tags.
+func (c *Client) ReportChains(chains [][]string) ([]ctlproto.ChainDef, error) {
+	msg := ctlproto.PolicyChains{}
+	for _, members := range chains {
+		msg.Chains = append(msg.Chains, ctlproto.ChainDef{Members: members})
+	}
+	env, err := c.roundTrip(ctlproto.TypePolicyChains, msg)
+	if err != nil {
+		return nil, err
+	}
+	var reply ctlproto.PolicyChains
+	if err := env.Decode(&reply); err != nil {
+		return nil, err
+	}
+	return reply.Chains, nil
+}
+
+// InstanceHello announces a DPI service instance and fetches its
+// initialization.
+func (c *Client) InstanceHello(instanceID string, chains []uint16, dedicated bool) (ctlproto.InstanceInit, error) {
+	env, err := c.roundTrip(ctlproto.TypeInstanceHello,
+		ctlproto.InstanceHello{InstanceID: instanceID, Chains: chains, Dedicated: dedicated})
+	if err != nil {
+		return ctlproto.InstanceInit{}, err
+	}
+	if env.Type != ctlproto.TypeInstanceInit {
+		return ctlproto.InstanceInit{}, errors.New("controller: unexpected reply " + string(env.Type))
+	}
+	var init ctlproto.InstanceInit
+	if err := env.Decode(&init); err != nil {
+		return ctlproto.InstanceInit{}, err
+	}
+	return init, nil
+}
+
+// SendTelemetry exports an instance's counters to the controller.
+func (c *Client) SendTelemetry(tel ctlproto.Telemetry) error {
+	_, err := c.roundTrip(ctlproto.TypeTelemetry, tel)
+	return err
+}

@@ -1,0 +1,577 @@
+// Package controller implements the logically-centralized DPI controller
+// (Section 4.1 of the paper). It registers middleboxes, maintains the
+// global pattern set with internal IDs and per-middlebox reference
+// counts, receives policy chains from the traffic steering application
+// and assigns them tags, derives initialization configurations for DPI
+// service instances (optionally grouped by chain, Section 4.3), and
+// collects instance telemetry for the MCA²-style stress monitor
+// (Section 4.3.1).
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/mpm"
+	"dpiservice/internal/patterns"
+)
+
+// Errors returned by the controller.
+var (
+	ErrUnknownMbox     = errors.New("controller: unknown middlebox")
+	ErrDuplicateMbox   = errors.New("controller: middlebox already registered")
+	ErrRuleConflict    = errors.New("controller: rule ID conflicts within pattern set")
+	ErrUnknownChain    = errors.New("controller: unknown policy chain")
+	ErrTooManySets     = errors.New("controller: pattern-set identifiers exhausted")
+	ErrUnknownInstance = errors.New("controller: unknown instance")
+)
+
+// Controller is the control-plane brain of the DPI service.
+type Controller struct {
+	mu sync.Mutex
+
+	mboxes  map[string]*mboxRecord
+	sets    map[string]*setRecord // keyed by middlebox type
+	nextSet int
+
+	global map[string]*globalPattern // exact-pattern dedup across all sets
+
+	chains  map[uint16][]string
+	nextTag uint16
+
+	instances map[string]*instanceRecord
+
+	version uint64 // bumped on any change affecting instance configs
+}
+
+type mboxRecord struct {
+	reg ctlproto.Register
+	set *setRecord
+}
+
+type setRecord struct {
+	index    int
+	mboxType string
+	// rules maps rule ID -> definition; all middleboxes of the type
+	// share it. refs counts the middleboxes referencing each rule.
+	rules map[int]ruleEntry
+}
+
+type ruleEntry struct {
+	content string // exact bytes, or
+	regex   string // regular expression (exactly one is set)
+	refs    map[string]bool
+}
+
+type globalPattern struct {
+	internalID int
+	// refs: mboxID -> rule IDs referencing this content.
+	refs map[string]map[int]bool
+}
+
+type instanceRecord struct {
+	id        string
+	chains    []uint16
+	dedicated bool
+	telemetry ctlproto.Telemetry
+	hasTel    bool
+}
+
+// New returns an empty controller.
+func New() *Controller {
+	return &Controller{
+		mboxes:    make(map[string]*mboxRecord),
+		sets:      make(map[string]*setRecord),
+		global:    make(map[string]*globalPattern),
+		chains:    make(map[uint16][]string),
+		nextTag:   1,
+		instances: make(map[string]*instanceRecord),
+	}
+}
+
+// Register adds a middlebox. Middleboxes of the same type — or one
+// inheriting from an already-registered middlebox — share a pattern set
+// (Section 4.1). It returns the assigned pattern-set index.
+func (c *Controller) Register(reg ctlproto.Register) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reg.MboxID == "" {
+		return 0, fmt.Errorf("%w: empty middlebox ID", ErrUnknownMbox)
+	}
+	if _, dup := c.mboxes[reg.MboxID]; dup {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicateMbox, reg.MboxID)
+	}
+	typ := reg.Type
+	if reg.InheritFrom != "" {
+		parent, ok := c.mboxes[reg.InheritFrom]
+		if !ok {
+			return 0, fmt.Errorf("%w: inherit from %s", ErrUnknownMbox, reg.InheritFrom)
+		}
+		typ = parent.set.mboxType
+	}
+	if typ == "" {
+		typ = reg.MboxID // untyped middleboxes get a private set
+	}
+	set, ok := c.sets[typ]
+	if !ok {
+		if c.nextSet >= mpm.MaxSets {
+			return 0, ErrTooManySets
+		}
+		set = &setRecord{index: c.nextSet, mboxType: typ, rules: make(map[int]ruleEntry)}
+		c.nextSet++
+		c.sets[typ] = set
+	}
+	c.mboxes[reg.MboxID] = &mboxRecord{reg: reg, set: set}
+	c.version++
+	return set.index, nil
+}
+
+// Deregister removes a middlebox and drops its pattern references.
+func (c *Controller) Deregister(mboxID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.mboxes[mboxID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMbox, mboxID)
+	}
+	ids := make([]int, 0, len(rec.set.rules))
+	for id, r := range rec.set.rules {
+		if r.refs[mboxID] {
+			ids = append(ids, id)
+		}
+	}
+	c.removeLocked(rec, ids)
+	delete(c.mboxes, mboxID)
+	c.version++
+	return nil
+}
+
+// AddPatterns registers patterns for a middlebox. A pattern already
+// registered by another middlebox is tracked under the same internal ID
+// with an additional reference (Section 4.1). A rule ID already present
+// in the set with different content is a conflict.
+func (c *Controller) AddPatterns(mboxID string, defs []ctlproto.PatternDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.mboxes[mboxID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMbox, mboxID)
+	}
+	// Validate first so the update is all-or-nothing.
+	for _, d := range defs {
+		if d.RuleID < 0 || d.RuleID >= core.RegexReportBase {
+			return fmt.Errorf("%w: rule ID %d out of range", ErrRuleConflict, d.RuleID)
+		}
+		if (len(d.Content) == 0) == (d.Regex == "") {
+			return fmt.Errorf("%w: rule %d must carry exactly one of content or regex",
+				ErrRuleConflict, d.RuleID)
+		}
+		if existing, ok := rec.set.rules[d.RuleID]; ok {
+			if existing.content != string(d.Content) || existing.regex != d.Regex {
+				return fmt.Errorf("%w: rule %d redefined with different body", ErrRuleConflict, d.RuleID)
+			}
+		}
+	}
+	for _, d := range defs {
+		entry, ok := rec.set.rules[d.RuleID]
+		if !ok {
+			entry = ruleEntry{content: string(d.Content), regex: d.Regex, refs: make(map[string]bool)}
+		}
+		entry.refs[mboxID] = true
+		rec.set.rules[d.RuleID] = entry
+		if len(d.Content) > 0 {
+			c.refGlobal(string(d.Content), mboxID, d.RuleID)
+		}
+	}
+	c.version++
+	return nil
+}
+
+// RemovePatterns drops a middlebox's references to the given rule IDs.
+// A rule (and its global pattern) survives while any other middlebox
+// still references it.
+func (c *Controller) RemovePatterns(mboxID string, ruleIDs []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.mboxes[mboxID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMbox, mboxID)
+	}
+	c.removeLocked(rec, ruleIDs)
+	c.version++
+	return nil
+}
+
+func (c *Controller) removeLocked(rec *mboxRecord, ruleIDs []int) {
+	for _, id := range ruleIDs {
+		entry, ok := rec.set.rules[id]
+		if !ok || !entry.refs[rec.reg.MboxID] {
+			continue
+		}
+		delete(entry.refs, rec.reg.MboxID)
+		if entry.content != "" {
+			c.unrefGlobal(entry.content, rec.reg.MboxID, id)
+		}
+		if len(entry.refs) == 0 {
+			delete(rec.set.rules, id)
+		}
+	}
+}
+
+func (c *Controller) refGlobal(content, mboxID string, ruleID int) {
+	gp, ok := c.global[content]
+	if !ok {
+		gp = &globalPattern{internalID: len(c.global), refs: make(map[string]map[int]bool)}
+		c.global[content] = gp
+	}
+	if gp.refs[mboxID] == nil {
+		gp.refs[mboxID] = make(map[int]bool)
+	}
+	gp.refs[mboxID][ruleID] = true
+}
+
+func (c *Controller) unrefGlobal(content, mboxID string, ruleID int) {
+	gp, ok := c.global[content]
+	if !ok {
+		return
+	}
+	if rules := gp.refs[mboxID]; rules != nil {
+		delete(rules, ruleID)
+		if len(rules) == 0 {
+			delete(gp.refs, mboxID)
+		}
+	}
+	if len(gp.refs) == 0 {
+		delete(c.global, content)
+	}
+}
+
+// GlobalPatternCount reports the number of distinct exact patterns known
+// across all middleboxes.
+func (c *Controller) GlobalPatternCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.global)
+}
+
+// DefineChain records a policy chain received from the TSA and assigns
+// it a tag (Section 4.1). Members must be registered middlebox IDs; the
+// order is the traversal order.
+func (c *Controller) DefineChain(members []string) (uint16, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range members {
+		if _, ok := c.mboxes[m]; !ok {
+			return 0, fmt.Errorf("%w: chain member %s", ErrUnknownMbox, m)
+		}
+	}
+	tag := c.nextTag
+	c.nextTag++
+	c.chains[tag] = append([]string(nil), members...)
+	c.version++
+	return tag, nil
+}
+
+// Chain returns the member middlebox IDs of a chain tag.
+func (c *Controller) Chain(tag uint16) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.chains[tag]
+	if !ok {
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknownChain, tag)
+	}
+	return append([]string(nil), m...), nil
+}
+
+// ChainTags returns all defined chain tags in ascending order.
+func (c *Controller) ChainTags() []uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tags := make([]uint16, 0, len(c.chains))
+	for t := range c.chains {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	return tags
+}
+
+// Version reports the configuration version, bumped on every change
+// that affects instance configurations.
+func (c *Controller) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// InstanceConfig derives the engine configuration for a DPI service
+// instance serving the given chain tags — the deployment-grouping
+// mechanism of Section 4.3 (nil means all chains). Only middleboxes
+// appearing on the served chains are included.
+func (c *Controller) InstanceConfig(tags []uint16, compact bool) (core.Config, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tags == nil {
+		tags = make([]uint16, 0, len(c.chains))
+		for t := range c.chains {
+			tags = append(tags, t)
+		}
+		sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	}
+	cfg := core.Config{Chains: make(map[uint16][]int, len(tags))}
+	if compact {
+		cfg.Kind = core.AutoCompact
+	}
+	included := make(map[int]bool)
+	for _, tag := range tags {
+		members, ok := c.chains[tag]
+		if !ok {
+			return core.Config{}, fmt.Errorf("%w: tag %d", ErrUnknownChain, tag)
+		}
+		var ids []int
+		seen := make(map[int]bool)
+		for _, m := range members {
+			rec := c.mboxes[m]
+			if rec == nil {
+				return core.Config{}, fmt.Errorf("%w: %s", ErrUnknownMbox, m)
+			}
+			idx := rec.set.index
+			// A chain may list two middleboxes of one type; the
+			// engine scans their shared set once.
+			if !seen[idx] {
+				seen[idx] = true
+				ids = append(ids, idx)
+			}
+			if !included[idx] {
+				included[idx] = true
+				cfg.Profiles = append(cfg.Profiles, c.profileLocked(rec.set))
+			}
+		}
+		cfg.Chains[tag] = ids
+	}
+	sort.Slice(cfg.Profiles, func(i, j int) bool { return cfg.Profiles[i].ID < cfg.Profiles[j].ID })
+	return cfg, nil
+}
+
+// profileLocked assembles the engine profile of one pattern set,
+// combining the properties of all middleboxes sharing it: the set is
+// stateful if any member is, and its stopping condition is the deepest
+// among members (0/unlimited dominating).
+func (c *Controller) profileLocked(set *setRecord) core.Profile {
+	p := core.Profile{ID: set.index, Name: set.mboxType, Patterns: &patterns.Set{Name: set.mboxType}}
+	unlimited := false
+	for _, rec := range c.mboxes {
+		if rec.set != set {
+			continue
+		}
+		if rec.reg.Stateful {
+			p.Stateful = true
+		}
+		if rec.reg.StopAfter == 0 {
+			unlimited = true
+		} else if rec.reg.StopAfter > p.StopAfter {
+			p.StopAfter = rec.reg.StopAfter
+		}
+		// ReadOnly is a routing property, not a scanning one; the TSA
+		// consumes it via MboxInfo.
+	}
+	if unlimited {
+		p.StopAfter = 0
+	}
+	ids := make([]int, 0, len(set.rules))
+	for id := range set.rules {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := set.rules[id]
+		if r.content != "" {
+			p.Patterns.Patterns = append(p.Patterns.Patterns,
+				patterns.Pattern{ID: id, Content: r.content})
+		} else {
+			p.Patterns.Regexes = append(p.Patterns.Regexes,
+				patterns.Regex{ID: id, Expr: r.regex})
+		}
+	}
+	return p
+}
+
+// InstanceInitMsg renders an InstanceConfig as the wire message sent to
+// a remote DPI service instance.
+func (c *Controller) InstanceInitMsg(instanceID string, tags []uint16, compact bool) (ctlproto.InstanceInit, error) {
+	cfg, err := c.InstanceConfig(tags, compact)
+	if err != nil {
+		return ctlproto.InstanceInit{}, err
+	}
+	msg := ctlproto.InstanceInit{InstanceID: instanceID, Compact: compact, Decompress: cfg.Decompress, Version: c.Version()}
+	for _, p := range cfg.Profiles {
+		pd := ctlproto.ProfileDef{
+			Set: p.ID, Name: p.Name, Stateful: p.Stateful,
+			ReadOnly: p.ReadOnly, StopAfter: p.StopAfter,
+			Mboxes: c.setMembers(p.ID),
+		}
+		for _, pat := range p.Patterns.Patterns {
+			pd.Patterns = append(pd.Patterns, ctlproto.PatternDef{RuleID: pat.ID, Content: []byte(pat.Content)})
+		}
+		for _, rx := range p.Patterns.Regexes {
+			pd.Patterns = append(pd.Patterns, ctlproto.PatternDef{RuleID: rx.ID, Regex: rx.Expr})
+		}
+		msg.Profiles = append(msg.Profiles, pd)
+	}
+	tagList := tags
+	if tagList == nil {
+		tagList = c.ChainTags()
+	}
+	for _, tag := range tagList {
+		members, err := c.Chain(tag)
+		if err != nil {
+			return ctlproto.InstanceInit{}, err
+		}
+		msg.Chains = append(msg.Chains, ctlproto.ChainDef{Tag: tag, Members: members})
+	}
+	return msg, nil
+}
+
+// setMembers lists the registered middlebox IDs whose set has the given
+// index, sorted for determinism.
+func (c *Controller) setMembers(setIndex int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for id, rec := range c.mboxes {
+		if rec.set.index == setIndex {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConfigFromInit reconstructs an engine configuration from an
+// InstanceInit message — the instance-side half of initialization.
+func ConfigFromInit(init ctlproto.InstanceInit) (core.Config, error) {
+	cfg := core.Config{Chains: make(map[uint16][]int, len(init.Chains))}
+	if init.Compact {
+		cfg.Kind = core.AutoCompact
+	}
+	cfg.Decompress = init.Decompress
+	byMbox := make(map[string]int)
+	for _, pd := range init.Profiles {
+		p := core.Profile{
+			ID: pd.Set, Name: pd.Name, Stateful: pd.Stateful,
+			ReadOnly: pd.ReadOnly, StopAfter: pd.StopAfter,
+			Patterns: &patterns.Set{Name: pd.Name},
+		}
+		for _, d := range pd.Patterns {
+			if d.Regex != "" {
+				p.Patterns.Regexes = append(p.Patterns.Regexes, patterns.Regex{ID: d.RuleID, Expr: d.Regex})
+			} else {
+				p.Patterns.Patterns = append(p.Patterns.Patterns, patterns.Pattern{ID: d.RuleID, Content: string(d.Content)})
+			}
+		}
+		cfg.Profiles = append(cfg.Profiles, p)
+		for _, m := range pd.Mboxes {
+			byMbox[m] = pd.Set
+		}
+		byMbox[pd.Name] = pd.Set
+	}
+	for _, ch := range init.Chains {
+		var ids []int
+		seen := make(map[int]bool)
+		for _, m := range ch.Members {
+			idx, ok := byMbox[m]
+			if !ok {
+				return core.Config{}, fmt.Errorf("%w: chain %d member %s", ErrUnknownMbox, ch.Tag, m)
+			}
+			if !seen[idx] {
+				seen[idx] = true
+				ids = append(ids, idx)
+			}
+		}
+		cfg.Chains[ch.Tag] = ids
+	}
+	return cfg, nil
+}
+
+// MboxInfo describes a registered middlebox for the TSA.
+type MboxInfo struct {
+	MboxID   string
+	Type     string
+	Set      int
+	ReadOnly bool
+	Stateful bool
+}
+
+// Mbox returns registration info for one middlebox.
+func (c *Controller) Mbox(id string) (MboxInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.mboxes[id]
+	if !ok {
+		return MboxInfo{}, fmt.Errorf("%w: %s", ErrUnknownMbox, id)
+	}
+	return MboxInfo{
+		MboxID: id, Type: rec.set.mboxType, Set: rec.set.index,
+		ReadOnly: rec.reg.ReadOnly, Stateful: rec.reg.Stateful,
+	}, nil
+}
+
+// --- instance lifecycle and telemetry -------------------------------
+
+// AddInstance records a deployed DPI service instance and the chains it
+// serves.
+func (c *Controller) AddInstance(id string, tags []uint16, dedicated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.instances[id] = &instanceRecord{id: id, chains: append([]uint16(nil), tags...), dedicated: dedicated}
+}
+
+// RemoveInstance forgets an instance.
+func (c *Controller) RemoveInstance(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.instances, id)
+}
+
+// ReportTelemetry ingests an instance's periodic report.
+func (c *Controller) ReportTelemetry(tel ctlproto.Telemetry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.instances[tel.InstanceID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, tel.InstanceID)
+	}
+	rec.telemetry = tel
+	rec.hasTel = true
+	return nil
+}
+
+// InstanceTelemetry returns the latest telemetry of an instance.
+func (c *Controller) InstanceTelemetry(id string) (ctlproto.Telemetry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.instances[id]
+	if !ok || !rec.hasTel {
+		return ctlproto.Telemetry{}, false
+	}
+	return rec.telemetry, true
+}
+
+// Instances lists known instance IDs (sorted), optionally filtering for
+// dedicated ones.
+func (c *Controller) Instances(dedicatedOnly bool) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.instances))
+	for id, rec := range c.instances {
+		if dedicatedOnly && !rec.dedicated {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

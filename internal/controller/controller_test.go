@@ -1,0 +1,419 @@
+package controller
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/packet"
+)
+
+func reg(id, typ string) ctlproto.Register {
+	return ctlproto.Register{MboxID: id, Name: id, Type: typ}
+}
+
+func pats(ids []int, contents []string) []ctlproto.PatternDef {
+	defs := make([]ctlproto.PatternDef, len(ids))
+	for i := range ids {
+		defs[i] = ctlproto.PatternDef{RuleID: ids[i], Content: []byte(contents[i])}
+	}
+	return defs
+}
+
+func TestRegisterAssignsSetsByType(t *testing.T) {
+	c := New()
+	s1, err := c.Register(reg("ids-1", "ids"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Register(reg("ids-2", "ids"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("same-type middleboxes got sets %d and %d", s1, s2)
+	}
+	s3, err := c.Register(reg("av-1", "av"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Errorf("different types share set %d", s3)
+	}
+	if _, err := c.Register(reg("ids-1", "ids")); !errors.Is(err, ErrDuplicateMbox) {
+		t.Errorf("duplicate registration err = %v", err)
+	}
+	if _, err := c.Register(ctlproto.Register{}); err == nil {
+		t.Error("empty MboxID accepted")
+	}
+}
+
+func TestRegisterInherit(t *testing.T) {
+	c := New()
+	s1, err := c.Register(reg("ids-1", "ids"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Register(ctlproto.Register{MboxID: "clone-1", InheritFrom: "ids-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("inherit: sets %d and %d", s1, s2)
+	}
+	if _, err := c.Register(ctlproto.Register{MboxID: "x", InheritFrom: "ghost"}); !errors.Is(err, ErrUnknownMbox) {
+		t.Errorf("inherit from unknown err = %v", err)
+	}
+}
+
+func TestPatternRefcounting(t *testing.T) {
+	c := New()
+	if _, err := c.Register(reg("ids-1", "ids")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(reg("av-1", "av")); err != nil {
+		t.Fatal(err)
+	}
+	// Both register the same content under different rule IDs.
+	if err := c.AddPatterns("ids-1", pats([]int{1}, []string{"shared-pattern"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("av-1", pats([]int{7}, []string{"shared-pattern"})); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GlobalPatternCount(); got != 1 {
+		t.Errorf("GlobalPatternCount = %d, want 1 (shared internal ID)", got)
+	}
+	// Removing one reference keeps the pattern alive.
+	if err := c.RemovePatterns("ids-1", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GlobalPatternCount(); got != 1 {
+		t.Errorf("after first removal: %d, want 1", got)
+	}
+	// Removing the last reference deletes it (Section 4.1).
+	if err := c.RemovePatterns("av-1", []int{7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GlobalPatternCount(); got != 0 {
+		t.Errorf("after last removal: %d, want 0", got)
+	}
+}
+
+func TestPatternRefcountingSameSet(t *testing.T) {
+	c := New()
+	if _, err := c.Register(reg("ids-1", "ids")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(reg("ids-2", "ids")); err != nil {
+		t.Fatal(err)
+	}
+	// Both instances of one type reference rule 3.
+	if err := c.AddPatterns("ids-1", pats([]int{3}, []string{"sig"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("ids-2", pats([]int{3}, []string{"sig"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemovePatterns("ids-1", []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	// ids-2 still references the rule; the set must keep it.
+	cfg := mustConfig(t, c, "ids-1")
+	if len(cfg.Profiles[0].Patterns.Patterns) != 1 {
+		t.Errorf("rule evicted while referenced: %+v", cfg.Profiles[0].Patterns)
+	}
+	if err := c.RemovePatterns("ids-2", []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if c.GlobalPatternCount() != 0 {
+		t.Error("pattern survived last same-set removal")
+	}
+}
+
+func mustConfig(t *testing.T, c *Controller, members ...string) core.Config {
+	t.Helper()
+	tag, err := c.DefineChain(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := c.InstanceConfig([]uint16{tag}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestAddPatternsValidation(t *testing.T) {
+	c := New()
+	if _, err := c.Register(reg("m", "t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("ghost", pats([]int{1}, []string{"x"})); !errors.Is(err, ErrUnknownMbox) {
+		t.Errorf("unknown mbox err = %v", err)
+	}
+	if err := c.AddPatterns("m", []ctlproto.PatternDef{{RuleID: -1, Content: []byte("x")}}); err == nil {
+		t.Error("negative rule ID accepted")
+	}
+	if err := c.AddPatterns("m", []ctlproto.PatternDef{{RuleID: core.RegexReportBase, Content: []byte("x")}}); err == nil {
+		t.Error("oversized rule ID accepted")
+	}
+	if err := c.AddPatterns("m", []ctlproto.PatternDef{{RuleID: 1}}); err == nil {
+		t.Error("empty rule accepted")
+	}
+	if err := c.AddPatterns("m", []ctlproto.PatternDef{{RuleID: 1, Content: []byte("x"), Regex: "y"}}); err == nil {
+		t.Error("rule with both content and regex accepted")
+	}
+	// Conflicting redefinition.
+	if err := c.AddPatterns("m", pats([]int{1}, []string{"one"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("m", pats([]int{1}, []string{"other"})); !errors.Is(err, ErrRuleConflict) {
+		t.Errorf("conflict err = %v", err)
+	}
+	// Identical re-add is idempotent.
+	if err := c.AddPatterns("m", pats([]int{1}, []string{"one"})); err != nil {
+		t.Errorf("idempotent re-add: %v", err)
+	}
+}
+
+func TestDeregisterDropsReferences(t *testing.T) {
+	c := New()
+	if _, err := c.Register(reg("a", "t1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(reg("b", "t2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("a", pats([]int{1, 2}, []string{"p1", "common"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("b", pats([]int{5}, []string{"common"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GlobalPatternCount(); got != 1 {
+		t.Errorf("GlobalPatternCount after deregister = %d, want 1", got)
+	}
+	if err := c.Deregister("a"); !errors.Is(err, ErrUnknownMbox) {
+		t.Errorf("double deregister err = %v", err)
+	}
+}
+
+func TestDefineChainAndConfig(t *testing.T) {
+	c := New()
+	if _, err := c.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids", Stateful: true, ReadOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(reg("av-1", "av")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("ids-1", pats([]int{0, 1}, []string{"attack-sig", "/etc/passwd"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("av-1", pats([]int{0}, []string{"malware-body"})); err != nil {
+		t.Fatal(err)
+	}
+	tag1, err := c.DefineChain([]string{"ids-1", "av-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag2, err := c.DefineChain([]string{"av-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag1 == tag2 {
+		t.Error("chain tags not unique")
+	}
+	if _, err := c.DefineChain([]string{"ghost"}); !errors.Is(err, ErrUnknownMbox) {
+		t.Errorf("bad member err = %v", err)
+	}
+
+	cfg, err := c.InstanceConfig(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Profiles) != 2 {
+		t.Fatalf("profiles = %+v", cfg.Profiles)
+	}
+	// The engine built from this config must work end to end.
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := packet.FiveTuple{Src: packet.IP4{1, 1, 1, 1}, Dst: packet.IP4{2, 2, 2, 2}, Protocol: packet.IPProtoTCP}
+	rep, err := e.Inspect(tag1, tuple, []byte("attack-sig and malware-body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Sections) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Chain 2 excludes the IDS.
+	rep, err = e.Inspect(tag2, tuple, []byte("attack-sig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Errorf("IDS pattern reported on AV-only chain: %+v", rep)
+	}
+}
+
+func TestInstanceConfigGrouping(t *testing.T) {
+	c := New()
+	for _, r := range []ctlproto.Register{reg("ids-1", "ids"), reg("av-1", "av"), reg("shaper-1", "shaper")} {
+		if _, err := c.Register(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []string{"ids-1", "av-1", "shaper-1"} {
+		if err := c.AddPatterns(m, pats([]int{0}, []string{"pattern-of-" + m})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tag1, _ := c.DefineChain([]string{"ids-1"})
+	tag2, _ := c.DefineChain([]string{"av-1", "shaper-1"})
+
+	// An instance grouped to serve only chain 1 must not carry the AV
+	// or shaper sets (Section 4.3 deployment grouping).
+	cfg, err := c.InstanceConfig([]uint16{tag1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Profiles) != 1 || cfg.Profiles[0].Name != "ids" {
+		t.Errorf("grouped config profiles = %+v", cfg.Profiles)
+	}
+	if _, ok := cfg.Chains[tag2]; ok {
+		t.Error("grouped config contains foreign chain")
+	}
+	if _, err := c.InstanceConfig([]uint16{999}, false); !errors.Is(err, ErrUnknownChain) {
+		t.Errorf("unknown tag err = %v", err)
+	}
+}
+
+func TestInstanceInitRoundTrip(t *testing.T) {
+	c := New()
+	if _, err := c.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids", Stateful: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("ids-1", []ctlproto.PatternDef{
+		{RuleID: 0, Content: []byte{0x00, 0xff, 'b', 'i', 'n', 0x01, 0x02, 0x03}},
+		{RuleID: 1, Regex: `evil\d+marker`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tag, err := c.DefineChain([]string{"ids-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := c.InstanceInitMsg("dpi-1", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgRemote, err := ConfigFromInit(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgLocal, err := c.InstanceConfig(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfgRemote.Chains, cfgLocal.Chains) {
+		t.Errorf("chains differ: %v vs %v", cfgRemote.Chains, cfgLocal.Chains)
+	}
+	// Engines built both ways must agree on a binary payload.
+	eL, err := core.NewEngine(cfgLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eR, err := core.NewEngine(cfgRemote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("xx\x00\xffbin\x01\x02\x03 evil42marker yy")
+	tuple := packet.FiveTuple{Protocol: packet.IPProtoTCP}
+	rL, err := eL.Inspect(tag, tuple, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rR, err := eR.Inspect(tag, tuple, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rL, rR) {
+		t.Errorf("local %+v vs remote %+v", rL, rR)
+	}
+	if rL == nil || rL.NumMatches() != 2 {
+		t.Errorf("expected 2 matches, got %+v", rL)
+	}
+}
+
+func TestTelemetryLifecycle(t *testing.T) {
+	c := New()
+	c.AddInstance("dpi-1", nil, false)
+	c.AddInstance("dpi-2", nil, true)
+	if got := c.Instances(false); !reflect.DeepEqual(got, []string{"dpi-1", "dpi-2"}) {
+		t.Errorf("Instances = %v", got)
+	}
+	if got := c.Instances(true); !reflect.DeepEqual(got, []string{"dpi-2"}) {
+		t.Errorf("dedicated Instances = %v", got)
+	}
+	tel := ctlproto.Telemetry{InstanceID: "dpi-1", Packets: 10, Bytes: 1000}
+	if err := c.ReportTelemetry(tel); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.InstanceTelemetry("dpi-1")
+	if !ok || got.Packets != 10 {
+		t.Errorf("telemetry = %+v, %v", got, ok)
+	}
+	if _, ok := c.InstanceTelemetry("dpi-2"); ok {
+		t.Error("telemetry for instance that never reported")
+	}
+	if err := c.ReportTelemetry(ctlproto.Telemetry{InstanceID: "ghost"}); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("ghost telemetry err = %v", err)
+	}
+	c.RemoveInstance("dpi-1")
+	if got := c.Instances(false); !reflect.DeepEqual(got, []string{"dpi-2"}) {
+		t.Errorf("after remove: %v", got)
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	if _, err := c.Register(reg("m", "t")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := c.Version()
+	if v1 <= v0 {
+		t.Error("Register did not bump version")
+	}
+	if err := c.AddPatterns("m", pats([]int{0}, []string{"p"})); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= v1 {
+		t.Error("AddPatterns did not bump version")
+	}
+}
+
+func TestMboxInfo(t *testing.T) {
+	c := New()
+	set, err := c.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids", ReadOnly: true, Stateful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Mbox("ids-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Set != set || !info.ReadOnly || !info.Stateful || info.Type != "ids" {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := c.Mbox("nope"); !errors.Is(err, ErrUnknownMbox) {
+		t.Errorf("unknown mbox err = %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the deployment-grouping decision of Section 4.3:
+// "a common deployment choice is to group together similar policy
+// chains and to deploy instances that support only one group and not
+// all the policy chains in the system". Grouping keeps each instance's
+// merged automaton small (fewer pattern sets -> fewer states -> better
+// cache behaviour, the dominant effect of Figure 8).
+
+// ChainGroup is one deployment group: the chains an instance class
+// serves and the pattern sets its automaton must merge.
+type ChainGroup struct {
+	Tags []uint16
+	Sets []int
+}
+
+// ErrGroupBound is returned when one chain alone needs more pattern
+// sets than the requested bound.
+var ErrGroupBound = fmt.Errorf("controller: a single chain exceeds the group bound")
+
+// GroupChains partitions all defined chains into groups whose merged
+// pattern-set count stays within maxSetsPerGroup. The heuristic is
+// greedy set-cover style: chains are placed largest-first into the
+// group whose set union grows the least, opening a new group when none
+// can absorb the chain. maxSetsPerGroup <= 0 puts everything in one
+// group.
+func (c *Controller) GroupChains(maxSetsPerGroup int) ([]ChainGroup, error) {
+	c.mu.Lock()
+	type chainSets struct {
+		tag  uint16
+		sets map[int]bool
+	}
+	chains := make([]chainSets, 0, len(c.chains))
+	for tag, members := range c.chains {
+		cs := chainSets{tag: tag, sets: make(map[int]bool)}
+		for _, m := range members {
+			if rec := c.mboxes[m]; rec != nil {
+				cs.sets[rec.set.index] = true
+			}
+		}
+		chains = append(chains, cs)
+	}
+	c.mu.Unlock()
+
+	if maxSetsPerGroup <= 0 {
+		all := ChainGroup{}
+		seen := map[int]bool{}
+		for _, cs := range chains {
+			all.Tags = append(all.Tags, cs.tag)
+			for s := range cs.sets {
+				if !seen[s] {
+					seen[s] = true
+					all.Sets = append(all.Sets, s)
+				}
+			}
+		}
+		sort.Slice(all.Tags, func(i, j int) bool { return all.Tags[i] < all.Tags[j] })
+		sort.Ints(all.Sets)
+		if len(all.Tags) == 0 {
+			return nil, nil
+		}
+		return []ChainGroup{all}, nil
+	}
+
+	// Largest chains first so the hardest placements happen while
+	// groups are empty; ties broken by tag for determinism.
+	sort.Slice(chains, func(i, j int) bool {
+		if len(chains[i].sets) != len(chains[j].sets) {
+			return len(chains[i].sets) > len(chains[j].sets)
+		}
+		return chains[i].tag < chains[j].tag
+	})
+
+	type group struct {
+		tags []uint16
+		sets map[int]bool
+	}
+	var groups []*group
+	for _, cs := range chains {
+		if len(cs.sets) > maxSetsPerGroup {
+			return nil, fmt.Errorf("%w: chain %d needs %d sets, bound %d",
+				ErrGroupBound, cs.tag, len(cs.sets), maxSetsPerGroup)
+		}
+		best, bestGrowth := -1, 1<<30
+		for gi, g := range groups {
+			growth := 0
+			for s := range cs.sets {
+				if !g.sets[s] {
+					growth++
+				}
+			}
+			if len(g.sets)+growth > maxSetsPerGroup {
+				continue
+			}
+			// Prefer the tightest fit; ties go to the earlier group.
+			if growth < bestGrowth {
+				best, bestGrowth = gi, growth
+			}
+		}
+		if best < 0 {
+			groups = append(groups, &group{sets: make(map[int]bool)})
+			best = len(groups) - 1
+		}
+		g := groups[best]
+		g.tags = append(g.tags, cs.tag)
+		for s := range cs.sets {
+			g.sets[s] = true
+		}
+	}
+
+	out := make([]ChainGroup, len(groups))
+	for i, g := range groups {
+		sort.Slice(g.tags, func(a, b int) bool { return g.tags[a] < g.tags[b] })
+		sets := make([]int, 0, len(g.sets))
+		for s := range g.sets {
+			sets = append(sets, s)
+		}
+		sort.Ints(sets)
+		out[i] = ChainGroup{Tags: g.tags, Sets: sets}
+	}
+	return out, nil
+}

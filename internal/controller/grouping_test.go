@@ -1,0 +1,144 @@
+package controller
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dpiservice/internal/core"
+)
+
+// groupFixture registers k middlebox types m0..m(k-1) and returns a
+// helper that defines a chain over the named types.
+func groupFixture(t *testing.T, k int) (*Controller, func(types ...string) uint16) {
+	t.Helper()
+	c := New()
+	for i := 0; i < k; i++ {
+		id := "m" + string(rune('0'+i))
+		if _, err := c.Register(reg(id, id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddPatterns(id, pats([]int{0}, []string{"pattern-of-" + id})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, func(types ...string) uint16 {
+		tag, err := c.DefineChain(types)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tag
+	}
+}
+
+func TestGroupChainsSimilarChainsShareGroup(t *testing.T) {
+	c, chain := groupFixture(t, 4)
+	t1 := chain("m0", "m1")
+	t2 := chain("m1", "m0") // same sets, different order
+	t3 := chain("m2", "m3")
+
+	groups, err := c.GroupChains(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %+v, want 2", groups)
+	}
+	find := func(tag uint16) int {
+		for i, g := range groups {
+			for _, gt := range g.Tags {
+				if gt == tag {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	if find(t1) != find(t2) {
+		t.Errorf("identical-set chains split across groups: %+v", groups)
+	}
+	if find(t1) == find(t3) {
+		t.Errorf("disjoint chains share a group under a tight bound: %+v", groups)
+	}
+	// Each group's set count respects the bound.
+	for _, g := range groups {
+		if len(g.Sets) > 2 {
+			t.Errorf("group %+v exceeds bound", g)
+		}
+	}
+}
+
+func TestGroupChainsSingleGroupWhenUnbounded(t *testing.T) {
+	c, chain := groupFixture(t, 3)
+	chain("m0")
+	chain("m1", "m2")
+	groups, err := c.GroupChains(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if !reflect.DeepEqual(groups[0].Sets, []int{0, 1, 2}) {
+		t.Errorf("sets = %v", groups[0].Sets)
+	}
+}
+
+func TestGroupChainsBoundViolations(t *testing.T) {
+	c, chain := groupFixture(t, 3)
+	chain("m0", "m1", "m2")
+	if _, err := c.GroupChains(2); !errors.Is(err, ErrGroupBound) {
+		t.Errorf("err = %v, want ErrGroupBound", err)
+	}
+}
+
+func TestGroupChainsEmpty(t *testing.T) {
+	c := New()
+	groups, err := c.GroupChains(4)
+	if err != nil || len(groups) != 0 {
+		t.Errorf("groups = %+v, err = %v", groups, err)
+	}
+	groups, err = c.GroupChains(0)
+	if err != nil || len(groups) != 0 {
+		t.Errorf("unbounded: groups = %+v, err = %v", groups, err)
+	}
+}
+
+// TestGroupedInstancesCoverAllChains closes the loop: every group's
+// instance config builds, and together the groups cover every chain
+// exactly once.
+func TestGroupedInstancesCoverAllChains(t *testing.T) {
+	c, chain := groupFixture(t, 6)
+	tags := []uint16{
+		chain("m0", "m1"),
+		chain("m1", "m2"),
+		chain("m3"),
+		chain("m4", "m5"),
+		chain("m5"),
+	}
+	groups, err := c.GroupChains(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[uint16]int{}
+	for _, g := range groups {
+		cfg, err := c.InstanceConfig(g.Tags, false)
+		if err != nil {
+			t.Fatalf("group %+v config: %v", g, err)
+		}
+		if _, err := core.NewEngine(cfg); err != nil {
+			t.Fatalf("group %+v engine: %v", g, err)
+		}
+		if len(cfg.Profiles) > 3 {
+			t.Errorf("group %+v merged %d sets, bound 3", g, len(cfg.Profiles))
+		}
+		for _, tag := range g.Tags {
+			covered[tag]++
+		}
+	}
+	for _, tag := range tags {
+		if covered[tag] != 1 {
+			t.Errorf("chain %d covered %d times", tag, covered[tag])
+		}
+	}
+}

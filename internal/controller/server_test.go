@@ -1,0 +1,176 @@
+package controller
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/packet"
+)
+
+func startServer(t *testing.T) (*Controller, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := New()
+	srv := Serve(ctl, ln)
+	srv.Logf = t.Logf
+	t.Cleanup(func() { srv.Close() })
+	return ctl, srv
+}
+
+func dial(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestServerFullLifecycle(t *testing.T) {
+	ctl, srv := startServer(t)
+
+	// Middleboxes register and push patterns over the wire.
+	ids := dial(t, srv)
+	set, err := ids.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids", Stateful: true, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ids.AddPatterns("ids-1", []ctlproto.PatternDef{
+		{RuleID: 0, Content: []byte("attack-sig")},
+		{RuleID: 1, Regex: `regular\s*expression\s*\d+`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	av := dial(t, srv)
+	set2, err := av.Register(ctlproto.Register{MboxID: "av-1", Type: "av"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set == set2 {
+		t.Error("distinct types share a set")
+	}
+	if err := av.AddPatterns("av-1", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("malware-body")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The TSA reports a policy chain.
+	tsa := dial(t, srv)
+	defs, err := tsa.ReportChains([][]string{{"ids-1", "av-1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 1 || defs[0].Tag == 0 {
+		t.Fatalf("chain defs = %+v", defs)
+	}
+	tag := defs[0].Tag
+
+	// A DPI instance boots, fetches its init, and builds an engine.
+	inst := dial(t, srv)
+	init, err := inst.InstanceHello("dpi-1", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ConfigFromInit(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := packet.FiveTuple{Protocol: packet.IPProtoTCP}
+	rep, err := engine.Inspect(tag, tuple, []byte("attack-sig regular expression 7 malware-body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.NumMatches() != 3 {
+		t.Fatalf("report = %+v, want 3 matches", rep)
+	}
+
+	// The instance exports telemetry; the controller records it.
+	if err := inst.SendTelemetry(ctlproto.Telemetry{InstanceID: "dpi-1", Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tel, ok := ctl.InstanceTelemetry("dpi-1")
+	if !ok || tel.Packets != 1 {
+		t.Errorf("telemetry = %+v, %v", tel, ok)
+	}
+}
+
+func TestServerDeregister(t *testing.T) {
+	ctl, srv := startServer(t)
+	cl := dial(t, srv)
+	if _, err := cl.Register(ctlproto.Register{MboxID: "m1", Type: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddPatterns("m1", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("solo-pattern")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Deregister("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.GlobalPatternCount(); got != 0 {
+		t.Errorf("patterns survive deregister: %d", got)
+	}
+	if err := cl.Deregister("m1"); err == nil {
+		t.Error("double deregister accepted")
+	}
+	// The ID is reusable.
+	if _, err := cl.Register(ctlproto.Register{MboxID: "m1", Type: "t"}); err != nil {
+		t.Errorf("re-register after deregister: %v", err)
+	}
+}
+
+func TestServerErrorReplies(t *testing.T) {
+	_, srv := startServer(t)
+	cl := dial(t, srv)
+
+	// Pattern push for an unregistered middlebox yields a protocol
+	// error, and the connection remains usable afterwards.
+	err := cl.AddPatterns("ghost", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("x")}})
+	if err == nil || !strings.Contains(err.Error(), "unknown middlebox") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cl.Register(ctlproto.Register{MboxID: "m", Type: "t"}); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestServerRejectsUnsupportedType(t *testing.T) {
+	_, srv := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := ctlproto.WriteMsg(conn, ctlproto.MsgType("bogus"), 1, struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ctlproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != ctlproto.TypeError {
+		t.Errorf("reply = %s, want error", env.Type)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	_, srv := startServer(t)
+	cl := dial(t, srv)
+	if _, err := cl.Register(ctlproto.Register{MboxID: "m", Type: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := cl.Register(ctlproto.Register{MboxID: "m2", Type: "t"}); err == nil {
+		t.Error("request succeeded after server close")
+	}
+}

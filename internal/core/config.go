@@ -1,0 +1,156 @@
+// Package core implements the DPI service instance (Section 5 of the
+// paper): the merged "virtual DPI" engine that scans each packet exactly
+// once against the pattern sets of every middlebox on its policy chain
+// and emits per-middlebox match reports.
+//
+// The engine combines:
+//   - the merged Aho-Corasick automaton with dense accepting-state IDs,
+//     per-state middlebox bitmaps and a direct-access match table
+//     (Section 5.1, built by internal/mpm);
+//   - per-packet active-middlebox masking, stateful flow tracking (DFA
+//     state + byte offset per flow direction), stopping conditions, and
+//     the stateless cross-packet filtering rules (Section 5.2);
+//   - two-stage regular expression handling via anchor extraction with
+//     confirmation by a full regex engine, plus the direct-evaluation
+//     path for anchor-poor expressions (Section 5.3);
+//   - optional one-time gzip decompression before scanning, one of the
+//     consolidation benefits the paper highlights (Section 1).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dpiservice/internal/mpm"
+	"dpiservice/internal/patterns"
+)
+
+// RegexReportBase is added to a regular expression's ID to form the
+// pattern ID under which its confirmed matches are reported, keeping
+// exact-match IDs and regex IDs distinct in one 15-bit space.
+const RegexReportBase = 1 << 14
+
+// AutomatonKind selects the matcher representation.
+type AutomatonKind int
+
+const (
+	// AutoFull selects the full-table Aho-Corasick DFA (fastest,
+	// largest; the paper's primary engine).
+	AutoFull AutomatonKind = iota
+	// AutoCompact selects the failure-link representation used by MCA²
+	// dedicated instances (Section 4.3.1).
+	AutoCompact
+	// AutoBitmap selects the bitmap-compressed representation (Tuck et
+	// al. style), the intermediate space-time point.
+	AutoBitmap
+)
+
+// Profile describes one registered middlebox as the controller passes it
+// at instance initialization (Section 5.1): its patterns and the
+// properties governing how its results are produced.
+type Profile struct {
+	// ID is the middlebox's set index within this instance, in
+	// [0, mpm.MaxSets).
+	ID int
+	// Name is the middlebox's registered name (diagnostics only).
+	Name string
+	// Stateful middleboxes need scan state carried across the packets
+	// of a flow; stateless ones are given only matches contained
+	// entirely within a single packet.
+	Stateful bool
+	// ReadOnly middleboxes receive only results, never packets
+	// (an IDS as opposed to an IPS).
+	ReadOnly bool
+	// StopAfter is the middlebox's stopping condition: how deep into
+	// the L7 byte stream it cares about, 0 meaning unlimited. Matches
+	// ending beyond it are filtered from this middlebox's results, and
+	// the scan itself stops early when every active middlebox's
+	// condition has passed.
+	StopAfter int
+	// Patterns holds the exact patterns and regular expressions.
+	Patterns *patterns.Set
+}
+
+// Config configures a DPI service instance.
+type Config struct {
+	// Profiles lists the registered middleboxes. IDs must be unique.
+	Profiles []Profile
+	// Chains maps a policy-chain tag — the VLAN/MPLS tag the TSA
+	// assigns (Section 4.1) — to the middlebox IDs on that chain.
+	Chains map[uint16][]int
+	// Kind selects the automaton representation.
+	Kind AutomatonKind
+	// MinAnchorLen overrides the regex anchor extraction threshold;
+	// 0 selects the paper's default of 4.
+	MinAnchorLen int
+	// Decompress enables one-time gzip decompression of payloads that
+	// carry the gzip magic before scanning.
+	Decompress bool
+	// MaxFlows bounds the stateful flow table; 0 selects a default.
+	// When full, the least recently scanned flow is evicted.
+	MaxFlows int
+	// MaxDecompressedBytes bounds decompression output per packet to
+	// contain decompression bombs; 0 selects a default of 256 KiB.
+	MaxDecompressedBytes int
+}
+
+// Errors returned by the engine.
+var (
+	ErrUnknownChain = errors.New("core: unknown policy chain tag")
+	ErrDuplicateID  = errors.New("core: duplicate middlebox ID")
+	ErrBadProfile   = errors.New("core: invalid middlebox profile")
+)
+
+const (
+	defaultMaxFlows        = 1 << 16
+	defaultMaxDecompressed = 256 << 10
+)
+
+// validate checks cross-field invariants and applies defaults.
+func (c *Config) validate() error {
+	if len(c.Profiles) == 0 {
+		return fmt.Errorf("%w: no middlebox profiles", ErrBadProfile)
+	}
+	seen := make(map[int]bool, len(c.Profiles))
+	for _, p := range c.Profiles {
+		if p.ID < 0 || p.ID >= mpm.MaxSets {
+			return fmt.Errorf("%w: middlebox ID %d out of range", ErrBadProfile, p.ID)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("%w: %d", ErrDuplicateID, p.ID)
+		}
+		seen[p.ID] = true
+		if p.Patterns == nil || (len(p.Patterns.Patterns) == 0 && len(p.Patterns.Regexes) == 0) {
+			return fmt.Errorf("%w: middlebox %d has no patterns", ErrBadProfile, p.ID)
+		}
+		if p.StopAfter < 0 {
+			return fmt.Errorf("%w: middlebox %d negative stopping condition", ErrBadProfile, p.ID)
+		}
+		for _, pat := range p.Patterns.Patterns {
+			if pat.ID < 0 || pat.ID >= RegexReportBase {
+				return fmt.Errorf("%w: middlebox %d pattern ID %d out of range [0,%d)",
+					ErrBadProfile, p.ID, pat.ID, RegexReportBase)
+			}
+		}
+		for _, rx := range p.Patterns.Regexes {
+			if rx.ID < 0 || rx.ID >= RegexReportBase {
+				return fmt.Errorf("%w: middlebox %d regex ID %d out of range [0,%d)",
+					ErrBadProfile, p.ID, rx.ID, RegexReportBase)
+			}
+		}
+	}
+	for tag, chain := range c.Chains {
+		for _, id := range chain {
+			if !seen[id] {
+				return fmt.Errorf("%w: chain %d references unknown middlebox %d", ErrBadProfile, tag, id)
+			}
+		}
+	}
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = defaultMaxFlows
+	}
+	if c.MaxDecompressedBytes <= 0 {
+		c.MaxDecompressedBytes = defaultMaxDecompressed
+	}
+	return nil
+}

@@ -1,0 +1,691 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/mpm"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/regexengine"
+)
+
+// Engine is one DPI service instance's scanning engine. It is safe for
+// concurrent use; scans are serialized internally (an instance is a
+// single logical core, as in the paper's deployment — parallelism comes
+// from running more instances, Section 4.3).
+type Engine struct {
+	mu sync.Mutex
+
+	auto mpm.Automaton
+	// autoFold matches the case-insensitive (Snort nocase) patterns
+	// against a case-folded view of the payload; nil when no profile
+	// has any.
+	autoFold mpm.Automaton
+	foldMask uint64 // sets contributing nocase patterns
+	foldBuf  []byte
+	profiles map[int]*compiledProfile
+	chains   map[uint16]*chainInfo
+	cfg      Config
+
+	flows   map[packet.FiveTuple]*flowState
+	useSeq  uint64 // logical clock for LRU eviction
+	epoch   uint64 // per-scan epoch for anchor scratch invalidation
+	cur     scanCtx
+	emitFn  mpm.EmitFunc
+	gzRdr   *gzip.Reader
+	gzBuf   []byte
+	counter Stats
+}
+
+// Stats are cumulative engine counters, safe to read concurrently.
+type Stats struct {
+	Packets       atomic.Uint64
+	Bytes         atomic.Uint64 // payload bytes presented
+	BytesScanned  atomic.Uint64 // bytes actually fed to the automaton
+	Matches       atomic.Uint64 // occurrences reported (post-filter)
+	Reports       atomic.Uint64 // non-empty reports produced
+	FlowsEvicted  atomic.Uint64
+	RegexConfirms atomic.Uint64 // full-engine invocations
+	RegexHits     atomic.Uint64
+	Decompressed  atomic.Uint64 // packets decompressed before scanning
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Packets, Bytes, BytesScanned, Matches, Reports       uint64
+	FlowsEvicted, RegexConfirms, RegexHits, Decompressed uint64
+}
+
+type chainInfo struct {
+	tag     uint16
+	members []int
+	mask    uint64
+	// anyUnlimited is set when some member scans unbounded; maxStop is
+	// the deepest finite stopping condition otherwise.
+	anyUnlimited bool
+	maxStop      int
+	anyStateful  bool
+
+	// Per-chain counters (guarded by the engine mutex) — the
+	// controller uses these to decide grouping and scale-out
+	// (Section 4.3).
+	packets uint64
+	bytes   uint64
+	matches uint64
+}
+
+type compiledProfile struct {
+	Profile
+	bit uint64
+	rx  *regexengine.Engine
+	// constraints holds Snort-style offset/depth windows for the
+	// patterns that declared them; nil when the set has none so the
+	// hot path pays nothing.
+	constraints map[uint16]posConstraint
+	// anchorOwner maps anchor ordinal (automaton pattern ID minus
+	// RegexReportBase) to the owning regex slot and the anchor's index
+	// within that regex.
+	anchorOwner []anchorOwner
+	regexSlots  []regexSlot
+	hasPoor     bool
+
+	// Per-scan scratch, valid when the stored epoch matches the
+	// engine's current epoch.
+	anchorSeenEpoch [][]uint64 // [regexSlot][anchorIdx]
+	distinctSeen    []int      // per regexSlot, distinct anchors this epoch
+	slotEpoch       []uint64
+	candidates      []int // regex slots with all anchors seen this scan
+}
+
+// posConstraint is a Snort offset/depth window: the match must start at
+// or after Start, and with Limit > 0 must end at or before Limit.
+type posConstraint struct {
+	Start int64
+	Limit int64
+}
+
+type anchorOwner struct {
+	slot int // index into regexSlots
+	idx  int // anchor index within the regex
+}
+
+type regexSlot struct {
+	id         int // regex ID within the middlebox's set
+	numAnchors int
+}
+
+type flowState struct {
+	state       mpm.State
+	foldState   mpm.State
+	foldStarted bool
+	offset      int64
+	lastUsed    uint64
+	// MCA² telemetry (Section 4.3.1).
+	bytes   uint64
+	matches uint64
+}
+
+// scanCtx carries the state of the scan in progress, referenced by the
+// engine's pre-bound emit closure to keep the hot path allocation-free.
+type scanCtx struct {
+	chain       *chainInfo
+	report      *packet.Report
+	offset      int64
+	fromRestore bool // scan resumed from a non-start DFA state
+	matches     uint64
+}
+
+// NewEngine compiles the configuration into a ready engine: it merges
+// every profile's exact patterns and extracted regex anchors into one
+// automaton and precomputes the per-chain masks and stopping conditions
+// (Section 5.1's initialization).
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		profiles: make(map[int]*compiledProfile, len(cfg.Profiles)),
+		chains:   make(map[uint16]*chainInfo, len(cfg.Chains)),
+		flows:    make(map[packet.FiveTuple]*flowState),
+		cfg:      cfg,
+	}
+	b := mpm.NewBuilder()
+	bFold := mpm.NewBuilder()
+	for _, p := range cfg.Profiles {
+		cp := &compiledProfile{Profile: p, bit: 1 << uint(p.ID)}
+		for _, pat := range p.Patterns.Patterns {
+			if pat.NoCase {
+				// Case-insensitive patterns live in the fold automaton
+				// and are matched against a lowercased payload view.
+				if err := bFold.Add(p.ID, pat.ID, strings.ToLower(pat.Content)); err != nil {
+					return nil, fmt.Errorf("core: middlebox %d nocase pattern %d: %w", p.ID, pat.ID, err)
+				}
+				e.foldMask |= 1 << uint(p.ID)
+			} else if err := b.Add(p.ID, pat.ID, pat.Content); err != nil {
+				return nil, fmt.Errorf("core: middlebox %d pattern %d: %w", p.ID, pat.ID, err)
+			}
+			if pat.Offset > 0 || pat.Depth > 0 {
+				if cp.constraints == nil {
+					cp.constraints = make(map[uint16]posConstraint)
+				}
+				c := posConstraint{Start: int64(pat.Offset)}
+				if pat.Depth > 0 {
+					c.Limit = int64(pat.Offset + pat.Depth)
+				}
+				cp.constraints[uint16(pat.ID)] = c
+			}
+		}
+		if len(p.Patterns.Regexes) > 0 {
+			cp.rx = regexengine.New(cfg.MinAnchorLen)
+			for _, rx := range p.Patterns.Regexes {
+				c, err := cp.rx.Add(rx.ID, rx.Expr)
+				if err != nil {
+					return nil, fmt.Errorf("core: middlebox %d: %w", p.ID, err)
+				}
+				slot := len(cp.regexSlots)
+				cp.regexSlots = append(cp.regexSlots, regexSlot{id: rx.ID, numAnchors: len(c.Anchors)})
+				if c.AnchorPoor() {
+					cp.hasPoor = true
+					continue
+				}
+				for ai, anchor := range c.Anchors {
+					ord := len(cp.anchorOwner)
+					autoID := RegexReportBase + ord
+					if autoID >= mpm.MaxPatternsPerSet {
+						return nil, fmt.Errorf("core: middlebox %d: too many regex anchors", p.ID)
+					}
+					if err := b.Add(p.ID, autoID, anchor); err != nil {
+						return nil, fmt.Errorf("core: middlebox %d anchor %q: %w", p.ID, anchor, err)
+					}
+					cp.anchorOwner = append(cp.anchorOwner, anchorOwner{slot: slot, idx: ai})
+				}
+			}
+			cp.anchorSeenEpoch = make([][]uint64, len(cp.regexSlots))
+			for i, rs := range cp.regexSlots {
+				cp.anchorSeenEpoch[i] = make([]uint64, rs.numAnchors)
+			}
+			cp.distinctSeen = make([]int, len(cp.regexSlots))
+			cp.slotEpoch = make([]uint64, len(cp.regexSlots))
+		}
+		e.profiles[p.ID] = cp
+	}
+	var (
+		auto mpm.Automaton
+		err  error
+	)
+	switch cfg.Kind {
+	case AutoFull:
+		auto, err = b.BuildFull()
+	case AutoCompact:
+		auto, err = b.BuildCompact()
+	case AutoBitmap:
+		auto, err = b.BuildBitmap()
+	default:
+		return nil, fmt.Errorf("core: unknown automaton kind %d", cfg.Kind)
+	}
+	if err != nil {
+		// A configuration with only regexes and no extractable anchors
+		// yields an empty automaton; that is still a valid instance.
+		if err != mpm.ErrNoPatterns {
+			return nil, err
+		}
+		auto = nil
+	}
+	e.auto = auto
+	if bFold.NumPatterns() > 0 {
+		var fold mpm.Automaton
+		switch cfg.Kind {
+		case AutoCompact:
+			fold, err = bFold.BuildCompact()
+		case AutoBitmap:
+			fold, err = bFold.BuildBitmap()
+		default:
+			fold, err = bFold.BuildFull()
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.autoFold = fold
+	}
+	for tag, members := range cfg.Chains {
+		ci := &chainInfo{tag: tag, members: append([]int(nil), members...)}
+		for _, id := range members {
+			p := e.profiles[id]
+			ci.mask |= p.bit
+			if p.Stateful {
+				ci.anyStateful = true
+			}
+			if p.StopAfter == 0 {
+				ci.anyUnlimited = true
+			} else if p.StopAfter > ci.maxStop {
+				ci.maxStop = p.StopAfter
+			}
+		}
+		e.chains[tag] = ci
+	}
+	e.emitFn = e.emit
+	return e, nil
+}
+
+// emit is the automaton callback: it applies the per-middlebox filters
+// of Section 5.2 and records surviving matches in the report under
+// construction.
+func (e *Engine) emit(refs []mpm.PatternRef, end int) {
+	c := &e.cur
+	for _, r := range refs {
+		bit := uint64(1) << uint(r.Set)
+		if c.chain.mask&bit == 0 {
+			continue
+		}
+		p := e.profiles[int(r.Set)]
+		if int(r.ID) >= RegexReportBase {
+			// Anchor hit: record toward its regex's completion.
+			e.noteAnchor(p, int(r.ID)-RegexReportBase)
+			continue
+		}
+		if p.Stateful {
+			pos := c.offset + int64(end)
+			if p.StopAfter > 0 && pos > int64(p.StopAfter) {
+				continue
+			}
+			// Offset/depth windows apply over the stream for a
+			// stateful middlebox.
+			if p.constraints != nil && !checkWindow(p.constraints, r, pos) {
+				continue
+			}
+			c.report.AddMatch(uint8(r.Set), r.ID, uint32(pos))
+		} else {
+			// Stateless: a pattern longer than the bytes consumed in
+			// this packet began in a previous packet — not a match for
+			// a per-packet middlebox.
+			if c.fromRestore && int(r.Len) > end {
+				continue
+			}
+			if p.StopAfter > 0 && end > p.StopAfter {
+				continue
+			}
+			if p.constraints != nil && !checkWindow(p.constraints, r, int64(end)) {
+				continue
+			}
+			c.report.AddMatch(uint8(r.Set), r.ID, uint32(end))
+		}
+		c.matches++
+	}
+}
+
+// appendLowerASCII appends an ASCII-lowercased copy of src to dst.
+func appendLowerASCII(dst, src []byte) []byte {
+	for _, c := range src {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// checkWindow applies a pattern's offset/depth window given its end
+// position; patterns without a declared window always pass.
+func checkWindow(constraints map[uint16]posConstraint, r mpm.PatternRef, end int64) bool {
+	c, ok := constraints[r.ID]
+	if !ok {
+		return true
+	}
+	start := end - int64(r.Len)
+	if start < c.Start {
+		return false
+	}
+	if c.Limit > 0 && end > c.Limit {
+		return false
+	}
+	return true
+}
+
+func (e *Engine) noteAnchor(p *compiledProfile, ord int) {
+	if ord >= len(p.anchorOwner) {
+		return
+	}
+	ao := p.anchorOwner[ord]
+	if p.slotEpoch[ao.slot] != e.epoch {
+		p.slotEpoch[ao.slot] = e.epoch
+		p.distinctSeen[ao.slot] = 0
+	}
+	if p.anchorSeenEpoch[ao.slot][ao.idx] == e.epoch {
+		return // same anchor seen again this packet
+	}
+	p.anchorSeenEpoch[ao.slot][ao.idx] = e.epoch
+	p.distinctSeen[ao.slot]++
+	if p.distinctSeen[ao.slot] == p.regexSlots[ao.slot].numAnchors {
+		p.candidates = append(p.candidates, ao.slot)
+	}
+}
+
+// Inspect scans one packet payload belonging to the given policy-chain
+// tag and flow tuple, returning the match report for the chain's
+// middleboxes, or nil when nothing matched (the common case — the packet
+// is then forwarded entirely unmodified). The returned report is freshly
+// allocated and owned by the caller.
+func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*packet.Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	chain, ok := e.chains[tag]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownChain, tag)
+	}
+	e.counter.Packets.Add(1)
+	e.counter.Bytes.Add(uint64(len(payload)))
+	e.epoch++
+
+	// One-time decompression (Section 1): the service decompresses so
+	// no middlebox has to.
+	scanData := payload
+	if e.cfg.Decompress && len(payload) >= 2 && payload[0] == 0x1f && payload[1] == 0x8b {
+		if dec, err := e.decompress(payload); err == nil {
+			scanData = dec
+			e.counter.Decompressed.Add(1)
+		}
+	}
+
+	// The flow record carries the DFA scan state for stateful chains
+	// and, for every chain, the per-flow telemetry MCA² consumes
+	// (Section 4.3.1).
+	fs := e.flow(tuple)
+	state := mpm.State(0)
+	if e.auto != nil {
+		state = e.auto.Start()
+	}
+	foldState := mpm.State(0)
+	if e.autoFold != nil {
+		foldState = e.autoFold.Start()
+	}
+	var offset int64
+	if chain.anyStateful {
+		state = fs.state
+		if e.autoFold != nil && fs.foldStarted {
+			foldState = fs.foldState
+		}
+		offset = fs.offset
+	}
+
+	// Determine how deep this packet must be scanned: the most
+	// conservative (deepest) stopping condition among active
+	// middleboxes (Section 5.2).
+	limit := len(scanData)
+	if !chain.anyUnlimited {
+		deepest := 0
+		for _, id := range chain.members {
+			p := e.profiles[id]
+			var remaining int64
+			if p.Stateful {
+				remaining = int64(p.StopAfter) - offset
+			} else {
+				remaining = int64(p.StopAfter)
+			}
+			if remaining > int64(deepest) {
+				deepest = int(remaining)
+			}
+		}
+		if deepest < limit {
+			limit = deepest
+		}
+	}
+
+	report := &packet.Report{}
+	e.cur = scanCtx{chain: chain, report: report, offset: offset, fromRestore: chain.anyStateful && offset > 0}
+	if e.auto != nil && limit > 0 {
+		state = e.auto.Scan(scanData[:limit], state, chain.mask, e.emitFn)
+		e.counter.BytesScanned.Add(uint64(limit))
+	}
+	if e.autoFold != nil && limit > 0 && chain.mask&e.foldMask != 0 {
+		e.foldBuf = appendLowerASCII(e.foldBuf[:0], scanData[:limit])
+		foldState = e.autoFold.Scan(e.foldBuf, foldState, chain.mask, e.emitFn)
+	}
+	e.finishRegexes(chain, scanData, offset, report)
+
+	if chain.anyStateful {
+		fs.state = state
+		if e.autoFold != nil {
+			fs.foldState = foldState
+			fs.foldStarted = true
+		}
+		fs.offset = offset + int64(len(scanData))
+	}
+	fs.bytes += uint64(len(scanData))
+	fs.matches += e.cur.matches
+	chain.packets++
+	chain.bytes += uint64(len(scanData))
+	chain.matches += e.cur.matches
+	e.counter.Matches.Add(e.cur.matches)
+	e.cur = scanCtx{}
+	if report.Empty() {
+		return nil, nil
+	}
+	e.counter.Reports.Add(1)
+	return report, nil
+}
+
+// finishRegexes runs the confirmation stage (Section 5.3): expressions
+// whose anchors were all found are evaluated by the full engine, and
+// anchor-poor expressions are evaluated directly.
+func (e *Engine) finishRegexes(chain *chainInfo, scanData []byte, offset int64, report *packet.Report) {
+	for _, id := range chain.members {
+		p := e.profiles[id]
+		if p.rx == nil {
+			continue
+		}
+		for _, slot := range p.candidates {
+			rs := p.regexSlots[slot]
+			e.counter.RegexConfirms.Add(1)
+			if loc := p.rx.Get(rs.id); loc != nil {
+				if m := locMatch(loc, scanData); m >= 0 {
+					e.counter.RegexHits.Add(1)
+					e.addRegexMatch(p, rs.id, m, offset, report)
+				}
+			}
+		}
+		p.candidates = p.candidates[:0]
+		if p.hasPoor {
+			for _, rid := range p.rx.ScanAnchorPoor(scanData) {
+				e.counter.RegexHits.Add(1)
+				e.addRegexMatch(p, rid, len(scanData), offset, report)
+			}
+		}
+	}
+}
+
+func (e *Engine) addRegexMatch(p *compiledProfile, regexID, end int, offset int64, report *packet.Report) {
+	pos := int64(end)
+	if p.Stateful {
+		pos += offset
+	}
+	if p.StopAfter > 0 && pos > int64(p.StopAfter) {
+		return
+	}
+	report.AddMatch(uint8(p.ID), uint16(RegexReportBase+regexID), uint32(pos))
+	e.cur.matches++
+}
+
+// locMatch returns the end offset of the expression's first match in
+// data, or -1.
+func locMatch(c *regexengine.Compiled, data []byte) int {
+	loc := c.FindIndex(data)
+	if loc == nil {
+		return -1
+	}
+	return loc[1]
+}
+
+// flow returns the state record for tuple, creating (and possibly
+// evicting) as needed.
+func (e *Engine) flow(tuple packet.FiveTuple) *flowState {
+	fs, ok := e.flows[tuple]
+	if !ok {
+		if len(e.flows) >= e.cfg.MaxFlows {
+			e.evictFlow()
+		}
+		start := mpm.State(0)
+		if e.auto != nil {
+			start = e.auto.Start()
+		}
+		fs = &flowState{state: start}
+		e.flows[tuple] = fs
+	}
+	e.useSeq++
+	fs.lastUsed = e.useSeq
+	return fs
+}
+
+// evictFlow removes the least recently used among a small random sample
+// of flows — an O(1) approximation of LRU adequate for a table whose
+// entries are tiny (a DFA state and an offset, the paper's point about
+// instance state in Section 4.3).
+func (e *Engine) evictFlow() {
+	var victim packet.FiveTuple
+	var oldest uint64 = ^uint64(0)
+	n := 0
+	for t, fs := range e.flows {
+		if fs.lastUsed < oldest {
+			oldest = fs.lastUsed
+			victim = t
+		}
+		n++
+		if n >= 8 {
+			break
+		}
+	}
+	if n > 0 {
+		delete(e.flows, victim)
+		e.counter.FlowsEvicted.Add(1)
+	}
+}
+
+// EndFlow discards the scan state of a finished flow (e.g. on TCP FIN).
+func (e *Engine) EndFlow(tuple packet.FiveTuple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.flows, tuple)
+}
+
+// ActiveFlows reports the number of tracked flows.
+func (e *Engine) ActiveFlows() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.flows)
+}
+
+// FlowStat is the per-flow telemetry MCA² uses to spot heavy flows.
+type FlowStat struct {
+	Tuple   packet.FiveTuple
+	Bytes   uint64
+	Matches uint64
+}
+
+// FlowStats snapshots per-flow telemetry.
+func (e *Engine) FlowStats() []FlowStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]FlowStat, 0, len(e.flows))
+	for t, fs := range e.flows {
+		out = append(out, FlowStat{Tuple: t, Bytes: fs.bytes, Matches: fs.matches})
+	}
+	return out
+}
+
+// Snapshot returns a copy of the cumulative counters.
+func (e *Engine) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Packets:       e.counter.Packets.Load(),
+		Bytes:         e.counter.Bytes.Load(),
+		BytesScanned:  e.counter.BytesScanned.Load(),
+		Matches:       e.counter.Matches.Load(),
+		Reports:       e.counter.Reports.Load(),
+		FlowsEvicted:  e.counter.FlowsEvicted.Load(),
+		RegexConfirms: e.counter.RegexConfirms.Load(),
+		RegexHits:     e.counter.RegexHits.Load(),
+		Decompressed:  e.counter.Decompressed.Load(),
+	}
+}
+
+// MemoryBytes estimates the engine's data-structure footprint — the
+// quantity Table 2's Space column reports.
+func (e *Engine) MemoryBytes() int64 {
+	if e.auto == nil {
+		return 0
+	}
+	return e.auto.MemoryBytes()
+}
+
+// NumStates reports the merged automaton's state count.
+func (e *Engine) NumStates() int {
+	if e.auto == nil {
+		return 0
+	}
+	return e.auto.NumStates()
+}
+
+// NumPatterns reports the merged automaton's pattern count, including
+// regex anchors.
+func (e *Engine) NumPatterns() int {
+	if e.auto == nil {
+		return 0
+	}
+	return e.auto.NumPatterns()
+}
+
+// ChainStat is one chain's traffic counters.
+type ChainStat struct {
+	Tag     uint16
+	Packets uint64
+	Bytes   uint64
+	Matches uint64
+}
+
+// ChainStats snapshots per-chain counters.
+func (e *Engine) ChainStats() []ChainStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]ChainStat, 0, len(e.chains))
+	for tag, ci := range e.chains {
+		out = append(out, ChainStat{Tag: tag, Packets: ci.packets, Bytes: ci.bytes, Matches: ci.matches})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Chains returns the configured policy-chain tags.
+func (e *Engine) Chains() []uint16 {
+	tags := make([]uint16, 0, len(e.chains))
+	for t := range e.chains {
+		tags = append(tags, t)
+	}
+	return tags
+}
+
+// decompress inflates a gzip payload up to the configured bound.
+func (e *Engine) decompress(payload []byte) ([]byte, error) {
+	rd := bytes.NewReader(payload)
+	if e.gzRdr == nil {
+		r, err := gzip.NewReader(rd)
+		if err != nil {
+			return nil, err
+		}
+		e.gzRdr = r
+	} else if err := e.gzRdr.Reset(rd); err != nil {
+		return nil, err
+	}
+	if e.gzBuf == nil {
+		e.gzBuf = make([]byte, e.cfg.MaxDecompressedBytes)
+	}
+	n, err := io.ReadFull(e.gzRdr, e.gzBuf)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	return e.gzBuf[:n], nil
+}

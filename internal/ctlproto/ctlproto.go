@@ -1,0 +1,275 @@
+// Package ctlproto defines the JSON control protocol between
+// middleboxes, the DPI controller and DPI service instances
+// (Section 4.1 of the paper): registration (including pattern-set
+// inheritance and the read-only and stateful flags), pattern add/remove,
+// policy-chain distribution, instance initialization, telemetry export
+// and flow-migration directives (Sections 4.3 and 4.3.1).
+//
+// Messages travel as length-prefixed JSON envelopes over a direct
+// (possibly secured) connection.
+package ctlproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Protocol message types.
+const (
+	TypeRegister       MsgType = "register"
+	TypeRegisterAck    MsgType = "register_ack"
+	TypeDeregister     MsgType = "deregister"
+	TypeAddPatterns    MsgType = "add_patterns"
+	TypeRemovePatterns MsgType = "remove_patterns"
+	TypePolicyChains   MsgType = "policy_chains"
+	TypeInstanceHello  MsgType = "instance_hello"
+	TypeInstanceInit   MsgType = "instance_init"
+	TypeTelemetry      MsgType = "telemetry"
+	TypeMigrateFlows   MsgType = "migrate_flows"
+	TypeAck            MsgType = "ack"
+	TypeError          MsgType = "error"
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	Seq  uint64          `json:"seq"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Register is sent by a middlebox to join the DPI service. The
+// middlebox's unique ID and the controller address are preconfigured
+// (the paper deploys no bootstrap procedure).
+type Register struct {
+	// MboxID is the middlebox's preconfigured unique identifier.
+	MboxID string `json:"mbox_id"`
+	// Name is the human-readable middlebox name.
+	Name string `json:"name"`
+	// Type is the middlebox type (ids, av, l7fw, shaper, lb, dlp, ...);
+	// middleboxes of one type share a pattern-set identifier.
+	Type string `json:"mbox_type"`
+	// Stateful requests scan state maintained across the packets of a
+	// flow.
+	Stateful bool `json:"stateful,omitempty"`
+	// ReadOnly declares that the middlebox needs only pattern-match
+	// results, not the packets themselves.
+	ReadOnly bool `json:"read_only,omitempty"`
+	// StopAfter is the middlebox's stopping condition in bytes of L7
+	// payload; 0 means unlimited.
+	StopAfter int `json:"stop_after,omitempty"`
+	// InheritFrom names an already-registered middlebox whose pattern
+	// set this one adopts.
+	InheritFrom string `json:"inherit_from,omitempty"`
+}
+
+// Deregister removes a middlebox; its pattern references are dropped
+// and shared patterns survive only while other middleboxes reference
+// them (Section 4.1).
+type Deregister struct {
+	MboxID string `json:"mbox_id"`
+}
+
+// RegisterAck acknowledges a registration.
+type RegisterAck struct {
+	MboxID string `json:"mbox_id"`
+	// Set is the pattern-set index assigned by the controller; match
+	// report sections for this middlebox carry it.
+	Set int `json:"set"`
+}
+
+// PatternDef describes one pattern in add/remove messages. Content is
+// base64 on the wire (encoding/json's []byte rule) because patterns
+// may be arbitrary binary.
+type PatternDef struct {
+	// RuleID is the pattern's identifier within the middlebox's rule
+	// set, echoed back in match reports.
+	RuleID  int    `json:"rule_id"`
+	Content []byte `json:"content,omitempty"`
+	// Regex, when set, carries a regular expression instead of exact
+	// bytes.
+	Regex string `json:"regex,omitempty"`
+}
+
+// AddPatterns adds patterns to the sender's set.
+type AddPatterns struct {
+	MboxID   string       `json:"mbox_id"`
+	Patterns []PatternDef `json:"patterns"`
+}
+
+// RemovePatterns removes the sender's reference to the given rule IDs.
+// A pattern shared with other middleboxes survives until its last
+// reference is removed (Section 4.1).
+type RemovePatterns struct {
+	MboxID  string `json:"mbox_id"`
+	RuleIDs []int  `json:"rule_ids"`
+}
+
+// ChainDef is one policy chain as the TSA reports it.
+type ChainDef struct {
+	// Tag is the chain identifier pushed onto packets (VLAN/MPLS).
+	Tag uint16 `json:"tag"`
+	// Members are middlebox IDs in traversal order.
+	Members []string `json:"members"`
+}
+
+// PolicyChains distributes the current chain set (TSA to controller, or
+// controller to instances).
+type PolicyChains struct {
+	Chains []ChainDef `json:"chains"`
+}
+
+// ProfileDef carries one pattern-set profile in InstanceInit. Mboxes
+// lists the registered middlebox IDs sharing the set, so chain member
+// references resolve on the instance side.
+type ProfileDef struct {
+	Set       int          `json:"set"`
+	Mboxes    []string     `json:"mboxes,omitempty"`
+	Name      string       `json:"name"`
+	Stateful  bool         `json:"stateful,omitempty"`
+	ReadOnly  bool         `json:"read_only,omitempty"`
+	StopAfter int          `json:"stop_after,omitempty"`
+	Patterns  []PatternDef `json:"patterns"`
+}
+
+// InstanceHello is sent by a starting DPI service instance to request
+// its initialization. Empty Chains asks to serve every chain.
+type InstanceHello struct {
+	InstanceID string   `json:"instance_id"`
+	Chains     []uint16 `json:"chains,omitempty"`
+	// Dedicated marks an MCA² dedicated instance; the controller
+	// configures it with the compact automaton (Section 4.3.1).
+	Dedicated bool `json:"dedicated,omitempty"`
+}
+
+// InstanceInit initializes a DPI service instance with the pattern sets
+// and chain mapping it must serve (Section 5.1). Compact selects the
+// low-memory automaton used for MCA² dedicated instances.
+type InstanceInit struct {
+	InstanceID string       `json:"instance_id"`
+	Profiles   []ProfileDef `json:"profiles"`
+	Chains     []ChainDef   `json:"chains"`
+	Compact    bool         `json:"compact,omitempty"`
+	Decompress bool         `json:"decompress,omitempty"`
+	// Version is the controller's configuration version the message
+	// was derived from; an instance re-requesting its configuration
+	// can skip rebuilding when it is unchanged.
+	Version uint64 `json:"version"`
+}
+
+// FlowKey identifies one flow in telemetry and migration messages.
+type FlowKey struct {
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	SrcPort  uint16 `json:"src_port"`
+	DstPort  uint16 `json:"dst_port"`
+	Protocol uint8  `json:"protocol"`
+}
+
+// FlowTelemetry is per-flow load data.
+type FlowTelemetry struct {
+	Flow    FlowKey `json:"flow"`
+	Bytes   uint64  `json:"bytes"`
+	Matches uint64  `json:"matches"`
+}
+
+// Telemetry is the periodic instance report the controller's stress
+// monitor consumes (Section 4.3.1).
+type Telemetry struct {
+	InstanceID   string          `json:"instance_id"`
+	Packets      uint64          `json:"packets"`
+	Bytes        uint64          `json:"bytes"`
+	BytesScanned uint64          `json:"bytes_scanned"`
+	Matches      uint64          `json:"matches"`
+	HeavyFlows   []FlowTelemetry `json:"heavy_flows,omitempty"`
+}
+
+// MigrateFlows instructs an instance to hand the given flows to another
+// instance; the source buffers the flows' packets until migration
+// completes (Section 4.3).
+type MigrateFlows struct {
+	Flows     []FlowKey `json:"flows"`
+	TargetID  string    `json:"target_id"`
+	Dedicated bool      `json:"dedicated,omitempty"`
+}
+
+// Ack acknowledges the message with the given sequence number.
+type Ack struct {
+	AckSeq uint64 `json:"ack_seq"`
+}
+
+// Error reports a protocol-level failure.
+type Error struct {
+	AckSeq uint64 `json:"ack_seq"`
+	Reason string `json:"reason"`
+}
+
+// MaxMessageLen bounds a framed message; registration of the largest
+// real pattern set (ClamAV, ~5 MB raw per the paper) fits with room to
+// spare.
+const MaxMessageLen = 64 << 20
+
+// Frame errors.
+var (
+	ErrMessageTooLarge = errors.New("ctlproto: message exceeds MaxMessageLen")
+	ErrBadEnvelope     = errors.New("ctlproto: malformed envelope")
+)
+
+// WriteMsg frames and writes an envelope carrying body.
+func WriteMsg(w io.Writer, typ MsgType, seq uint64, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("ctlproto: marshal %s: %w", typ, err)
+	}
+	env, err := json.Marshal(Envelope{Type: typ, Seq: seq, Body: raw})
+	if err != nil {
+		return fmt.Errorf("ctlproto: marshal envelope: %w", err)
+	}
+	if len(env) > MaxMessageLen {
+		return ErrMessageTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(env)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(env)
+	return err
+}
+
+// ReadMsg reads one framed envelope.
+func ReadMsg(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageLen {
+		return nil, ErrMessageTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if env.Type == "" {
+		return nil, ErrBadEnvelope
+	}
+	return &env, nil
+}
+
+// Decode unmarshals the envelope body into dst.
+func (e *Envelope) Decode(dst any) error {
+	if err := json.Unmarshal(e.Body, dst); err != nil {
+		return fmt.Errorf("%w: body of %s: %v", ErrBadEnvelope, e.Type, err)
+	}
+	return nil
+}

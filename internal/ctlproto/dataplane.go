@@ -1,0 +1,102 @@
+package ctlproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"dpiservice/internal/packet"
+)
+
+// This file defines the minimal framed data-plane protocol the
+// standalone daemons (cmd/dpinstance, cmd/trafficgen) speak over TCP:
+// the sender frames {chain tag, five-tuple, payload}; the instance
+// replies with the encoded match report, zero-length when the packet
+// had no matches. It stands in for the switch fabric when the service
+// runs as separate OS processes rather than inside the virtual network.
+
+// MaxDataPayload bounds one framed payload.
+const MaxDataPayload = 1 << 20
+
+// ErrPayloadTooLarge is returned for oversized frames.
+var ErrPayloadTooLarge = errors.New("ctlproto: data payload exceeds MaxDataPayload")
+
+const dataHdrLen = 2 + 13 + 4
+
+// WriteDataPacket frames one packet toward a DPI instance.
+func WriteDataPacket(w io.Writer, tag uint16, tuple packet.FiveTuple, payload []byte) error {
+	if len(payload) > MaxDataPayload {
+		return ErrPayloadTooLarge
+	}
+	var hdr [dataHdrLen]byte
+	binary.BigEndian.PutUint16(hdr[0:2], tag)
+	copy(hdr[2:6], tuple.Src[:])
+	copy(hdr[6:10], tuple.Dst[:])
+	binary.BigEndian.PutUint16(hdr[10:12], tuple.SrcPort)
+	binary.BigEndian.PutUint16(hdr[12:14], tuple.DstPort)
+	hdr[14] = tuple.Protocol
+	binary.BigEndian.PutUint32(hdr[15:19], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadDataPacket reads one framed packet. The payload is appended to
+// buf (which may be nil) to allow reuse.
+func ReadDataPacket(r io.Reader, buf []byte) (tag uint16, tuple packet.FiveTuple, payload []byte, err error) {
+	var hdr [dataHdrLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, tuple, nil, err
+	}
+	tag = binary.BigEndian.Uint16(hdr[0:2])
+	copy(tuple.Src[:], hdr[2:6])
+	copy(tuple.Dst[:], hdr[6:10])
+	tuple.SrcPort = binary.BigEndian.Uint16(hdr[10:12])
+	tuple.DstPort = binary.BigEndian.Uint16(hdr[12:14])
+	tuple.Protocol = hdr[14]
+	n := binary.BigEndian.Uint32(hdr[15:19])
+	if n > MaxDataPayload {
+		return 0, tuple, nil, ErrPayloadTooLarge
+	}
+	payload = append(buf[:0], make([]byte, n)...)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, tuple, nil, err
+	}
+	return tag, tuple, payload, nil
+}
+
+// WriteResultFrame sends one encoded report back (empty for no match).
+func WriteResultFrame(w io.Writer, encodedReport []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(encodedReport)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(encodedReport) == 0 {
+		return nil
+	}
+	_, err := w.Write(encodedReport)
+	return err
+}
+
+// ReadResultFrame reads one result frame; nil means no matches.
+func ReadResultFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, nil
+	}
+	if n > MaxDataPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	out := append(buf[:0], make([]byte, n)...)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package ctlproto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"dpiservice/internal/packet"
+)
+
+var dpTuple = packet.FiveTuple{
+	Src: packet.IP4{10, 1, 2, 3}, Dst: packet.IP4{10, 4, 5, 6},
+	SrcPort: 1234, DstPort: 80, Protocol: packet.IPProtoTCP,
+}
+
+func TestDataPacketRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("some payload bytes \x00\xff")
+	if err := WriteDataPacket(&buf, 42, dpTuple, payload); err != nil {
+		t.Fatal(err)
+	}
+	tag, tuple, got, err := ReadDataPacket(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 42 || tuple != dpTuple || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: tag=%d tuple=%v payload=%q", tag, tuple, got)
+	}
+}
+
+func TestDataPacketEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataPacket(&buf, 1, dpTuple, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, err := ReadDataPacket(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestDataPacketOversize(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, MaxDataPayload+1)
+	if err := WriteDataPacket(&buf, 1, dpTuple, big); err != ErrPayloadTooLarge {
+		t.Errorf("write oversize err = %v", err)
+	}
+	// A forged oversize header is rejected on read.
+	hdr := make([]byte, 19)
+	hdr[15], hdr[16], hdr[17], hdr[18] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, _, err := ReadDataPacket(bytes.NewReader(hdr), nil); err != ErrPayloadTooLarge {
+		t.Errorf("read oversize err = %v", err)
+	}
+}
+
+func TestDataPacketTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataPacket(&buf, 9, dpTuple, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := ReadDataPacket(bytes.NewReader(full[:cut]), nil); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestResultFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	report := []byte{1, 2, 3, 4, 5}
+	if err := WriteResultFrame(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResultFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultFrame(&buf, nil)
+	if err != nil || !bytes.Equal(got, report) {
+		t.Errorf("first frame = %v, %v", got, err)
+	}
+	got, err = ReadResultFrame(&buf, got)
+	if err != nil || got != nil {
+		t.Errorf("empty frame = %v, %v", got, err)
+	}
+	if _, err := ReadResultFrame(&buf, nil); err != io.EOF {
+		t.Errorf("drained err = %v", err)
+	}
+	// Oversize claim.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadResultFrame(bytes.NewReader(hdr), nil); err != ErrPayloadTooLarge {
+		t.Errorf("oversize err = %v", err)
+	}
+}
+
+func TestDataPlaneStreamProperty(t *testing.T) {
+	// Alternating data packets and result frames over one stream
+	// round-trip in order with buffer reuse.
+	f := func(payloads [][]byte, tags []uint16) bool {
+		var buf bytes.Buffer
+		n := len(payloads)
+		if len(tags) < n {
+			n = len(tags)
+		}
+		var want [][]byte
+		for i := 0; i < n; i++ {
+			p := payloads[i]
+			if len(p) > 1024 {
+				p = p[:1024]
+			}
+			if err := WriteDataPacket(&buf, tags[i], dpTuple, p); err != nil {
+				return false
+			}
+			want = append(want, p)
+		}
+		var scratch []byte
+		for i := 0; i < n; i++ {
+			tag, _, got, err := ReadDataPacket(&buf, scratch)
+			if err != nil || tag != tags[i] || !bytes.Equal(got, want[i]) {
+				return false
+			}
+			scratch = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package httpmsg parses HTTP/1.x message heads from raw packet
+// payloads. Several Table 1 middleboxes operate on HTTP structure
+// rather than raw bytes — L7 firewalls block by method/path/host, L7
+// load balancers route by URL — and the paper's stopping-condition
+// mechanism exists precisely because such middleboxes "only care about
+// specific application-layer headers with a fixed or bounded length"
+// (Section 5.1). The parser is tolerant: it parses as much of the head
+// as is present in the payload and reports whether it is complete.
+package httpmsg
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the parsers.
+var (
+	ErrNotHTTP    = errors.New("httpmsg: not an HTTP message")
+	ErrMalformed  = errors.New("httpmsg: malformed message head")
+	ErrIncomplete = errors.New("httpmsg: message head incomplete in this payload")
+)
+
+// Header is one message header in arrival order.
+type Header struct {
+	Name  string
+	Value string
+}
+
+// Request is a parsed HTTP/1.x request head.
+type Request struct {
+	Method  string
+	Target  string // request-target as sent (origin-form path, usually)
+	Proto   string // "HTTP/1.1"
+	Headers []Header
+	// BodyOffset is the payload offset where the body starts; valid
+	// only when Complete.
+	BodyOffset int
+	// Complete reports that the full head (terminating CRLFCRLF) was
+	// present in the payload.
+	Complete bool
+}
+
+// methods recognized as starting an HTTP request.
+var methods = []string{"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH", "TRACE", "CONNECT"}
+
+// LooksLikeRequest cheaply tests whether payload begins with an HTTP
+// request line.
+func LooksLikeRequest(payload []byte) bool {
+	for _, m := range methods {
+		if len(payload) > len(m) && payload[len(m)] == ' ' &&
+			string(payload[:len(m)]) == m {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseRequest parses a request head from the start of payload. A head
+// split across packets yields the parsed prefix with Complete=false and
+// err=ErrIncomplete; callers needing the rest reassemble first
+// (internal/reassembly).
+func ParseRequest(payload []byte) (*Request, error) {
+	if !LooksLikeRequest(payload) {
+		return nil, ErrNotHTTP
+	}
+	lineEnd := bytes.Index(payload, []byte("\r\n"))
+	if lineEnd < 0 {
+		return nil, ErrIncomplete
+	}
+	parts := strings.SplitN(string(payload[:lineEnd]), " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return nil, ErrMalformed
+	}
+	req := &Request{Method: parts[0], Target: parts[1], Proto: parts[2]}
+	off := lineEnd + 2
+	for {
+		if off >= len(payload) {
+			return req, ErrIncomplete
+		}
+		next := bytes.Index(payload[off:], []byte("\r\n"))
+		if next < 0 {
+			return req, ErrIncomplete
+		}
+		if next == 0 {
+			req.Complete = true
+			req.BodyOffset = off + 2
+			return req, nil
+		}
+		line := payload[off : off+next]
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			return req, ErrMalformed
+		}
+		req.Headers = append(req.Headers, Header{
+			Name:  string(line[:colon]),
+			Value: strings.TrimSpace(string(line[colon+1:])),
+		})
+		off += next + 2
+	}
+}
+
+// Header returns the first header with the given name,
+// case-insensitively.
+func (r *Request) Header(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// Host returns the request's Host header.
+func (r *Request) Host() string {
+	v, _ := r.Header("Host")
+	return v
+}
+
+// Path returns the request-target without query string.
+func (r *Request) Path() string {
+	if i := strings.IndexByte(r.Target, '?'); i >= 0 {
+		return r.Target[:i]
+	}
+	return r.Target
+}
+
+// ContentLength returns the declared body length, or -1 when absent or
+// unparsable.
+func (r *Request) ContentLength() int64 {
+	v, ok := r.Header("Content-Length")
+	if !ok {
+		return -1
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// Response is a parsed HTTP/1.x response head.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Reason     string
+	Headers    []Header
+	BodyOffset int
+	Complete   bool
+}
+
+// ParseResponse parses a response head from the start of payload.
+func ParseResponse(payload []byte) (*Response, error) {
+	if !bytes.HasPrefix(payload, []byte("HTTP/")) {
+		return nil, ErrNotHTTP
+	}
+	lineEnd := bytes.Index(payload, []byte("\r\n"))
+	if lineEnd < 0 {
+		return nil, ErrIncomplete
+	}
+	parts := strings.SplitN(string(payload[:lineEnd]), " ", 3)
+	if len(parts) < 2 {
+		return nil, ErrMalformed
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, ErrMalformed
+	}
+	resp := &Response{Proto: parts[0], StatusCode: code}
+	if len(parts) == 3 {
+		resp.Reason = parts[2]
+	}
+	off := lineEnd + 2
+	for {
+		if off >= len(payload) {
+			return resp, ErrIncomplete
+		}
+		next := bytes.Index(payload[off:], []byte("\r\n"))
+		if next < 0 {
+			return resp, ErrIncomplete
+		}
+		if next == 0 {
+			resp.Complete = true
+			resp.BodyOffset = off + 2
+			return resp, nil
+		}
+		line := payload[off : off+next]
+		colon := bytes.IndexByte(line, ':')
+		if colon <= 0 {
+			return resp, ErrMalformed
+		}
+		resp.Headers = append(resp.Headers, Header{
+			Name:  string(line[:colon]),
+			Value: strings.TrimSpace(string(line[colon+1:])),
+		})
+		off += next + 2
+	}
+}
+
+// Header returns the first header with the given name,
+// case-insensitively.
+func (r *Response) Header(name string) (string, bool) {
+	for _, h := range r.Headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}

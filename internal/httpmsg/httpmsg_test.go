@@ -1,0 +1,153 @@
+package httpmsg
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleRequest = "GET /search?q=dpi+service HTTP/1.1\r\n" +
+	"Host: example.test\r\n" +
+	"User-Agent: test-agent/1.0\r\n" +
+	"Content-Length: 12\r\n" +
+	"\r\n" +
+	"hello body.."
+
+func TestParseRequestComplete(t *testing.T) {
+	req, err := ParseRequest([]byte(sampleRequest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Complete {
+		t.Fatal("Complete = false")
+	}
+	if req.Method != "GET" || req.Proto != "HTTP/1.1" {
+		t.Errorf("request line = %q %q", req.Method, req.Proto)
+	}
+	if req.Target != "/search?q=dpi+service" || req.Path() != "/search" {
+		t.Errorf("target = %q, path = %q", req.Target, req.Path())
+	}
+	if req.Host() != "example.test" {
+		t.Errorf("host = %q", req.Host())
+	}
+	if v, ok := req.Header("user-agent"); !ok || v != "test-agent/1.0" {
+		t.Errorf("user-agent = %q, %v (case-insensitive lookup)", v, ok)
+	}
+	if req.ContentLength() != 12 {
+		t.Errorf("content-length = %d", req.ContentLength())
+	}
+	if got := sampleRequest[req.BodyOffset:]; got != "hello body.." {
+		t.Errorf("body = %q", got)
+	}
+}
+
+func TestParseRequestIncomplete(t *testing.T) {
+	full := []byte(sampleRequest)
+	// Cut inside the headers: partial parse with ErrIncomplete.
+	req, err := ParseRequest(full[:50])
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+	if req == nil || req.Method != "GET" || req.Complete {
+		t.Errorf("partial req = %+v", req)
+	}
+	// Cut inside the request line: nothing parseable yet.
+	if _, err := ParseRequest(full[:10]); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("short cut err = %v", err)
+	}
+}
+
+func TestParseRequestRejections(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want error
+	}{
+		{"NOTAMETHOD / HTTP/1.1\r\n\r\n", ErrNotHTTP},
+		{"random binary \x00\x01\x02", ErrNotHTTP},
+		{"GET /\r\n\r\n", ErrMalformed},         // no proto
+		{"GET / FTP/1.0\r\n\r\n", ErrMalformed}, // wrong proto
+		{"GET / HTTP/1.1\r\nbadheader\r\n\r\n", ErrMalformed},
+	} {
+		if _, err := ParseRequest([]byte(tc.in)); !errors.Is(err, tc.want) {
+			t.Errorf("ParseRequest(%q) err = %v, want %v", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestLooksLikeRequest(t *testing.T) {
+	for _, yes := range []string{"GET /", "POST /x HTTP/1.1", "DELETE /r", "OPTIONS *"} {
+		if !LooksLikeRequest([]byte(yes)) {
+			t.Errorf("LooksLikeRequest(%q) = false", yes)
+		}
+	}
+	for _, no := range []string{"", "G", "GETX /", "get /", "HTTP/1.1 200 OK"} {
+		if LooksLikeRequest([]byte(no)) {
+			t.Errorf("LooksLikeRequest(%q) = true", no)
+		}
+	}
+}
+
+func TestParseResponse(t *testing.T) {
+	resp, err := ParseResponse([]byte("HTTP/1.1 404 Not Found\r\nContent-Type: text/html\r\n\r\nbody"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 || resp.Reason != "Not Found" || !resp.Complete {
+		t.Errorf("resp = %+v", resp)
+	}
+	if v, ok := resp.Header("content-type"); !ok || v != "text/html" {
+		t.Errorf("content-type = %q", v)
+	}
+	for _, bad := range []string{"FTP/1.0 200 OK\r\n\r\n", "HTTP/1.1 x OK\r\n\r\n", "HTTP/1.1 999 Huge\r\n\r\n"} {
+		if _, err := ParseResponse([]byte(bad)); err == nil {
+			t.Errorf("ParseResponse(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseResponse([]byte("HTTP/1.1 200 OK\r\nCut")); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("incomplete err = %v", err)
+	}
+}
+
+func TestParseRequestNeverPanicsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = ParseRequest(junk)
+		_, _ = ParseResponse(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial header floods must not blow up either.
+	flood := "GET / HTTP/1.1\r\n" + strings.Repeat("X-A: b\r\n", 5000) + "\r\n"
+	req, err := ParseRequest([]byte(flood))
+	if err != nil || len(req.Headers) != 5000 {
+		t.Errorf("flood parse: %d headers, err %v", len(req.Headers), err)
+	}
+}
+
+func TestContentLengthEdgeCases(t *testing.T) {
+	mk := func(cl string) *Request {
+		req, err := ParseRequest([]byte("GET / HTTP/1.1\r\nContent-Length: " + cl + "\r\n\r\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	if got := mk("0").ContentLength(); got != 0 {
+		t.Errorf("CL 0 = %d", got)
+	}
+	if got := mk("notanumber").ContentLength(); got != -1 {
+		t.Errorf("CL garbage = %d", got)
+	}
+	if got := mk("-5").ContentLength(); got != -1 {
+		t.Errorf("CL negative = %d", got)
+	}
+	req, err := ParseRequest([]byte("GET / HTTP/1.1\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ContentLength() != -1 {
+		t.Error("absent CL != -1")
+	}
+}

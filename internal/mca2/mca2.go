@@ -1,0 +1,203 @@
+// Package mca2 implements the MCA²-style robustness layer of
+// Section 4.3.1: the DPI controller takes the role of the central
+// stress monitor, consuming per-instance telemetry, detecting the heavy
+// flows characteristic of complexity attacks on DPI engines, and
+// deciding which flows to divert to dedicated instances (which run the
+// compact automaton better suited to cache-hostile traffic). Dedicated
+// instances are allocated as an attack intensifies and deallocated as
+// it wanes.
+package mca2
+
+import (
+	"errors"
+	"sync"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/ctlproto"
+)
+
+// Config tunes the stress monitor.
+type Config struct {
+	// MatchDensity is the matches-per-byte ratio above which a flow is
+	// considered heavy (attack payloads force dense accepting-state
+	// traversal). Default 0.05.
+	MatchDensity float64
+	// MinFlowBytes ignores flows smaller than this (too little
+	// evidence). Default 1024.
+	MinFlowBytes uint64
+	// MaxMigrationsPerRound bounds churn per Evaluate call. Default 8.
+	MaxMigrationsPerRound int
+}
+
+func (c *Config) defaults() {
+	if c.MatchDensity <= 0 {
+		c.MatchDensity = 0.05
+	}
+	if c.MinFlowBytes == 0 {
+		c.MinFlowBytes = 1024
+	}
+	if c.MaxMigrationsPerRound <= 0 {
+		c.MaxMigrationsPerRound = 8
+	}
+}
+
+// Decision is one migration the monitor wants executed: divert Flow,
+// currently on From, to the dedicated instance To.
+type Decision struct {
+	From string
+	To   string
+	Flow ctlproto.FlowKey
+}
+
+// ErrNoDedicated is returned when heavy flows exist but no dedicated
+// instance is registered to absorb them.
+var ErrNoDedicated = errors.New("mca2: heavy flows detected but no dedicated instances")
+
+// Monitor is the central stress monitor.
+type Monitor struct {
+	ctl *controller.Controller
+	cfg Config
+
+	mu       sync.Mutex
+	rr       int
+	migrated map[ctlproto.FlowKey]string // flow -> dedicated instance
+}
+
+// New creates a monitor over the controller's telemetry.
+func New(ctl *controller.Controller, cfg Config) *Monitor {
+	cfg.defaults()
+	return &Monitor{ctl: ctl, cfg: cfg, migrated: make(map[ctlproto.FlowKey]string)}
+}
+
+// Evaluate examines the latest telemetry of every regular instance and
+// returns the migrations to perform. Flows already migrated are not
+// re-proposed. When heavy flows exist but no dedicated instance does,
+// it returns ErrNoDedicated along with an empty decision list — the
+// caller should allocate a dedicated instance and call again
+// ("dedicated DPI instances can be dynamically allocated as an attack
+// becomes more intense").
+func (m *Monitor) Evaluate() ([]Decision, error) {
+	dedicated := m.ctl.Instances(true)
+	var decisions []Decision
+	heavySeen := false
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range m.ctl.Instances(false) {
+		if isIn(dedicated, id) {
+			continue
+		}
+		tel, ok := m.ctl.InstanceTelemetry(id)
+		if !ok {
+			continue
+		}
+		for _, f := range tel.HeavyFlows {
+			if f.Bytes < m.cfg.MinFlowBytes {
+				continue
+			}
+			if float64(f.Matches)/float64(f.Bytes) < m.cfg.MatchDensity {
+				continue
+			}
+			heavySeen = true
+			if _, done := m.migrated[f.Flow]; done {
+				continue
+			}
+			if len(dedicated) == 0 {
+				continue
+			}
+			if len(decisions) >= m.cfg.MaxMigrationsPerRound {
+				break
+			}
+			target := dedicated[m.rr%len(dedicated)]
+			m.rr++
+			m.migrated[f.Flow] = target
+			decisions = append(decisions, Decision{From: id, To: target, Flow: f.Flow})
+		}
+	}
+	if heavySeen && len(dedicated) == 0 {
+		return nil, ErrNoDedicated
+	}
+	return decisions, nil
+}
+
+// Release clears migration records for flows that no longer appear in
+// any instance's heavy list — the attack has waned — and returns the
+// flows released. Call after fresh telemetry arrives; released flows
+// can then be re-steered to regular instances by the caller.
+func (m *Monitor) Release() []ctlproto.FlowKey {
+	stillHeavy := make(map[ctlproto.FlowKey]bool)
+	for _, id := range m.ctl.Instances(false) {
+		tel, ok := m.ctl.InstanceTelemetry(id)
+		if !ok {
+			continue
+		}
+		for _, f := range tel.HeavyFlows {
+			if f.Bytes >= m.cfg.MinFlowBytes &&
+				float64(f.Matches)/float64(f.Bytes) >= m.cfg.MatchDensity {
+				stillHeavy[f.Flow] = true
+			}
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var released []ctlproto.FlowKey
+	for flow := range m.migrated {
+		if !stillHeavy[flow] {
+			released = append(released, flow)
+			delete(m.migrated, flow)
+		}
+	}
+	return released
+}
+
+// IdleDedicated lists dedicated instances currently absorbing no
+// migrated flows — candidates for deallocation as the attack's
+// "significance decreases" (Section 4.3.1).
+func (m *Monitor) IdleDedicated() []string {
+	dedicated := m.ctl.Instances(true)
+	m.mu.Lock()
+	inUse := make(map[string]bool, len(m.migrated))
+	for _, target := range m.migrated {
+		inUse[target] = true
+	}
+	m.mu.Unlock()
+	var idle []string
+	for _, id := range dedicated {
+		if !inUse[id] {
+			idle = append(idle, id)
+		}
+	}
+	return idle
+}
+
+// Forget clears the migration record of a flow (e.g. when it ends), so
+// a recurrence would be re-evaluated.
+func (m *Monitor) Forget(flow ctlproto.FlowKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.migrated, flow)
+}
+
+// MigratedCount reports how many flows are currently diverted.
+func (m *Monitor) MigratedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.migrated)
+}
+
+// TargetOf reports the dedicated instance a flow was diverted to.
+func (m *Monitor) TargetOf(flow ctlproto.FlowKey) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.migrated[flow]
+	return t, ok
+}
+
+func isIn(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

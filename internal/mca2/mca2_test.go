@@ -1,0 +1,178 @@
+package mca2
+
+import (
+	"errors"
+	"testing"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/ctlproto"
+)
+
+func heavyFlow(port uint16, bytes, matches uint64) ctlproto.FlowTelemetry {
+	return ctlproto.FlowTelemetry{
+		Flow:    ctlproto.FlowKey{Src: "10.0.0.1", Dst: "10.0.0.2", SrcPort: port, DstPort: 80, Protocol: 6},
+		Bytes:   bytes,
+		Matches: matches,
+	}
+}
+
+func setup(t *testing.T, dedicated int) (*controller.Controller, *Monitor) {
+	t.Helper()
+	ctl := controller.New()
+	ctl.AddInstance("dpi-1", nil, false)
+	for i := 0; i < dedicated; i++ {
+		ctl.AddInstance("ded-"+string(rune('a'+i)), nil, true)
+	}
+	return ctl, New(ctl, Config{})
+}
+
+func TestEvaluateDetectsHeavyFlow(t *testing.T) {
+	ctl, m := setup(t, 1)
+	tel := ctlproto.Telemetry{
+		InstanceID: "dpi-1",
+		HeavyFlows: []ctlproto.FlowTelemetry{
+			heavyFlow(1, 10000, 5000), // density 0.5 >> 0.05: heavy
+			heavyFlow(2, 10000, 10),   // density 0.001: benign
+			heavyFlow(3, 100, 90),     // dense but too small
+		},
+	}
+	if err := ctl.ReportTelemetry(tel); err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %+v, want exactly the heavy flow", decisions)
+	}
+	d := decisions[0]
+	if d.From != "dpi-1" || d.To != "ded-a" || d.Flow.SrcPort != 1 {
+		t.Errorf("decision = %+v", d)
+	}
+	if got, ok := m.TargetOf(d.Flow); !ok || got != "ded-a" {
+		t.Errorf("TargetOf = %q, %v", got, ok)
+	}
+
+	// Re-evaluating must not re-propose the same flow.
+	decisions, err = m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 0 {
+		t.Errorf("repeat decisions = %+v", decisions)
+	}
+	if m.MigratedCount() != 1 {
+		t.Errorf("MigratedCount = %d", m.MigratedCount())
+	}
+
+	// After Forget, a recurrence is re-proposed.
+	m.Forget(d.Flow)
+	decisions, _ = m.Evaluate()
+	if len(decisions) != 1 {
+		t.Errorf("after Forget: %+v", decisions)
+	}
+}
+
+func TestEvaluateNoDedicated(t *testing.T) {
+	ctl, m := setup(t, 0)
+	if err := ctl.ReportTelemetry(ctlproto.Telemetry{
+		InstanceID: "dpi-1",
+		HeavyFlows: []ctlproto.FlowTelemetry{heavyFlow(1, 10000, 5000)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(); !errors.Is(err, ErrNoDedicated) {
+		t.Errorf("err = %v, want ErrNoDedicated", err)
+	}
+	// Allocating a dedicated instance resolves it.
+	ctl.AddInstance("ded-x", nil, true)
+	decisions, err := m.Evaluate()
+	if err != nil || len(decisions) != 1 || decisions[0].To != "ded-x" {
+		t.Errorf("decisions = %+v, err = %v", decisions, err)
+	}
+}
+
+func TestEvaluateRoundRobinAndCap(t *testing.T) {
+	ctl, m := setup(t, 2)
+	var flows []ctlproto.FlowTelemetry
+	for i := 0; i < 20; i++ {
+		flows = append(flows, heavyFlow(uint16(100+i), 10000, 9000))
+	}
+	if err := ctl.ReportTelemetry(ctlproto.Telemetry{InstanceID: "dpi-1", HeavyFlows: flows}); err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := m.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 8 { // default MaxMigrationsPerRound
+		t.Fatalf("decisions = %d, want capped at 8", len(decisions))
+	}
+	targets := map[string]int{}
+	for _, d := range decisions {
+		targets[d.To]++
+	}
+	if targets["ded-a"] != 4 || targets["ded-b"] != 4 {
+		t.Errorf("round-robin split = %v", targets)
+	}
+	// The rest arrive next round.
+	decisions, _ = m.Evaluate()
+	if len(decisions) != 8 {
+		t.Errorf("second round = %d", len(decisions))
+	}
+}
+
+func TestReleaseAndIdleDedicated(t *testing.T) {
+	ctl, m := setup(t, 1)
+	hf := heavyFlow(1, 10000, 5000)
+	if err := ctl.ReportTelemetry(ctlproto.Telemetry{InstanceID: "dpi-1", HeavyFlows: []ctlproto.FlowTelemetry{hf}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	if idle := m.IdleDedicated(); len(idle) != 0 {
+		t.Errorf("dedicated instance idle while absorbing a flow: %v", idle)
+	}
+	// Attack continues (flow still in someone's heavy list): no
+	// release.
+	if rel := m.Release(); len(rel) != 0 {
+		t.Errorf("released while still heavy: %v", rel)
+	}
+	// Attack wanes: the flow disappears from telemetry.
+	if err := ctl.ReportTelemetry(ctlproto.Telemetry{InstanceID: "dpi-1"}); err != nil {
+		t.Fatal(err)
+	}
+	rel := m.Release()
+	if len(rel) != 1 || rel[0] != hf.Flow {
+		t.Fatalf("Release = %v", rel)
+	}
+	if m.MigratedCount() != 0 {
+		t.Errorf("MigratedCount = %d after release", m.MigratedCount())
+	}
+	// The dedicated instance is now deallocatable.
+	if idle := m.IdleDedicated(); len(idle) != 1 || idle[0] != "ded-a" {
+		t.Errorf("IdleDedicated = %v", idle)
+	}
+}
+
+func TestEvaluateIgnoresQuietInstances(t *testing.T) {
+	ctl, m := setup(t, 1)
+	// No telemetry at all: nothing to do, no error.
+	decisions, err := m.Evaluate()
+	if err != nil || len(decisions) != 0 {
+		t.Errorf("decisions = %+v, err = %v", decisions, err)
+	}
+	// Dedicated instances' own telemetry is never evaluated.
+	if err := ctl.ReportTelemetry(ctlproto.Telemetry{
+		InstanceID: "ded-a",
+		HeavyFlows: []ctlproto.FlowTelemetry{heavyFlow(1, 10000, 9000)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	decisions, err = m.Evaluate()
+	if err != nil || len(decisions) != 0 {
+		t.Errorf("dedicated telemetry produced decisions: %+v, %v", decisions, err)
+	}
+}

@@ -1,0 +1,199 @@
+package middlebox
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/packet"
+)
+
+// Logic is the middlebox-internal rule logic that consumes DPI results:
+// "The DPI service responsibility is only to indicate appearances of
+// patterns, while resolving the logic behind a condition and performing
+// the action itself is the middlebox's responsibility" (Section 4.1).
+type Logic interface {
+	// OnResult is invoked with the middlebox's section of a match
+	// report (nil when the packet had no matches for this middlebox)
+	// and the data frame (nil for a read-only middlebox in result-only
+	// mode). It returns false to drop the packet (an IPS action).
+	OnResult(tuple packet.FiveTuple, entries []packet.Entry, frame []byte) (forward bool)
+}
+
+// ConsumerNode is a middlebox that consumes DPI-service results instead
+// of scanning: the paper's sample virtual middlebox application
+// (Section 6.1). It pairs each ECN-marked data packet with the result
+// packet that follows it (by IPv4 ID), invokes its Logic, and forwards
+// both onward so downstream chain members can do the same.
+type ConsumerNode struct {
+	hostIface
+	Set   uint8 // pattern-set index assigned at registration
+	Logic Logic
+	// StripShim marks the last middlebox of an inline-results chain
+	// (Section 4.2, option 1): it removes the report shim and forwards
+	// the original packet, re-tagged so the egress rule still matches.
+	StripShim bool
+
+	mu      sync.Mutex
+	waiting map[uint32]pending // IPID -> data frame awaiting its result
+	order   []uint32           // FIFO of waiting keys for bounded memory
+
+	// Counters.
+	DataPackets   atomic.Uint64
+	ResultPackets atomic.Uint64
+	RulesReported atomic.Uint64
+	Dropped       atomic.Uint64
+	Unpaired      atomic.Uint64
+}
+
+type pending struct {
+	frame []byte
+	tuple packet.FiveTuple
+}
+
+// maxWaiting bounds the pairing buffer; an overflow forwards the oldest
+// frame without results (fail-open).
+const maxWaiting = 1024
+
+// hostIface is the part of *netsim.Host the nodes use; tests may supply
+// fakes.
+type hostIface interface {
+	SetHandler(func([]byte))
+	Send([]byte) bool
+	Name() string
+}
+
+// NewConsumerNode wraps a host into a result-consuming middlebox for
+// the given pattern set.
+func NewConsumerNode(host hostIface, set uint8, logic Logic) *ConsumerNode {
+	n := &ConsumerNode{hostIface: host, Set: set, Logic: logic, waiting: make(map[uint32]pending)}
+	host.SetHandler(n.handleFrame)
+	return n
+}
+
+func (n *ConsumerNode) handleFrame(frame []byte) {
+	var sum packet.Summary
+	if err := packet.Summarize(frame, &sum); err != nil {
+		n.Send(frame)
+		return
+	}
+	if sum.IsReport {
+		n.handleReport(frame, sum.Payload, sum.VLANID)
+		return
+	}
+	n.DataPackets.Add(1)
+	if !sum.ECNMarked {
+		// No result packet follows: process immediately with no
+		// matches.
+		n.finish(sum.Tuple, nil, frame)
+		return
+	}
+	// Marked: hold until the result packet arrives.
+	n.mu.Lock()
+	key := uint32(sum.IPID)
+	if len(n.waiting) >= maxWaiting {
+		n.evictOldestLocked()
+	}
+	n.waiting[key] = pending{frame: frame, tuple: sum.Tuple}
+	n.order = append(n.order, key)
+	n.mu.Unlock()
+}
+
+func (n *ConsumerNode) evictOldestLocked() {
+	for len(n.order) > 0 {
+		k := n.order[0]
+		n.order = n.order[1:]
+		if p, ok := n.waiting[k]; ok {
+			delete(n.waiting, k)
+			n.Unpaired.Add(1)
+			// Fail open: forward without results.
+			n.mu.Unlock()
+			n.finish(p.tuple, nil, p.frame)
+			n.mu.Lock()
+			return
+		}
+	}
+}
+
+func (n *ConsumerNode) handleReport(frame, body []byte, tag uint16) {
+	n.ResultPackets.Add(1)
+	var rep packet.Report
+	inner, hasInner, err := SplitInline(body, &rep)
+	if err != nil {
+		n.Send(frame) // pass malformed reports along untouched
+		return
+	}
+	var entries []packet.Entry
+	if sec := rep.SectionFor(n.Set); sec != nil {
+		entries = sec.Entries
+		for _, e := range sec.Entries {
+			n.RulesReported.Add(uint64(e.Count))
+		}
+	}
+	if hasInner {
+		// Inline shim frame (Section 4.2, option 1): data and results
+		// travel together.
+		n.DataPackets.Add(1)
+		forward := true
+		if n.Logic != nil {
+			forward = n.Logic.OnResult(rep.Tuple, entries, inner)
+		}
+		if !forward {
+			n.Dropped.Add(1)
+			return
+		}
+		if n.StripShim {
+			// Last middlebox: restore the original packet, keeping
+			// the tag for the egress rule.
+			bare := RebuildInnerFrame(packet.MAC{}, packet.MAC{}, inner)
+			if tagged, err := packet.PushVLAN(bare, tag, 0); err == nil {
+				n.Send(tagged)
+			}
+			return
+		}
+		n.Send(frame)
+		return
+	}
+	// Pair with the buffered data packet.
+	n.mu.Lock()
+	p, ok := n.waiting[rep.PacketID]
+	if ok {
+		delete(n.waiting, rep.PacketID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		// Result-only mode, or the data packet was dropped upstream:
+		// consume the result standalone.
+		if n.Logic != nil {
+			n.Logic.OnResult(rep.Tuple, entries, nil)
+		}
+		n.Send(frame) // pass the result to downstream middleboxes
+		return
+	}
+	forward := n.finish(p.tuple, entries, p.frame)
+	if forward {
+		// Data was forwarded; send the result right behind it for the
+		// next middlebox on the chain.
+		n.Send(frame)
+	}
+}
+
+// finish runs the logic and forwards the data frame unless dropped.
+func (n *ConsumerNode) finish(tuple packet.FiveTuple, entries []packet.Entry, frame []byte) bool {
+	forward := true
+	if n.Logic != nil {
+		forward = n.Logic.OnResult(tuple, entries, frame)
+	}
+	if !forward {
+		n.Dropped.Add(1)
+		return false
+	}
+	n.Send(frame)
+	return true
+}
+
+// PendingPairs reports the number of data packets awaiting results.
+func (n *ConsumerNode) PendingPairs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.waiting)
+}

@@ -1,0 +1,77 @@
+package middlebox
+
+import (
+	"dpiservice/internal/packet"
+)
+
+// This file implements the FIRST result-passing option of Section 4.2:
+// the match results ride the data packet itself as an NSH-like shim
+// layer inserted before the original IP packet ("adding match result
+// information as an additional layer of information prior to the
+// packet's payload ... the last middlebox can simply remove this layer
+// and forward the original packet"). The wire layout of an inline
+// frame is
+//
+//	Ethernet | VLAN(tag) | EtherTypeReport | report bytes | original IP packet
+//
+// The report encoding is self-delimiting, so the original packet starts
+// exactly where DecodeReport stops.
+
+// SetInlineResults switches a chain to inline (shim) result passing:
+// matching packets are re-emitted as a single shim frame instead of a
+// marked packet plus a dedicated result packet.
+func (n *DPINode) SetInlineResults(tag uint16, on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inline[tag] = on
+}
+
+// buildInlineFrame wraps the original frame's IP packet behind the
+// report shim, preserving the chain tag.
+func (n *DPINode) buildInlineFrame(tag uint16, report *packet.Report, origFrame []byte) []byte {
+	// The inner packet is everything after Ethernet + tags: locate the
+	// IP header by re-summarizing is wasteful; the original frame is
+	// Ethernet(14) + VLAN(4) + IP..., both produced by our own fabric.
+	inner := origFrame[packet.EthernetHeaderLen+packet.VLANHeaderLen:]
+	body := report.AppendEncoded(nil)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	err := packet.SerializeLayers(&n.buf,
+		&packet.Ethernet{Src: n.MAC, EtherType: packet.EtherTypeVLAN},
+		&packet.VLAN{ID: tag, EtherType: packet.EtherTypeReport},
+		packet.Payload(body),
+		packet.Payload(inner),
+	)
+	if err != nil {
+		return nil
+	}
+	out := make([]byte, len(n.buf.Bytes()))
+	copy(out, n.buf.Bytes())
+	return out
+}
+
+// SplitInline decodes a shim frame's report and returns the inner IP
+// packet bytes; ok is false when the frame carries a standalone report
+// (no embedded packet).
+func SplitInline(shimPayload []byte, rep *packet.Report) (inner []byte, ok bool, err error) {
+	consumed, err := packet.DecodeReport(shimPayload, rep)
+	if err != nil {
+		return nil, false, err
+	}
+	if consumed >= len(shimPayload) {
+		return nil, false, nil
+	}
+	return shimPayload[consumed:], true, nil
+}
+
+// RebuildInnerFrame re-frames an inner IP packet as a plain Ethernet
+// frame — what the last middlebox does when stripping the shim.
+func RebuildInnerFrame(srcMAC, dstMAC packet.MAC, inner []byte) []byte {
+	out := make([]byte, packet.EthernetHeaderLen+len(inner))
+	copy(out[0:6], dstMAC[:])
+	copy(out[6:12], srcMAC[:])
+	out[12] = byte(packet.EtherTypeIPv4 >> 8)
+	out[13] = byte(packet.EtherTypeIPv4 & 0xff)
+	copy(out[packet.EthernetHeaderLen:], inner)
+	return out
+}

@@ -1,0 +1,112 @@
+package middlebox
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/httpmsg"
+	"dpiservice/internal/packet"
+)
+
+// L7FirewallLogic is an application-layer firewall (Table 1's "L7
+// Firewall / ModSecurity" row): it combines HTTP structure — method,
+// path, Host — with the DPI service's pattern results. A request is
+// blocked when it violates a structural rule, or when a DPI rule listed
+// in BlockOnRules matched anywhere in the packet. Once a flow is
+// blocked, its remaining packets are dropped too.
+type L7FirewallLogic struct {
+	// BlockMethods drops requests using any of these methods.
+	BlockMethods []string
+	// BlockPathPrefixes drops requests whose path starts with any of
+	// these prefixes.
+	BlockPathPrefixes []string
+	// BlockHosts drops requests to these Host header values.
+	BlockHosts []string
+	// BlockOnRules drops packets for which the DPI service reported
+	// any of these rule IDs.
+	BlockOnRules []uint16
+
+	mu      sync.Mutex
+	blocked map[packet.FiveTuple]bool
+
+	Requests atomic.Uint64
+	Blocked  atomic.Uint64
+}
+
+// NewL7FirewallLogic returns an empty firewall; configure the Block*
+// fields before traffic flows.
+func NewL7FirewallLogic() *L7FirewallLogic {
+	return &L7FirewallLogic{blocked: make(map[packet.FiveTuple]bool)}
+}
+
+// OnResult implements Logic.
+func (l *L7FirewallLogic) OnResult(tuple packet.FiveTuple, entries []packet.Entry, frame []byte) bool {
+	key := tuple.Canonical()
+	l.mu.Lock()
+	alreadyBlocked := l.blocked[key]
+	l.mu.Unlock()
+	if alreadyBlocked {
+		l.Blocked.Add(1)
+		return false
+	}
+	if l.violatesRules(entries) || l.violatesHTTP(frame) {
+		l.mu.Lock()
+		l.blocked[key] = true
+		l.mu.Unlock()
+		l.Blocked.Add(1)
+		return false
+	}
+	return true
+}
+
+func (l *L7FirewallLogic) violatesRules(entries []packet.Entry) bool {
+	for _, e := range entries {
+		for _, r := range l.BlockOnRules {
+			if e.Pattern == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (l *L7FirewallLogic) violatesHTTP(frame []byte) bool {
+	if frame == nil {
+		return false
+	}
+	var sum packet.Summary
+	if packet.Summarize(frame, &sum) != nil || !httpmsg.LooksLikeRequest(sum.Payload) {
+		return false
+	}
+	req, err := httpmsg.ParseRequest(sum.Payload)
+	if req == nil || (err != nil && err != httpmsg.ErrIncomplete) {
+		return false
+	}
+	l.Requests.Add(1)
+	for _, m := range l.BlockMethods {
+		if req.Method == m {
+			return true
+		}
+	}
+	path := req.Path()
+	for _, p := range l.BlockPathPrefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	host := req.Host()
+	for _, h := range l.BlockHosts {
+		if strings.EqualFold(host, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// FlowBlocked reports whether a flow has been blocked.
+func (l *L7FirewallLogic) FlowBlocked(tuple packet.FiveTuple) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.blocked[tuple.Canonical()]
+}

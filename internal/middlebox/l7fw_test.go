@@ -1,0 +1,96 @@
+package middlebox
+
+import (
+	"testing"
+
+	"dpiservice/internal/packet"
+	"dpiservice/internal/traffic"
+)
+
+func httpFrame(t *testing.T, tuple packet.FiveTuple, request string) []byte {
+	t.Helper()
+	var fb traffic.FrameBuilder
+	return fb.Build(tuple, []byte(request))
+}
+
+func TestL7FirewallBlocksByPath(t *testing.T) {
+	fw := NewL7FirewallLogic()
+	fw.BlockPathPrefixes = []string{"/admin/"}
+
+	ok := fw.OnResult(tpl, nil, httpFrame(t, tpl, "GET /public/index.html HTTP/1.1\r\nHost: site.test\r\n\r\n"))
+	if !ok {
+		t.Fatal("benign request blocked")
+	}
+	bad := tpl
+	bad.SrcPort = 2
+	ok = fw.OnResult(bad, nil, httpFrame(t, bad, "GET /admin/panel?x=1 HTTP/1.1\r\nHost: site.test\r\n\r\n"))
+	if ok {
+		t.Fatal("admin path not blocked")
+	}
+	// The whole flow is now blocked, even for benign follow-ups.
+	if fw.OnResult(bad, nil, httpFrame(t, bad, "GET /public HTTP/1.1\r\n\r\n")) {
+		t.Error("blocked flow's next packet forwarded")
+	}
+	if !fw.FlowBlocked(bad) || fw.FlowBlocked(tpl) {
+		t.Error("FlowBlocked bookkeeping wrong")
+	}
+	if fw.Blocked.Load() != 2 {
+		t.Errorf("Blocked = %d", fw.Blocked.Load())
+	}
+}
+
+func TestL7FirewallBlocksByMethodAndHost(t *testing.T) {
+	fw := NewL7FirewallLogic()
+	fw.BlockMethods = []string{"TRACE"}
+	fw.BlockHosts = []string{"evil.test"}
+
+	a := tpl
+	a.SrcPort = 11
+	if fw.OnResult(a, nil, httpFrame(t, a, "TRACE / HTTP/1.1\r\nHost: fine.test\r\n\r\n")) {
+		t.Error("TRACE not blocked")
+	}
+	b := tpl
+	b.SrcPort = 12
+	if fw.OnResult(b, nil, httpFrame(t, b, "GET / HTTP/1.1\r\nHost: EVIL.test\r\n\r\n")) {
+		t.Error("blocked host not blocked (case-insensitive)")
+	}
+	c := tpl
+	c.SrcPort = 13
+	if !fw.OnResult(c, nil, httpFrame(t, c, "GET / HTTP/1.1\r\nHost: fine.test\r\n\r\n")) {
+		t.Error("benign request blocked")
+	}
+}
+
+func TestL7FirewallBlocksOnDPIRules(t *testing.T) {
+	fw := NewL7FirewallLogic()
+	fw.BlockOnRules = []uint16{42}
+	a := tpl
+	a.SrcPort = 21
+	// Non-HTTP payload, but the DPI service matched rule 42.
+	frame := httpFrame(t, a, "arbitrary binary payload")
+	if fw.OnResult(a, []packet.Entry{{Pattern: 42, Count: 1}}, frame) {
+		t.Error("DPI-flagged packet not blocked")
+	}
+	b := tpl
+	b.SrcPort = 22
+	if !fw.OnResult(b, []packet.Entry{{Pattern: 7, Count: 1}}, frame) {
+		t.Error("unlisted rule blocked")
+	}
+}
+
+func TestL7FirewallIgnoresNonHTTP(t *testing.T) {
+	fw := NewL7FirewallLogic()
+	fw.BlockPathPrefixes = []string{"/"}
+	a := tpl
+	a.SrcPort = 31
+	if !fw.OnResult(a, nil, httpFrame(t, a, "\x00\x01binary protocol")) {
+		t.Error("non-HTTP payload blocked by HTTP rule")
+	}
+	// Nil frame (result-only mode): structural rules can't fire.
+	if !fw.OnResult(a, nil, nil) {
+		t.Error("nil frame blocked")
+	}
+	if fw.Requests.Load() != 0 {
+		t.Errorf("Requests = %d", fw.Requests.Load())
+	}
+}

@@ -1,0 +1,69 @@
+package middlebox
+
+import (
+	"sync/atomic"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/packet"
+)
+
+// LegacyNode is a middlebox that performs its own DPI — the baseline
+// architecture of Figure 1(a) and the comparison system of Section 6.1
+// ("we also implement an application that does both [DPI and rule
+// counting] and use it as a baseline"). It owns a single-set engine and
+// scans every packet itself before applying its logic.
+type LegacyNode struct {
+	hostIface
+	Engine *core.Engine
+	Tag    uint16 // the chain tag the engine is keyed by
+	Set    uint8
+	Logic  Logic
+
+	DataPackets   atomic.Uint64
+	RulesReported atomic.Uint64
+	Dropped       atomic.Uint64
+}
+
+// NewLegacyNode wraps a host into a self-scanning middlebox.
+func NewLegacyNode(host hostIface, engine *core.Engine, tag uint16, set uint8, logic Logic) *LegacyNode {
+	n := &LegacyNode{hostIface: host, Engine: engine, Tag: tag, Set: set, Logic: logic}
+	host.SetHandler(n.handleFrame)
+	return n
+}
+
+func (n *LegacyNode) handleFrame(frame []byte) {
+	var sum packet.Summary
+	if err := packet.Summarize(frame, &sum); err != nil || sum.IsReport {
+		// A legacy middlebox has no use for result packets; pass them
+		// along for any DPI-aware boxes downstream.
+		n.Send(frame)
+		return
+	}
+	n.DataPackets.Add(1)
+	report, err := n.Engine.Inspect(n.Tag, sum.Tuple, sum.Payload)
+	if err != nil {
+		n.Send(frame)
+		return
+	}
+	if sum.TCPFlags&(packet.TCPFin|packet.TCPRst) != 0 {
+		n.Engine.EndFlow(sum.Tuple)
+	}
+	var entries []packet.Entry
+	if report != nil {
+		if sec := report.SectionFor(n.Set); sec != nil {
+			entries = sec.Entries
+			for _, e := range sec.Entries {
+				n.RulesReported.Add(uint64(e.Count))
+			}
+		}
+	}
+	forward := true
+	if n.Logic != nil {
+		forward = n.Logic.OnResult(sum.Tuple, entries, frame)
+	}
+	if !forward {
+		n.Dropped.Add(1)
+		return
+	}
+	n.Send(frame)
+}

@@ -1,0 +1,172 @@
+package middlebox
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/packet"
+)
+
+// This file provides sample rule logics for the middlebox types of
+// Table 1. Each consumes match results; none scans.
+
+// CountLogic counts reported rule occurrences per pattern — the paper's
+// sample middlebox application "only counts the total number of rules
+// that were reported to it" (Section 6.1).
+type CountLogic struct {
+	total atomic.Uint64
+	mu    sync.Mutex
+	byPat map[uint16]uint64
+}
+
+// NewCountLogic returns an empty counter.
+func NewCountLogic() *CountLogic { return &CountLogic{byPat: make(map[uint16]uint64)} }
+
+// OnResult implements Logic.
+func (l *CountLogic) OnResult(_ packet.FiveTuple, entries []packet.Entry, _ []byte) bool {
+	if len(entries) == 0 {
+		return true
+	}
+	l.mu.Lock()
+	for _, e := range entries {
+		l.total.Add(uint64(e.Count))
+		l.byPat[e.Pattern] += uint64(e.Count)
+	}
+	l.mu.Unlock()
+	return true
+}
+
+// Total reports the count of rule occurrences seen.
+func (l *CountLogic) Total() uint64 { return l.total.Load() }
+
+// PerPattern returns a copy of the per-pattern counters.
+func (l *CountLogic) PerPattern() map[uint16]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[uint16]uint64, len(l.byPat))
+	for k, v := range l.byPat {
+		out[k] = v
+	}
+	return out
+}
+
+// IPSLogic drops packets matching any of the given rule IDs — an
+// intrusion prevention system, the paper's example of a middlebox that
+// is NOT read-only (Section 4.1).
+type IPSLogic struct {
+	blocked map[uint16]bool
+	Drops   atomic.Uint64
+}
+
+// NewIPSLogic blocks the given rule IDs.
+func NewIPSLogic(blockRules ...uint16) *IPSLogic {
+	m := make(map[uint16]bool, len(blockRules))
+	for _, r := range blockRules {
+		m[r] = true
+	}
+	return &IPSLogic{blocked: m}
+}
+
+// OnResult implements Logic.
+func (l *IPSLogic) OnResult(_ packet.FiveTuple, entries []packet.Entry, _ []byte) bool {
+	for _, e := range entries {
+		if l.blocked[e.Pattern] {
+			l.Drops.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+// ShaperLogic demotes flows that matched application-identifying
+// patterns — a traffic shaper in the style of Table 1's Blue Coat
+// PacketShaper. Matched flows are remembered and their further packets
+// counted against a byte budget; packets beyond it are dropped
+// (a crude but honest shaping action).
+type ShaperLogic struct {
+	mu        sync.Mutex
+	flows     map[packet.FiveTuple]uint64 // bytes forwarded since match
+	BudgetB   uint64
+	Shaped    atomic.Uint64
+	Forwarded atomic.Uint64
+}
+
+// NewShaperLogic creates a shaper allowing budgetBytes per matched flow.
+func NewShaperLogic(budgetBytes uint64) *ShaperLogic {
+	return &ShaperLogic{flows: make(map[packet.FiveTuple]uint64), BudgetB: budgetBytes}
+}
+
+// OnResult implements Logic.
+func (l *ShaperLogic) OnResult(tuple packet.FiveTuple, entries []packet.Entry, frame []byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	used, tracked := l.flows[tuple.Canonical()]
+	if len(entries) > 0 && !tracked {
+		l.flows[tuple.Canonical()] = 0
+		tracked = true
+	}
+	if !tracked {
+		l.Forwarded.Add(1)
+		return true
+	}
+	used += uint64(len(frame))
+	l.flows[tuple.Canonical()] = used
+	if used > l.BudgetB {
+		l.Shaped.Add(1)
+		return false
+	}
+	l.Forwarded.Add(1)
+	return true
+}
+
+// LBLogic is an L7 load balancer: each pattern identifies an
+// application/URL class mapped to a backend; flows are pinned to the
+// backend of their first matched class (Table 1's F5/A10 row).
+type LBLogic struct {
+	mu       sync.Mutex
+	backends map[uint16]string
+	pinned   map[packet.FiveTuple]string
+	Default  string
+}
+
+// NewLBLogic maps rule IDs to backend names.
+func NewLBLogic(defaultBackend string, routes map[uint16]string) *LBLogic {
+	return &LBLogic{backends: routes, pinned: make(map[packet.FiveTuple]string), Default: defaultBackend}
+}
+
+// OnResult implements Logic.
+func (l *LBLogic) OnResult(tuple packet.FiveTuple, entries []packet.Entry, _ []byte) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := tuple.Canonical()
+	if _, done := l.pinned[key]; !done {
+		backend := l.Default
+		for _, e := range entries {
+			if b, ok := l.backends[e.Pattern]; ok {
+				backend = b
+				break
+			}
+		}
+		l.pinned[key] = backend
+	}
+	return true
+}
+
+// BackendOf reports the backend a flow is pinned to.
+func (l *LBLogic) BackendOf(tuple packet.FiveTuple) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.pinned[tuple.Canonical()]
+	return b, ok
+}
+
+// Assignments returns a copy of all pinnings.
+func (l *LBLogic) Assignments() map[packet.FiveTuple]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[packet.FiveTuple]string, len(l.pinned))
+	for k, v := range l.pinned {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package middlebox
+
+import (
+	"sync"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/packet"
+)
+
+// This file adds the remaining middlebox types of Table 1: data leakage
+// prevention (Check Point DLP row) and network analytics / protocol
+// identification (Qosmos row).
+
+// DLPLogic is a data-leakage-prevention middlebox: its rules are
+// typically regular expressions (credit card numbers, identifiers), so
+// it watches for regex-confirmed results — pattern IDs at or above
+// core.RegexReportBase — and blocks the flow once a leak is seen.
+type DLPLogic struct {
+	mu      sync.Mutex
+	blocked map[packet.FiveTuple]bool
+
+	Leaks   int64 // leak occurrences observed
+	Blocked int64 // packets dropped on blocked flows
+}
+
+// NewDLPLogic returns an empty DLP.
+func NewDLPLogic() *DLPLogic { return &DLPLogic{blocked: make(map[packet.FiveTuple]bool)} }
+
+// OnResult implements Logic: any regex-originated match marks the flow;
+// the matching packet and all later packets of the flow are dropped.
+func (l *DLPLogic) OnResult(tuple packet.FiveTuple, entries []packet.Entry, _ []byte) bool {
+	key := tuple.Canonical()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range entries {
+		if int(e.Pattern) >= core.RegexReportBase {
+			l.Leaks += int64(e.Count)
+			l.blocked[key] = true
+		}
+	}
+	if l.blocked[key] {
+		l.Blocked++
+		return false
+	}
+	return true
+}
+
+// FlowBlocked reports whether a flow has been quarantined.
+func (l *DLPLogic) FlowBlocked(tuple packet.FiveTuple) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.blocked[tuple.Canonical()]
+}
+
+// AnalyticsLogic is a passive network-analytics middlebox (protocol
+// identification): each pattern identifies an application protocol, and
+// the logic tallies flows and bytes per protocol. It never drops.
+type AnalyticsLogic struct {
+	mu        sync.Mutex
+	protoOf   map[uint16]string // rule ID -> protocol name
+	flowProto map[packet.FiveTuple]string
+	flows     map[string]int
+	bytes     map[string]int64
+}
+
+// NewAnalyticsLogic maps rule IDs to protocol names.
+func NewAnalyticsLogic(protocols map[uint16]string) *AnalyticsLogic {
+	return &AnalyticsLogic{
+		protoOf:   protocols,
+		flowProto: make(map[packet.FiveTuple]string),
+		flows:     make(map[string]int),
+		bytes:     make(map[string]int64),
+	}
+}
+
+// OnResult implements Logic.
+func (l *AnalyticsLogic) OnResult(tuple packet.FiveTuple, entries []packet.Entry, frame []byte) bool {
+	key := tuple.Canonical()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	proto, known := l.flowProto[key]
+	if !known {
+		for _, e := range entries {
+			if p, ok := l.protoOf[e.Pattern]; ok {
+				proto = p
+				l.flowProto[key] = p
+				l.flows[p]++
+				break
+			}
+		}
+	}
+	if proto != "" {
+		l.bytes[proto] += int64(len(frame))
+	}
+	return true
+}
+
+// Flows returns per-protocol flow counts.
+func (l *AnalyticsLogic) Flows() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.flows))
+	for k, v := range l.flows {
+		out[k] = v
+	}
+	return out
+}
+
+// Bytes returns per-protocol byte counts.
+func (l *AnalyticsLogic) Bytes() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.bytes))
+	for k, v := range l.bytes {
+		out[k] = v
+	}
+	return out
+}

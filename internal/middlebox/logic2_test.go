@@ -1,0 +1,74 @@
+package middlebox
+
+import (
+	"testing"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/packet"
+)
+
+func TestDLPLogicBlocksFlowOnRegexLeak(t *testing.T) {
+	l := NewDLPLogic()
+	// Exact-match results don't trigger DLP.
+	if !l.OnResult(tpl, []packet.Entry{{Pattern: 5, Count: 1}}, nil) {
+		t.Fatal("exact match treated as leak")
+	}
+	// A regex-confirmed match (ID >= RegexReportBase) marks the flow
+	// and drops the packet.
+	leak := []packet.Entry{{Pattern: uint16(core.RegexReportBase + 2), Count: 3}}
+	if l.OnResult(tpl, leak, nil) {
+		t.Fatal("leaking packet forwarded")
+	}
+	if l.Leaks != 3 {
+		t.Errorf("Leaks = %d, want 3", l.Leaks)
+	}
+	// Later clean packets of the same flow (either direction) stay
+	// blocked.
+	if l.OnResult(tpl.Reverse(), nil, nil) {
+		t.Error("blocked flow's reverse direction forwarded")
+	}
+	if !l.FlowBlocked(tpl) {
+		t.Error("FlowBlocked = false")
+	}
+	// Other flows unaffected.
+	other := tpl
+	other.SrcPort = 9
+	if !l.OnResult(other, nil, nil) {
+		t.Error("unrelated flow blocked")
+	}
+	if l.Blocked != 2 {
+		t.Errorf("Blocked = %d, want 2", l.Blocked)
+	}
+}
+
+func TestAnalyticsLogicClassifiesFlows(t *testing.T) {
+	l := NewAnalyticsLogic(map[uint16]string{0: "http", 1: "sip"})
+	frame := make([]byte, 100)
+	// First packet of flow A identifies http.
+	l.OnResult(tpl, []packet.Entry{{Pattern: 0, Count: 1}}, frame)
+	// Subsequent packets (no matches) still accrue bytes.
+	l.OnResult(tpl, nil, frame)
+	l.OnResult(tpl.Reverse(), nil, frame)
+	// Flow B identifies sip.
+	b := tpl
+	b.SrcPort = 7
+	l.OnResult(b, []packet.Entry{{Pattern: 1, Count: 1}}, frame)
+	// Flow C never identifies.
+	c := tpl
+	c.SrcPort = 8
+	l.OnResult(c, nil, frame)
+
+	flows := l.Flows()
+	if flows["http"] != 1 || flows["sip"] != 1 {
+		t.Errorf("Flows = %v", flows)
+	}
+	bytes := l.Bytes()
+	if bytes["http"] != 300 || bytes["sip"] != 100 {
+		t.Errorf("Bytes = %v", bytes)
+	}
+	// A flow's protocol is pinned by its first identification.
+	l.OnResult(tpl, []packet.Entry{{Pattern: 1, Count: 1}}, frame)
+	if l.Flows()["sip"] != 1 {
+		t.Error("flow re-classified")
+	}
+}

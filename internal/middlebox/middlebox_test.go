@@ -1,0 +1,291 @@
+package middlebox
+
+import (
+	"sync"
+	"testing"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/patterns"
+	"dpiservice/internal/traffic"
+)
+
+// fakeHost collects sent frames and lets tests inject received ones.
+type fakeHost struct {
+	mu      sync.Mutex
+	name    string
+	handler func([]byte)
+	sent    [][]byte
+}
+
+func (f *fakeHost) Name() string { return f.name }
+func (f *fakeHost) SetHandler(fn func([]byte)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handler = fn
+}
+func (f *fakeHost) Send(frame []byte) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, frame)
+	return true
+}
+func (f *fakeHost) inject(frame []byte) {
+	f.mu.Lock()
+	fn := f.handler
+	f.mu.Unlock()
+	fn(frame)
+}
+func (f *fakeHost) drain() [][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.sent
+	f.sent = nil
+	return out
+}
+
+var tpl = packet.FiveTuple{
+	Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+	SrcPort: 1000, DstPort: 80, Protocol: packet.IPProtoTCP,
+}
+
+func mkReportFrame(t *testing.T, rep *packet.Report) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer(32)
+	err := packet.SerializeLayers(buf,
+		&packet.Ethernet{EtherType: packet.EtherTypeReport},
+		packet.Payload(rep.AppendEncoded(nil)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestConsumerUnmarkedPassThrough(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	logic := NewCountLogic()
+	NewConsumerNode(h, 0, logic)
+
+	var fb traffic.FrameBuilder
+	frame := fb.Build(tpl, []byte("clean"))
+	h.inject(frame)
+	sent := h.drain()
+	if len(sent) != 1 {
+		t.Fatalf("forwarded %d frames, want 1", len(sent))
+	}
+	if logic.Total() != 0 {
+		t.Errorf("counted %d on clean packet", logic.Total())
+	}
+}
+
+func TestConsumerPairsMarkedDataWithResult(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	logic := NewCountLogic()
+	n := NewConsumerNode(h, 2, logic)
+
+	var fb traffic.FrameBuilder
+	frame := fb.Build(tpl, []byte("has evil"))
+	var sum packet.Summary
+	if err := packet.Summarize(frame, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := packet.SetECNMark(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	h.inject(frame)
+	if got := h.drain(); len(got) != 0 {
+		t.Fatalf("marked frame forwarded before its result (%d frames)", len(got))
+	}
+	if n.PendingPairs() != 1 {
+		t.Fatalf("PendingPairs = %d", n.PendingPairs())
+	}
+
+	var rep packet.Report
+	rep.PacketID = uint32(sum.IPID)
+	rep.AddMatch(2, 11, 8)
+	rep.AddMatch(2, 11, 9)
+	rep.AddMatch(3, 99, 1) // another middlebox's section: ignored
+	h.inject(mkReportFrame(t, &rep))
+
+	sent := h.drain()
+	if len(sent) != 2 {
+		t.Fatalf("forwarded %d frames, want data+result", len(sent))
+	}
+	// Data first, result second, preserving pairing downstream.
+	var s0 packet.Summary
+	if err := packet.Summarize(sent[0], &s0); err != nil || s0.IsReport {
+		t.Error("first forwarded frame is not the data packet")
+	}
+	var s1 packet.Summary
+	if err := packet.Summarize(sent[1], &s1); err != nil || !s1.IsReport {
+		t.Error("second forwarded frame is not the result packet")
+	}
+	if logic.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (own section only)", logic.Total())
+	}
+	if n.PendingPairs() != 0 {
+		t.Errorf("PendingPairs = %d after pairing", n.PendingPairs())
+	}
+	if got := logic.PerPattern()[11]; got != 2 {
+		t.Errorf("per-pattern count = %d", got)
+	}
+}
+
+func TestConsumerResultOnlyMode(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	logic := NewCountLogic()
+	NewConsumerNode(h, 1, logic)
+	var rep packet.Report
+	rep.PacketID = 123
+	rep.Flags |= packet.FlagHasTuple
+	rep.Tuple = tpl
+	rep.AddMatch(1, 4, 10)
+	h.inject(mkReportFrame(t, &rep))
+	if logic.Total() != 1 {
+		t.Errorf("Total = %d", logic.Total())
+	}
+	// Result forwarded downstream even without a paired data packet.
+	if sent := h.drain(); len(sent) != 1 {
+		t.Errorf("forwarded %d, want 1 (the result)", len(sent))
+	}
+}
+
+func TestConsumerIPSDropsBothFrames(t *testing.T) {
+	h := &fakeHost{name: "ips"}
+	logic := NewIPSLogic(7)
+	NewConsumerNode(h, 0, logic)
+
+	var fb traffic.FrameBuilder
+	frame := fb.Build(tpl, []byte("blocked content"))
+	var sum packet.Summary
+	_ = packet.Summarize(frame, &sum)
+	_ = packet.SetECNMark(frame)
+	h.inject(frame)
+
+	var rep packet.Report
+	rep.PacketID = uint32(sum.IPID)
+	rep.AddMatch(0, 7, 5)
+	h.inject(mkReportFrame(t, &rep))
+
+	if sent := h.drain(); len(sent) != 0 {
+		t.Errorf("IPS forwarded %d frames, want 0", len(sent))
+	}
+	if logic.Drops.Load() != 1 {
+		t.Errorf("Drops = %d", logic.Drops.Load())
+	}
+}
+
+func TestConsumerOverflowFailsOpen(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	n := NewConsumerNode(h, 0, NewCountLogic())
+	var fb traffic.FrameBuilder
+	for i := 0; i < maxWaiting+10; i++ {
+		f := fb.Build(tpl, []byte("data"))
+		_ = packet.SetECNMark(f)
+		h.inject(f)
+	}
+	if n.PendingPairs() > maxWaiting {
+		t.Errorf("PendingPairs = %d exceeds bound", n.PendingPairs())
+	}
+	if n.Unpaired.Load() == 0 {
+		t.Error("no fail-open forwards recorded")
+	}
+	if len(h.drain()) == 0 {
+		t.Error("overflowed frames were not forwarded")
+	}
+}
+
+func TestLegacyNodeScansItself(t *testing.T) {
+	h := &fakeHost{name: "legacy"}
+	cfg := core.Config{
+		Profiles: []core.Profile{{ID: 0, Patterns: patterns.FromStrings("p", []string{"attack"})}},
+		Chains:   map[uint16][]int{1: {0}},
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic := NewCountLogic()
+	n := NewLegacyNode(h, eng, 1, 0, logic)
+
+	var fb traffic.FrameBuilder
+	h.inject(fb.Build(tpl, []byte("an attack here")))
+	if logic.Total() != 1 {
+		t.Errorf("Total = %d", logic.Total())
+	}
+	if len(h.drain()) != 1 {
+		t.Error("legacy node did not forward")
+	}
+	if n.DataPackets.Load() != 1 {
+		t.Errorf("DataPackets = %d", n.DataPackets.Load())
+	}
+}
+
+func TestShaperLogic(t *testing.T) {
+	l := NewShaperLogic(100)
+	frame := make([]byte, 60)
+	// Unmatched flow: never shaped.
+	for i := 0; i < 5; i++ {
+		if !l.OnResult(tpl, nil, frame) {
+			t.Fatal("unmatched flow shaped")
+		}
+	}
+	// Matched flow: budget consumed, then dropped.
+	matched := tpl
+	matched.SrcPort = 2222
+	if !l.OnResult(matched, []packet.Entry{{Pattern: 1, Pos: 1, Count: 1}}, frame) {
+		t.Fatal("first matched packet dropped (within budget)")
+	}
+	if l.OnResult(matched, nil, frame) {
+		t.Error("second packet (120 bytes total) not shaped over 100-byte budget")
+	}
+	if l.Shaped.Load() != 1 {
+		t.Errorf("Shaped = %d", l.Shaped.Load())
+	}
+}
+
+func TestLBLogic(t *testing.T) {
+	l := NewLBLogic("default", map[uint16]string{1: "video-pool", 2: "api-pool"})
+	l.OnResult(tpl, []packet.Entry{{Pattern: 2, Count: 1}}, nil)
+	if b, _ := l.BackendOf(tpl); b != "api-pool" {
+		t.Errorf("backend = %q", b)
+	}
+	// Pinned: later different matches don't move the flow.
+	l.OnResult(tpl, []packet.Entry{{Pattern: 1, Count: 1}}, nil)
+	if b, _ := l.BackendOf(tpl.Reverse()); b != "api-pool" {
+		t.Errorf("reverse-direction backend = %q (flow pinning must be symmetric)", b)
+	}
+	other := tpl
+	other.SrcPort = 7777
+	l.OnResult(other, nil, nil)
+	if b, _ := l.BackendOf(other); b != "default" {
+		t.Errorf("unmatched backend = %q", b)
+	}
+	if len(l.Assignments()) != 2 {
+		t.Errorf("assignments = %v", l.Assignments())
+	}
+}
+
+func TestFlowKeyRoundTrip(t *testing.T) {
+	k := FlowKeyOf(tpl)
+	got, ok := TupleOf(k)
+	if !ok || got != tpl {
+		t.Errorf("round trip = %+v, %v", got, ok)
+	}
+	for _, bad := range []ctlproto.FlowKey{
+		{Src: "1.2.3", Dst: "1.2.3.4"},
+		{Src: "1.2.3.4.5", Dst: "1.2.3.4"},
+		{Src: "a.b.c.d", Dst: "1.2.3.4"},
+		{Src: "256.1.1.1", Dst: "1.2.3.4"},
+		{Src: "1..2.3", Dst: "1.2.3.4"},
+	} {
+		if _, ok := TupleOf(bad); ok {
+			t.Errorf("TupleOf(%+v) accepted", bad)
+		}
+	}
+}

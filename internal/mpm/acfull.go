@@ -1,0 +1,106 @@
+package mpm
+
+// ACFull is the full-table Aho-Corasick DFA with the paper's merged-set
+// extensions (Section 5.1): every state has a complete 256-entry
+// transition row, so the scan loop is one load and one compare per input
+// byte; accepting states occupy the dense ID range [0, numAccepting);
+// each accepting state carries a bitmap of the sets that care about it
+// and a direct-access match-table entry with its (set, pattern) pairs.
+type ACFull struct {
+	next         []int32 // numStates*256, row-major
+	match        [][]PatternRef
+	bitmaps      []uint64
+	numAccepting int32
+	numStates    int
+	numPatterns  int
+	startState   State
+}
+
+// BuildFull constructs the full-table automaton from the builder's
+// patterns.
+func (b *Builder) BuildFull() (*ACFull, error) {
+	t, err := b.buildTrie()
+	if err != nil {
+		return nil, err
+	}
+	oldToNew, newToOld, numAccepting := t.renumber()
+	match, bitmaps := t.matchTable(newToOld, numAccepting)
+
+	n := len(t.children)
+	a := &ACFull{
+		match:        match,
+		bitmaps:      bitmaps,
+		numAccepting: numAccepting,
+		numStates:    n,
+		numPatterns:  len(b.patterns),
+		next:         make([]int32, n*256),
+	}
+	// Fill transition rows in BFS order: a missing goto edge copies the
+	// failure target's (already complete) row entry. The root's missing
+	// edges self-loop.
+	rootNew := oldToNew[0]
+	rootRow := a.next[int(rootNew)*256 : int(rootNew)*256+256]
+	for i := range rootRow {
+		rootRow[i] = rootNew
+	}
+	for c, child := range t.children[0] {
+		rootRow[c] = oldToNew[child]
+	}
+	for _, s := range t.bfs[1:] {
+		sNew := oldToNew[s]
+		fNew := oldToNew[t.fail[s]]
+		row := a.next[int(sNew)*256 : int(sNew)*256+256]
+		copy(row, a.next[int(fNew)*256:int(fNew)*256+256])
+		for c, child := range t.children[s] {
+			row[c] = oldToNew[child]
+		}
+	}
+	a.startState = rootNew
+	return a, nil
+}
+
+// Start implements Automaton.
+func (a *ACFull) Start() State { return a.startState }
+
+// Scan implements Automaton. This is the hot loop of the DPI service:
+// one table load per byte, one compare against numAccepting, and — only
+// on the rare accepting states — one bitmap AND against the packet's
+// active-middlebox mask (Section 5.2).
+func (a *ACFull) Scan(data []byte, state State, active uint64, emit EmitFunc) State {
+	next := a.next
+	acc := a.numAccepting
+	for i := 0; i < len(data); i++ {
+		state = next[int(state)<<8|int(data[i])]
+		if state < acc && a.bitmaps[state]&active != 0 {
+			emit(a.match[state], i+1)
+		}
+	}
+	return state
+}
+
+// NumStates implements Automaton.
+func (a *ACFull) NumStates() int { return a.numStates }
+
+// NumPatterns implements Automaton.
+func (a *ACFull) NumPatterns() int { return a.numPatterns }
+
+// NumAccepting reports f, the number of accepting states.
+func (a *ACFull) NumAccepting() int { return int(a.numAccepting) }
+
+// MatchRefs returns the match-table entry of an accepting state.
+func (a *ACFull) MatchRefs(s State) []PatternRef {
+	if s >= a.numAccepting {
+		return nil
+	}
+	return a.match[s]
+}
+
+// MemoryBytes implements Automaton.
+func (a *ACFull) MemoryBytes() int64 {
+	bytes := int64(len(a.next)) * 4
+	bytes += int64(len(a.bitmaps)) * 8
+	for _, refs := range a.match {
+		bytes += 24 + int64(len(refs))*8
+	}
+	return bytes
+}

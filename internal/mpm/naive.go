@@ -1,0 +1,52 @@
+package mpm
+
+import "strings"
+
+// Naive is an obviously-correct whole-buffer matcher that checks every
+// pattern at every position using the standard library. It exists purely
+// as the reference implementation for property tests; never use it for
+// real scanning.
+type Naive struct {
+	patterns []string
+	refs     []PatternRef
+}
+
+// BuildNaive constructs the reference matcher.
+func (b *Builder) BuildNaive() (*Naive, error) {
+	if len(b.patterns) == 0 {
+		return nil, ErrNoPatterns
+	}
+	n := &Naive{}
+	for _, bp := range b.patterns {
+		n.patterns = append(n.patterns, bp.pat)
+		n.refs = append(n.refs, bp.ref)
+	}
+	return n, nil
+}
+
+// Find implements BufMatcher.
+func (n *Naive) Find(data []byte, emit EmitFunc) {
+	s := string(data)
+	for pi, p := range n.patterns {
+		for off := 0; ; {
+			i := strings.Index(s[off:], p)
+			if i < 0 {
+				break
+			}
+			emit(n.refs[pi:pi+1], off+i+len(p))
+			off += i + 1
+		}
+	}
+}
+
+// NumPatterns implements BufMatcher.
+func (n *Naive) NumPatterns() int { return len(n.patterns) }
+
+// MemoryBytes implements BufMatcher.
+func (n *Naive) MemoryBytes() int64 {
+	var bytes int64
+	for _, p := range n.patterns {
+		bytes += 16 + int64(len(p))
+	}
+	return bytes + int64(len(n.refs))*8
+}

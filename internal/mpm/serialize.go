@@ -1,0 +1,197 @@
+package mpm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file serializes the full-table automaton. Building the merged
+// DFA for a ClamAV-scale set takes seconds and hundreds of megabytes of
+// churn; a controller that respawns instances frequently (scale-out,
+// MCA² dedicated allocation — Section 4.3) can build once per
+// configuration version and warm-start every subsequent instance from
+// the snapshot.
+
+const (
+	snapMagic   = 0x44504941 // "DPIA"
+	snapVersion = 1
+)
+
+// Snapshot errors.
+var (
+	ErrBadSnapshot     = errors.New("mpm: malformed automaton snapshot")
+	ErrSnapshotVersion = errors.New("mpm: unsupported snapshot version")
+)
+
+// WriteTo serializes the automaton.
+func (a *ACFull) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, err := cw.Write(b[:])
+		return err
+	}
+	if err := bw(snapMagic); err != nil {
+		return cw.n, err
+	}
+	if err := bw(snapVersion); err != nil {
+		return cw.n, err
+	}
+	for _, v := range []uint32{
+		uint32(a.numStates), uint32(a.numAccepting),
+		uint32(a.startState), uint32(a.numPatterns),
+	} {
+		if err := bw(v); err != nil {
+			return cw.n, err
+		}
+	}
+	// Transition table.
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(a.next); {
+		chunk := len(a.next) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(a.next[off+i]))
+		}
+		if _, err := cw.Write(buf[:chunk*4]); err != nil {
+			return cw.n, err
+		}
+		off += chunk
+	}
+	// Accepting-state bitmaps.
+	var b8 [8]byte
+	for _, bm := range a.bitmaps {
+		binary.LittleEndian.PutUint64(b8[:], bm)
+		if _, err := cw.Write(b8[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	// Match table.
+	for _, refs := range a.match {
+		if err := bw(uint32(len(refs))); err != nil {
+			return cw.n, err
+		}
+		for _, r := range refs {
+			var rb [8]byte
+			rb[0] = r.Set
+			binary.LittleEndian.PutUint16(rb[2:4], r.ID)
+			binary.LittleEndian.PutUint16(rb[4:6], r.Len)
+			if _, err := cw.Write(rb[:]); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadACFull deserializes a snapshot written by WriteTo.
+func ReadACFull(r io.Reader) (*ACFull, error) {
+	br := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	magic, err := br()
+	if err != nil {
+		return nil, err
+	}
+	if magic != snapMagic {
+		return nil, ErrBadSnapshot
+	}
+	ver, err := br()
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapVersion {
+		return nil, ErrSnapshotVersion
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if hdr[i], err = br(); err != nil {
+			return nil, err
+		}
+	}
+	numStates := int(hdr[0])
+	const maxStates = 1 << 28 // 256M states ≈ 256 GB table: clearly corrupt
+	if numStates <= 0 || numStates > maxStates {
+		return nil, ErrBadSnapshot
+	}
+	a := &ACFull{
+		numStates:    numStates,
+		numAccepting: int32(hdr[1]),
+		startState:   State(hdr[2]),
+		numPatterns:  int(hdr[3]),
+	}
+	if a.numAccepting < 0 || int(a.numAccepting) > numStates || int(a.startState) >= numStates {
+		return nil, ErrBadSnapshot
+	}
+	a.next = make([]int32, numStates*256)
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(a.next); {
+		chunk := len(a.next) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		for i := 0; i < chunk; i++ {
+			s := int32(binary.LittleEndian.Uint32(buf[i*4:]))
+			if s < 0 || int(s) >= numStates {
+				return nil, ErrBadSnapshot
+			}
+			a.next[off+i] = s
+		}
+		off += chunk
+	}
+	a.bitmaps = make([]uint64, a.numAccepting)
+	var b8 [8]byte
+	for i := range a.bitmaps {
+		if _, err := io.ReadFull(r, b8[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		a.bitmaps[i] = binary.LittleEndian.Uint64(b8[:])
+	}
+	a.match = make([][]PatternRef, a.numAccepting)
+	for i := range a.match {
+		n, err := br()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || n > uint32(a.numPatterns)+1 {
+			return nil, ErrBadSnapshot
+		}
+		refs := make([]PatternRef, n)
+		for j := range refs {
+			var rb [8]byte
+			if _, err := io.ReadFull(r, rb[:]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			refs[j] = PatternRef{
+				Set: rb[0],
+				ID:  binary.LittleEndian.Uint16(rb[2:4]),
+				Len: binary.LittleEndian.Uint16(rb[4:6]),
+			}
+		}
+		a.match[i] = refs
+	}
+	return a, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

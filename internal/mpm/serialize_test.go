@@ -1,0 +1,125 @@
+package mpm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilder()
+	if err := b.AddSet(0, randomPatterns(rng, 200, 4, 12, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSet(1, randomPatterns(rng, 150, 4, 12, 8)); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := b.BuildFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadACFull(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumStates() != orig.NumStates() ||
+		loaded.NumAccepting() != orig.NumAccepting() ||
+		loaded.NumPatterns() != orig.NumPatterns() ||
+		loaded.Start() != orig.Start() {
+		t.Fatalf("metadata mismatch: %d/%d/%d/%d vs %d/%d/%d/%d",
+			loaded.NumStates(), loaded.NumAccepting(), loaded.NumPatterns(), loaded.Start(),
+			orig.NumStates(), orig.NumAccepting(), orig.NumPatterns(), orig.Start())
+	}
+	// Behavioural equivalence on random text.
+	for trial := 0; trial < 20; trial++ {
+		text := randomText(rng, 2048, 8)
+		want := scanAll(orig, text, AllSets)
+		got := scanAll(loaded, text, AllSets)
+		if !equalMatches(got, want) {
+			t.Fatalf("trial %d: loaded automaton disagrees with original", trial)
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddSet(0, []string{"alpha", "beta", "gamma"}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := b.BuildFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	// Truncations at many cut points must fail cleanly.
+	for cut := 0; cut < len(snap); cut += len(snap)/37 + 1 {
+		if _, err := ReadACFull(bytes.NewReader(snap[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), snap...)
+	bad[0] ^= 0xFF
+	if _, err := ReadACFull(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), snap...)
+	bad[4] = 99
+	if _, err := ReadACFull(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Absurd state count.
+	bad = append([]byte(nil), snap...)
+	bad[8], bad[9], bad[10], bad[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := ReadACFull(bytes.NewReader(bad)); err == nil {
+		t.Error("absurd state count accepted")
+	}
+	// Out-of-range transition target.
+	bad = append([]byte(nil), snap...)
+	// First transition word begins after the 6 header uint32s.
+	bad[24], bad[25], bad[26], bad[27] = 0xFF, 0xFF, 0xFF, 0x0F
+	if _, err := ReadACFull(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range transition accepted")
+	}
+}
+
+func TestBitmapMemoryBetweenCompactAndFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder()
+	if err := b.AddSet(0, randomPatterns(rng, 800, 8, 24, 26)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := b.BuildFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := b.BuildBitmap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := b.BuildCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bm.MemoryBytes() < full.MemoryBytes()) {
+		t.Errorf("bitmap (%d B) not smaller than full (%d B)", bm.MemoryBytes(), full.MemoryBytes())
+	}
+	if !(compact.MemoryBytes() < bm.MemoryBytes()) {
+		t.Errorf("compact (%d B) not smaller than bitmap (%d B)", compact.MemoryBytes(), bm.MemoryBytes())
+	}
+}

@@ -1,0 +1,114 @@
+package mpm
+
+// WuManber is the classical block-based multi-pattern matcher (Wu &
+// Manber 1994), cited by the paper alongside Aho-Corasick as one of the
+// two standard exact-matching algorithms for DPI (Section 2.2). It is a
+// whole-buffer matcher: the shift heuristic skips over regions that
+// cannot end a match, so there is no per-byte state to carry across
+// packets. It serves as an ablation baseline against the AC engines.
+type WuManber struct {
+	shift    []uint8          // indexed by 2-byte block value
+	hash     map[uint16][]int // block at pattern end -> candidate patterns
+	prefix   []uint16         // first 2 bytes of each pattern
+	patterns []string
+	refs     []PatternRef
+	minLen   int
+}
+
+const wmBlock = 2
+
+// BuildWuManber constructs the matcher from the builder's patterns.
+// Patterns shorter than the block size (2 bytes) are rejected.
+func (b *Builder) BuildWuManber() (*WuManber, error) {
+	if len(b.patterns) == 0 {
+		return nil, ErrNoPatterns
+	}
+	w := &WuManber{
+		hash:   make(map[uint16][]int),
+		minLen: 1 << 30,
+	}
+	for _, bp := range b.patterns {
+		if len(bp.pat) < wmBlock {
+			return nil, ErrEmptyPattern
+		}
+		if len(bp.pat) < w.minLen {
+			w.minLen = len(bp.pat)
+		}
+		w.patterns = append(w.patterns, bp.pat)
+		w.refs = append(w.refs, bp.ref)
+	}
+	// Default shift: we may safely skip minLen-block+1 positions when a
+	// block never appears inside any pattern's first minLen bytes.
+	maxShift := w.minLen - wmBlock + 1
+	w.shift = make([]uint8, 1<<16)
+	capped := maxShift
+	if capped > 255 {
+		capped = 255
+	}
+	for i := range w.shift {
+		w.shift[i] = uint8(capped)
+	}
+	for pi, p := range w.patterns {
+		// Only the first minLen bytes participate in the shift table,
+		// as in the original algorithm.
+		for j := 0; j+wmBlock <= w.minLen; j++ {
+			blk := blockAt(p, j)
+			sh := w.minLen - wmBlock - j
+			if int(w.shift[blk]) > sh {
+				w.shift[blk] = uint8(sh)
+			}
+		}
+		endBlk := blockAt(p, w.minLen-wmBlock)
+		w.hash[endBlk] = append(w.hash[endBlk], pi)
+		w.prefix = append(w.prefix, blockAt(p, 0))
+	}
+	return w, nil
+}
+
+func blockAt(s string, i int) uint16 { return uint16(s[i])<<8 | uint16(s[i+1]) }
+
+// Find implements BufMatcher, emitting each occurrence with its end
+// position. Occurrences are emitted in order of the scan window; ties at
+// one position follow pattern registration order.
+func (w *WuManber) Find(data []byte, emit EmitFunc) {
+	m := w.minLen
+	if len(data) < m {
+		return
+	}
+	// pos is the index of the window's last block.
+	for pos := m - wmBlock; pos+wmBlock <= len(data); {
+		blk := uint16(data[pos])<<8 | uint16(data[pos+1])
+		if sh := w.shift[blk]; sh > 0 {
+			pos += int(sh)
+			continue
+		}
+		// A pattern may end at pos+wmBlock's window; verify candidates.
+		winStart := pos - (m - wmBlock)
+		for _, pi := range w.hash[blk] {
+			p := w.patterns[pi]
+			if w.prefix[pi] != uint16(data[winStart])<<8|uint16(data[winStart+1]) {
+				continue
+			}
+			if winStart+len(p) <= len(data) && string(data[winStart:winStart+len(p)]) == p {
+				emit(w.refs[pi:pi+1], winStart+len(p))
+			}
+		}
+		pos++
+	}
+}
+
+// NumPatterns implements BufMatcher.
+func (w *WuManber) NumPatterns() int { return len(w.patterns) }
+
+// MemoryBytes implements BufMatcher.
+func (w *WuManber) MemoryBytes() int64 {
+	bytes := int64(len(w.shift)) + int64(len(w.prefix))*2 + int64(len(w.refs))*8
+	for blk, c := range w.hash {
+		_ = blk
+		bytes += 16 + int64(len(c))*8
+	}
+	for _, p := range w.patterns {
+		bytes += 16 + int64(len(p))
+	}
+	return bytes
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/packet"
+)
+
+// Host is a single-homed end node: user machines, middlebox hosts and
+// DPI service instances all embed or wrap one. Frames arriving at the
+// host go to its handler if set, else to its inbox.
+type Host struct {
+	name string
+	MAC  packet.MAC
+	IP   packet.IP4
+
+	mu      sync.Mutex
+	tx      *Port
+	handler func(frame []byte)
+
+	inbox    chan []byte
+	received atomic.Uint64
+}
+
+// NewHost creates a host with the given identity. The inbox holds up to
+// 1024 frames when no handler is set.
+func NewHost(name string, mac packet.MAC, ip packet.IP4) *Host {
+	return &Host{name: name, MAC: mac, IP: ip, inbox: make(chan []byte, 1024)}
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Attach implements Node.
+func (h *Host) Attach(_ int, tx *Port) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tx = tx
+}
+
+// SetHandler routes incoming frames to fn instead of the inbox. It must
+// be called before traffic flows.
+func (h *Host) SetHandler(fn func(frame []byte)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handler = fn
+}
+
+// Recv implements Node.
+func (h *Host) Recv(_ int, frame []byte) {
+	h.received.Add(1)
+	h.mu.Lock()
+	fn := h.handler
+	h.mu.Unlock()
+	if fn != nil {
+		fn(frame)
+		return
+	}
+	select {
+	case h.inbox <- frame:
+	default: // inbox full: drop, as a slow application would
+	}
+}
+
+// Send transmits a frame on the host's link.
+func (h *Host) Send(frame []byte) bool {
+	h.mu.Lock()
+	tx := h.tx
+	h.mu.Unlock()
+	return tx.Send(frame)
+}
+
+// Inbox returns the channel of frames received while no handler is set.
+func (h *Host) Inbox() <-chan []byte { return h.inbox }
+
+// Received reports the number of frames delivered to this host.
+func (h *Host) Received() uint64 { return h.received.Load() }

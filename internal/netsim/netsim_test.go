@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpiservice/internal/packet"
+)
+
+func mkHost(t *testing.T, n *Network, name string, last byte) *Host {
+	t.Helper()
+	h := NewHost(name, packet.MAC{2, 0, 0, 0, 0, last}, packet.IP4{10, 0, 0, last})
+	if err := n.AddNode(h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHostToHostDelivery(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	if err := n.Connect(a, b, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Send([]byte("hello")) {
+		t.Fatal("send failed")
+	}
+	select {
+	case got := <-b.Inbox():
+		if string(got) != "hello" {
+			t.Errorf("got %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame not delivered")
+	}
+	if b.Received() != 1 {
+		t.Errorf("Received = %d", b.Received())
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	var mu sync.Mutex
+	var got []byte
+	done := make(chan struct{})
+	const count = 200
+	b.SetHandler(func(frame []byte) {
+		mu.Lock()
+		got = append(got, frame[0])
+		if len(got) == count {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err := n.Connect(a, b, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		for !a.Send([]byte{byte(i)}) {
+			time.Sleep(time.Microsecond) // queue momentarily full
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("frames not delivered")
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("frame %d out of order (got %d) — link must be FIFO for result pairing", i, v)
+		}
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	if err := n.Connect(a, b, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Send([]byte("to-b"))
+	b.Send([]byte("to-a"))
+	for _, tc := range []struct {
+		h    *Host
+		want string
+	}{{b, "to-b"}, {a, "to-a"}} {
+		select {
+		case got := <-tc.h.Inbox():
+			if string(got) != tc.want {
+				t.Errorf("%s got %q", tc.h.Name(), got)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestQueueDrops(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	b.SetHandler(func([]byte) {
+		once.Do(func() { close(blocked) })
+		<-release
+	})
+	if err := n.Connect(a, b, LinkOpts{Queue: 4}); err != nil {
+		t.Fatal(err)
+	}
+	a.Send([]byte("x"))
+	<-blocked // receiver wedged; queue fills
+	dropped := false
+	for i := 0; i < 100; i++ {
+		if !a.Send([]byte("y")) {
+			dropped = true
+			break
+		}
+	}
+	close(release)
+	if !dropped {
+		t.Error("no tail-drop on full queue")
+	}
+}
+
+func TestLinkLatencyAndRate(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	// 10ms latency; 8 kb/s so a 100-byte frame adds 100ms.
+	if err := n.Connect(a, b, LinkOpts{Latency: 10 * time.Millisecond, RateBps: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	a.Send(make([]byte, 100))
+	select {
+	case <-b.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~110ms with latency+rate", d)
+	}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	mkHost(t, n, "a", 1)
+	if err := n.AddNode(NewHost("a", packet.MAC{}, packet.IP4{})); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestConnectUnknownNode(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	ghost := NewHost("ghost", packet.MAC{}, packet.IP4{})
+	if err := n.Connect(a, ghost, LinkOpts{}); err == nil {
+		t.Error("connect to unadded node accepted")
+	}
+}
+
+func TestStopIdempotentAndSendAfterStop(t *testing.T) {
+	n := NewNetwork()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	if err := n.Connect(a, b, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Stop()
+	n.Stop()
+	if a.Send([]byte("x")) {
+		t.Error("send succeeded after Stop")
+	}
+	if err := n.Connect(a, b, LinkOpts{}); err != ErrStopped {
+		t.Errorf("connect after stop err = %v", err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	b := mkHost(t, n, "b", 2)
+	var count atomic.Uint64
+	b.SetHandler(func([]byte) { count.Add(1) })
+	if err := n.Connect(a, b, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a.Send([]byte("x"))
+	}
+	if !n.Flush(2 * time.Second) {
+		t.Fatal("Flush timed out")
+	}
+	if got := count.Load(); got != 100 {
+		t.Errorf("delivered %d of 100 after Flush", got)
+	}
+}
+
+type fakeMapper struct {
+	Host
+	ports map[string]int
+}
+
+func (f *fakeMapper) PortTo(peer string) int { return f.ports[peer] }
+
+func TestPortMapperUsed(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	recvPort := make(chan int, 1)
+	fm := &fakeMapper{ports: map[string]int{"a": 7}}
+	fm.Host = *NewHost("sw", packet.MAC{}, packet.IP4{})
+	fm.SetHandler(nil) // use inbox path
+	// Wrap Recv to capture the port.
+	node := &portCapture{inner: fm, got: recvPort}
+	if err := n.AddNode(node); err != nil {
+		t.Fatal(err)
+	}
+	a := mkHost(t, n, "a", 1)
+	if err := n.Connect(a, node, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Send([]byte("x"))
+	select {
+	case p := <-recvPort:
+		if p != 7 {
+			t.Errorf("delivered on port %d, want 7 (PortMapper)", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+type portCapture struct {
+	inner *fakeMapper
+	got   chan int
+}
+
+func (p *portCapture) Name() string              { return p.inner.Name() }
+func (p *portCapture) Attach(port int, tx *Port) { p.inner.Attach(port, tx) }
+func (p *portCapture) PortTo(peer string) int    { return p.inner.PortTo(peer) }
+func (p *portCapture) Recv(port int, frame []byte) {
+	select {
+	case p.got <- port:
+	default:
+	}
+}

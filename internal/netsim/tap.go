@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"dpiservice/internal/pcap"
+)
+
+// Tap is a capture sink node: frames delivered to it are appended to a
+// pcap stream — a mirror/SPAN port in the virtual fabric, the way the
+// paper's Big-Tap-style monitoring network taps production traffic
+// (Section 4.2). Attach a Tap to the switch and add a second Output
+// action to the rules whose traffic should be mirrored.
+type Tap struct {
+	name string
+
+	mu     sync.Mutex
+	w      *pcap.Writer
+	frames uint64
+	err    error
+}
+
+// NewTap creates a tap writing captures to w.
+func NewTap(name string, w io.Writer) (*Tap, error) {
+	pw, err := pcap.NewWriter(w, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Tap{name: name, w: pw}, nil
+}
+
+// Name implements Node.
+func (t *Tap) Name() string { return t.name }
+
+// Attach implements Node; a tap never transmits.
+func (t *Tap) Attach(int, *Port) {}
+
+// Recv implements Node.
+func (t *Tap) Recv(_ int, frame []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.w.WritePacket(time.Now(), frame); err != nil {
+		t.err = err
+		return
+	}
+	t.frames++
+}
+
+// Frames reports how many frames were captured.
+func (t *Tap) Frames() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.frames
+}
+
+// Err reports the first write error, if any.
+func (t *Tap) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

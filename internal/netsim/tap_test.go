@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"dpiservice/internal/pcap"
+)
+
+func TestTapCapturesFrames(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	a := mkHost(t, n, "a", 1)
+	var capture bytes.Buffer
+	tap, err := NewTap("tap0", &capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(tap); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect(a, tap, LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	frames := [][]byte{[]byte("frame-one"), []byte("frame-two"), []byte("frame-three")}
+	for _, f := range frames {
+		cp := make([]byte, len(f))
+		copy(cp, f)
+		a.Send(cp)
+	}
+	deadline := time.Now().Add(time.Second)
+	for tap.Frames() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if tap.Frames() != 3 || tap.Err() != nil {
+		t.Fatalf("Frames = %d, Err = %v", tap.Frames(), tap.Err())
+	}
+
+	// The capture replays with identical contents.
+	r, err := pcap.NewReader(&capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		frame, _, err := r.Next(nil)
+		if err == io.EOF {
+			if i != 3 {
+				t.Fatalf("capture has %d frames", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, frames[i]) {
+			t.Errorf("frame %d = %q", i, frame)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package openflow implements the OpenFlow-style data plane the paper's
+// prototype steers traffic with (Sections 4.1 and 6.1): a learning-free
+// flow-table switch matching on ingress port, Ethernet fields, the
+// VLAN steering tag, and the IP five-tuple, with actions to forward,
+// push/pop/rewrite tags, flood, drop, or punt to the SDN controller.
+// Matching beyond OpenFlow 1.0 (MPLS push/pop) is included since
+// Section 4.2 discusses MPLS-label result tagging.
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/packet"
+)
+
+// AnyPort is the wildcard ingress port.
+const AnyPort = -1
+
+// Match is an OpenFlow-style match with explicit wildcards: nil or zero
+// fields (per the comments) match anything.
+type Match struct {
+	InPort  int         // AnyPort (-1) = any
+	EthDst  *packet.MAC // nil = any
+	EthType uint16      // 0 = any (outermost type, before tags)
+	VLANID  int         // -1 = any, >= 0 exact outer tag, NoVLAN = untagged
+	IPProto uint8       // 0 = any
+	SrcIP   *packet.IP4 // nil = any
+	DstIP   *packet.IP4 // nil = any
+	L4Src   uint16      // 0 = any
+	L4Dst   uint16      // 0 = any
+}
+
+// NoVLAN in Match.VLANID matches only untagged frames.
+const NoVLAN = -2
+
+// NewMatch returns a match-anything Match; callers narrow fields.
+func NewMatch() Match { return Match{InPort: AnyPort, VLANID: -1} }
+
+// frameInfo is the per-frame parse the switch matches against.
+type frameInfo struct {
+	inPort  int
+	ethDst  packet.MAC
+	ethType uint16
+	sum     packet.Summary
+	sumOK   bool
+}
+
+// Matches reports whether the frame satisfies the match.
+func (m *Match) matches(fi *frameInfo) bool {
+	if m.InPort != AnyPort && m.InPort != fi.inPort {
+		return false
+	}
+	if m.EthDst != nil && *m.EthDst != fi.ethDst {
+		return false
+	}
+	if m.EthType != 0 && m.EthType != fi.ethType {
+		return false
+	}
+	switch {
+	case m.VLANID == NoVLAN:
+		if fi.sumOK && fi.sum.Tagged {
+			return false
+		}
+	case m.VLANID >= 0:
+		if !fi.sumOK || !fi.sum.Tagged || int(fi.sum.VLANID) != m.VLANID {
+			return false
+		}
+	}
+	if m.IPProto != 0 && (!fi.sumOK || fi.sum.Tuple.Protocol != m.IPProto) {
+		return false
+	}
+	if m.SrcIP != nil && (!fi.sumOK || fi.sum.Tuple.Src != *m.SrcIP) {
+		return false
+	}
+	if m.DstIP != nil && (!fi.sumOK || fi.sum.Tuple.Dst != *m.DstIP) {
+		return false
+	}
+	if m.L4Src != 0 && (!fi.sumOK || fi.sum.Tuple.SrcPort != m.L4Src) {
+		return false
+	}
+	if m.L4Dst != 0 && (!fi.sumOK || fi.sum.Tuple.DstPort != m.L4Dst) {
+		return false
+	}
+	return true
+}
+
+// ActionType enumerates flow actions.
+type ActionType int
+
+// Flow actions.
+const (
+	ActOutput ActionType = iota
+	ActFlood
+	ActDrop
+	ActController
+	ActPushVLAN
+	ActPopVLAN
+	ActSetVLAN
+	ActSetECN
+)
+
+// Action is one step of a flow entry's action list, applied in order.
+type Action struct {
+	Type ActionType
+	Port int    // ActOutput
+	VLAN uint16 // ActPushVLAN / ActSetVLAN
+}
+
+// Output returns an ActOutput action.
+func Output(port int) Action { return Action{Type: ActOutput, Port: port} }
+
+// PushVLAN returns an ActPushVLAN action.
+func PushVLAN(id uint16) Action { return Action{Type: ActPushVLAN, VLAN: id} }
+
+// PopVLAN returns an ActPopVLAN action.
+func PopVLAN() Action { return Action{Type: ActPopVLAN} }
+
+// SetVLAN returns an ActSetVLAN action.
+func SetVLAN(id uint16) Action { return Action{Type: ActSetVLAN, VLAN: id} }
+
+// FlowEntry is one row of the flow table.
+type FlowEntry struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	// Cookie is an opaque owner tag; controllers use it to delete all
+	// rules of one chain at once (as OpenFlow cookies are used).
+	Cookie uint64
+	// IdleTimeout expires the entry when no packet has hit it for this
+	// long (lazily, on lookup), like OpenFlow idle_timeout. Zero means
+	// permanent. Reactive per-flow rules use it so the table does not
+	// accumulate dead flows.
+	IdleTimeout time.Duration
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	lastHit atomic.Int64 // unixnano of last match (or installation)
+	expired atomic.Bool
+}
+
+// Stats reports packets and bytes that hit this entry.
+func (f *FlowEntry) Stats() (packets, bytes uint64) {
+	return f.packets.Load(), f.bytes.Load()
+}
+
+// PacketInHandler receives table-miss frames (and explicit
+// ActController punts), as an SDN controller would via packet-in.
+type PacketInHandler interface {
+	PacketIn(sw *Switch, inPort int, frame []byte)
+}
+
+// Switch is a flow-table switch. It implements netsim.Node and
+// netsim.PortMapper: ports are numbered in the order peers are
+// connected, or explicitly via MapPort.
+type Switch struct {
+	name string
+
+	mu       sync.Mutex
+	table    []*FlowEntry // sorted by priority, descending
+	ports    map[int]*netsim.Port
+	portByNm map[string]int
+	nextPort int
+	handler  PacketInHandler
+
+	misses atomic.Uint64
+	drops  atomic.Uint64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(name string) *Switch {
+	return &Switch{
+		name:     name,
+		ports:    make(map[int]*netsim.Port),
+		portByNm: make(map[string]int),
+	}
+}
+
+// Name implements netsim.Node.
+func (s *Switch) Name() string { return s.name }
+
+// MapPort pre-assigns a port number to a peer name; unmapped peers get
+// sequential numbers starting at 1 on first use.
+func (s *Switch) MapPort(peer string, port int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.portByNm[peer] = port
+	if port >= s.nextPort {
+		s.nextPort = port + 1
+	}
+}
+
+// PortTo implements netsim.PortMapper.
+func (s *Switch) PortTo(peer string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.portByNm[peer]; ok {
+		return p
+	}
+	if s.nextPort == 0 {
+		s.nextPort = 1
+	}
+	p := s.nextPort
+	s.nextPort++
+	s.portByNm[peer] = p
+	return p
+}
+
+// PortOf reports the switch port a peer is attached to.
+func (s *Switch) PortOf(peer string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.portByNm[peer]
+	return p, ok
+}
+
+// Attach implements netsim.Node.
+func (s *Switch) Attach(port int, tx *netsim.Port) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports[port] = tx
+}
+
+// SetController installs the packet-in handler.
+func (s *Switch) SetController(h PacketInHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// AddFlow installs a flow entry and returns it (for stats reads).
+func (s *Switch) AddFlow(priority int, match Match, actions ...Action) *FlowEntry {
+	return s.addFlow(0, priority, match, actions)
+}
+
+// AddFlowWithCookie installs a flow entry tagged with an owner cookie.
+func (s *Switch) AddFlowWithCookie(cookie uint64, priority int, match Match, actions ...Action) *FlowEntry {
+	return s.addFlow(cookie, priority, match, actions)
+}
+
+func (s *Switch) addFlow(cookie uint64, priority int, match Match, actions []Action) *FlowEntry {
+	fe := &FlowEntry{Priority: priority, Match: match, Actions: actions, Cookie: cookie}
+	fe.lastHit.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table = append(s.table, fe)
+	sort.SliceStable(s.table, func(i, j int) bool { return s.table[i].Priority > s.table[j].Priority })
+	return fe
+}
+
+// SetIdleTimeout arms an entry's idle expiry and returns the entry.
+func (fe *FlowEntry) SetIdleTimeout(d time.Duration) *FlowEntry {
+	fe.IdleTimeout = d
+	return fe
+}
+
+// alive reports whether the entry is usable at time now, marking it
+// expired when its idle timeout has elapsed.
+func (fe *FlowEntry) alive(now int64) bool {
+	if fe.expired.Load() {
+		return false
+	}
+	if fe.IdleTimeout <= 0 {
+		return true
+	}
+	if now-fe.lastHit.Load() > int64(fe.IdleTimeout) {
+		fe.expired.Store(true)
+		return false
+	}
+	return true
+}
+
+// DeleteFlows removes every entry whose cookie matches and reports how
+// many were removed.
+func (s *Switch) DeleteFlows(cookie uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.table[:0]
+	removed := 0
+	for _, fe := range s.table {
+		if fe.Cookie == cookie {
+			removed++
+			continue
+		}
+		kept = append(kept, fe)
+	}
+	s.table = kept
+	return removed
+}
+
+// ClearFlows empties the flow table.
+func (s *Switch) ClearFlows() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table = nil
+}
+
+// NumFlows reports the table size.
+func (s *Switch) NumFlows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+// Misses reports table misses (frames punted or dropped).
+func (s *Switch) Misses() uint64 { return s.misses.Load() }
+
+// Recv implements netsim.Node: one flow-table lookup and action
+// execution per frame.
+func (s *Switch) Recv(inPort int, frame []byte) {
+	fi := frameInfo{inPort: inPort}
+	if len(frame) >= packet.EthernetHeaderLen {
+		copy(fi.ethDst[:], frame[0:6])
+		fi.ethType = uint16(frame[12])<<8 | uint16(frame[13])
+	}
+	fi.sumOK = packet.Summarize(frame, &fi.sum) == nil
+
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	var hit *FlowEntry
+	sawExpired := false
+	for _, fe := range s.table {
+		if !fe.alive(now) {
+			sawExpired = true
+			continue
+		}
+		if fe.Match.matches(&fi) {
+			hit = fe
+			break
+		}
+	}
+	if sawExpired {
+		kept := s.table[:0]
+		for _, fe := range s.table {
+			if !fe.expired.Load() {
+				kept = append(kept, fe)
+			}
+		}
+		s.table = kept
+	}
+	handler := s.handler
+	s.mu.Unlock()
+
+	if hit == nil {
+		s.misses.Add(1)
+		if handler != nil {
+			handler.PacketIn(s, inPort, frame)
+		} else {
+			s.drops.Add(1)
+		}
+		return
+	}
+	hit.packets.Add(1)
+	hit.bytes.Add(uint64(len(frame)))
+	hit.lastHit.Store(now)
+	s.apply(hit.Actions, inPort, frame, handler)
+}
+
+func (s *Switch) apply(actions []Action, inPort int, frame []byte, handler PacketInHandler) {
+	cur := frame
+	for _, a := range actions {
+		switch a.Type {
+		case ActOutput:
+			// Copy: the frame may be output to several ports and
+			// receivers own (and may mutate) what they get.
+			dup := make([]byte, len(cur))
+			copy(dup, cur)
+			s.output(a.Port, dup)
+		case ActFlood:
+			s.mu.Lock()
+			outs := make([]int, 0, len(s.ports))
+			for p := range s.ports {
+				if p != inPort {
+					outs = append(outs, p)
+				}
+			}
+			s.mu.Unlock()
+			for _, p := range outs {
+				dup := make([]byte, len(cur))
+				copy(dup, cur)
+				s.output(p, dup)
+			}
+		case ActDrop:
+			s.drops.Add(1)
+			return
+		case ActController:
+			if handler != nil {
+				handler.PacketIn(s, inPort, cur)
+			}
+		case ActPushVLAN:
+			if out, err := packet.PushVLAN(cur, a.VLAN, 0); err == nil {
+				cur = out
+			}
+		case ActPopVLAN:
+			if out, err := packet.PopVLAN(cur); err == nil {
+				cur = out
+			}
+		case ActSetVLAN:
+			mut := make([]byte, len(cur))
+			copy(mut, cur)
+			if packet.SetVLAN(mut, a.VLAN) == nil {
+				cur = mut
+			}
+		case ActSetECN:
+			mut := make([]byte, len(cur))
+			copy(mut, cur)
+			if packet.SetECNMark(mut) == nil {
+				cur = mut
+			}
+		}
+	}
+}
+
+func (s *Switch) output(port int, frame []byte) {
+	s.mu.Lock()
+	tx := s.ports[port]
+	s.mu.Unlock()
+	if tx != nil {
+		tx.Send(frame)
+	}
+}
+
+// DumpFlows renders the flow table for diagnostics.
+func (s *Switch) DumpFlows() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for _, fe := range s.table {
+		pk, by := fe.Stats()
+		fmt.Fprintf(&b, "prio=%d match=%+v actions=%v packets=%d bytes=%d\n",
+			fe.Priority, fe.Match, fe.Actions, pk, by)
+	}
+	return b.String()
+}

@@ -1,0 +1,380 @@
+package openflow
+
+import (
+	"testing"
+	"time"
+
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/packet"
+)
+
+var (
+	srcIP = packet.IP4{10, 0, 0, 1}
+	dstIP = packet.IP4{10, 0, 0, 2}
+)
+
+func buildFrame(t testing.TB, payload []byte) []byte {
+	t.Helper()
+	buf := packet.NewSerializeBuffer(64)
+	err := packet.SerializeLayers(buf,
+		&packet.Ethernet{Src: packet.MAC{2, 0, 0, 0, 0, 1}, Dst: packet.MAC{2, 0, 0, 0, 0, 2}, EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{TTL: 64, Protocol: packet.IPProtoTCP, Src: srcIP, Dst: dstIP},
+		&packet.TCP{SrcPort: 1111, DstPort: 80},
+		packet.Payload(payload),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out
+}
+
+// testFabric wires hosts h1..hN to one switch and returns them.
+func testFabric(t *testing.T, nHosts int) (*netsim.Network, *Switch, []*netsim.Host) {
+	t.Helper()
+	n := netsim.NewNetwork()
+	t.Cleanup(n.Stop)
+	sw := NewSwitch("s1")
+	if err := n.AddNode(sw); err != nil {
+		t.Fatal(err)
+	}
+	hosts := make([]*netsim.Host, nHosts)
+	for i := range hosts {
+		hosts[i] = netsim.NewHost(hostName(i), packet.MAC{2, 0, 0, 0, 0, byte(i + 1)}, packet.IP4{10, 0, 0, byte(i + 1)})
+		if err := n.AddNode(hosts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Connect(hosts[i], sw, netsim.LinkOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n, sw, hosts
+}
+
+func hostName(i int) string { return string(rune('a' + i)) }
+
+func expectFrame(t *testing.T, h *netsim.Host) []byte {
+	t.Helper()
+	select {
+	case f := <-h.Inbox():
+		return f
+	case <-time.After(time.Second):
+		t.Fatalf("host %s: no frame", h.Name())
+		return nil
+	}
+}
+
+func expectNoFrame(t *testing.T, h *netsim.Host) {
+	t.Helper()
+	select {
+	case <-h.Inbox():
+		t.Fatalf("host %s: unexpected frame", h.Name())
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestOutputByPortMatch(t *testing.T) {
+	_, sw, hosts := testFabric(t, 3)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	m := NewMatch()
+	m.InPort = pa
+	sw.AddFlow(10, m, Output(pb))
+	hosts[0].Send(buildFrame(t, []byte("x")))
+	expectFrame(t, hosts[1])
+	expectNoFrame(t, hosts[2])
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	_, sw, hosts := testFabric(t, 3)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	pc, _ := sw.PortOf("c")
+	low := NewMatch()
+	low.InPort = pa
+	sw.AddFlow(1, low, Output(pb))
+	hi := NewMatch()
+	hi.InPort = pa
+	hi.IPProto = packet.IPProtoTCP
+	sw.AddFlow(100, hi, Output(pc))
+	hosts[0].Send(buildFrame(t, []byte("x")))
+	expectFrame(t, hosts[2])
+	expectNoFrame(t, hosts[1])
+}
+
+func TestFiveTupleMatch(t *testing.T) {
+	_, sw, hosts := testFabric(t, 3)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	pc, _ := sw.PortOf("c")
+	m := NewMatch()
+	m.InPort = pa
+	src, dst := srcIP, dstIP
+	m.SrcIP, m.DstIP = &src, &dst
+	m.L4Src, m.L4Dst = 1111, 80
+	m.IPProto = packet.IPProtoTCP
+	sw.AddFlow(10, m, Output(pc))
+	def := NewMatch()
+	sw.AddFlow(1, def, Output(pb))
+
+	hosts[0].Send(buildFrame(t, []byte("tuple match")))
+	expectFrame(t, hosts[2])
+
+	// A frame with a different source port falls to the default rule.
+	other := buildFrame(t, []byte("y"))
+	// Rewrite TCP source port (offset: 14 eth + 20 ip).
+	other[34], other[35] = 0x11, 0x11 // port 4369
+	hosts[0].Send(other)
+	expectFrame(t, hosts[1])
+}
+
+func TestVLANMatchAndActions(t *testing.T) {
+	_, sw, hosts := testFabric(t, 3)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	pc, _ := sw.PortOf("c")
+
+	// Untagged from a: push VLAN 5, send to b.
+	mu := NewMatch()
+	mu.InPort = pa
+	mu.VLANID = NoVLAN
+	sw.AddFlow(10, mu, PushVLAN(5), Output(pb))
+	// Tagged 5 from b: pop, send to c.
+	mt := NewMatch()
+	mt.InPort = pb
+	mt.VLANID = 5
+	sw.AddFlow(10, mt, PopVLAN(), Output(pc))
+
+	orig := buildFrame(t, []byte("vlan trip"))
+	hosts[0].Send(append([]byte(nil), orig...))
+
+	tagged := expectFrame(t, hosts[1])
+	if id, ok := packet.OuterVLAN(tagged); !ok || id != 5 {
+		t.Fatalf("b got tag %d/%v, want 5", id, ok)
+	}
+	// b bounces it back.
+	hosts[1].Send(tagged)
+	popped := expectFrame(t, hosts[2])
+	if _, ok := packet.OuterVLAN(popped); ok {
+		t.Error("tag not popped at c")
+	}
+	if string(popped) != string(orig) {
+		t.Error("frame mutated beyond tag push/pop")
+	}
+}
+
+func TestSetVLANAction(t *testing.T) {
+	_, sw, hosts := testFabric(t, 2)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	m := NewMatch()
+	m.InPort = pa
+	sw.AddFlow(10, m, PushVLAN(5), SetVLAN(9), Output(pb))
+	hosts[0].Send(buildFrame(t, []byte("x")))
+	got := expectFrame(t, hosts[1])
+	if id, ok := packet.OuterVLAN(got); !ok || id != 9 {
+		t.Errorf("tag = %d/%v, want 9", id, ok)
+	}
+}
+
+func TestSetECNAction(t *testing.T) {
+	_, sw, hosts := testFabric(t, 2)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	m := NewMatch()
+	m.InPort = pa
+	sw.AddFlow(10, m, Action{Type: ActSetECN}, Output(pb))
+	hosts[0].Send(buildFrame(t, []byte("x")))
+	if !packet.HasECNMark(expectFrame(t, hosts[1])) {
+		t.Error("ECN mark not set")
+	}
+}
+
+func TestFloodAction(t *testing.T) {
+	_, sw, hosts := testFabric(t, 4)
+	pa, _ := sw.PortOf("a")
+	m := NewMatch()
+	m.InPort = pa
+	sw.AddFlow(10, m, Action{Type: ActFlood})
+	hosts[0].Send(buildFrame(t, []byte("flood")))
+	for _, h := range hosts[1:] {
+		expectFrame(t, h)
+	}
+	expectNoFrame(t, hosts[0]) // not back out the ingress port
+}
+
+func TestDropActionAndStats(t *testing.T) {
+	_, sw, hosts := testFabric(t, 2)
+	pa, _ := sw.PortOf("a")
+	m := NewMatch()
+	m.InPort = pa
+	fe := sw.AddFlow(10, m, Action{Type: ActDrop})
+	frame := buildFrame(t, []byte("dropme"))
+	hosts[0].Send(frame)
+	expectNoFrame(t, hosts[1])
+	// Entry stats must still count the hit.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if p, b := fe.Stats(); p == 1 && b == uint64(len(frame)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			p, b := fe.Stats()
+			t.Fatalf("stats = %d pkts, %d bytes", p, b)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+type capturingController struct {
+	got chan []byte
+}
+
+func (c *capturingController) PacketIn(sw *Switch, inPort int, frame []byte) {
+	select {
+	case c.got <- frame:
+	default:
+	}
+}
+
+func TestTableMissToController(t *testing.T) {
+	_, sw, hosts := testFabric(t, 2)
+	ctl := &capturingController{got: make(chan []byte, 1)}
+	sw.SetController(ctl)
+	hosts[0].Send(buildFrame(t, []byte("miss")))
+	select {
+	case <-ctl.got:
+	case <-time.After(time.Second):
+		t.Fatal("packet-in not delivered")
+	}
+	if sw.Misses() != 1 {
+		t.Errorf("Misses = %d", sw.Misses())
+	}
+}
+
+func TestTableMissNoControllerDrops(t *testing.T) {
+	_, sw, hosts := testFabric(t, 2)
+	hosts[0].Send(buildFrame(t, []byte("miss")))
+	expectNoFrame(t, hosts[1])
+	if sw.Misses() != 1 {
+		t.Errorf("Misses = %d", sw.Misses())
+	}
+}
+
+func TestEthTypeAndDstMatch(t *testing.T) {
+	_, sw, hosts := testFabric(t, 3)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	pc, _ := sw.PortOf("c")
+	mac := packet.MAC{2, 0, 0, 0, 0, 2}
+	m := NewMatch()
+	m.InPort = pa
+	m.EthType = packet.EtherTypeIPv4
+	m.EthDst = &mac
+	sw.AddFlow(10, m, Output(pb))
+	wrongMAC := NewMatch()
+	wrongMAC.InPort = pa
+	sw.AddFlow(1, wrongMAC, Output(pc))
+
+	hosts[0].Send(buildFrame(t, []byte("to b")))
+	expectFrame(t, hosts[1])
+
+	f := buildFrame(t, []byte("to other mac"))
+	f[5] = 9 // perturb eth dst
+	hosts[0].Send(f)
+	expectFrame(t, hosts[2])
+}
+
+func TestClearAndNumFlows(t *testing.T) {
+	_, sw, _ := testFabric(t, 2)
+	sw.AddFlow(1, NewMatch(), Output(1))
+	sw.AddFlow(2, NewMatch(), Output(1))
+	if sw.NumFlows() != 2 {
+		t.Errorf("NumFlows = %d", sw.NumFlows())
+	}
+	if sw.DumpFlows() == "" {
+		t.Error("DumpFlows empty")
+	}
+	sw.ClearFlows()
+	if sw.NumFlows() != 0 {
+		t.Errorf("NumFlows after clear = %d", sw.NumFlows())
+	}
+}
+
+func TestIdleTimeoutExpiresEntry(t *testing.T) {
+	_, sw, hosts := testFabric(t, 3)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	pc, _ := sw.PortOf("c")
+	hi := NewMatch()
+	hi.InPort = pa
+	sw.AddFlow(10, hi, Output(pb)).SetIdleTimeout(30 * time.Millisecond)
+	lo := NewMatch()
+	lo.InPort = pa
+	sw.AddFlow(1, lo, Output(pc))
+
+	// While fresh, the high-priority rule wins.
+	hosts[0].Send(buildFrame(t, []byte("fresh")))
+	expectFrame(t, hosts[1])
+
+	// After idling past the timeout, traffic falls to the low rule and
+	// the expired entry is garbage collected.
+	time.Sleep(60 * time.Millisecond)
+	before := sw.NumFlows()
+	hosts[0].Send(buildFrame(t, []byte("stale")))
+	expectFrame(t, hosts[2])
+	expectNoFrame(t, hosts[1])
+	deadline := time.Now().Add(time.Second)
+	for sw.NumFlows() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sw.NumFlows() != before-1 {
+		t.Errorf("NumFlows = %d, want %d (expired entry GC'd)", sw.NumFlows(), before-1)
+	}
+}
+
+func TestIdleTimeoutRefreshedByTraffic(t *testing.T) {
+	_, sw, hosts := testFabric(t, 2)
+	pa, _ := sw.PortOf("a")
+	pb, _ := sw.PortOf("b")
+	m := NewMatch()
+	m.InPort = pa
+	sw.AddFlow(10, m, Output(pb)).SetIdleTimeout(50 * time.Millisecond)
+	// Keep the entry warm past several timeout periods.
+	for i := 0; i < 6; i++ {
+		hosts[0].Send(buildFrame(t, []byte("keepalive")))
+		expectFrame(t, hosts[1])
+		time.Sleep(25 * time.Millisecond)
+	}
+	if sw.NumFlows() != 1 {
+		t.Errorf("active entry expired despite traffic")
+	}
+}
+
+func TestDeleteFlowsByCookie(t *testing.T) {
+	_, sw, _ := testFabric(t, 2)
+	sw.AddFlowWithCookie(7, 1, NewMatch(), Output(1))
+	sw.AddFlowWithCookie(7, 2, NewMatch(), Output(1))
+	sw.AddFlowWithCookie(9, 3, NewMatch(), Output(1))
+	if n := sw.DeleteFlows(7); n != 2 {
+		t.Errorf("DeleteFlows(7) = %d", n)
+	}
+	if sw.NumFlows() != 1 {
+		t.Errorf("NumFlows = %d", sw.NumFlows())
+	}
+	if n := sw.DeleteFlows(7); n != 0 {
+		t.Errorf("second delete = %d", n)
+	}
+}
+
+func TestMapPortExplicit(t *testing.T) {
+	sw := NewSwitch("s")
+	sw.MapPort("dpi", 42)
+	if p := sw.PortTo("dpi"); p != 42 {
+		t.Errorf("PortTo = %d", p)
+	}
+	if p := sw.PortTo("other"); p == 42 || p == 0 {
+		t.Errorf("auto port = %d", p)
+	}
+}

@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSummarizeAgreesWithParser cross-validates the two decoders: the
+// fast header walk (Summarize, used on the instance hot path) and the
+// layer-by-layer Parser must extract identical tuples and payloads from
+// the same frames, tagged or not, TCP or UDP.
+func TestSummarizeAgreesWithParser(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	buf := NewSerializeBuffer(64)
+	for trial := 0; trial < 300; trial++ {
+		tuple := FiveTuple{
+			Src:     IP4{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			Dst:     IP4{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+		}
+		payload := make([]byte, rng.Intn(200))
+		for i := range payload {
+			payload[i] = byte(rng.Intn(256))
+		}
+		useUDP := rng.Intn(2) == 0
+		useVLAN := rng.Intn(2) == 0
+		vlanID := uint16(rng.Intn(4096))
+
+		layers := []SerializableLayer{}
+		ethType := EtherTypeIPv4
+		if useVLAN {
+			ethType = EtherTypeVLAN
+		}
+		layers = append(layers, &Ethernet{Src: testSrcMAC, Dst: testDstMAC, EtherType: ethType})
+		if useVLAN {
+			layers = append(layers, &VLAN{ID: vlanID, EtherType: EtherTypeIPv4})
+		}
+		ipid := uint16(rng.Intn(65536))
+		if useUDP {
+			tuple.Protocol = IPProtoUDP
+			layers = append(layers,
+				&IPv4{TTL: 64, Protocol: IPProtoUDP, Src: tuple.Src, Dst: tuple.Dst, ID: ipid},
+				&UDP{SrcPort: tuple.SrcPort, DstPort: tuple.DstPort})
+		} else {
+			tuple.Protocol = IPProtoTCP
+			layers = append(layers,
+				&IPv4{TTL: 64, Protocol: IPProtoTCP, Src: tuple.Src, Dst: tuple.Dst, ID: ipid},
+				&TCP{SrcPort: tuple.SrcPort, DstPort: tuple.DstPort, Seq: rng.Uint32(), Flags: TCPAck})
+		}
+		layers = append(layers, Payload(payload))
+		if err := SerializeLayers(buf, layers...); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()
+
+		// Decoder 1: Summarize.
+		var sum Summary
+		if err := Summarize(frame, &sum); err != nil {
+			t.Fatalf("trial %d: Summarize: %v", trial, err)
+		}
+		// Decoder 2: Parser.
+		var (
+			eth  Ethernet
+			vlan VLAN
+			ip   IPv4
+			tcp  TCP
+			udp  UDP
+		)
+		p := NewParser(LayerTypeEthernet, &eth, &vlan, &ip, &tcp, &udp)
+		var decoded []LayerType
+		if err := p.DecodeLayers(frame, &decoded); err != nil {
+			t.Fatalf("trial %d: DecodeLayers: %v", trial, err)
+		}
+
+		if sum.Tuple != tuple {
+			t.Fatalf("trial %d: Summarize tuple %v, want %v", trial, sum.Tuple, tuple)
+		}
+		if ip.Src != tuple.Src || ip.Dst != tuple.Dst {
+			t.Fatalf("trial %d: Parser IPs %v->%v", trial, ip.Src, ip.Dst)
+		}
+		if sum.IPID != ipid || ip.ID != ipid {
+			t.Fatalf("trial %d: IPID %d/%d, want %d", trial, sum.IPID, ip.ID, ipid)
+		}
+		if sum.Tagged != useVLAN {
+			t.Fatalf("trial %d: Tagged = %v", trial, sum.Tagged)
+		}
+		if useVLAN && (sum.VLANID != vlanID&0x0fff || vlan.ID != vlanID&0x0fff) {
+			t.Fatalf("trial %d: vlan %d/%d, want %d", trial, sum.VLANID, vlan.ID, vlanID&0x0fff)
+		}
+		if !bytes.Equal(sum.Payload, payload) || !bytes.Equal(p.Rest(), payload) {
+			t.Fatalf("trial %d: payload mismatch", trial)
+		}
+	}
+}

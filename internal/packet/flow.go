@@ -1,0 +1,77 @@
+package packet
+
+import "encoding/binary"
+
+// FiveTuple identifies a transport flow. It is comparable and usable as a
+// map key, in the style of gopacket's Flow.
+type FiveTuple struct {
+	Src, Dst         IP4
+	SrcPort, DstPort uint16
+	Protocol         uint8
+}
+
+// Reverse returns the tuple of the opposite direction.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{Src: f.Dst, Dst: f.Src, SrcPort: f.DstPort, DstPort: f.SrcPort, Protocol: f.Protocol}
+}
+
+// Canonical returns a direction-independent form of the tuple: the
+// lexicographically smaller endpoint is placed first, so a flow and its
+// reverse canonicalize identically. Stateful DPI keys its flow table on
+// the directed tuple, while load balancing uses the canonical form to
+// keep both directions on one instance.
+func (f FiveTuple) Canonical() FiveTuple {
+	a := endpointKey(f.Src, f.SrcPort)
+	b := endpointKey(f.Dst, f.DstPort)
+	if a <= b {
+		return f
+	}
+	return f.Reverse()
+}
+
+func endpointKey(ip IP4, port uint16) uint64 {
+	return uint64(binary.BigEndian.Uint32(ip[:]))<<16 | uint64(port)
+}
+
+// FastHash returns a quick, non-cryptographic, direction-symmetric hash of
+// the tuple: a flow and its reverse hash identically, so hash-based
+// sharding keeps both directions of a connection on the same DPI instance.
+func (f FiveTuple) FastHash() uint64 {
+	a := endpointKey(f.Src, f.SrcPort)
+	b := endpointKey(f.Dst, f.DstPort)
+	// Combine commutatively so that (a,b) and (b,a) collide by design,
+	// then mix with an fmix64 finalizer for dispersion.
+	h := a ^ b ^ (a+b)*0x9e3779b97f4a7c15 ^ uint64(f.Protocol)<<56
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// String formats the tuple as "src:port->dst:port/proto".
+func (f FiveTuple) String() string {
+	proto := "?"
+	switch f.Protocol {
+	case IPProtoTCP:
+		proto = "tcp"
+	case IPProtoUDP:
+		proto = "udp"
+	}
+	return f.Src.String() + ":" + utoa(f.SrcPort) + "->" + f.Dst.String() + ":" + utoa(f.DstPort) + "/" + proto
+}
+
+func utoa(v uint16) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [5]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,214 @@
+package packet
+
+import "encoding/binary"
+
+// This file contains in-place operations on raw Ethernet frames: the tag
+// push/pop and field-rewrite actions an OpenFlow-style switch applies
+// (Section 4.2's tagging option), and a fast header walk used by the DPI
+// service instance to find the flow tuple and L7 payload of a frame
+// without building layer objects.
+
+// PushVLAN inserts an 802.1Q tag directly after the Ethernet header and
+// returns the new frame. The original frame is not modified.
+func PushVLAN(frame []byte, id uint16, priority uint8) ([]byte, error) {
+	if len(frame) < EthernetHeaderLen {
+		return nil, ErrTooShort
+	}
+	out := make([]byte, len(frame)+VLANHeaderLen)
+	copy(out, frame[:12])
+	binary.BigEndian.PutUint16(out[12:14], EtherTypeVLAN)
+	binary.BigEndian.PutUint16(out[14:16], uint16(priority)<<13|id&0x0fff)
+	copy(out[16:18], frame[12:14]) // inner ethertype
+	copy(out[18:], frame[EthernetHeaderLen:])
+	return out, nil
+}
+
+// PopVLAN removes the outermost 802.1Q tag and returns the new frame. It
+// fails if the frame is untagged.
+func PopVLAN(frame []byte) ([]byte, error) {
+	if len(frame) < EthernetHeaderLen+VLANHeaderLen {
+		return nil, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeVLAN {
+		return nil, ErrUnknownLayer
+	}
+	out := make([]byte, len(frame)-VLANHeaderLen)
+	copy(out, frame[:12])
+	copy(out[12:14], frame[16:18]) // restore inner ethertype
+	copy(out[14:], frame[18:])
+	return out, nil
+}
+
+// OuterVLAN returns the VLAN ID of the outermost tag, or ok=false if the
+// frame is untagged. The TSA tags each packet with its policy-chain
+// identifier; the DPI service instance reads the tag to select the active
+// pattern sets (Section 4.1).
+func OuterVLAN(frame []byte) (id uint16, ok bool) {
+	if len(frame) < EthernetHeaderLen+VLANHeaderLen {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeVLAN {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(frame[14:16]) & 0x0fff, true
+}
+
+// SetVLAN rewrites the outermost VLAN ID in place, preserving priority.
+func SetVLAN(frame []byte, id uint16) error {
+	if _, ok := OuterVLAN(frame); !ok {
+		return ErrUnknownLayer
+	}
+	tci := binary.BigEndian.Uint16(frame[14:16])
+	binary.BigEndian.PutUint16(frame[14:16], tci&0xe000|id&0x0fff)
+	return nil
+}
+
+// ipv4Offset returns the byte offset of the IPv4 header, skipping any
+// VLAN tags, or -1 if the frame does not carry IPv4.
+func ipv4Offset(frame []byte) int {
+	off := 12
+	for {
+		if len(frame) < off+2 {
+			return -1
+		}
+		switch binary.BigEndian.Uint16(frame[off : off+2]) {
+		case EtherTypeVLAN:
+			off += 4
+		case EtherTypeIPv4:
+			off += 2
+			if len(frame) < off+IPv4HeaderLen {
+				return -1
+			}
+			return off
+		default:
+			return -1
+		}
+	}
+}
+
+// SetECNMark sets the IPv4 ECN field to CE in place and repairs the
+// header checksum. The paper's prototype uses this single-bit-style mark
+// to tell downstream middleboxes that a match-report packet follows
+// (Section 6.1); unmarked packets are forwarded entirely unmodified.
+func SetECNMark(frame []byte) error {
+	off := ipv4Offset(frame)
+	if off < 0 {
+		return ErrUnknownLayer
+	}
+	h := frame[off:]
+	h[1] = h[1]&^0x3 | ECNCE
+	h[10], h[11] = 0, 0
+	ihl := int(h[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(h) < ihl {
+		return ErrTooShort
+	}
+	binary.BigEndian.PutUint16(h[10:12], ipChecksum(h[:ihl]))
+	return nil
+}
+
+// HasECNMark reports whether the frame's IPv4 ECN field is CE.
+func HasECNMark(frame []byte) bool {
+	off := ipv4Offset(frame)
+	return off >= 0 && frame[off+1]&0x3 == ECNCE
+}
+
+// Summary is the result of a fast header walk over a raw frame.
+type Summary struct {
+	Tuple      FiveTuple
+	VLANID     uint16 // outermost tag, 0 if none
+	Tagged     bool
+	IsReport   bool   // frame carries a Report shim instead of IPv4
+	IPID       uint16 // IPv4 identification field, pairs data and result packets
+	ECNMarked  bool   // IPv4 ECN is CE — a result packet follows
+	TCPFlags   uint8
+	TCPSeq     uint32
+	PayloadOff int // offset of the L7 payload within the frame
+	Payload    []byte
+}
+
+// Summarize walks Ethernet, tags, IPv4 and TCP/UDP headers of a raw frame
+// without allocating, filling s. Frames whose (possibly tag-nested)
+// ethertype is EtherTypeReport are flagged IsReport with Payload set to
+// the report bytes. Non-IP frames return ErrUnknownLayer.
+func Summarize(frame []byte, s *Summary) error {
+	*s = Summary{}
+	if len(frame) < EthernetHeaderLen {
+		return ErrTooShort
+	}
+	off := 12
+	for {
+		if len(frame) < off+2 {
+			return ErrTooShort
+		}
+		et := binary.BigEndian.Uint16(frame[off : off+2])
+		switch et {
+		case EtherTypeVLAN:
+			if len(frame) < off+6 {
+				return ErrTooShort
+			}
+			if !s.Tagged {
+				s.Tagged = true
+				s.VLANID = binary.BigEndian.Uint16(frame[off+2:off+4]) & 0x0fff
+			}
+			off += 4
+		case EtherTypeReport:
+			s.IsReport = true
+			s.PayloadOff = off + 2
+			s.Payload = frame[off+2:]
+			return nil
+		case EtherTypeIPv4:
+			return summarizeIPv4(frame, off+2, s)
+		default:
+			return ErrUnknownLayer
+		}
+	}
+}
+
+func summarizeIPv4(frame []byte, off int, s *Summary) error {
+	if len(frame) < off+IPv4HeaderLen {
+		return ErrTooShort
+	}
+	h := frame[off:]
+	ihl := int(h[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(h) < ihl {
+		return ErrTooShort
+	}
+	copy(s.Tuple.Src[:], h[12:16])
+	copy(s.Tuple.Dst[:], h[16:20])
+	s.Tuple.Protocol = h[9]
+	s.IPID = binary.BigEndian.Uint16(h[4:6])
+	s.ECNMarked = h[1]&0x3 == ECNCE
+	totalLen := int(binary.BigEndian.Uint16(h[2:4]))
+	if totalLen < ihl || totalLen > len(h) {
+		totalLen = len(h)
+	}
+	l4 := h[ihl:totalLen]
+	switch s.Tuple.Protocol {
+	case IPProtoTCP:
+		if len(l4) < TCPHeaderLen {
+			return ErrTooShort
+		}
+		s.Tuple.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		s.Tuple.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		s.TCPSeq = binary.BigEndian.Uint32(l4[4:8])
+		s.TCPFlags = l4[13] & 0x3f
+		hl := int(l4[12]>>4) * 4
+		if hl < TCPHeaderLen || len(l4) < hl {
+			return ErrTooShort
+		}
+		s.PayloadOff = off + ihl + hl
+		s.Payload = l4[hl:]
+	case IPProtoUDP:
+		if len(l4) < UDPHeaderLen {
+			return ErrTooShort
+		}
+		s.Tuple.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		s.Tuple.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		s.PayloadOff = off + ihl + UDPHeaderLen
+		s.Payload = l4[UDPHeaderLen:]
+	default:
+		s.PayloadOff = off + ihl
+		s.Payload = l4
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopVLANRoundTrip(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("hello"))
+	tagged, err := PushVLAN(frame, 7, 2)
+	if err != nil {
+		t.Fatalf("PushVLAN: %v", err)
+	}
+	if len(tagged) != len(frame)+VLANHeaderLen {
+		t.Fatalf("tagged len = %d", len(tagged))
+	}
+	id, ok := OuterVLAN(tagged)
+	if !ok || id != 7 {
+		t.Fatalf("OuterVLAN = %d, %v", id, ok)
+	}
+	popped, err := PopVLAN(tagged)
+	if err != nil {
+		t.Fatalf("PopVLAN: %v", err)
+	}
+	if !bytes.Equal(popped, frame) {
+		t.Error("pop(push(frame)) != frame")
+	}
+}
+
+func TestPushVLANNested(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("hello"))
+	t1, _ := PushVLAN(frame, 10, 0)
+	t2, err := PushVLAN(t1, 20, 0)
+	if err != nil {
+		t.Fatalf("PushVLAN nested: %v", err)
+	}
+	if id, _ := OuterVLAN(t2); id != 20 {
+		t.Fatalf("outer id = %d, want 20", id)
+	}
+	p1, _ := PopVLAN(t2)
+	if id, _ := OuterVLAN(p1); id != 10 {
+		t.Fatalf("after one pop, outer id = %d, want 10", id)
+	}
+	p2, _ := PopVLAN(p1)
+	if !bytes.Equal(p2, frame) {
+		t.Error("double pop != original")
+	}
+}
+
+func TestPopVLANUntagged(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("hello"))
+	if _, err := PopVLAN(frame); err == nil {
+		t.Error("PopVLAN on untagged frame succeeded")
+	}
+	if _, ok := OuterVLAN(frame); ok {
+		t.Error("OuterVLAN on untagged frame reported a tag")
+	}
+}
+
+func TestSetVLAN(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("hello"))
+	tagged, _ := PushVLAN(frame, 7, 5)
+	if err := SetVLAN(tagged, 99); err != nil {
+		t.Fatalf("SetVLAN: %v", err)
+	}
+	var v VLAN
+	if err := v.DecodeFromBytes(tagged[EthernetHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != 99 || v.Priority != 5 {
+		t.Errorf("after SetVLAN: id=%d prio=%d, want 99/5", v.ID, v.Priority)
+	}
+	if err := SetVLAN(frame, 1); err == nil {
+		t.Error("SetVLAN on untagged frame succeeded")
+	}
+}
+
+func TestECNMark(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("payload"))
+	if HasECNMark(frame) {
+		t.Fatal("fresh frame already marked")
+	}
+	if err := SetECNMark(frame); err != nil {
+		t.Fatalf("SetECNMark: %v", err)
+	}
+	if !HasECNMark(frame) {
+		t.Fatal("mark not visible after SetECNMark")
+	}
+	// The header checksum must still verify after the in-place rewrite.
+	hdr := frame[EthernetHeaderLen : EthernetHeaderLen+IPv4HeaderLen]
+	var sum uint32
+	for i := 0; i < IPv4HeaderLen; i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	if ^uint16(sum) != 0 {
+		t.Error("checksum does not verify after SetECNMark")
+	}
+}
+
+func TestECNMarkThroughVLAN(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("payload"))
+	tagged, _ := PushVLAN(frame, 3, 0)
+	if err := SetECNMark(tagged); err != nil {
+		t.Fatalf("SetECNMark through tag: %v", err)
+	}
+	if !HasECNMark(tagged) {
+		t.Error("mark not visible through VLAN tag")
+	}
+}
+
+func TestSummarizeTCP(t *testing.T) {
+	payload := []byte("summarize me")
+	frame := buildTCPFrame(t, payload)
+	var s Summary
+	if err := Summarize(frame, &s); err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	want := FiveTuple{Src: testSrcIP, Dst: testDstIP, SrcPort: 40000, DstPort: 80, Protocol: IPProtoTCP}
+	if s.Tuple != want {
+		t.Errorf("tuple = %v, want %v", s.Tuple, want)
+	}
+	if s.Tagged || s.IsReport {
+		t.Errorf("flags: tagged=%v isReport=%v", s.Tagged, s.IsReport)
+	}
+	if !bytes.Equal(s.Payload, payload) {
+		t.Errorf("payload = %q", s.Payload)
+	}
+	if got := frame[s.PayloadOff:]; !bytes.Equal(got, payload) {
+		t.Errorf("PayloadOff slice = %q", got)
+	}
+}
+
+func TestSummarizeTagged(t *testing.T) {
+	payload := []byte("tagged payload")
+	frame := buildTCPFrame(t, payload)
+	tagged, _ := PushVLAN(frame, 55, 0)
+	var s Summary
+	if err := Summarize(tagged, &s); err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if !s.Tagged || s.VLANID != 55 {
+		t.Errorf("tagged=%v vlan=%d, want true/55", s.Tagged, s.VLANID)
+	}
+	if !bytes.Equal(s.Payload, payload) {
+		t.Errorf("payload = %q", s.Payload)
+	}
+}
+
+func TestSummarizeReportFrame(t *testing.T) {
+	var rep Report
+	rep.PacketID = 77
+	rep.AddMatch(1, 3, 10)
+	reportBytes := rep.AppendEncoded(nil)
+
+	buf := NewSerializeBuffer(32)
+	err := SerializeLayers(buf,
+		&Ethernet{Src: testSrcMAC, Dst: testDstMAC, EtherType: EtherTypeReport},
+		Payload(reportBytes),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := Summarize(buf.Bytes(), &s); err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if !s.IsReport {
+		t.Fatal("IsReport = false")
+	}
+	var got Report
+	if _, err := DecodeReport(s.Payload, &got); err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if got.PacketID != 77 {
+		t.Errorf("PacketID = %d", got.PacketID)
+	}
+}
+
+func TestSummarizeNonIP(t *testing.T) {
+	buf := NewSerializeBuffer(32)
+	if err := SerializeLayers(buf, &Ethernet{EtherType: 0x0806 /* ARP */}, Payload([]byte{0})); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := Summarize(buf.Bytes(), &s); err != ErrUnknownLayer {
+		t.Errorf("err = %v, want ErrUnknownLayer", err)
+	}
+}
+
+func TestSummarizeTruncated(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("x"))
+	var s Summary
+	for n := 0; n < len(frame)-1; n++ {
+		// Must never panic; errors are fine, and prefixes that still
+		// contain full headers may succeed.
+		_ = Summarize(frame[:n], &s)
+	}
+}
+
+func TestFiveTupleFastHashSymmetric(t *testing.T) {
+	f := func(a, b [4]byte, pa, pb uint16, proto uint8) bool {
+		ft := FiveTuple{Src: IP4(a), Dst: IP4(b), SrcPort: pa, DstPort: pb, Protocol: proto}
+		return ft.FastHash() == ft.Reverse().FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiveTupleCanonicalSymmetric(t *testing.T) {
+	f := func(a, b [4]byte, pa, pb uint16, proto uint8) bool {
+		ft := FiveTuple{Src: IP4(a), Dst: IP4(b), SrcPort: pa, DstPort: pb, Protocol: proto}
+		return ft.Canonical() == ft.Reverse().Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastHashDispersion(t *testing.T) {
+	// Sharding by FastHash across 8 buckets should be roughly uniform
+	// for random flows; a catastrophically skewed hash would defeat the
+	// paper's instance load balancing (Figure 3).
+	rng := rand.New(rand.NewSource(1))
+	const flows, buckets = 8000, 8
+	var counts [buckets]int
+	for i := 0; i < flows; i++ {
+		ft := FiveTuple{
+			Src:      IP4{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			Dst:      IP4{192, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))},
+			SrcPort:  uint16(rng.Intn(65536)),
+			DstPort:  uint16(rng.Intn(65536)),
+			Protocol: IPProtoTCP,
+		}
+		counts[ft.FastHash()%buckets]++
+	}
+	for i, c := range counts {
+		if c < flows/buckets/2 || c > flows/buckets*2 {
+			t.Errorf("bucket %d has %d of %d flows", i, c, flows)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package packet implements the packet model used throughout the DPI
+// service: a small, allocation-conscious layer codec in the style of
+// gopacket, covering the layers the paper's data plane manipulates
+// (Ethernet, VLAN and MPLS tags for policy-chain steering, IPv4 with the
+// ECN match-mark, TCP/UDP), plus the match-report encapsulation described
+// in Section 4.2 and Section 6.5 of the paper.
+//
+// Decoding follows the DecodingLayerParser idiom: a Parser decodes into
+// preallocated layer structs with no per-packet allocation. Serialization
+// follows the prepend idiom: layers serialize innermost-first into a
+// SerializeBuffer.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// LayerType identifies a protocol layer within a frame.
+type LayerType uint8
+
+// Known layer types.
+const (
+	LayerTypeZero LayerType = iota
+	LayerTypeEthernet
+	LayerTypeVLAN
+	LayerTypeMPLS
+	LayerTypeIPv4
+	LayerTypeTCP
+	LayerTypeUDP
+	LayerTypeReport  // NSH-like match-report shim header (Section 4.2)
+	LayerTypePayload // opaque application payload
+)
+
+// String returns the conventional name of the layer type.
+func (t LayerType) String() string {
+	switch t {
+	case LayerTypeEthernet:
+		return "Ethernet"
+	case LayerTypeVLAN:
+		return "VLAN"
+	case LayerTypeMPLS:
+		return "MPLS"
+	case LayerTypeIPv4:
+		return "IPv4"
+	case LayerTypeTCP:
+		return "TCP"
+	case LayerTypeUDP:
+		return "UDP"
+	case LayerTypeReport:
+		return "Report"
+	case LayerTypePayload:
+		return "Payload"
+	default:
+		return fmt.Sprintf("LayerType(%d)", uint8(t))
+	}
+}
+
+// EtherType values used by the codec.
+const (
+	EtherTypeIPv4   uint16 = 0x0800
+	EtherTypeVLAN   uint16 = 0x8100
+	EtherTypeMPLS   uint16 = 0x8847
+	EtherTypeReport uint16 = 0x894F // NSH ethertype, reused for the report shim
+)
+
+// IP protocol numbers.
+const (
+	IPProtoTCP uint8 = 6
+	IPProtoUDP uint8 = 17
+)
+
+// VLANResultOnlyBit is OR-ed into a policy-chain tag to form the bypass
+// tag carried by data packets whose chain is in result-only mode: the
+// data packet is steered straight to its destination while the result
+// packet follows the middlebox chain under the plain tag (Section 4.2,
+// third option). Chain tags must stay below this bit.
+const VLANResultOnlyBit uint16 = 0x800
+
+// ECN codepoints within the IPv4 TOS byte. The paper's prototype marks
+// packets that produced at least one match using the ECN field so that
+// downstream middleboxes know a result packet follows (Section 6.1).
+const (
+	ECNNotECT uint8 = 0
+	ECNECT1   uint8 = 1
+	ECNECT0   uint8 = 2
+	ECNCE     uint8 = 3 // used as the "has matches" mark
+)
+
+// Errors returned by layer decoding.
+var (
+	ErrTooShort     = errors.New("packet: buffer too short for layer")
+	ErrBadVersion   = errors.New("packet: unsupported IP version")
+	ErrUnknownLayer = errors.New("packet: no decoder for next layer")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in colon-hex notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IP4 is an IPv4 address.
+type IP4 [4]byte
+
+// String formats the address in dotted-quad notation.
+func (a IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// DecodingLayer is implemented by layer structs that can decode themselves
+// from the head of a buffer, report their payload, and name the layer type
+// that follows them.
+type DecodingLayer interface {
+	// LayerType reports which layer this struct decodes.
+	LayerType() LayerType
+	// DecodeFromBytes parses the layer from the head of data.
+	DecodeFromBytes(data []byte) error
+	// Payload returns the bytes following this layer's header, valid
+	// until the next DecodeFromBytes call.
+	Payload() []byte
+	// NextLayerType reports the type of the layer carried in Payload,
+	// or LayerTypePayload when the payload is opaque.
+	NextLayerType() LayerType
+}
+
+// Ethernet is the L2 header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+
+	payload []byte
+}
+
+// EthernetHeaderLen is the length of an Ethernet header without tags.
+const EthernetHeaderLen = 14
+
+// LayerType implements DecodingLayer.
+func (*Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// DecodeFromBytes implements DecodingLayer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrTooShort
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[EthernetHeaderLen:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (e *Ethernet) Payload() []byte { return e.payload }
+
+// NextLayerType implements DecodingLayer.
+func (e *Ethernet) NextLayerType() LayerType { return layerForEtherType(e.EtherType) }
+
+func layerForEtherType(et uint16) LayerType {
+	switch et {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeVLAN:
+		return LayerTypeVLAN
+	case EtherTypeMPLS:
+		return LayerTypeMPLS
+	case EtherTypeReport:
+		return LayerTypeReport
+	default:
+		return LayerTypePayload
+	}
+}
+
+// VLAN is an 802.1Q tag. The TSA uses VLAN tags to steer packets along
+// policy chains (Section 4.1).
+type VLAN struct {
+	Priority  uint8  // PCP, 3 bits
+	ID        uint16 // VID, 12 bits
+	EtherType uint16
+
+	payload []byte
+}
+
+// VLANHeaderLen is the length of an 802.1Q tag.
+const VLANHeaderLen = 4
+
+// LayerType implements DecodingLayer.
+func (*VLAN) LayerType() LayerType { return LayerTypeVLAN }
+
+// DecodeFromBytes implements DecodingLayer.
+func (v *VLAN) DecodeFromBytes(data []byte) error {
+	if len(data) < VLANHeaderLen {
+		return ErrTooShort
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	v.Priority = uint8(tci >> 13)
+	v.ID = tci & 0x0fff
+	v.EtherType = binary.BigEndian.Uint16(data[2:4])
+	v.payload = data[VLANHeaderLen:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (v *VLAN) Payload() []byte { return v.payload }
+
+// NextLayerType implements DecodingLayer.
+func (v *VLAN) NextLayerType() LayerType { return layerForEtherType(v.EtherType) }
+
+// MPLS is an MPLS label stack entry, an alternative steering tag
+// (Section 4.2).
+type MPLS struct {
+	Label         uint32 // 20 bits
+	TrafficClass  uint8  // 3 bits
+	BottomOfStack bool
+	TTL           uint8
+
+	payload []byte
+}
+
+// MPLSHeaderLen is the length of one MPLS label stack entry.
+const MPLSHeaderLen = 4
+
+// LayerType implements DecodingLayer.
+func (*MPLS) LayerType() LayerType { return LayerTypeMPLS }
+
+// DecodeFromBytes implements DecodingLayer.
+func (m *MPLS) DecodeFromBytes(data []byte) error {
+	if len(data) < MPLSHeaderLen {
+		return ErrTooShort
+	}
+	w := binary.BigEndian.Uint32(data[0:4])
+	m.Label = w >> 12
+	m.TrafficClass = uint8(w>>9) & 0x7
+	m.BottomOfStack = w&0x100 != 0
+	m.TTL = uint8(w)
+	m.payload = data[MPLSHeaderLen:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (m *MPLS) Payload() []byte { return m.payload }
+
+// NextLayerType implements DecodingLayer. An MPLS payload carries either
+// another label stack entry or, at the bottom of the stack, IPv4 (this
+// codec does not carry IPv6).
+func (m *MPLS) NextLayerType() LayerType {
+	if m.BottomOfStack {
+		return LayerTypeIPv4
+	}
+	return LayerTypeMPLS
+}
+
+// IPv4 is the L3 header. Options are not generated but are skipped on
+// decode.
+type IPv4 struct {
+	TOS      uint8 // DSCP<<2 | ECN
+	Length   uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst IP4
+
+	headerLen int
+	payload   []byte
+}
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// LayerType implements DecodingLayer.
+func (*IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// DecodeFromBytes implements DecodingLayer.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTooShort
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return ErrTooShort
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	ip.headerLen = ihl
+	end := int(ip.Length)
+	if end < ihl || end > len(data) {
+		end = len(data)
+	}
+	ip.payload = data[ihl:end]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (ip *IPv4) Payload() []byte { return ip.payload }
+
+// NextLayerType implements DecodingLayer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	default:
+		return LayerTypePayload
+	}
+}
+
+// ECN returns the ECN codepoint from the TOS byte.
+func (ip *IPv4) ECN() uint8 { return ip.TOS & 0x3 }
+
+// TCP is the L4 TCP header. Options are skipped on decode and not
+// generated.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+
+	payload []byte
+}
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// LayerType implements DecodingLayer.
+func (*TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// DecodeFromBytes implements DecodingLayer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTooShort
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	hl := int(t.DataOffset) * 4
+	if hl < TCPHeaderLen || len(data) < hl {
+		return ErrTooShort
+	}
+	t.payload = data[hl:]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (t *TCP) Payload() []byte { return t.payload }
+
+// NextLayerType implements DecodingLayer.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// UDP is the L4 UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+
+	payload []byte
+}
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// LayerType implements DecodingLayer.
+func (*UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// DecodeFromBytes implements DecodingLayer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTooShort
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < UDPHeaderLen || end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[UDPHeaderLen:end]
+	return nil
+}
+
+// Payload implements DecodingLayer.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// NextLayerType implements DecodingLayer.
+func (u *UDP) NextLayerType() LayerType { return LayerTypePayload }

@@ -1,0 +1,62 @@
+package packet
+
+// Parser decodes a known layer stack into preallocated layer structs with
+// no per-packet allocation, in the style of gopacket's
+// DecodingLayerParser. A Parser is not safe for concurrent use; create one
+// per goroutine.
+type Parser struct {
+	first  LayerType
+	layers map[LayerType]DecodingLayer
+
+	// Truncated is set after DecodeLayers when decoding stopped because
+	// no decoder was registered for the next layer type; the remaining
+	// bytes are available via Rest.
+	Truncated bool
+	rest      []byte
+}
+
+// NewParser returns a Parser that starts decoding at first and dispatches
+// to the given layers by type.
+func NewParser(first LayerType, decoders ...DecodingLayer) *Parser {
+	p := &Parser{first: first, layers: make(map[LayerType]DecodingLayer, len(decoders))}
+	for _, d := range decoders {
+		p.layers[d.LayerType()] = d
+	}
+	return p
+}
+
+// AddDecodingLayer registers an additional decoder.
+func (p *Parser) AddDecodingLayer(d DecodingLayer) { p.layers[d.LayerType()] = d }
+
+// DecodeLayers decodes data into the registered layers, appending each
+// decoded layer's type to *decoded (which is truncated first). Decoding
+// stops cleanly at LayerTypePayload or at the first type with no
+// registered decoder (Truncated is set and Rest returns the remaining
+// bytes). A decode error from a layer is returned as-is.
+func (p *Parser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	p.Truncated = false
+	p.rest = nil
+	t := p.first
+	for t != LayerTypePayload {
+		d, ok := p.layers[t]
+		if !ok {
+			p.Truncated = true
+			p.rest = data
+			return nil
+		}
+		if err := d.DecodeFromBytes(data); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, t)
+		data = d.Payload()
+		t = d.NextLayerType()
+	}
+	p.rest = data
+	return nil
+}
+
+// Rest returns the undecoded remainder after the last DecodeLayers call:
+// the application payload on a clean stop, or the bytes of the first
+// unknown layer when Truncated is set.
+func (p *Parser) Rest() []byte { return p.rest }

@@ -1,0 +1,176 @@
+package packet
+
+import "encoding/binary"
+
+// SerializableLayer is implemented by layers that can write themselves
+// onto the front of a SerializeBuffer. As in gopacket, serialization
+// proceeds innermost-layer-first, each layer prepending its header and
+// treating the buffer's current contents as its payload.
+type SerializableLayer interface {
+	// SerializeTo prepends the layer onto b. Layers that carry lengths
+	// or checksums over their payload (IPv4, TCP, UDP) compute them
+	// from the buffer's current contents.
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// SerializeBuffer accumulates a packet from the innermost layer outward.
+// The zero value is ready to use; Reset allows reuse across packets.
+type SerializeBuffer struct {
+	buf   []byte
+	start int
+}
+
+// NewSerializeBuffer returns an empty buffer with room for headroom bytes
+// of headers to be prepended without reallocation.
+func NewSerializeBuffer(headroom int) *SerializeBuffer {
+	b := &SerializeBuffer{buf: make([]byte, headroom), start: headroom}
+	return b
+}
+
+// Bytes returns the serialized packet so far.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// Reset empties the buffer, retaining its storage.
+func (b *SerializeBuffer) Reset() { b.start = len(b.buf) }
+
+// PrependBytes returns a writable slice of n bytes newly placed before
+// the current contents.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if b.start < n {
+		grown := make([]byte, n+len(b.buf)-b.start+64)
+		copy(grown[n+64:], b.buf[b.start:])
+		b.buf = grown
+		b.start = n + 64
+	}
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// AppendBytes returns a writable slice of n bytes newly placed after the
+// current contents. It is used to place the payload before prepending
+// headers.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	old := len(b.buf)
+	if cap(b.buf) >= old+n {
+		b.buf = b.buf[:old+n]
+	} else {
+		grown := make([]byte, old+n, (old+n)*2)
+		copy(grown, b.buf)
+		b.buf = grown
+	}
+	return b.buf[old : old+n]
+}
+
+// SerializeLayers resets b and serializes the given layers outermost-first
+// (the conventional reading order), so callers list layers the way they
+// appear on the wire.
+func SerializeLayers(b *SerializeBuffer, layers ...SerializableLayer) error {
+	b.Reset()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Payload is a SerializableLayer wrapping raw application bytes.
+type Payload []byte
+
+// SerializeTo implements SerializableLayer.
+func (p Payload) SerializeTo(b *SerializeBuffer) error {
+	copy(b.PrependBytes(len(p)), p)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer) error {
+	h := b.PrependBytes(EthernetHeaderLen)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (v *VLAN) SerializeTo(b *SerializeBuffer) error {
+	h := b.PrependBytes(VLANHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], uint16(v.Priority)<<13|v.ID&0x0fff)
+	binary.BigEndian.PutUint16(h[2:4], v.EtherType)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (m *MPLS) SerializeTo(b *SerializeBuffer) error {
+	h := b.PrependBytes(MPLSHeaderLen)
+	w := m.Label<<12 | uint32(m.TrafficClass&0x7)<<9 | uint32(m.TTL)
+	if m.BottomOfStack {
+		w |= 0x100
+	}
+	binary.BigEndian.PutUint32(h[0:4], w)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer. Length and Checksum are
+// computed over the current buffer contents.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	h := b.PrependBytes(IPv4HeaderLen)
+	h[0] = 4<<4 | IPv4HeaderLen/4
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:4], uint16(IPv4HeaderLen+payloadLen))
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	h[10], h[11] = 0, 0
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	binary.BigEndian.PutUint16(h[10:12], ipChecksum(h[:IPv4HeaderLen]))
+	return nil
+}
+
+// SerializeTo implements SerializableLayer. The checksum field is left
+// zero: the virtual network does not corrupt frames, and middleboxes that
+// need end-to-end integrity recompute it via SetTCPChecksum.
+func (t *TCP) SerializeTo(b *SerializeBuffer) error {
+	h := b.PrependBytes(TCPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = (TCPHeaderLen / 4) << 4
+	h[13] = t.Flags & 0x3f
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	binary.BigEndian.PutUint16(h[16:18], t.Checksum)
+	binary.BigEndian.PutUint16(h[18:20], t.Urgent)
+	return nil
+}
+
+// SerializeTo implements SerializableLayer. Length is computed over the
+// current buffer contents.
+func (u *UDP) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	h := b.PrependBytes(UDPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], uint16(UDPHeaderLen+payloadLen))
+	binary.BigEndian.PutUint16(h[6:8], u.Checksum)
+	return nil
+}
+
+// ipChecksum computes the Internet checksum over b (the IPv4 header with
+// its checksum field zeroed).
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,133 @@
+package patterns
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file parses ClamAV-style .ndb signature lines:
+//
+//	MalwareName:TargetType:Offset:HexSignature
+//
+// The hex signature may contain the wildcards ClamAV supports — `??`
+// (any byte), `*` (any gap) and `{n-m}` (bounded gap) — which split the
+// signature into exact fragments. Each fragment of sufficient length
+// becomes a DPI pattern; a signature "matches" when all its fragments
+// match, which the anti-virus middlebox confirms from the match report.
+
+// ClamAVSignature is one parsed signature.
+type ClamAVSignature struct {
+	Name      string
+	Fragments []string // exact byte fragments, in order
+}
+
+// ParseClamAVSignatures reads .ndb-style lines from r. Blank lines and
+// #-comments are skipped.
+func ParseClamAVSignatures(r io.Reader) ([]ClamAVSignature, error) {
+	var sigs []ClamAVSignature
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sig, err := ParseClamAVSignature(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sigs = append(sigs, sig)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sigs, nil
+}
+
+// ParseClamAVSignature parses one signature line.
+func ParseClamAVSignature(line string) (ClamAVSignature, error) {
+	var sig ClamAVSignature
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return sig, fmt.Errorf("signature %q does not have 4 colon-separated fields", line)
+	}
+	sig.Name = parts[0]
+	frags, err := decodeClamAVHex(parts[3])
+	if err != nil {
+		return sig, fmt.Errorf("signature %s: %w", sig.Name, err)
+	}
+	sig.Fragments = frags
+	return sig, nil
+}
+
+// decodeClamAVHex decodes a hex signature body into exact fragments,
+// splitting at wildcards.
+func decodeClamAVHex(h string) ([]string, error) {
+	var frags []string
+	var cur []byte
+	flush := func() {
+		if len(cur) > 0 {
+			frags = append(frags, string(cur))
+			cur = nil
+		}
+	}
+	for i := 0; i < len(h); {
+		switch {
+		case h[i] == '*':
+			flush()
+			i++
+		case h[i] == '{':
+			end := strings.IndexByte(h[i:], '}')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated {n-m} gap")
+			}
+			flush()
+			i += end + 1
+		case h[i] == '?':
+			if i+1 >= len(h) || h[i+1] != '?' {
+				return nil, fmt.Errorf("lone ? wildcard")
+			}
+			flush()
+			i += 2
+		default:
+			if i+1 >= len(h) {
+				return nil, fmt.Errorf("odd-length hex body")
+			}
+			b, err := strconv.ParseUint(h[i:i+2], 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bad hex byte %q", h[i:i+2])
+			}
+			cur = append(cur, byte(b))
+			i += 2
+		}
+	}
+	flush()
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("signature has no exact fragments")
+	}
+	return frags, nil
+}
+
+// SetFromClamAVSignatures converts signatures into a pattern Set,
+// keeping fragments of length >= minLen. Signatures whose every fragment
+// is shorter than minLen are dropped (they would flood the matcher with
+// incidental matches).
+func SetFromClamAVSignatures(name string, sigs []ClamAVSignature, minLen int) *Set {
+	s := &Set{Name: name}
+	nextID := 0
+	for _, sig := range sigs {
+		for _, f := range sig.Fragments {
+			if len(f) < minLen {
+				continue
+			}
+			s.Patterns = append(s.Patterns, Pattern{ID: nextID, Content: f})
+			nextID++
+		}
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+// Package patterns manages the DPI pattern sets that middleboxes
+// register with the controller (Section 4.1): parsers for a subset of
+// the Snort rule language and the ClamAV signature format, seeded
+// synthetic generators that stand in for the proprietary rule sets the
+// paper measured with, set splitting for the Snort1/Snort2 experiments,
+// and the compressed-size accounting used to argue that shipping pattern
+// sets (rather than DFAs) over the network is cheap.
+package patterns
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Pattern is one exact-match pattern of a set. Content is the raw byte
+// string to be matched (it may contain arbitrary binary). ID is the
+// pattern's identifier within its middlebox's rule set — the ID the DPI
+// service echoes back in match reports.
+type Pattern struct {
+	ID      int
+	Content string
+	// NoCase marks a case-insensitive pattern (Snort's nocase
+	// modifier); the engine matches it against a case-folded view of
+	// the payload.
+	NoCase bool
+	// Offset and Depth carry Snort-style positional modifiers: the
+	// pattern must begin at or after byte Offset of the payload, and
+	// when Depth > 0 it must end within Offset+Depth. Zero values mean
+	// unconstrained.
+	Offset int
+	Depth  int
+	// FromRegex marks anchors extracted from a regular expression; the
+	// middlebox must confirm the full expression before acting
+	// (Section 5.3).
+	FromRegex bool
+	// RegexID identifies the originating regular expression when
+	// FromRegex is set.
+	RegexID int
+}
+
+// Set is a named collection of patterns, optionally with regular
+// expressions whose anchors were folded into Patterns.
+type Set struct {
+	Name     string
+	Patterns []Pattern
+	Regexes  []Regex
+}
+
+// Regex is a regular-expression rule retained for post-filter
+// confirmation.
+type Regex struct {
+	ID   int
+	Expr string
+	// AnchorIDs are the pattern IDs of the anchors extracted from this
+	// expression. All must match before the expression is evaluated.
+	AnchorIDs []int
+}
+
+// Strings returns the pattern contents in ID order.
+func (s *Set) Strings() []string {
+	ps := append([]Pattern(nil), s.Patterns...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Content
+	}
+	return out
+}
+
+// FromStrings builds a Set with sequential IDs.
+func FromStrings(name string, pats []string) *Set {
+	s := &Set{Name: name}
+	for i, p := range pats {
+		s.Patterns = append(s.Patterns, Pattern{ID: i, Content: p})
+	}
+	return s
+}
+
+// ErrBadSplit is returned by Split for invalid k.
+var ErrBadSplit = errors.New("patterns: split count must be >= 1")
+
+// Split randomly partitions the set into k disjoint subsets of
+// near-equal size, as the paper does to produce Snort1 and Snort2 from
+// the full Snort set (Section 6.4). Pattern IDs are renumbered
+// sequentially within each subset. The split is deterministic in seed.
+func Split(s *Set, k int, seed int64) ([]*Set, error) {
+	if k < 1 {
+		return nil, ErrBadSplit
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(s.Patterns))
+	out := make([]*Set, k)
+	for i := range out {
+		out[i] = &Set{Name: fmt.Sprintf("%s%d", s.Name, i+1)}
+	}
+	for i, pi := range perm {
+		sub := out[i%k]
+		p := s.Patterns[pi]
+		p.ID = len(sub.Patterns)
+		sub.Patterns = append(sub.Patterns, p)
+	}
+	return out, nil
+}
+
+// RawSize returns the total size in bytes of the pattern contents — the
+// quantity a middlebox ships to the controller at registration.
+func (s *Set) RawSize() int {
+	n := 0
+	for _, p := range s.Patterns {
+		n += len(p.Content) + 1
+	}
+	for _, r := range s.Regexes {
+		n += len(r.Expr) + 1
+	}
+	return n
+}
+
+// CompressedSize returns the DEFLATE-compressed size of the set's
+// contents, supporting the paper's observation that even large sets
+// compress to no more than a couple of megabytes in transit
+// (Section 4.1).
+func (s *Set) CompressedSize() (int, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range s.Patterns {
+		if _, err := w.Write(append([]byte(p.Content), 0)); err != nil {
+			return 0, err
+		}
+	}
+	for _, r := range s.Regexes {
+		if _, err := w.Write(append([]byte(r.Expr), 0)); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

@@ -1,0 +1,355 @@
+package patterns
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSnortRuleBasic(t *testing.T) {
+	line := `alert tcp $EXTERNAL_NET any -> $HOME_NET 80 (msg:"WEB-ATTACK /etc/passwd"; flow:to_server,established; content:"/etc/passwd"; nocase; sid:1122; rev:5;)`
+	r, err := ParseSnortRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Action != "alert" || r.Protocol != "tcp" {
+		t.Errorf("header = %s %s", r.Action, r.Protocol)
+	}
+	if r.SID != 1122 {
+		t.Errorf("sid = %d", r.SID)
+	}
+	if r.Msg != "WEB-ATTACK /etc/passwd" {
+		t.Errorf("msg = %q", r.Msg)
+	}
+	if len(r.Contents) != 1 || r.Contents[0].Data != "/etc/passwd" {
+		t.Errorf("contents = %v", r.Contents)
+	}
+}
+
+func TestParseSnortRuleHexContent(t *testing.T) {
+	line := `alert tcp any any -> any any (content:"AB|00 01 fF|CD"; sid:1;)`
+	r, err := ParseSnortRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "AB\x00\x01\xffCD"
+	if len(r.Contents) != 1 || r.Contents[0].Data != want {
+		t.Errorf("contents = %v, want %q", r.Contents, want)
+	}
+}
+
+func TestParseSnortRuleEscapes(t *testing.T) {
+	line := `alert tcp any any -> any any (content:"a\;b\"c\\d"; sid:2;)`
+	r, err := ParseSnortRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 1 || r.Contents[0].Data != `a;b"c\d` {
+		t.Errorf("contents = %v", r.Contents)
+	}
+}
+
+func TestParseSnortRulePCREAndMultipleContents(t *testing.T) {
+	line := `alert tcp any any -> any 80 (msg:"x"; content:"User-Agent:"; content:"evil-bot"; pcre:"/evil-bot\/(\d+\.\d+)/i"; sid:3;)`
+	r, err := ParseSnortRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 2 {
+		t.Fatalf("contents = %v", r.Contents)
+	}
+	if len(r.PCREs) != 1 || r.PCREs[0] != `evil-bot\/(\d+\.\d+)` {
+		t.Errorf("pcres = %q", r.PCREs)
+	}
+}
+
+func TestParseSnortRuleOffsetDepth(t *testing.T) {
+	line := `alert tcp any any -> any 80 (content:"POST /api"; offset:0; depth:16; content:"token-marker"; offset:32; sid:9;)`
+	r, err := ParseSnortRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 2 {
+		t.Fatalf("contents = %v", r.Contents)
+	}
+	if r.Contents[0].Offset != 0 || r.Contents[0].Depth != 16 {
+		t.Errorf("content 0 modifiers = %+v", r.Contents[0])
+	}
+	if r.Contents[1].Offset != 32 || r.Contents[1].Depth != 0 {
+		t.Errorf("content 1 modifiers = %+v", r.Contents[1])
+	}
+	set := SetFromSnortRules("x", []SnortRule{r}, 4)
+	if set.Patterns[0].Depth != 16 || set.Patterns[1].Offset != 32 {
+		t.Errorf("set = %+v", set.Patterns)
+	}
+
+	for _, bad := range []string{
+		`alert tcp any any -> any any (offset:4; content:"abcd"; sid:1;)`,  // modifier first
+		`alert tcp any any -> any any (content:"abcd"; depth:x; sid:1;)`,   // non-numeric
+		`alert tcp any any -> any any (content:"abcd"; offset:-1; sid:1;)`, // negative
+		`alert tcp any any -> any any (content:"abcd"; depth:; sid:1;)`,    // empty
+	} {
+		if _, err := ParseSnortRule(bad); err == nil {
+			t.Errorf("ParseSnortRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSnortRuleNegatedContentSkipped(t *testing.T) {
+	line := `alert tcp any any -> any any (content:!"benign"; content:"bad"; sid:4;)`
+	r, err := ParseSnortRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Contents) != 1 || r.Contents[0].Data != "bad" {
+		t.Errorf("contents = %v, want only bad", r.Contents)
+	}
+}
+
+func TestParseSnortRuleErrors(t *testing.T) {
+	for _, line := range []string{
+		`alert tcp any any -> any any`,                          // no body
+		`alert (content:"x"; sid:1;)`,                           // short header
+		`alert tcp any any -> any any (content:"a|0|"; sid:1;)`, // odd hex
+		`alert tcp any any -> any any (content:"a|00"; sid:1;)`, // unterminated hex
+		`alert tcp any any -> any any (content:x; sid:1;)`,      // unquoted
+		`alert tcp any any -> any any (content:""; sid:1;)`,     // empty
+		`alert tcp any any -> any any (sid:abc;)`,               // bad sid
+		`alert tcp any any -> any any (pcre:"noslash"; sid:1;)`, // bad pcre
+		`alert tcp any any -> any any (content:"a"; sid:1; msg:"unterminated)`,
+	} {
+		if _, err := ParseSnortRule(line); err == nil {
+			t.Errorf("ParseSnortRule(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseSnortRulesStream(t *testing.T) {
+	input := `# comment
+alert tcp any any -> any any (content:"one-pattern"; sid:1;)
+
+alert udp any any -> any 53 (content:"two-pattern"; sid:2;)
+`
+	rules, err := ParseSnortRules(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	if rules[1].Protocol != "udp" || rules[1].SID != 2 {
+		t.Errorf("rule 2 = %+v", rules[1])
+	}
+}
+
+func TestSetFromSnortRules(t *testing.T) {
+	rules := []SnortRule{
+		{Contents: []SnortContent{{Data: "longenough1"}, {Data: "shrt"}}, PCREs: []string{`a\d+b`}},
+		{Contents: []SnortContent{{Data: "longenough2"}}},
+	}
+	s := SetFromSnortRules("test", rules, 8)
+	if len(s.Patterns) != 2 {
+		t.Fatalf("patterns = %+v", s.Patterns)
+	}
+	if s.Patterns[0].ID != 0 || s.Patterns[1].ID != 1 {
+		t.Errorf("IDs not sequential: %+v", s.Patterns)
+	}
+	if len(s.Regexes) != 1 {
+		t.Errorf("regexes = %+v", s.Regexes)
+	}
+}
+
+func TestParseClamAVSignature(t *testing.T) {
+	sig, err := ParseClamAVSignature("Win.Test.A:0:*:deadbeef??cafebabe*0102030405060708")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"\xde\xad\xbe\xef", "\xca\xfe\xba\xbe", "\x01\x02\x03\x04\x05\x06\x07\x08"}
+	if !reflect.DeepEqual(sig.Fragments, want) {
+		t.Errorf("fragments = %q, want %q", sig.Fragments, want)
+	}
+	if sig.Name != "Win.Test.A" {
+		t.Errorf("name = %q", sig.Name)
+	}
+}
+
+func TestParseClamAVSignatureGaps(t *testing.T) {
+	sig, err := ParseClamAVSignature("X:0:0:aabb{4-8}ccdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"\xaa\xbb", "\xcc\xdd"}
+	if !reflect.DeepEqual(sig.Fragments, want) {
+		t.Errorf("fragments = %q, want %q", sig.Fragments, want)
+	}
+}
+
+func TestParseClamAVSignatureErrors(t *testing.T) {
+	for _, line := range []string{
+		"onlyname",
+		"X:0:0:xyz",    // bad hex
+		"X:0:0:a",      // odd length
+		"X:0:0:aa?b",   // lone ?
+		"X:0:0:aa{4-8", // unterminated gap
+		"X:0:0:**",     // no exact fragments
+	} {
+		if _, err := ParseClamAVSignature(line); err == nil {
+			t.Errorf("ParseClamAVSignature(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseClamAVSignaturesStream(t *testing.T) {
+	input := "# db\nA:0:*:aabbccddeeff0011\nB:0:*:1122334455667788\n"
+	sigs, err := ParseClamAVSignatures(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 2 || sigs[0].Name != "A" || sigs[1].Name != "B" {
+		t.Fatalf("sigs = %+v", sigs)
+	}
+	set := SetFromClamAVSignatures("cav", sigs, 8)
+	if len(set.Patterns) != 2 {
+		t.Errorf("patterns = %+v", set.Patterns)
+	}
+}
+
+func TestGeneratorsDeterministicAndUnique(t *testing.T) {
+	a := SnortLike(500, 1)
+	b := SnortLike(500, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("SnortLike not deterministic in seed")
+	}
+	c := SnortLike(500, 2)
+	if reflect.DeepEqual(a, c) {
+		t.Error("SnortLike ignores seed")
+	}
+	seen := map[string]bool{}
+	for _, p := range a.Patterns {
+		if len(p.Content) < 8 {
+			t.Fatalf("pattern %q shorter than 8", p.Content)
+		}
+		if seen[p.Content] {
+			t.Fatalf("duplicate pattern %q", p.Content)
+		}
+		seen[p.Content] = true
+	}
+
+	x := ClamAVLike(500, 1)
+	y := ClamAVLike(500, 1)
+	if !reflect.DeepEqual(x, y) {
+		t.Error("ClamAVLike not deterministic in seed")
+	}
+	for _, p := range x.Patterns {
+		if len(p.Content) < 8 || len(p.Content) > 12 {
+			t.Fatalf("clamav pattern length %d out of range", len(p.Content))
+		}
+	}
+}
+
+func TestSnortLikeRulesRoundTrip(t *testing.T) {
+	// Generated textual rules must parse back to exactly the generated
+	// pattern contents, covering the escape path with binary tokens.
+	rules := SnortLikeRules(300, 7)
+	parsed, err := ParseSnortRules(strings.NewReader(strings.Join(rules, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SnortLike(300, 7)
+	if len(parsed) != len(want.Patterns) {
+		t.Fatalf("parsed %d rules, want %d", len(parsed), len(want.Patterns))
+	}
+	for i, r := range parsed {
+		if len(r.Contents) != 1 || r.Contents[0].Data != want.Patterns[i].Content {
+			t.Fatalf("rule %d content %v, want %q", i, r.Contents, want.Patterns[i].Content)
+		}
+	}
+}
+
+func TestEscapeSnortContentProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		esc := escapeSnortContent(string(raw))
+		dec, err := decodeSnortContent(`"` + esc + `"`)
+		return err == nil && dec == string(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	s := SnortLike(1001, 3)
+	parts, err := Split(s, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[0].Name != "snortlike1" || parts[1].Name != "snortlike2" {
+		t.Errorf("names = %q, %q", parts[0].Name, parts[1].Name)
+	}
+	if got := len(parts[0].Patterns) + len(parts[1].Patterns); got != 1001 {
+		t.Errorf("total after split = %d", got)
+	}
+	if d := len(parts[0].Patterns) - len(parts[1].Patterns); d < -1 || d > 1 {
+		t.Errorf("unbalanced split: %d vs %d", len(parts[0].Patterns), len(parts[1].Patterns))
+	}
+	// Partition: no content lost or duplicated.
+	all := map[string]int{}
+	for _, p := range s.Patterns {
+		all[p.Content]++
+	}
+	for _, part := range parts {
+		for i, p := range part.Patterns {
+			if p.ID != i {
+				t.Fatalf("IDs not renumbered: %+v", p)
+			}
+			all[p.Content]--
+		}
+	}
+	for c, n := range all {
+		if n != 0 {
+			t.Errorf("pattern %q count off by %d after split", c, n)
+		}
+	}
+	// Determinism.
+	parts2, _ := Split(s, 2, 42)
+	if !reflect.DeepEqual(parts, parts2) {
+		t.Error("Split not deterministic")
+	}
+	if _, err := Split(s, 0, 1); err != ErrBadSplit {
+		t.Errorf("Split k=0 err = %v", err)
+	}
+}
+
+func TestCompressedSize(t *testing.T) {
+	s := SnortLike(2000, 9)
+	raw := s.RawSize()
+	comp, err := s.CompressedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp <= 0 || comp >= raw {
+		t.Errorf("compressed %d vs raw %d: expected 0 < comp < raw", comp, raw)
+	}
+}
+
+func TestStringsOrder(t *testing.T) {
+	s := &Set{Patterns: []Pattern{{ID: 2, Content: "c"}, {ID: 0, Content: "a"}, {ID: 1, Content: "b"}}}
+	got := s.Strings()
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Strings() = %q", got)
+	}
+}
+
+func TestFromStrings(t *testing.T) {
+	s := FromStrings("x", []string{"p0", "p1"})
+	if s.Name != "x" || len(s.Patterns) != 2 || s.Patterns[1].ID != 1 || s.Patterns[1].Content != "p1" {
+		t.Errorf("FromStrings = %+v", s)
+	}
+}

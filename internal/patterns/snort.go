@@ -1,0 +1,261 @@
+package patterns
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file parses the subset of the Snort rule language needed to
+// extract DPI patterns: the rule header, and the content, pcre, msg and
+// sid options. It mirrors what the paper's prototype consumes — "We use
+// exact-match patterns ... from Snort" — and what the Snort-plugin
+// integration (Section 6.1) feeds back.
+
+// SnortContent is one content option with its positional modifiers.
+type SnortContent struct {
+	Data string
+	// NoCase marks the content as case-insensitive.
+	NoCase bool
+	// Offset and Depth mirror Snort's modifiers: the content must
+	// begin at or after Offset, and with Depth > 0 must end within
+	// Offset+Depth bytes of the payload.
+	Offset int
+	Depth  int
+}
+
+// SnortRule is one parsed rule.
+type SnortRule struct {
+	Action   string // alert, log, pass, drop, ...
+	Protocol string
+	SID      int
+	Msg      string
+	Contents []SnortContent // decoded content options (pipes expanded)
+	PCREs    []string       // raw pcre bodies, delimiters stripped
+}
+
+// ParseSnortRules reads rules from r, one per line; blank lines and
+// #-comments are skipped. Malformed lines produce an error naming the
+// line number.
+func ParseSnortRules(r io.Reader) ([]SnortRule, error) {
+	var rules []SnortRule
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseSnortRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// ParseSnortRule parses a single rule line.
+func ParseSnortRule(line string) (SnortRule, error) {
+	var rule SnortRule
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return rule, fmt.Errorf("missing option body in %q", line)
+	}
+	header := strings.Fields(line[:open])
+	if len(header) < 2 {
+		return rule, fmt.Errorf("short rule header in %q", line)
+	}
+	rule.Action = header[0]
+	rule.Protocol = header[1]
+
+	body := line[open+1 : len(line)-1]
+	opts, err := splitOptions(body)
+	if err != nil {
+		return rule, err
+	}
+	for _, opt := range opts {
+		key, val, hasVal := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "content":
+			if !hasVal {
+				return rule, fmt.Errorf("content option without value")
+			}
+			neg := strings.HasPrefix(val, "!")
+			if neg {
+				// Negated contents cannot be offered to a shared
+				// matcher (absence is not reportable); skip.
+				continue
+			}
+			decoded, err := decodeSnortContent(val)
+			if err != nil {
+				return rule, err
+			}
+			rule.Contents = append(rule.Contents, SnortContent{Data: decoded})
+		case "nocase":
+			if len(rule.Contents) == 0 {
+				return rule, fmt.Errorf("nocase modifier before any content")
+			}
+			rule.Contents[len(rule.Contents)-1].NoCase = true
+		case "offset", "depth":
+			if !hasVal {
+				return rule, fmt.Errorf("%s option without value", key)
+			}
+			if len(rule.Contents) == 0 {
+				return rule, fmt.Errorf("%s modifier before any content", key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return rule, fmt.Errorf("bad %s value %q", key, val)
+			}
+			c := &rule.Contents[len(rule.Contents)-1]
+			if key == "offset" {
+				c.Offset = n
+			} else {
+				c.Depth = n
+			}
+		case "pcre":
+			if !hasVal {
+				return rule, fmt.Errorf("pcre option without value")
+			}
+			expr, err := stripPCREDelims(val)
+			if err != nil {
+				return rule, err
+			}
+			rule.PCREs = append(rule.PCREs, expr)
+		case "msg":
+			rule.Msg = strings.Trim(val, `"`)
+		case "sid":
+			sid, err := strconv.Atoi(val)
+			if err != nil {
+				return rule, fmt.Errorf("bad sid %q", val)
+			}
+			rule.SID = sid
+		}
+	}
+	return rule, nil
+}
+
+// splitOptions splits a rule body on semicolons, honoring quoted strings
+// and backslash escapes.
+func splitOptions(body string) ([]string, error) {
+	var opts []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '\\' && i+1 < len(body):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(body[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ';' && !inQuote:
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				opts = append(opts, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote in rule body")
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		opts = append(opts, s)
+	}
+	return opts, nil
+}
+
+// decodeSnortContent decodes a quoted content value, expanding |AB CD|
+// hex runs and \x escapes of ; " \.
+func decodeSnortContent(val string) (string, error) {
+	val = strings.TrimSpace(val)
+	if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+		return "", fmt.Errorf("content value %q not quoted", val)
+	}
+	val = val[1 : len(val)-1]
+	var out []byte
+	for i := 0; i < len(val); i++ {
+		switch c := val[i]; c {
+		case '\\':
+			if i+1 >= len(val) {
+				return "", fmt.Errorf("trailing backslash in content")
+			}
+			i++
+			out = append(out, val[i])
+		case '|':
+			end := strings.IndexByte(val[i+1:], '|')
+			if end < 0 {
+				return "", fmt.Errorf("unterminated hex run in content")
+			}
+			hexRun := strings.ReplaceAll(val[i+1:i+1+end], " ", "")
+			if len(hexRun)%2 != 0 {
+				return "", fmt.Errorf("odd-length hex run %q", hexRun)
+			}
+			for j := 0; j < len(hexRun); j += 2 {
+				b, err := strconv.ParseUint(hexRun[j:j+2], 16, 8)
+				if err != nil {
+					return "", fmt.Errorf("bad hex run %q: %v", hexRun, err)
+				}
+				out = append(out, byte(b))
+			}
+			i += end + 1
+		default:
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return "", fmt.Errorf("empty content")
+	}
+	return string(out), nil
+}
+
+// stripPCREDelims removes the quotes, slashes and trailing modifiers of
+// a pcre option value: `"/expr/smi"` -> `expr`.
+func stripPCREDelims(val string) (string, error) {
+	val = strings.Trim(val, `"`)
+	start := strings.IndexByte(val, '/')
+	end := strings.LastIndexByte(val, '/')
+	if start < 0 || end <= start {
+		return "", fmt.Errorf("pcre value %q missing delimiters", val)
+	}
+	return val[start+1 : end], nil
+}
+
+// SetFromSnortRules converts parsed rules into a pattern Set: each
+// content of length >= minLen becomes an exact pattern carrying the
+// rule's SID-derived ID; pcre bodies are retained as Regexes for anchor
+// extraction by the regex engine.
+func SetFromSnortRules(name string, rules []SnortRule, minLen int) *Set {
+	s := &Set{Name: name}
+	nextID := 0
+	for _, r := range rules {
+		for _, c := range r.Contents {
+			if len(c.Data) < minLen {
+				continue
+			}
+			s.Patterns = append(s.Patterns, Pattern{
+				ID: nextID, Content: c.Data, Offset: c.Offset, Depth: c.Depth,
+				NoCase: c.NoCase,
+			})
+			nextID++
+		}
+		for _, p := range r.PCREs {
+			s.Regexes = append(s.Regexes, Regex{ID: len(s.Regexes), Expr: p})
+		}
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"dpiservice/internal/packet"
+	"dpiservice/internal/traffic"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 5, DstPort: 80, Protocol: packet.IPProtoTCP}
+	base := time.Unix(1700000000, 123456000)
+	var frames [][]byte
+	for i := 0; i < 10; i++ {
+		f := fb.Build(tuple, []byte("payload number "+string(rune('0'+i))))
+		frames = append(frames, f)
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SnapLen() != DefaultSnapLen {
+		t.Errorf("SnapLen = %d", r.SnapLen())
+	}
+	var scratch []byte
+	for i := 0; ; i++ {
+		frame, ts, err := r.Next(scratch)
+		if err == io.EOF {
+			if i != 10 {
+				t.Fatalf("read %d frames, want 10", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = frame
+		if !bytes.Equal(frame, frames[i]) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+		want := base.Add(time.Duration(i) * time.Millisecond)
+		if !ts.Equal(want) {
+			t.Errorf("frame %d ts = %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xAB}, 500)
+	if err := w.WritePacket(time.Unix(0, 0), big); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, _, err := r.Next(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != 64 {
+		t.Errorf("truncated frame len = %d, want 64", len(frame))
+	}
+}
+
+func TestSwappedByteOrder(t *testing.T) {
+	// Hand-build a big-endian capture with one 4-byte frame.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	ph := make([]byte, 16)
+	binary.BigEndian.PutUint32(ph[0:4], 42)
+	binary.BigEndian.PutUint32(ph[4:8], 7)
+	binary.BigEndian.PutUint32(ph[8:12], 4)
+	binary.BigEndian.PutUint32(ph[12:16], 4)
+	buf.Write(ph)
+	buf.Write([]byte{1, 2, 3, 4})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, ts, err := r.Next(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, []byte{1, 2, 3, 4}) {
+		t.Errorf("frame = %v", frame)
+	}
+	if ts.Unix() != 42 || ts.Nanosecond() != 7000 {
+		t.Errorf("ts = %v", ts)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("zero header err = %v", err)
+	}
+	// Short header.
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header err = %v", err)
+	}
+	// Non-Ethernet link type.
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.LittleEndian.PutUint32(hdr[20:24], 101 /* raw IP */)
+	if _, err := NewReader(bytes.NewReader(hdr)); !errors.Is(err, ErrBadLink) {
+		t.Errorf("link err = %v", err)
+	}
+	// Truncated packet body.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Unix(0, 0), []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 25; cut < len(full); cut += 5 {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Next(nil); err == nil || err == io.EOF {
+			t.Errorf("cut at %d: err = %v, want truncation", cut, err)
+		}
+	}
+}

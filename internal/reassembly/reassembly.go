@@ -1,0 +1,253 @@
+// Package reassembly implements TCP stream reassembly — the "session
+// reconstruction" the paper's conclusion proposes as the next common
+// middlebox task to turn into a service (Section 7). A stateful DPI
+// scan is only sound if the byte stream it sees is the one the end host
+// will reconstruct; this package orders out-of-order segments, discards
+// retransmitted overlap (first-copy-wins, the policy Snort's
+// stream reassembler defaults to), bounds per-stream buffering against
+// gap-flooding attacks, and delivers contiguous payload runs.
+package reassembly
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"dpiservice/internal/packet"
+)
+
+// Config bounds the assembler.
+type Config struct {
+	// MaxBufferedPerStream bounds out-of-order bytes held for one
+	// stream; exceeding it drops the stream's oldest gap by skipping
+	// ahead (fail-open, like a memory-bounded NIDS). Default 256 KiB.
+	MaxBufferedPerStream int
+	// MaxStreams bounds tracked streams; a new stream evicts an
+	// arbitrary old one when full. Default 65536.
+	MaxStreams int
+}
+
+func (c *Config) defaults() {
+	if c.MaxBufferedPerStream <= 0 {
+		c.MaxBufferedPerStream = 256 << 10
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 1 << 16
+	}
+}
+
+// DeliverFunc receives contiguous stream payload for one direction of a
+// flow. offset is the byte offset of data within the reassembled
+// stream (0 at the first byte seen). skipped is non-zero when the
+// assembler had to jump over an unrecoverable gap of that many bytes
+// (buffer bound or explicit flush).
+type DeliverFunc func(tuple packet.FiveTuple, offset int64, data []byte, skipped int64)
+
+// Assembler reassembles many unidirectional TCP streams.
+type Assembler struct {
+	cfg     Config
+	deliver DeliverFunc
+
+	mu      sync.Mutex
+	streams map[packet.FiveTuple]*stream
+
+	// Counters.
+	Delivered   int64 // bytes handed to the callback
+	Buffered    int64 // bytes currently held out of order
+	Overlapped  int64 // duplicate bytes discarded
+	GapsSkipped int64 // bytes skipped over
+}
+
+type stream struct {
+	nextSeq uint32
+	started bool
+	closed  bool
+	offset  int64 // stream offset corresponding to nextSeq
+	// pending holds out-of-order segments sorted by sequence.
+	pending  []segment
+	buffered int
+}
+
+type segment struct {
+	seq  uint32
+	data []byte
+}
+
+// ErrClosed is returned for segments on a stream already closed by FIN.
+var ErrClosed = errors.New("reassembly: stream closed")
+
+// NewAssembler creates an assembler invoking deliver for in-order data.
+func NewAssembler(cfg Config, deliver DeliverFunc) *Assembler {
+	cfg.defaults()
+	return &Assembler{cfg: cfg, deliver: deliver, streams: make(map[packet.FiveTuple]*stream)}
+}
+
+// seqLess reports a < b in 32-bit sequence space.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SYN anchors a stream at its initial sequence number (the SYN
+// consumes one sequence number, so payload starts at seq+1). Without a
+// SYN, the assembler anchors at the first data segment seen, which
+// mis-orders a flow whose very first segments arrive out of order.
+func (a *Assembler) SYN(tuple packet.FiveTuple, seq uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.streams[tuple]
+	if s == nil {
+		if len(a.streams) >= a.cfg.MaxStreams {
+			for k := range a.streams {
+				delete(a.streams, k)
+				break
+			}
+		}
+		s = &stream{}
+		a.streams[tuple] = s
+	}
+	if !s.started {
+		s.started = true
+		s.nextSeq = seq + 1
+	}
+}
+
+// Segment feeds one TCP segment. fin marks the last segment of the
+// stream. Delivery callbacks run synchronously on the caller.
+func (a *Assembler) Segment(tuple packet.FiveTuple, seq uint32, data []byte, fin bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.streams[tuple]
+	if s == nil {
+		if len(a.streams) >= a.cfg.MaxStreams {
+			for k := range a.streams {
+				delete(a.streams, k)
+				break
+			}
+		}
+		s = &stream{}
+		a.streams[tuple] = s
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.started {
+		s.started = true
+		s.nextSeq = seq
+	}
+
+	if len(data) > 0 {
+		a.ingest(tuple, s, seq, data)
+	}
+	if fin {
+		// Flush whatever is pending (skipping gaps) and forget the
+		// stream.
+		a.flushAll(tuple, s)
+		s.closed = true
+		delete(a.streams, tuple)
+	}
+	return nil
+}
+
+// ingest merges one data segment and delivers any newly contiguous run.
+func (a *Assembler) ingest(tuple packet.FiveTuple, s *stream, seq uint32, data []byte) {
+	// Trim the part already delivered (retransmission / overlap).
+	if seqLess(seq, s.nextSeq) {
+		trim := s.nextSeq - seq // sequence-space distance
+		if uint32(len(data)) <= trim {
+			a.Overlapped += int64(len(data))
+			return
+		}
+		a.Overlapped += int64(trim)
+		data = data[trim:]
+		seq = s.nextSeq
+	}
+	if seq == s.nextSeq {
+		a.deliverRun(tuple, s, data, 0)
+		a.drainPending(tuple, s)
+		return
+	}
+	// Out of order: buffer a copy (the caller owns its slice).
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.pending = append(s.pending, segment{seq: seq, data: cp})
+	sort.Slice(s.pending, func(i, j int) bool { return seqLess(s.pending[i].seq, s.pending[j].seq) })
+	s.buffered += len(cp)
+	a.Buffered += int64(len(cp))
+	// Bound the buffer: skip to the first pending segment, declaring
+	// the gap lost.
+	if s.buffered > a.cfg.MaxBufferedPerStream {
+		a.skipGap(tuple, s)
+	}
+}
+
+// deliverRun hands contiguous bytes up and advances the stream.
+func (a *Assembler) deliverRun(tuple packet.FiveTuple, s *stream, data []byte, skipped int64) {
+	off := s.offset
+	s.nextSeq += uint32(len(data))
+	s.offset += int64(len(data)) + skipped
+	a.Delivered += int64(len(data))
+	if a.deliver != nil {
+		a.deliver(tuple, off+skipped, data, skipped)
+	}
+}
+
+// drainPending delivers buffered segments that became contiguous.
+func (a *Assembler) drainPending(tuple packet.FiveTuple, s *stream) {
+	for len(s.pending) > 0 {
+		head := s.pending[0]
+		if seqLess(s.nextSeq, head.seq) {
+			return // still a gap
+		}
+		s.pending = s.pending[1:]
+		s.buffered -= len(head.data)
+		a.Buffered -= int64(len(head.data))
+		data := head.data
+		if seqLess(head.seq, s.nextSeq) {
+			trim := s.nextSeq - head.seq
+			if uint32(len(data)) <= trim {
+				a.Overlapped += int64(len(data))
+				continue
+			}
+			a.Overlapped += int64(trim)
+			data = data[trim:]
+		}
+		a.deliverRun(tuple, s, data, 0)
+	}
+}
+
+// skipGap jumps over the gap before the first pending segment.
+func (a *Assembler) skipGap(tuple packet.FiveTuple, s *stream) {
+	if len(s.pending) == 0 {
+		return
+	}
+	head := s.pending[0]
+	gap := int64(head.seq - s.nextSeq)
+	a.GapsSkipped += gap
+	s.pending = s.pending[1:]
+	s.buffered -= len(head.data)
+	a.Buffered -= int64(len(head.data))
+	s.nextSeq = head.seq
+	a.deliverRun(tuple, s, head.data, gap)
+	a.drainPending(tuple, s)
+}
+
+// flushAll skips every remaining gap of a stream (used at FIN).
+func (a *Assembler) flushAll(tuple packet.FiveTuple, s *stream) {
+	for len(s.pending) > 0 {
+		a.skipGap(tuple, s)
+	}
+}
+
+// Flush forces out all pending data of one stream, skipping gaps.
+func (a *Assembler) Flush(tuple packet.FiveTuple) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s := a.streams[tuple]; s != nil {
+		a.flushAll(tuple, s)
+	}
+}
+
+// ActiveStreams reports the number of tracked streams.
+func (a *Assembler) ActiveStreams() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.streams)
+}

@@ -1,0 +1,331 @@
+package reassembly
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpiservice/internal/packet"
+)
+
+var tpl = packet.FiveTuple{
+	Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+	SrcPort: 1000, DstPort: 80, Protocol: packet.IPProtoTCP,
+}
+
+// collector gathers delivered stream bytes and checks offsets are
+// consistent.
+type collector struct {
+	t       *testing.T
+	buf     bytes.Buffer
+	nextOff int64
+	skips   int64
+}
+
+func (c *collector) deliver(_ packet.FiveTuple, offset int64, data []byte, skipped int64) {
+	c.skips += skipped
+	if offset != c.nextOff+skipped {
+		c.t.Fatalf("delivery offset %d, want %d (+%d skipped)", offset, c.nextOff, skipped)
+	}
+	c.nextOff = offset + int64(len(data))
+	c.buf.Write(data)
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	seq := uint32(1000)
+	for _, chunk := range []string{"hello ", "stream ", "world"} {
+		if err := a.Segment(tpl, seq, []byte(chunk), false); err != nil {
+			t.Fatal(err)
+		}
+		seq += uint32(len(chunk))
+	}
+	if got := c.buf.String(); got != "hello stream world" {
+		t.Errorf("stream = %q", got)
+	}
+	if a.Delivered != 18 || a.Buffered != 0 {
+		t.Errorf("counters: %+v", a)
+	}
+}
+
+func TestOutOfOrderReordered(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	// Segments arrive 3, 1, 2.
+	if err := a.Segment(tpl, 1000, []byte("AAAA"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Segment(tpl, 1008, []byte("CCCC"), false); err != nil {
+		t.Fatal(err)
+	}
+	if c.buf.String() != "AAAA" {
+		t.Fatalf("premature delivery: %q", c.buf.String())
+	}
+	if err := a.Segment(tpl, 1004, []byte("BBBB"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "AAAABBBBCCCC" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+func TestRetransmissionDiscarded(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	if err := a.Segment(tpl, 0, []byte("ABCDEFGH"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Full retransmission.
+	if err := a.Segment(tpl, 0, []byte("ABCDEFGH"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Partial overlap extending the stream; first copy wins for the
+	// overlapped range.
+	if err := a.Segment(tpl, 4, []byte("XXXXIJKL"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "ABCDEFGHIJKL" {
+		t.Errorf("stream = %q", got)
+	}
+	if a.Overlapped != 12 {
+		t.Errorf("Overlapped = %d, want 12", a.Overlapped)
+	}
+}
+
+func TestFINFlushesAndCloses(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	if err := a.Segment(tpl, 0, []byte("head"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order tail, then FIN with no data: the gap is skipped.
+	if err := a.Segment(tpl, 8, []byte("tail"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Segment(tpl, 12, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "headtail" {
+		t.Errorf("stream = %q", got)
+	}
+	if c.skips != 4 {
+		t.Errorf("skipped = %d, want the 4-byte gap", c.skips)
+	}
+	if a.ActiveStreams() != 0 {
+		t.Errorf("stream not forgotten after FIN")
+	}
+	// A late segment after FIN starts a brand-new stream at offset 0
+	// rather than resurrecting the closed one.
+	var lateOff int64 = -1
+	a.deliver = func(_ packet.FiveTuple, offset int64, _ []byte, _ int64) { lateOff = offset }
+	if err := a.Segment(tpl, 100, []byte("late"), false); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if lateOff != 0 {
+		t.Errorf("post-FIN delivery at offset %d, want a fresh stream at 0", lateOff)
+	}
+}
+
+func TestBufferBoundSkipsGap(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{MaxBufferedPerStream: 64}, c.deliver)
+	if err := a.Segment(tpl, 0, []byte("start"), false); err != nil {
+		t.Fatal(err)
+	}
+	// A large out-of-order block beyond a gap overflows the bound and
+	// forces a skip.
+	big := bytes.Repeat([]byte{'Z'}, 100)
+	if err := a.Segment(tpl, 1000, big, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(c.buf.Bytes(), big) {
+		t.Error("big block not delivered after forced skip")
+	}
+	if a.GapsSkipped != 1000-5 {
+		t.Errorf("GapsSkipped = %d, want %d", a.GapsSkipped, 995)
+	}
+	if a.Buffered != 0 {
+		t.Errorf("Buffered = %d after skip", a.Buffered)
+	}
+}
+
+func TestSYNAnchorsStream(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	// SYN at 999: payload starts at 1000. The tail arrives first and
+	// must be held until the head fills the gap.
+	a.SYN(tpl, 999)
+	if err := a.Segment(tpl, 1004, []byte("tail"), false); err != nil {
+		t.Fatal(err)
+	}
+	if c.buf.Len() != 0 {
+		t.Fatalf("tail delivered before head: %q", c.buf.String())
+	}
+	if err := a.Segment(tpl, 1000, []byte("head"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "headtail" {
+		t.Errorf("stream = %q", got)
+	}
+	// A second SYN (retransmitted) must not re-anchor.
+	a.SYN(tpl, 2000)
+	if err := a.Segment(tpl, 1008, []byte("more"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "headtailmore" {
+		t.Errorf("stream after dup SYN = %q", got)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	start := uint32(0xFFFFFFFC) // 4 bytes before wrap
+	if err := a.Segment(tpl, start, []byte("wrap"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Segment(tpl, 0, []byte("around"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "wraparound" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	got := map[packet.FiveTuple]*bytes.Buffer{}
+	a := NewAssembler(Config{}, func(tu packet.FiveTuple, _ int64, data []byte, _ int64) {
+		b := got[tu]
+		if b == nil {
+			b = &bytes.Buffer{}
+			got[tu] = b
+		}
+		b.Write(data)
+	})
+	other := tpl
+	other.SrcPort = 2000
+	if err := a.Segment(tpl, 0, []byte("flow-one"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Segment(other, 500, []byte("flow-two"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got[tpl].String() != "flow-one" || got[other].String() != "flow-two" {
+		t.Errorf("streams mixed: %v", got)
+	}
+	if a.ActiveStreams() != 2 {
+		t.Errorf("ActiveStreams = %d", a.ActiveStreams())
+	}
+}
+
+func TestMaxStreamsEviction(t *testing.T) {
+	a := NewAssembler(Config{MaxStreams: 4}, nil)
+	tu := tpl
+	for i := 0; i < 10; i++ {
+		tu.SrcPort = uint16(3000 + i)
+		if err := a.Segment(tu, 0, []byte("x"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := a.ActiveStreams(); n > 4 {
+		t.Errorf("ActiveStreams = %d, exceeds bound", n)
+	}
+}
+
+// TestShuffledSegmentsProperty: any permutation of a stream's segments
+// reassembles to the original byte stream (no gaps involved).
+func TestShuffledSegmentsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(blob []byte, seed int64) bool {
+		if len(blob) == 0 {
+			return true
+		}
+		// Split into random segments.
+		type seg struct {
+			seq  uint32
+			data []byte
+		}
+		var segs []seg
+		base := uint32(rng.Intn(1 << 30))
+		for off := 0; off < len(blob); {
+			n := 1 + rng.Intn(9)
+			if off+n > len(blob) {
+				n = len(blob) - off
+			}
+			segs = append(segs, seg{seq: base + uint32(off), data: blob[off : off+n]})
+			off += n
+		}
+		r2 := rand.New(rand.NewSource(seed))
+		r2.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+		// The assembler locks onto the first-seen sequence as the
+		// stream start, so ensure the true first segment leads.
+		for i, s := range segs {
+			if s.seq == base {
+				segs[0], segs[i] = segs[i], segs[0]
+				break
+			}
+		}
+		var out bytes.Buffer
+		a := NewAssembler(Config{}, func(_ packet.FiveTuple, _ int64, data []byte, skipped int64) {
+			if skipped != 0 {
+				t.Fatalf("unexpected skip of %d", skipped)
+			}
+			out.Write(data)
+		})
+		for _, s := range segs {
+			if err := a.Segment(tpl, s.seq, s.data, false); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(out.Bytes(), blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDuplicatedSegmentsProperty: adding duplicates of already-sent
+// segments never corrupts the stream.
+func TestDuplicatedSegmentsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		blob := make([]byte, 1+rng.Intn(300))
+		for i := range blob {
+			blob[i] = byte(rng.Intn(256))
+		}
+		var out bytes.Buffer
+		a := NewAssembler(Config{}, func(_ packet.FiveTuple, _ int64, data []byte, _ int64) {
+			out.Write(data)
+		})
+		// Send in order, duplicating ~30% of segments immediately or
+		// later.
+		type seg struct {
+			seq  uint32
+			data []byte
+		}
+		var history []seg
+		for off := 0; off < len(blob); {
+			n := 1 + rng.Intn(20)
+			if off+n > len(blob) {
+				n = len(blob) - off
+			}
+			s := seg{seq: uint32(off), data: blob[off : off+n]}
+			history = append(history, s)
+			if err := a.Segment(tpl, s.seq, s.data, false); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(3) == 0 && len(history) > 1 {
+				old := history[rng.Intn(len(history))]
+				if err := a.Segment(tpl, old.seq, old.data, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			off += n
+		}
+		if !bytes.Equal(out.Bytes(), blob) {
+			t.Fatalf("trial %d: stream corrupted by duplicates", trial)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package regexengine implements the paper's two-stage regular
+// expression handling (Section 5.3): sufficiently long literal strings
+// ("anchors") that must appear in any match are extracted from each
+// expression and folded into the exact-match pattern set; the full
+// expression is evaluated by an off-the-shelf engine only when all of
+// its anchors were found in the packet. Expressions from which no usable
+// anchors can be extracted go on the anchor-poor list and are evaluated
+// directly against every packet, the paper's parallel fallback path.
+//
+// The off-the-shelf engine here is the Go standard library's regexp
+// package, standing in for PCRE (see DESIGN.md, substitutions).
+package regexengine
+
+import (
+	"fmt"
+	"regexp"
+	"regexp/syntax"
+)
+
+// MinAnchorLen is the paper's extraction threshold: "Short strings of
+// length less than 4 characters are not extracted."
+const MinAnchorLen = 4
+
+// Compiled is one expression managed by an Engine.
+type Compiled struct {
+	ID      int
+	Expr    string
+	Anchors []string // empty iff the expression is anchor-poor
+	re      *regexp.Regexp
+}
+
+// AnchorPoor reports whether the expression contributed no anchors and
+// therefore requires the direct-evaluation fallback.
+func (c *Compiled) AnchorPoor() bool { return len(c.Anchors) == 0 }
+
+// FindIndex returns the [start, end) byte offsets of the expression's
+// first match in data, or nil.
+func (c *Compiled) FindIndex(data []byte) []int { return c.re.FindIndex(data) }
+
+// Engine holds the compiled expressions of one middlebox's pattern set.
+type Engine struct {
+	minAnchorLen int
+	exprs        map[int]*Compiled
+	poor         []*Compiled
+}
+
+// New returns an Engine extracting anchors of at least minAnchorLen
+// bytes; minAnchorLen <= 0 selects the paper's default of 4.
+func New(minAnchorLen int) *Engine {
+	if minAnchorLen <= 0 {
+		minAnchorLen = MinAnchorLen
+	}
+	return &Engine{minAnchorLen: minAnchorLen, exprs: make(map[int]*Compiled)}
+}
+
+// Add compiles expr under the given ID and returns its anchor set. An
+// expression the engine cannot compile (PCRE constructs such as
+// backreferences) is rejected; the caller decides whether to drop the
+// rule or handle it out of band.
+func (e *Engine) Add(id int, expr string) (*Compiled, error) {
+	if _, dup := e.exprs[id]; dup {
+		return nil, fmt.Errorf("regexengine: duplicate expression id %d", id)
+	}
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("regexengine: compile %q: %w", expr, err)
+	}
+	anchors, err := ExtractAnchors(expr, e.minAnchorLen)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{ID: id, Expr: expr, Anchors: anchors, re: re}
+	e.exprs[id] = c
+	if c.AnchorPoor() {
+		e.poor = append(e.poor, c)
+	}
+	return c, nil
+}
+
+// Confirm evaluates expression id against payload. It reports false for
+// unknown IDs.
+func (e *Engine) Confirm(id int, payload []byte) bool {
+	c, ok := e.exprs[id]
+	return ok && c.re.Match(payload)
+}
+
+// Get returns the compiled expression with the given ID, or nil.
+func (e *Engine) Get(id int) *Compiled { return e.exprs[id] }
+
+// Len reports the number of managed expressions.
+func (e *Engine) Len() int { return len(e.exprs) }
+
+// NumAnchorPoor reports how many expressions need direct evaluation.
+func (e *Engine) NumAnchorPoor() int { return len(e.poor) }
+
+// ScanAnchorPoor evaluates every anchor-poor expression against payload
+// and returns the IDs that match — the parallel path that runs alongside
+// string matching for expressions with no usable anchors.
+func (e *Engine) ScanAnchorPoor(payload []byte) []int {
+	var ids []int
+	for _, c := range e.poor {
+		if c.re.Match(payload) {
+			ids = append(ids, c.ID)
+		}
+	}
+	return ids
+}
+
+// ExtractAnchors returns the literal strings of at least minLen bytes
+// that must each appear in any match of expr. Literals under
+// case-folding are not extracted (their exact bytes are not required),
+// and neither are literals inside alternations or optional
+// subexpressions.
+func ExtractAnchors(expr string, minLen int) ([]string, error) {
+	re, err := syntax.Parse(expr, syntax.Perl)
+	if err != nil {
+		return nil, fmt.Errorf("regexengine: parse %q: %w", expr, err)
+	}
+	var anchors []string
+	collectAnchors(re.Simplify(), minLen, &anchors)
+	// Simplify can expand bounded repeats into concatenations, yielding
+	// the same literal several times; one occurrence check suffices.
+	seen := make(map[string]bool, len(anchors))
+	dedup := anchors[:0]
+	for _, a := range anchors {
+		if !seen[a] {
+			seen[a] = true
+			dedup = append(dedup, a)
+		}
+	}
+	if len(dedup) == 0 {
+		return nil, nil
+	}
+	return dedup, nil
+}
+
+// collectAnchors walks only the subtrees guaranteed to occur at least
+// once in every match.
+func collectAnchors(re *syntax.Regexp, minLen int, out *[]string) {
+	switch re.Op {
+	case syntax.OpLiteral:
+		if re.Flags&syntax.FoldCase != 0 {
+			return
+		}
+		s := string(re.Rune)
+		if len(s) >= minLen {
+			*out = append(*out, s)
+		}
+	case syntax.OpConcat, syntax.OpCapture:
+		for _, sub := range re.Sub {
+			collectAnchors(sub, minLen, out)
+		}
+	case syntax.OpPlus:
+		// The body occurs at least once.
+		collectAnchors(re.Sub[0], minLen, out)
+	case syntax.OpRepeat:
+		if re.Min >= 1 {
+			collectAnchors(re.Sub[0], minLen, out)
+		}
+	default:
+		// Alternations, stars, quests, char classes: nothing is
+		// guaranteed to appear.
+	}
+}

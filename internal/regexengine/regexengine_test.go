@@ -1,0 +1,197 @@
+package regexengine
+
+import (
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractAnchorsPaperExample(t *testing.T) {
+	// The paper's worked example (Section 5.3): from
+	// regular\s*expression\s*\d+ the anchors "regular" and
+	// "expression" are extracted.
+	got, err := ExtractAnchors(`regular\s*expression\s*\d+`, MinAnchorLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"regular", "expression"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("anchors = %q, want %q", got, want)
+	}
+}
+
+func TestExtractAnchorsCases(t *testing.T) {
+	for _, tc := range []struct {
+		expr string
+		want []string
+	}{
+		{`abc`, nil},               // below threshold
+		{`abcd`, []string{"abcd"}}, // exactly threshold
+		{`foo(bar)?baz`, nil},      // optional group, short outers
+		{`headvalue(opt)?`, []string{"headvalue"}},
+		{`(attack)+`, []string{"attack"}}, // plus guarantees one occurrence
+		{`(attack)*`, nil},                // star guarantees nothing
+		{`(attack){2,5}`, []string{"attack"}},
+		{`(attack){0,5}`, nil},
+		{`evil|good`, nil}, // alternation: neither is required
+		{`prefix(evil|good)suffix`, []string{"prefix", "suffix"}},
+		{`User-Agent: [a-z]+ botnet`, []string{"User-Agent: ", " botnet"}},
+		{`(?i)insensitive`, nil}, // folded literal bytes not required
+		{`capture(inner)group`, []string{"capture", "inner", "group"}},
+	} {
+		got, err := ExtractAnchors(tc.expr, MinAnchorLen)
+		if err != nil {
+			t.Errorf("ExtractAnchors(%q): %v", tc.expr, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ExtractAnchors(%q) = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestExtractAnchorsParseError(t *testing.T) {
+	if _, err := ExtractAnchors(`ab(`, MinAnchorLen); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+// TestAnchorsAreNecessary is the extraction soundness property: any
+// input matched by the expression must contain every extracted anchor.
+// (This is what lets the DPI service skip the expensive engine when an
+// anchor is missing.)
+func TestAnchorsAreNecessary(t *testing.T) {
+	exprs := []string{
+		`regular\s*expression\s*\d+`,
+		`GET /admin/[a-z]{1,8}\.php\?id=\d+`,
+		`(attack)+vector`,
+		`prefix(evil|good)+suffix`,
+		`Content-Length: \d+`,
+	}
+	inputs := []string{
+		"regular   expression 42",
+		"regularexpression9",
+		"GET /admin/users.php?id=7",
+		"attackattackvector",
+		"prefixevilgoodevilsuffix",
+		"Content-Length: 1234",
+		"unrelated text with GET /admin/x.php?id=1 embedded",
+		"no match at all here",
+	}
+	for _, es := range exprs {
+		re := regexp.MustCompile(es)
+		anchors, err := ExtractAnchors(es, MinAnchorLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range inputs {
+			if !re.MatchString(in) {
+				continue
+			}
+			for _, a := range anchors {
+				if !strings.Contains(in, a) {
+					t.Errorf("expr %q matches %q but anchor %q absent", es, in, a)
+				}
+			}
+		}
+	}
+}
+
+// TestAnchorsNecessaryProperty fuzzes the soundness property with
+// machine-generated inputs: wherever the regexp matches, all anchors
+// must be present.
+func TestAnchorsNecessaryProperty(t *testing.T) {
+	expr := `begin[a-c]{0,3}middlepart\d*finish`
+	re := regexp.MustCompile(expr)
+	anchors, err := ExtractAnchors(expr, MinAnchorLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) != 3 {
+		t.Fatalf("anchors = %q", anchors)
+	}
+	f := func(pre, mid1, mid2 string, digits uint8) bool {
+		in := pre + "begin" + mid1[:min(len(mid1), 3)] + "middlepart" +
+			strings.Repeat("7", int(digits%4)) + "finish" + mid2
+		if !re.MatchString(in) {
+			// Construction can break the match (e.g. mid1 contains
+			// chars outside [a-c]); the property is vacuous then.
+			return true
+		}
+		for _, a := range anchors {
+			if !strings.Contains(in, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineAddConfirm(t *testing.T) {
+	e := New(0)
+	c, err := e.Add(1, `GET /evil/[a-z]+\.cgi`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AnchorPoor() {
+		t.Errorf("anchors = %q, expected some", c.Anchors)
+	}
+	if !e.Confirm(1, []byte("GET /evil/run.cgi HTTP/1.1")) {
+		t.Error("Confirm missed a real match")
+	}
+	if e.Confirm(1, []byte("GET /evil/RUN.CGI")) {
+		t.Error("Confirm matched a non-match")
+	}
+	if e.Confirm(99, []byte("anything")) {
+		t.Error("Confirm on unknown ID")
+	}
+	if e.Get(1) != c || e.Get(2) != nil || e.Len() != 1 {
+		t.Error("Get/Len bookkeeping wrong")
+	}
+}
+
+func TestEngineDuplicateAndBadExpr(t *testing.T) {
+	e := New(0)
+	if _, err := e.Add(1, `good\d+expr`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add(1, `another`); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := e.Add(2, `broken(`); err == nil {
+		t.Error("uncompilable expression accepted")
+	}
+}
+
+func TestEngineAnchorPoorPath(t *testing.T) {
+	e := New(0)
+	// Pure character-class expression: nothing extractable.
+	if _, err := e.Add(1, `[0-9]{16}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add(2, `cardnumber=[0-9]+`); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumAnchorPoor() != 1 {
+		t.Fatalf("NumAnchorPoor = %d, want 1", e.NumAnchorPoor())
+	}
+	got := e.ScanAnchorPoor([]byte("pan=4111111111111111;"))
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("ScanAnchorPoor = %v, want [1]", got)
+	}
+	if got := e.ScanAnchorPoor([]byte("too short 123")); got != nil {
+		t.Errorf("ScanAnchorPoor on clean payload = %v", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

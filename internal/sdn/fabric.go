@@ -1,0 +1,242 @@
+package sdn
+
+import (
+	"errors"
+	"fmt"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/openflow"
+)
+
+// Fabric steers policy chains across a multi-switch topology — the
+// general setting of Figure 5, where middleboxes and DPI service
+// instances sit at different switches and traffic is routed "to and
+// from its instances" across the network. Following SIMPLE's
+// tag-per-segment design, each hop element_i -> element_{i+1} of a
+// chain gets its own VLAN tag derived from the chain tag, so a chain
+// may cross (or revisit) a switch without rule ambiguity: rules match
+// (in-port, segment tag) and rewrite the tag at each middlebox hop.
+//
+// Segment tags are chainTag*SegmentStride + segmentIndex, so chain tags
+// must stay below MaxChains and chains may have up to SegmentStride-1
+// elements.
+type Fabric struct {
+	dpictl *controller.Controller
+
+	switches map[string]*openflow.Switch
+	location map[string]string  // endpoint -> switch name
+	adj      map[string][]trunk // switch -> trunks
+}
+
+type trunk struct {
+	peer string // peer switch name
+}
+
+// Segment tag arithmetic. VLAN tags are 12 bits and the result-only
+// bypass bit occupies 0x800, so segment tags must stay below 0x800.
+const (
+	SegmentStride = 16
+	MaxChains     = 0x800 / SegmentStride // 128
+)
+
+// Fabric errors.
+var (
+	ErrUnknownSwitch   = errors.New("sdn: switch not in fabric")
+	ErrUnplacedElement = errors.New("sdn: endpoint not placed on any switch")
+	ErrNoPath          = errors.New("sdn: no trunk path between switches")
+	ErrTagSpace        = errors.New("sdn: chain tag exceeds fabric tag space")
+	ErrTooManyHops     = errors.New("sdn: chain has too many segments for the tag stride")
+)
+
+// NewFabric creates an empty fabric over the DPI controller.
+func NewFabric(dpictl *controller.Controller) *Fabric {
+	return &Fabric{
+		dpictl:   dpictl,
+		switches: make(map[string]*openflow.Switch),
+		location: make(map[string]string),
+		adj:      make(map[string][]trunk),
+	}
+}
+
+// AddSwitch registers a switch.
+func (f *Fabric) AddSwitch(sw *openflow.Switch) {
+	f.switches[sw.Name()] = sw
+}
+
+// Trunk records an inter-switch link (the caller connects the switches
+// in the virtual network; ports are resolved by name).
+func (f *Fabric) Trunk(a, b *openflow.Switch) error {
+	if f.switches[a.Name()] == nil || f.switches[b.Name()] == nil {
+		return ErrUnknownSwitch
+	}
+	f.adj[a.Name()] = append(f.adj[a.Name()], trunk{peer: b.Name()})
+	f.adj[b.Name()] = append(f.adj[b.Name()], trunk{peer: a.Name()})
+	return nil
+}
+
+// Place records which switch an endpoint (host, middlebox or DPI
+// instance) attaches to.
+func (f *Fabric) Place(endpoint string, sw *openflow.Switch) error {
+	if f.switches[sw.Name()] == nil {
+		return ErrUnknownSwitch
+	}
+	f.location[endpoint] = sw.Name()
+	return nil
+}
+
+// pathBetween returns the switch-name path from a to b (inclusive) via
+// BFS over trunks.
+func (f *Fabric) pathBetween(a, b string) ([]string, error) {
+	if a == b {
+		return []string{a}, nil
+	}
+	prev := map[string]string{a: a}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, t := range f.adj[cur] {
+			if _, seen := prev[t.peer]; seen {
+				continue
+			}
+			prev[t.peer] = cur
+			if t.peer == b {
+				var path []string
+				for n := b; n != a; n = prev[n] {
+					path = append([]string{n}, path...)
+				}
+				return append([]string{a}, path...), nil
+			}
+			queue = append(queue, t.peer)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, a, b)
+}
+
+// InstalledChain describes the rules laid for one chain.
+type InstalledChain struct {
+	// Tag is the controller-assigned chain tag.
+	Tag uint16
+	// SegTags are the per-segment VLAN tags, segment i covering the
+	// hop from path element i to element i+1 (element 0 is the
+	// source).
+	SegTags []uint16
+	// InstanceKey is the tag the DPI instance observes on arriving
+	// packets (the tag of the segment that delivers to it); alias the
+	// instance's engine chain under this key.
+	InstanceKey uint16
+}
+
+// InstallChainWithDPI lays fabric-wide rules for
+// src -> instance -> elements... -> dst. Every endpoint must be Placed.
+func (f *Fabric) InstallChainWithDPI(spec ChainSpec, instance string) (*InstalledChain, error) {
+	tag, err := f.dpictl.DefineChain(spec.Elements)
+	if err != nil {
+		return nil, err
+	}
+	if int(tag) >= MaxChains {
+		return nil, fmt.Errorf("%w: tag %d", ErrTagSpace, tag)
+	}
+	path := append([]string{spec.Src, instance}, spec.Elements...)
+	path = append(path, spec.Dst)
+	if len(path)-1 >= SegmentStride {
+		return nil, fmt.Errorf("%w: %d segments", ErrTooManyHops, len(path)-1)
+	}
+	ic := &InstalledChain{Tag: tag}
+	for seg := 0; seg < len(path)-1; seg++ {
+		segTag := tag*SegmentStride + uint16(seg)
+		ic.SegTags = append(ic.SegTags, segTag)
+	}
+	ic.InstanceKey = ic.SegTags[0] // segment 0 delivers to the instance
+
+	for seg := 0; seg < len(path)-1; seg++ {
+		from, to := path[seg], path[seg+1]
+		if err := f.installSegment(tag, spec, seg, ic.SegTags, from, to, seg == 0, seg == len(path)-2); err != nil {
+			return nil, err
+		}
+	}
+	return ic, nil
+}
+
+// installSegment lays the rules carrying a frame from endpoint `from`
+// to endpoint `to` under the segment's tag, crossing trunks as needed.
+func (f *Fabric) installSegment(tag uint16, spec ChainSpec, seg int, segTags []uint16, from, to string, ingress, egress bool) error {
+	fromSw, ok := f.location[from]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnplacedElement, from)
+	}
+	toSw, ok := f.location[to]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnplacedElement, to)
+	}
+	swPath, err := f.pathBetween(fromSw, toSw)
+	if err != nil {
+		return err
+	}
+	segTag := segTags[seg]
+
+	// Rule at the first switch: frame arrives from the `from`
+	// endpoint's port.
+	first := f.switches[swPath[0]]
+	inPort := first.PortTo(from)
+	m := openflow.NewMatch()
+	m.InPort = inPort
+	var actions []openflow.Action
+	switch {
+	case ingress:
+		// Classify untagged traffic from the source.
+		cls := spec.Classify
+		if cls.InPort == 0 && cls.VLANID == 0 {
+			cls = openflow.NewMatch()
+		}
+		cls.InPort = inPort
+		m = cls
+		actions = append(actions, openflow.PushVLAN(segTag))
+	default:
+		// The frame still carries the PREVIOUS segment's tag (the
+		// middlebox bounced it unchanged); rewrite to this segment's.
+		m.VLANID = int(segTags[seg-1])
+		actions = append(actions, openflow.SetVLAN(segTag))
+	}
+	if err := f.installToward(tag, first, swPath, 0, to, segTag, egress, m, actions); err != nil {
+		return err
+	}
+	// Rules at intermediate/destination switches: frame arrives on the
+	// trunk from the previous switch carrying this segment's tag.
+	for i := 1; i < len(swPath); i++ {
+		sw := f.switches[swPath[i]]
+		tm := openflow.NewMatch()
+		tm.InPort = sw.PortTo(swPath[i-1])
+		tm.VLANID = int(segTag)
+		if err := f.installToward(tag, sw, swPath, i, to, segTag, egress, tm, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installToward adds one rule at swPath[idx] sending the frame to the
+// next hop (trunk toward swPath[idx+1], or the target endpoint's port
+// on the last switch, popping the tag at final egress).
+func (f *Fabric) installToward(tag uint16, sw *openflow.Switch, swPath []string, idx int, to string, segTag uint16, egress bool, m openflow.Match, pre []openflow.Action) error {
+	actions := append([]openflow.Action(nil), pre...)
+	if idx < len(swPath)-1 {
+		actions = append(actions, openflow.Output(sw.PortTo(swPath[idx+1])))
+	} else {
+		if egress {
+			actions = append(actions, openflow.PopVLAN())
+		}
+		actions = append(actions, openflow.Output(sw.PortTo(to)))
+	}
+	sw.AddFlowWithCookie(uint64(tag), PrioChain, m, actions...)
+	return nil
+}
+
+// UninstallChain removes a chain's rules from every switch.
+func (f *Fabric) UninstallChain(tag uint16) int {
+	removed := 0
+	for _, sw := range f.switches {
+		removed += sw.DeleteFlows(uint64(tag))
+	}
+	return removed
+}

@@ -1,0 +1,260 @@
+package sdn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/core"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/middlebox"
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/openflow"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/patterns"
+	"dpiservice/internal/traffic"
+)
+
+// multiSwitchBed builds a two-switch fabric:
+//
+//	s1: src, dpi-1        s2: ids-1, dst
+//	      s1 ===trunk=== s2
+type multiSwitchBed struct {
+	net     *netsim.Network
+	s1, s2  *openflow.Switch
+	fabric  *Fabric
+	ctl     *controller.Controller
+	src     *netsim.Host
+	dst     *netsim.Host
+	dpiHost *netsim.Host
+	idsHost *netsim.Host
+}
+
+func newMultiSwitchBed(t *testing.T) *multiSwitchBed {
+	t.Helper()
+	b := &multiSwitchBed{
+		net: netsim.NewNetwork(),
+		s1:  openflow.NewSwitch("s1"),
+		s2:  openflow.NewSwitch("s2"),
+		ctl: controller.New(),
+	}
+	t.Cleanup(b.net.Stop)
+	b.fabric = NewFabric(b.ctl)
+	b.fabric.AddSwitch(b.s1)
+	b.fabric.AddSwitch(b.s2)
+	for _, sw := range []*openflow.Switch{b.s1, b.s2} {
+		if err := b.net.AddNode(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.net.Connect(b.s1, b.s2, netsim.LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.fabric.Trunk(b.s1, b.s2); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, sw *openflow.Switch, last byte) *netsim.Host {
+		h := netsim.NewHost(name, packet.MAC{2, 0, 0, 0, 0, last}, packet.IP4{10, 0, 0, last})
+		if err := b.net.AddNode(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.net.Connect(h, sw, netsim.LinkOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.fabric.Place(name, sw); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	b.src = mk("src", b.s1, 1)
+	b.dpiHost = mk("dpi-1", b.s1, 2)
+	b.idsHost = mk("ids-1", b.s2, 3)
+	b.dst = mk("dst", b.s2, 4)
+	return b
+}
+
+func TestFabricChainAcrossSwitches(t *testing.T) {
+	b := newMultiSwitchBed(t)
+
+	// Register the IDS and its patterns with the controller.
+	if _, err := b.ctl.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ctl.AddPatterns("ids-1", []ctlproto.PatternDef{
+		{RuleID: 0, Content: []byte("needle-pattern")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ids-1"}}
+	ic, err := b.fabric.InstallChainWithDPI(spec, "dpi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ic.SegTags) != 3 { // src->dpi, dpi->ids, ids->dst
+		t.Fatalf("SegTags = %v", ic.SegTags)
+	}
+
+	// Build the instance engine keyed by the tag the fabric delivers
+	// packets under.
+	cfg, err := b.ctl.InstanceConfig([]uint16{ic.Tag}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chains[ic.InstanceKey] = cfg.Chains[ic.Tag]
+	if ic.InstanceKey != ic.Tag {
+		delete(cfg.Chains, ic.Tag)
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	middlebox.NewDPINode("dpi-1", b.dpiHost, engine)
+	counter := middlebox.NewCountLogic()
+	ids := middlebox.NewConsumerNode(b.idsHost, 0, counter)
+
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: b.src.IP, Dst: b.dst.IP, SrcPort: 9999, DstPort: 80, Protocol: packet.IPProtoTCP}
+	b.src.Send(fb.Build(tuple, []byte("a needle-pattern rides across switches")))
+	b.src.Send(fb.Build(tuple, []byte("clean payload")))
+
+	deadline := time.Now().Add(3 * time.Second)
+	dataAtDst := 0
+	for time.Now().Before(deadline) && (dataAtDst < 2 || counter.Total() < 1) {
+		select {
+		case f := <-b.dst.Inbox():
+			var s packet.Summary
+			if packet.Summarize(f, &s) == nil && !s.IsReport {
+				dataAtDst++
+				if s.Tagged {
+					t.Fatal("frame still tagged at dst")
+				}
+			}
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if dataAtDst != 2 {
+		t.Errorf("dst data packets = %d, want 2", dataAtDst)
+	}
+	if counter.Total() != 1 {
+		t.Errorf("IDS count = %d, want 1", counter.Total())
+	}
+	if ids.DataPackets.Load() != 2 {
+		t.Errorf("IDS data packets = %d, want 2", ids.DataPackets.Load())
+	}
+
+	// Uninstall clears rules from both switches.
+	removed := b.fabric.UninstallChain(ic.Tag)
+	if removed == 0 || b.s1.NumFlows() != 0 || b.s2.NumFlows() != 0 {
+		t.Errorf("uninstall removed %d; remaining s1=%d s2=%d",
+			removed, b.s1.NumFlows(), b.s2.NumFlows())
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	b := newMultiSwitchBed(t)
+	if _, err := b.ctl.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids"}); err != nil {
+		t.Fatal(err)
+	}
+	// Unplaced endpoint.
+	spec := ChainSpec{Src: "ghost", Dst: "dst", Elements: []string{"ids-1"}}
+	if _, err := b.fabric.InstallChainWithDPI(spec, "dpi-1"); !errors.Is(err, ErrUnplacedElement) {
+		t.Errorf("unplaced err = %v", err)
+	}
+	// Disconnected switch.
+	s3 := openflow.NewSwitch("s3")
+	b.fabric.AddSwitch(s3)
+	if err := b.fabric.Place("island", s3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ctl.Register(ctlproto.Register{MboxID: "island", Type: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	spec = ChainSpec{Src: "src", Dst: "dst", Elements: []string{"island"}}
+	if _, err := b.fabric.InstallChainWithDPI(spec, "dpi-1"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("no-path err = %v", err)
+	}
+	// Trunk to unknown switch.
+	if err := b.fabric.Trunk(s3, openflow.NewSwitch("s9")); !errors.Is(err, ErrUnknownSwitch) {
+		t.Errorf("unknown switch err = %v", err)
+	}
+}
+
+func TestFabricThreeSwitchLine(t *testing.T) {
+	// src on s1, dst on s3, no middleboxes: a pure transit chain
+	// s1 -> s2 -> s3 exercising multi-hop trunk routing.
+	net := netsim.NewNetwork()
+	defer net.Stop()
+	ctl := controller.New()
+	fab := NewFabric(ctl)
+	var sws []*openflow.Switch
+	for _, n := range []string{"s1", "s2", "s3"} {
+		sw := openflow.NewSwitch(n)
+		sws = append(sws, sw)
+		fab.AddSwitch(sw)
+		if err := net.AddNode(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := net.Connect(sws[i], sws[i+1], netsim.LinkOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Trunk(sws[i], sws[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := netsim.NewHost("src", packet.MAC{2, 0, 0, 0, 0, 1}, packet.IP4{10, 0, 0, 1})
+	dst := netsim.NewHost("dst", packet.MAC{2, 0, 0, 0, 0, 2}, packet.IP4{10, 0, 0, 2})
+	dpi := netsim.NewHost("dpi-1", packet.MAC{2, 0, 0, 0, 0, 3}, packet.IP4{10, 0, 0, 3})
+	for h, sw := range map[*netsim.Host]*openflow.Switch{src: sws[0], dst: sws[2], dpi: sws[1]} {
+		if err := net.AddNode(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Connect(h, sw, netsim.LinkOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Place(h.Name(), sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The DPI node forwards unknown-tag traffic unchanged, so no
+	// engine is needed for pure transit.
+	middlebox.NewDPINode("dpi-1", dpi, mustEngine(t))
+	ic, err := fab.InstallChainWithDPI(ChainSpec{Src: "src", Dst: "dst"}, "dpi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ic
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: src.IP, Dst: dst.IP, SrcPort: 5, DstPort: 80, Protocol: packet.IPProtoTCP}
+	src.Send(fb.Build(tuple, []byte("transit me")))
+	select {
+	case f := <-dst.Inbox():
+		var s packet.Summary
+		if packet.Summarize(f, &s) != nil || s.Tagged {
+			t.Errorf("frame at dst malformed or tagged")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame never crossed the three-switch line")
+	}
+}
+
+// mustEngine builds a minimal engine for nodes whose scanning is not
+// under test.
+func mustEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(core.Config{
+		Profiles: []core.Profile{{ID: 0, Patterns: mustSet()}},
+		Chains:   map[uint16][]int{1: {0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustSet() *patterns.Set {
+	return patterns.FromStrings("x", []string{"unused-pattern"})
+}

@@ -1,0 +1,426 @@
+// Package sdn hosts the SDN control applications of the paper's
+// architecture (Figure 5): a Traffic Steering Application in the style
+// of SIMPLE that attaches policy chains to traffic and installs the
+// flow rules realizing them, negotiating chain tags with the DPI
+// controller (Section 4.1); reactive per-flow multiplexing of traffic
+// across DPI service instances (the Figure 3 scenario); and the flow
+// re-steering primitive that instance migration and MCA² rely on
+// (Sections 4.3 and 4.3.1).
+package sdn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/openflow"
+	"dpiservice/internal/packet"
+)
+
+// Rule priorities: exact-flow overrides beat chain rules, which beat
+// the default drop.
+const (
+	PrioFlow  = 300 // reactive per-flow and migration rules
+	PrioChain = 200 // proactive chain rules
+	PrioBase  = 100 // classifiers
+)
+
+// ChainSpec describes one policy chain to install.
+type ChainSpec struct {
+	// Src and Dst are the endpoint node names (must be attached to the
+	// switch).
+	Src, Dst string
+	// Elements are the middlebox IDs on the chain, in traversal order.
+	// They must be registered with the DPI controller.
+	Elements []string
+	// Classify narrows which of Src's traffic enters the chain; zero
+	// value (via openflow.NewMatch) means all of it. InPort is set by
+	// the TSA.
+	Classify openflow.Match
+}
+
+// TSA is the traffic steering application, controlling one switch. The
+// paper's experimental topology attaches all hosts to a single switch
+// (Section 6.1); richer fabrics would run one TSA per switch with
+// identical chain state.
+type TSA struct {
+	sw     *openflow.Switch
+	dpictl *controller.Controller
+
+	// FlowIdleTimeout, when set, arms reactive per-flow rules with an
+	// idle expiry so the flow table does not accumulate finished flows
+	// (set before installing balanced chains).
+	FlowIdleTimeout time.Duration
+
+	mu            sync.Mutex
+	rr            int
+	flows         map[packet.FiveTuple]string // reactive flow -> instance
+	pending       []pendingChain
+	installedHops map[string]bool // "tag/instance" hop rules laid
+}
+
+type pendingChain struct {
+	tag       uint16
+	spec      ChainSpec
+	instances []string
+}
+
+// NewTSA creates a TSA controlling sw and negotiating with dpictl.
+func NewTSA(sw *openflow.Switch, dpictl *controller.Controller) *TSA {
+	t := &TSA{sw: sw, dpictl: dpictl, flows: make(map[packet.FiveTuple]string)}
+	return t
+}
+
+// Errors returned by the TSA.
+var (
+	ErrUnknownEndpoint = errors.New("sdn: endpoint not attached to switch")
+	ErrNoInstances     = errors.New("sdn: no DPI instances given")
+)
+
+// port resolves an endpoint name to its switch port, allocating the
+// number if the endpoint has not attached yet — chains may be installed
+// before the DPI instances they reference are deployed (the controller
+// spins instances up on demand, Section 4.3).
+func (t *TSA) port(name string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("%w: empty name", ErrUnknownEndpoint)
+	}
+	return t.sw.PortTo(name), nil
+}
+
+// InstallChainLegacy installs spec without a DPI service: traffic flows
+// src -> elements... -> dst and every middlebox scans for itself
+// (Figure 1(a)). It returns the chain's tag.
+func (t *TSA) InstallChainLegacy(spec ChainSpec) (uint16, error) {
+	tag, err := t.dpictl.DefineChain(spec.Elements)
+	if err != nil {
+		return 0, err
+	}
+	return tag, t.installPath(tag, spec, spec.Elements, PrioChain)
+}
+
+// InstallChainWithDPI installs spec with the DPI service instance
+// prepended to the data path (Figure 1(b)): traffic flows
+// src -> instance -> elements... -> dst, and result packets follow the
+// same tagged path. It returns the chain's tag.
+func (t *TSA) InstallChainWithDPI(spec ChainSpec, instance string) (uint16, error) {
+	tag, err := t.dpictl.DefineChain(spec.Elements)
+	if err != nil {
+		return 0, err
+	}
+	path := append([]string{instance}, spec.Elements...)
+	return tag, t.installPath(tag, spec, path, PrioChain)
+}
+
+// installPath lays the rules for one chain: classify+tag at the source
+// port, in-port forwarding between elements, and tag pop at egress.
+func (t *TSA) installPath(tag uint16, spec ChainSpec, path []string, prio int) error {
+	srcPort, err := t.port(spec.Src)
+	if err != nil {
+		return err
+	}
+	dstPort, err := t.port(spec.Dst)
+	if err != nil {
+		return err
+	}
+	ports := make([]int, len(path))
+	for i, el := range path {
+		if ports[i], err = t.port(el); err != nil {
+			return err
+		}
+	}
+	// Ingress classifier: tag and send to the first element (or
+	// straight to the destination for an empty chain).
+	cls := spec.Classify
+	if cls.InPort == 0 && cls.VLANID == 0 {
+		// Zero value supplied; normalize to wildcards.
+		cls = openflow.NewMatch()
+	}
+	cls.InPort = srcPort
+	first := dstPort
+	if len(ports) > 0 {
+		first = ports[0]
+	}
+	if len(ports) == 0 {
+		t.sw.AddFlowWithCookie(uint64(tag), prio, cls, openflow.Output(first))
+		return nil
+	}
+	t.sw.AddFlowWithCookie(uint64(tag), prio, cls, openflow.PushVLAN(tag), openflow.Output(first))
+	// Hop rules: frames (data or result) returning from element i go
+	// to element i+1.
+	for i := 0; i < len(ports)-1; i++ {
+		m := openflow.NewMatch()
+		m.InPort = ports[i]
+		m.VLANID = int(tag)
+		t.sw.AddFlowWithCookie(uint64(tag), prio, m, openflow.Output(ports[i+1]))
+	}
+	// Egress: pop the tag and deliver.
+	last := openflow.NewMatch()
+	last.InPort = ports[len(ports)-1]
+	last.VLANID = int(tag)
+	t.sw.AddFlowWithCookie(uint64(tag), prio, last, openflow.PopVLAN(), openflow.Output(dstPort))
+	return nil
+}
+
+// InstallResultOnlyChain installs spec for a chain whose middleboxes
+// are all read-only (Section 4.2, third option): data packets are
+// scanned by the DPI instance, then steered straight to the destination
+// under the bypass tag, while result packets traverse the middlebox
+// chain under the plain tag and are discarded after the last member —
+// the Big-Tap-style monitoring fabric. The caller must also enable
+// result-only mode on the instance for this tag.
+func (t *TSA) InstallResultOnlyChain(spec ChainSpec, instance string) (uint16, error) {
+	tag, err := t.dpictl.DefineChain(spec.Elements)
+	if err != nil {
+		return 0, err
+	}
+	srcPort, err := t.port(spec.Src)
+	if err != nil {
+		return 0, err
+	}
+	dstPort, err := t.port(spec.Dst)
+	if err != nil {
+		return 0, err
+	}
+	instPort, err := t.port(instance)
+	if err != nil {
+		return 0, err
+	}
+	ports := make([]int, len(spec.Elements))
+	for i, el := range spec.Elements {
+		if ports[i], err = t.port(el); err != nil {
+			return 0, err
+		}
+	}
+	cls := spec.Classify
+	if cls.InPort == 0 && cls.VLANID == 0 {
+		cls = openflow.NewMatch()
+	}
+	cls.InPort = srcPort
+	t.sw.AddFlowWithCookie(uint64(tag), PrioChain, cls, openflow.PushVLAN(tag), openflow.Output(instPort))
+	// Data packets return from the instance under the bypass tag.
+	bypass := openflow.NewMatch()
+	bypass.InPort = instPort
+	bypass.VLANID = int(tag | packet.VLANResultOnlyBit)
+	t.sw.AddFlowWithCookie(uint64(tag), PrioChain+1, bypass, openflow.PopVLAN(), openflow.Output(dstPort))
+	// Result packets walk the chain and die after the last member.
+	if len(ports) > 0 {
+		first := openflow.NewMatch()
+		first.InPort = instPort
+		first.VLANID = int(tag)
+		t.sw.AddFlowWithCookie(uint64(tag), PrioChain, first, openflow.Output(ports[0]))
+		for i := 0; i < len(ports)-1; i++ {
+			hm := openflow.NewMatch()
+			hm.InPort = ports[i]
+			hm.VLANID = int(tag)
+			t.sw.AddFlowWithCookie(uint64(tag), PrioChain, hm, openflow.Output(ports[i+1]))
+		}
+		last := openflow.NewMatch()
+		last.InPort = ports[len(ports)-1]
+		last.VLANID = int(tag)
+		t.sw.AddFlowWithCookie(uint64(tag), PrioChain, last, openflow.Action{Type: openflow.ActDrop})
+	}
+	return tag, nil
+}
+
+// InstallBalancedChain installs spec so that flows are multiplexed
+// across several DPI service instances (Figure 3): the classifier punts
+// each new flow to the TSA, which picks an instance round-robin and
+// installs exact-match rules for the flow. It returns the chain tag.
+// The TSA must already be the switch's packet-in handler (SetController).
+func (t *TSA) InstallBalancedChain(spec ChainSpec, instances []string) (uint16, error) {
+	if len(instances) == 0 {
+		return 0, ErrNoInstances
+	}
+	tag, err := t.dpictl.DefineChain(spec.Elements)
+	if err != nil {
+		return 0, err
+	}
+	srcPort, err := t.port(spec.Src)
+	if err != nil {
+		return 0, err
+	}
+	// Validate all names now so packet-in never fails.
+	if _, err := t.port(spec.Dst); err != nil {
+		return 0, err
+	}
+	for _, el := range append(append([]string{}, instances...), spec.Elements...) {
+		if _, err := t.port(el); err != nil {
+			return 0, err
+		}
+	}
+	cls := spec.Classify
+	if cls.InPort == 0 && cls.VLANID == 0 {
+		cls = openflow.NewMatch()
+	}
+	cls.InPort = srcPort
+	t.sw.AddFlowWithCookie(uint64(tag), PrioBase, cls, openflow.Action{Type: openflow.ActController})
+	t.mu.Lock()
+	t.pending = append(t.pending, pendingChain{tag: tag, spec: spec, instances: instances})
+	t.mu.Unlock()
+	return tag, nil
+}
+
+// PacketIn implements openflow.PacketInHandler: the reactive half of
+// InstallBalancedChain. The first packet of a flow triggers rule
+// installation and is re-injected so it follows the new rules.
+func (t *TSA) PacketIn(sw *openflow.Switch, inPort int, frame []byte) {
+	var sum packet.Summary
+	if packet.Summarize(frame, &sum) != nil || sum.IsReport {
+		return
+	}
+	t.mu.Lock()
+	var pc *pendingChain
+	for i := range t.pending {
+		srcPort, err := t.port(t.pending[i].spec.Src)
+		if err == nil && srcPort == inPort {
+			pc = &t.pending[i]
+			break
+		}
+	}
+	if pc == nil {
+		t.mu.Unlock()
+		return
+	}
+	instance := pc.instances[t.rr%len(pc.instances)]
+	t.rr++
+	t.flows[sum.Tuple] = instance
+	t.mu.Unlock()
+
+	if err := t.steerFlow(pc.tag, pc.spec, sum.Tuple, instance); err != nil {
+		return
+	}
+	// Re-inject: the frame now hits the per-flow rules.
+	sw.Recv(inPort, frame)
+}
+
+// steerFlow installs exact five-tuple rules sending the flow through
+// instance and then the chain elements.
+func (t *TSA) steerFlow(tag uint16, spec ChainSpec, tuple packet.FiveTuple, instance string) error {
+	srcPort, err := t.port(spec.Src)
+	if err != nil {
+		return err
+	}
+	m := openflow.NewMatch()
+	m.InPort = srcPort
+	src, dst := tuple.Src, tuple.Dst
+	m.SrcIP, m.DstIP = &src, &dst
+	m.L4Src, m.L4Dst = tuple.SrcPort, tuple.DstPort
+	m.IPProto = tuple.Protocol
+	instPort, err := t.port(instance)
+	if err != nil {
+		return err
+	}
+	fe := t.sw.AddFlowWithCookie(uint64(tag), PrioFlow, m, openflow.PushVLAN(tag), openflow.Output(instPort))
+	if t.FlowIdleTimeout > 0 {
+		fe.SetIdleTimeout(t.FlowIdleTimeout)
+	}
+	return t.installHopsOnce(tag, spec, instance)
+}
+
+// MigrateFlow re-steers one flow of a balanced chain to a different
+// instance — the mechanism MCA² uses to divert heavy flows to dedicated
+// instances (Section 4.3.1). The override rule is installed at
+// PrioFlow+1 so it unambiguously outranks the flow's original rule.
+func (t *TSA) MigrateFlow(tag uint16, spec ChainSpec, tuple packet.FiveTuple, newInstance string) error {
+	srcPort, err := t.port(spec.Src)
+	if err != nil {
+		return err
+	}
+	instPort, err := t.port(newInstance)
+	if err != nil {
+		return err
+	}
+	m := openflow.NewMatch()
+	m.InPort = srcPort
+	src, dst := tuple.Src, tuple.Dst
+	m.SrcIP, m.DstIP = &src, &dst
+	m.L4Src, m.L4Dst = tuple.SrcPort, tuple.DstPort
+	m.IPProto = tuple.Protocol
+	fe := t.sw.AddFlowWithCookie(uint64(tag), PrioFlow+1, m, openflow.PushVLAN(tag), openflow.Output(instPort))
+	if t.FlowIdleTimeout > 0 {
+		fe.SetIdleTimeout(t.FlowIdleTimeout)
+	}
+	// Ensure downstream hops exist for the new instance.
+	if err := t.installHopsOnce(tag, spec, newInstance); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.flows[tuple] = newInstance
+	t.mu.Unlock()
+	return nil
+}
+
+// installHopsOnce lays the in-port forwarding rules for one
+// (tag, instance) pair exactly once.
+func (t *TSA) installHopsOnce(tag uint16, spec ChainSpec, instance string) error {
+	key := fmt.Sprintf("%d/%s", tag, instance)
+	t.mu.Lock()
+	if t.installedHops == nil {
+		t.installedHops = make(map[string]bool)
+	}
+	done := t.installedHops[key]
+	t.installedHops[key] = true
+	t.mu.Unlock()
+	if done {
+		return nil
+	}
+	path := append([]string{instance}, spec.Elements...)
+	ports := make([]int, len(path))
+	var err error
+	for i, el := range path {
+		if ports[i], err = t.port(el); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < len(ports)-1; i++ {
+		hm := openflow.NewMatch()
+		hm.InPort = ports[i]
+		hm.VLANID = int(tag)
+		t.sw.AddFlowWithCookie(uint64(tag), PrioChain, hm, openflow.Output(ports[i+1]))
+	}
+	dstPort, err := t.port(spec.Dst)
+	if err != nil {
+		return err
+	}
+	last := openflow.NewMatch()
+	last.InPort = ports[len(ports)-1]
+	last.VLANID = int(tag)
+	t.sw.AddFlowWithCookie(uint64(tag), PrioChain, last, openflow.PopVLAN(), openflow.Output(dstPort))
+	return nil
+}
+
+// UninstallChain removes every rule belonging to a chain tag —
+// classifiers, hop rules, reactive per-flow rules and migration
+// overrides — and forgets the chain's reactive state. It returns the
+// number of rules removed. The DPI controller still knows the chain;
+// re-installation reuses the tag.
+func (t *TSA) UninstallChain(tag uint16) int {
+	removed := t.sw.DeleteFlows(uint64(tag))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.pending[:0]
+	for _, pc := range t.pending {
+		if pc.tag != tag {
+			kept = append(kept, pc)
+		}
+	}
+	t.pending = kept
+	for key := range t.installedHops {
+		if strings.HasPrefix(key, fmt.Sprintf("%d/", tag)) {
+			delete(t.installedHops, key)
+		}
+	}
+	return removed
+}
+
+// InstanceOf reports which instance a reactive flow is steered through.
+func (t *TSA) InstanceOf(tuple packet.FiveTuple) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	inst, ok := t.flows[tuple]
+	return inst, ok
+}

@@ -1,0 +1,293 @@
+package sdn
+
+import (
+	"testing"
+	"time"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/openflow"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/traffic"
+)
+
+// fabric builds a switch with the named endpoints attached as plain
+// hosts, plus a TSA over a controller with those endpoints registered
+// as middleboxes where needed.
+type fabric struct {
+	net   *netsim.Network
+	sw    *openflow.Switch
+	tsa   *TSA
+	ctl   *controller.Controller
+	hosts map[string]*netsim.Host
+}
+
+func newFabric(t *testing.T, names ...string) *fabric {
+	t.Helper()
+	f := &fabric{
+		net:   netsim.NewNetwork(),
+		sw:    openflow.NewSwitch("s1"),
+		ctl:   controller.New(),
+		hosts: map[string]*netsim.Host{},
+	}
+	t.Cleanup(f.net.Stop)
+	if err := f.net.AddNode(f.sw); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		h := netsim.NewHost(n, packet.MAC{2, 0, 0, 0, 0, byte(i + 1)}, packet.IP4{10, 0, 0, byte(i + 1)})
+		if err := f.net.AddNode(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.net.Connect(h, f.sw, netsim.LinkOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		f.hosts[n] = h
+	}
+	f.tsa = NewTSA(f.sw, f.ctl)
+	return f
+}
+
+func (f *fabric) registerMbox(t *testing.T, id string) {
+	t.Helper()
+	if _, err := f.ctl.Register(ctlproto.Register{MboxID: id, Type: id}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recvFrame(t *testing.T, h *netsim.Host) []byte {
+	t.Helper()
+	select {
+	case f := <-h.Inbox():
+		return f
+	case <-time.After(time.Second):
+		t.Fatalf("%s: no frame", h.Name())
+		return nil
+	}
+}
+
+func TestInstallChainLegacyPath(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "mb2")
+	f.registerMbox(t, "mb1")
+	f.registerMbox(t, "mb2")
+	tag, err := f.tsa.InstallChainLegacy(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1", "mb2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 5, DstPort: 80, Protocol: packet.IPProtoTCP}
+	f.hosts["src"].Send(fb.Build(tuple, []byte("walk the chain")))
+
+	// mb1 receives it tagged.
+	fr := recvFrame(t, f.hosts["mb1"])
+	if id, ok := packet.OuterVLAN(fr); !ok || id != tag {
+		t.Fatalf("mb1 tag = %d/%v, want %d", id, ok, tag)
+	}
+	// mb1 forwards; mb2 receives, still tagged.
+	f.hosts["mb1"].Send(fr)
+	fr = recvFrame(t, f.hosts["mb2"])
+	if id, ok := packet.OuterVLAN(fr); !ok || id != tag {
+		t.Fatalf("mb2 tag = %d/%v", id, ok)
+	}
+	// mb2 forwards; dst receives untagged.
+	f.hosts["mb2"].Send(fr)
+	fr = recvFrame(t, f.hosts["dst"])
+	if _, ok := packet.OuterVLAN(fr); ok {
+		t.Fatal("dst frame still tagged")
+	}
+	// Nothing went to src or the DPI-less elements twice.
+	select {
+	case <-f.hosts["src"].Inbox():
+		t.Fatal("frame bounced back to src")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestInstallChainWithDPIPrependsInstance(t *testing.T) {
+	f := newFabric(t, "src", "dst", "dpi-1", "mb1")
+	f.registerMbox(t, "mb1")
+	tag, err := f.tsa.InstallChainWithDPI(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}, "dpi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 5, DstPort: 80, Protocol: packet.IPProtoTCP}
+	f.hosts["src"].Send(fb.Build(tuple, []byte("x")))
+	// The DPI instance is the first hop.
+	fr := recvFrame(t, f.hosts["dpi-1"])
+	if id, ok := packet.OuterVLAN(fr); !ok || id != tag {
+		t.Fatalf("dpi tag = %d/%v", id, ok)
+	}
+	f.hosts["dpi-1"].Send(fr)
+	fr = recvFrame(t, f.hosts["mb1"])
+	f.hosts["mb1"].Send(fr)
+	recvFrame(t, f.hosts["dst"])
+}
+
+func TestEmptyChainGoesStraightToDst(t *testing.T) {
+	f := newFabric(t, "src", "dst")
+	tag, err := f.tsa.InstallChainLegacy(ChainSpec{Src: "src", Dst: "dst"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tag
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, Protocol: packet.IPProtoTCP}
+	f.hosts["src"].Send(fb.Build(tuple, []byte("direct")))
+	fr := recvFrame(t, f.hosts["dst"])
+	if _, ok := packet.OuterVLAN(fr); ok {
+		t.Fatal("empty chain tagged the frame")
+	}
+}
+
+func TestClassifierNarrowsChainEntry(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1")
+	f.registerMbox(t, "mb1")
+	cls := openflow.NewMatch()
+	cls.L4Dst = 80
+	if _, err := f.tsa.InstallChainLegacy(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}, Classify: cls}); err != nil {
+		t.Fatal(err)
+	}
+	// Default route for everything else.
+	def := openflow.NewMatch()
+	srcPort, _ := f.sw.PortOf("src")
+	def.InPort = srcPort
+	dstPort, _ := f.sw.PortOf("dst")
+	f.sw.AddFlow(1, def, openflow.Output(dstPort))
+
+	var fb traffic.FrameBuilder
+	web := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 9, DstPort: 80, Protocol: packet.IPProtoTCP}
+	ssh := web
+	ssh.DstPort = 22
+	f.hosts["src"].Send(fb.Build(web, []byte("to the chain")))
+	f.hosts["src"].Send(fb.Build(ssh, []byte("direct")))
+
+	recvFrame(t, f.hosts["mb1"]) // web traffic enters the chain
+	fr := recvFrame(t, f.hosts["dst"])
+	var s packet.Summary
+	if err := packet.Summarize(fr, &s); err != nil || s.Tuple.DstPort != 22 {
+		t.Fatalf("dst got %v, want the ssh packet", s.Tuple)
+	}
+}
+
+func TestInstallBalancedChainValidation(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1")
+	f.registerMbox(t, "mb1")
+	if _, err := f.tsa.InstallBalancedChain(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}, nil); err != ErrNoInstances {
+		t.Errorf("err = %v, want ErrNoInstances", err)
+	}
+	if _, err := f.tsa.InstallChainLegacy(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ghost"}}); err == nil {
+		t.Error("chain with unregistered middlebox accepted")
+	}
+	if _, err := f.tsa.InstallChainWithDPI(ChainSpec{Src: "", Dst: "dst"}, "dpi"); err == nil {
+		t.Error("empty src accepted")
+	}
+}
+
+func TestPacketInIgnoresForeignAndReportFrames(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "dpi-1")
+	f.registerMbox(t, "mb1")
+	f.sw.SetController(f.tsa)
+	if _, err := f.tsa.InstallBalancedChain(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}, []string{"dpi-1"}); err != nil {
+		t.Fatal(err)
+	}
+	// A report frame punted to the controller must not create flow
+	// rules or crash.
+	var rep packet.Report
+	rep.AddMatch(0, 1, 1)
+	buf := packet.NewSerializeBuffer(32)
+	if err := packet.SerializeLayers(buf,
+		&packet.Ethernet{EtherType: packet.EtherTypeReport},
+		packet.Payload(rep.AppendEncoded(nil))); err != nil {
+		t.Fatal(err)
+	}
+	before := f.sw.NumFlows()
+	srcPort, _ := f.sw.PortOf("src")
+	f.tsa.PacketIn(f.sw, srcPort, buf.Bytes())
+	if f.sw.NumFlows() != before {
+		t.Error("report frame installed flow rules")
+	}
+	// A packet-in from a port with no pending chain is ignored too.
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{1, 1, 1, 1}, Dst: packet.IP4{2, 2, 2, 2}, Protocol: packet.IPProtoTCP}
+	otherPort, _ := f.sw.PortOf("dst")
+	f.tsa.PacketIn(f.sw, otherPort, fb.Build(tuple, []byte("x")))
+	if f.sw.NumFlows() != before {
+		t.Error("foreign packet-in installed flow rules")
+	}
+}
+
+func TestUninstallChain(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "mb2")
+	f.registerMbox(t, "mb1")
+	f.registerMbox(t, "mb2")
+	tag1, err := f.tsa.InstallChainLegacy(ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1", "mb2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag2, err := f.tsa.InstallChainLegacy(ChainSpec{Src: "dst", Dst: "src", Elements: []string{"mb2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.sw.NumFlows()
+	removed := f.tsa.UninstallChain(tag1)
+	if removed == 0 {
+		t.Fatal("nothing removed")
+	}
+	if f.sw.NumFlows() != before-removed {
+		t.Errorf("NumFlows = %d, want %d", f.sw.NumFlows(), before-removed)
+	}
+	// Chain 1's traffic now misses (dropped — no controller set).
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 3, DstPort: 80, Protocol: packet.IPProtoTCP}
+	f.hosts["src"].Send(fb.Build(tuple, []byte("orphaned")))
+	select {
+	case <-f.hosts["mb1"].Inbox():
+		t.Fatal("uninstalled chain still forwards")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Chain 2 is untouched.
+	rev := tuple
+	rev.Src, rev.Dst = tuple.Dst, tuple.Src
+	f.hosts["dst"].Send(fb.Build(rev, []byte("still works")))
+	fr := recvFrame(t, f.hosts["mb2"])
+	if id, ok := packet.OuterVLAN(fr); !ok || id != tag2 {
+		t.Errorf("chain 2 frame tag = %d/%v", id, ok)
+	}
+	// Idempotent.
+	if n := f.tsa.UninstallChain(tag1); n != 0 {
+		t.Errorf("second uninstall removed %d rules", n)
+	}
+}
+
+func TestMigrateFlowOverridesSteering(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "dpi-1", "dpi-2")
+	f.registerMbox(t, "mb1")
+	f.sw.SetController(f.tsa)
+	spec := ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}
+	tag, err := f.tsa.InstallBalancedChain(spec, []string{"dpi-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 7, DstPort: 80, Protocol: packet.IPProtoTCP}
+	f.hosts["src"].Send(fb.Build(tuple, []byte("first")))
+	recvFrame(t, f.hosts["dpi-1"])
+	if inst, _ := f.tsa.InstanceOf(tuple); inst != "dpi-1" {
+		t.Fatalf("flow pinned to %q", inst)
+	}
+	if err := f.tsa.MigrateFlow(tag, spec, tuple, "dpi-2"); err != nil {
+		t.Fatal(err)
+	}
+	f.hosts["src"].Send(fb.Build(tuple, []byte("second")))
+	recvFrame(t, f.hosts["dpi-2"])
+	select {
+	case <-f.hosts["dpi-1"].Inbox():
+		t.Fatal("migrated flow still reached dpi-1")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if inst, _ := f.tsa.InstanceOf(tuple); inst != "dpi-2" {
+		t.Errorf("InstanceOf = %q after migration", inst)
+	}
+}

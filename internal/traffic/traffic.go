@@ -1,0 +1,297 @@
+// Package traffic generates the synthetic workloads standing in for the
+// paper's two traces (Section 6.2): a crawled-HTTP-content trace ("HTML,
+// JavaScript, images, etc." from popular websites) and a campus wireless
+// network trace. Generators control the properties the DPI data path is
+// sensitive to — content mix, packet size distribution, flow structure,
+// and the fraction of packets containing pattern matches (above 90% of
+// trace packets contain none, Section 6.5) — and are fully deterministic
+// in their seed. An adversarial generator produces the heavy,
+// match-dense flows MCA² is designed to detect (Section 4.3.1).
+package traffic
+
+import (
+	"math/rand"
+
+	"dpiservice/internal/packet"
+)
+
+// Mix selects the content model.
+type Mix int
+
+// Content mixes.
+const (
+	// HTTPMix approximates the crawled website trace: ASCII-heavy
+	// HTML/JS/CSS with some binary (image-like) ranges.
+	HTTPMix Mix = iota
+	// CampusMix approximates the campus trace: more binary and
+	// compressed-looking content, smaller ASCII share.
+	CampusMix
+	// AttackMix produces adversarial payloads densely packed with
+	// fragments and repetitions of the target pattern set.
+	AttackMix
+)
+
+// Config tunes a Generator.
+type Config struct {
+	Seed int64
+	Mix  Mix
+	// MatchFraction is the fraction of packets into which a pattern
+	// from InjectPatterns is planted (ignored by AttackMix, which is
+	// all matches). The paper's traces have < 0.1.
+	MatchFraction float64
+	// InjectBurstMean, when > 1, makes a matching packet carry a
+	// geometrically-distributed number of planted patterns with this
+	// mean, reproducing trace packets that hit many rules at once
+	// (HTTP headers typically match several IDS patterns).
+	InjectBurstMean float64
+	// InjectPatterns is the pool patterns are planted from (for
+	// HTTPMix/CampusMix) or attacked with (AttackMix).
+	InjectPatterns []string
+	// MinPayload/MaxPayload bound L7 payload sizes; defaults 200/1400.
+	MinPayload, MaxPayload int
+}
+
+func (c *Config) defaults() {
+	if c.MinPayload <= 0 {
+		c.MinPayload = 200
+	}
+	if c.MaxPayload < c.MinPayload {
+		c.MaxPayload = 1400
+	}
+}
+
+// Generator produces payloads and frames.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator creates a deterministic generator.
+func NewGenerator(cfg Config) *Generator {
+	cfg.defaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+var (
+	htmlTokens = []string{
+		"<div class=\"", "</div>", "<a href=\"http://", "<img src=\"/static/",
+		"<script type=\"text/javascript\">", "</script>", "<span>", "&nbsp;",
+		"function(", "return ", "var ", "document.getElementById(\"",
+		"{\"id\":", ",\"name\":\"", "http://", "GET /", "HTTP/1.1\r\n",
+		"Content-Type: text/html\r\n", "Accept-Encoding: gzip\r\n",
+		"charset=utf-8", "px;margin:", "display:none", "0123456789",
+		"lorem ipsum dolor sit amet ", "consectetur adipiscing elit ",
+	}
+	wordChars = "abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789=/.-_:;,"
+)
+
+// Payload generates one packet payload of generator-chosen size.
+func (g *Generator) Payload() []byte {
+	size := g.cfg.MinPayload
+	if g.cfg.MaxPayload > g.cfg.MinPayload {
+		size += g.rng.Intn(g.cfg.MaxPayload - g.cfg.MinPayload + 1)
+	}
+	return g.PayloadN(size)
+}
+
+// PayloadN generates a payload of exactly n bytes.
+func (g *Generator) PayloadN(n int) []byte {
+	buf := make([]byte, 0, n)
+	switch g.cfg.Mix {
+	case AttackMix:
+		buf = g.fillAttack(buf, n)
+	case CampusMix:
+		buf = g.fillCampus(buf, n)
+	default:
+		buf = g.fillHTTP(buf, n)
+	}
+	buf = buf[:n]
+	if g.cfg.Mix != AttackMix && len(g.cfg.InjectPatterns) > 0 &&
+		g.rng.Float64() < g.cfg.MatchFraction {
+		g.inject(buf)
+	}
+	return buf
+}
+
+func (g *Generator) fillHTTP(buf []byte, n int) []byte {
+	for len(buf) < n {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // markup/JS tokens
+			buf = append(buf, htmlTokens[g.rng.Intn(len(htmlTokens))]...)
+		case 6, 7, 8: // wordish filler
+			l := 4 + g.rng.Intn(12)
+			for i := 0; i < l; i++ {
+				buf = append(buf, wordChars[g.rng.Intn(len(wordChars))])
+			}
+			buf = append(buf, ' ')
+		default: // binary run (inline image bytes)
+			l := 16 + g.rng.Intn(64)
+			for i := 0; i < l; i++ {
+				buf = append(buf, byte(g.rng.Intn(256)))
+			}
+		}
+	}
+	return buf
+}
+
+func (g *Generator) fillCampus(buf []byte, n int) []byte {
+	for len(buf) < n {
+		if g.rng.Intn(4) == 0 { // occasional protocol chatter
+			buf = append(buf, htmlTokens[g.rng.Intn(len(htmlTokens))]...)
+		} else { // mostly binary/compressed-looking
+			l := 32 + g.rng.Intn(96)
+			for i := 0; i < l; i++ {
+				buf = append(buf, byte(g.rng.Intn(256)))
+			}
+		}
+	}
+	return buf
+}
+
+// fillAttack packs the payload with pattern content: whole patterns,
+// their prefixes (forcing deep DFA walks that never complete), and
+// repeated-character runs that trigger range reports.
+func (g *Generator) fillAttack(buf []byte, n int) []byte {
+	pats := g.cfg.InjectPatterns
+	if len(pats) == 0 {
+		return append(buf, make([]byte, n)...)
+	}
+	for len(buf) < n {
+		p := pats[g.rng.Intn(len(pats))]
+		switch g.rng.Intn(3) {
+		case 0: // full pattern: guaranteed match
+			buf = append(buf, p...)
+		case 1: // prefix: deep traversal, no report
+			cut := 1 + g.rng.Intn(len(p))
+			buf = append(buf, p[:cut]...)
+		default: // repetition of the first byte
+			l := 4 + g.rng.Intn(12)
+			for i := 0; i < l; i++ {
+				buf = append(buf, p[0])
+			}
+		}
+	}
+	return buf
+}
+
+// inject plants one or more patterns at random positions (overwriting
+// content). With InjectBurstMean > 1 the count is geometric with that
+// mean.
+func (g *Generator) inject(buf []byte) {
+	k := 1
+	if m := g.cfg.InjectBurstMean; m > 1 {
+		// Geometric with mean m: success probability 1/m.
+		for k < 64 && g.rng.Float64() > 1/m {
+			k++
+		}
+	}
+	for i := 0; i < k; i++ {
+		p := g.cfg.InjectPatterns[g.rng.Intn(len(g.cfg.InjectPatterns))]
+		if len(p) >= len(buf) {
+			copy(buf, p)
+			return
+		}
+		off := g.rng.Intn(len(buf) - len(p))
+		copy(buf[off:], p)
+	}
+}
+
+// Corpus pregenerates payloads totalling at least totalBytes — the form
+// benchmarks consume so generation cost stays out of the measured loop.
+func (g *Generator) Corpus(totalBytes int) [][]byte {
+	var out [][]byte
+	for n := 0; n < totalBytes; {
+		p := g.Payload()
+		out = append(out, p)
+		n += len(p)
+	}
+	return out
+}
+
+// Flow is a generated flow: a tuple and its packet payloads in order.
+type Flow struct {
+	Tuple    packet.FiveTuple
+	Payloads [][]byte
+}
+
+// Flows generates nFlows flows with pktsPerFlow packets each, with
+// distinct five-tuples.
+func (g *Generator) Flows(nFlows, pktsPerFlow int) []Flow {
+	flows := make([]Flow, nFlows)
+	for i := range flows {
+		flows[i].Tuple = packet.FiveTuple{
+			Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
+			Dst:      packet.IP4{192, 168, byte(g.rng.Intn(256)), byte(g.rng.Intn(256))},
+			SrcPort:  uint16(1024 + g.rng.Intn(60000)),
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+		flows[i].Payloads = make([][]byte, pktsPerFlow)
+		for j := range flows[i].Payloads {
+			flows[i].Payloads[j] = g.Payload()
+		}
+	}
+	return flows
+}
+
+// FrameBuilder serializes flows into Ethernet frames for the virtual
+// network. It stamps each frame with a sequential IPv4 ID so result
+// packets pair with their data packets.
+type FrameBuilder struct {
+	SrcMAC, DstMAC packet.MAC
+	buf            packet.SerializeBuffer
+	nextID         uint16
+}
+
+// Build serializes one frame for the tuple's transport protocol.
+func (fb *FrameBuilder) Build(tuple packet.FiveTuple, payload []byte) []byte {
+	return fb.build(tuple, payload, packet.TCPAck)
+}
+
+// BuildFin serializes a TCP frame with FIN set, ending the flow's scan
+// state at the DPI instance.
+func (fb *FrameBuilder) BuildFin(tuple packet.FiveTuple, payload []byte) []byte {
+	return fb.build(tuple, payload, packet.TCPAck|packet.TCPFin)
+}
+
+func (fb *FrameBuilder) build(tuple packet.FiveTuple, payload []byte, tcpFlags uint8) []byte {
+	return fb.buildSeq(tuple, payload, tcpFlags, 0)
+}
+
+// BuildSeq serializes a TCP frame with an explicit sequence number, for
+// driving stream reassembly.
+func (fb *FrameBuilder) BuildSeq(tuple packet.FiveTuple, seq uint32, payload []byte, fin bool) []byte {
+	flags := packet.TCPAck
+	if fin {
+		flags |= packet.TCPFin
+	}
+	return fb.buildSeq(tuple, payload, flags, seq)
+}
+
+// BuildSyn serializes the flow-opening SYN at the given initial
+// sequence number.
+func (fb *FrameBuilder) BuildSyn(tuple packet.FiveTuple, isn uint32) []byte {
+	return fb.buildSeq(tuple, nil, packet.TCPSyn, isn)
+}
+
+func (fb *FrameBuilder) buildSeq(tuple packet.FiveTuple, payload []byte, tcpFlags uint8, seq uint32) []byte {
+	fb.nextID++
+	var l4 packet.SerializableLayer
+	if tuple.Protocol == packet.IPProtoUDP {
+		l4 = &packet.UDP{SrcPort: tuple.SrcPort, DstPort: tuple.DstPort}
+	} else {
+		l4 = &packet.TCP{SrcPort: tuple.SrcPort, DstPort: tuple.DstPort, Flags: tcpFlags, Window: 65535, Seq: seq}
+	}
+	err := packet.SerializeLayers(&fb.buf,
+		&packet.Ethernet{Src: fb.SrcMAC, Dst: fb.DstMAC, EtherType: packet.EtherTypeIPv4},
+		&packet.IPv4{TTL: 64, Protocol: tuple.Protocol, Src: tuple.Src, Dst: tuple.Dst, ID: fb.nextID},
+		l4,
+		packet.Payload(payload),
+	)
+	if err != nil {
+		return nil
+	}
+	out := make([]byte, len(fb.buf.Bytes()))
+	copy(out, fb.buf.Bytes())
+	return out
+}

@@ -1,0 +1,178 @@
+package traffic
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dpiservice/internal/packet"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Mix: HTTPMix, MatchFraction: 0.1, InjectPatterns: []string{"evil-pattern"}}
+	a, b := NewGenerator(cfg), NewGenerator(cfg)
+	for i := 0; i < 50; i++ {
+		pa, pb := a.Payload(), b.Payload()
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("payload %d differs across same-seed generators", i)
+		}
+	}
+	c := NewGenerator(Config{Seed: 43, Mix: HTTPMix})
+	if bytes.Equal(NewGenerator(cfg).Payload(), c.Payload()) {
+		t.Error("different seeds produced identical first payloads")
+	}
+}
+
+func TestPayloadSizeBounds(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1, MinPayload: 100, MaxPayload: 300})
+	for i := 0; i < 200; i++ {
+		p := g.Payload()
+		if len(p) < 100 || len(p) > 300 {
+			t.Fatalf("payload size %d out of [100,300]", len(p))
+		}
+	}
+	if got := g.PayloadN(777); len(got) != 777 {
+		t.Errorf("PayloadN = %d bytes", len(got))
+	}
+}
+
+func TestMatchFractionApproximatelyRespected(t *testing.T) {
+	pat := "totally-unique-injected-pattern"
+	g := NewGenerator(Config{Seed: 7, Mix: HTTPMix, MatchFraction: 0.1, InjectPatterns: []string{pat}})
+	const n = 2000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if bytes.Contains(g.Payload(), []byte(pat)) {
+			hits++
+		}
+	}
+	// 10% +- 3% — the paper's traces have >90% of packets clean
+	// (Section 6.5).
+	if hits < n*7/100 || hits > n*13/100 {
+		t.Errorf("injected fraction = %d/%d, want ~10%%", hits, n)
+	}
+}
+
+func TestCampusMixDiffersFromHTTP(t *testing.T) {
+	h := NewGenerator(Config{Seed: 5, Mix: HTTPMix})
+	c := NewGenerator(Config{Seed: 5, Mix: CampusMix})
+	ascii := func(p []byte) float64 {
+		n := 0
+		for _, b := range p {
+			if b >= 0x20 && b < 0x7f {
+				n++
+			}
+		}
+		return float64(n) / float64(len(p))
+	}
+	var hSum, cSum float64
+	for i := 0; i < 50; i++ {
+		hSum += ascii(h.PayloadN(1000))
+		cSum += ascii(c.PayloadN(1000))
+	}
+	if hSum <= cSum {
+		t.Errorf("HTTP mix (%f) not more ASCII than campus mix (%f)", hSum/50, cSum/50)
+	}
+}
+
+func TestAttackMixIsMatchDense(t *testing.T) {
+	pats := []string{"attack-sig-one", "attack-sig-two"}
+	g := NewGenerator(Config{Seed: 3, Mix: AttackMix, InjectPatterns: pats})
+	payload := g.PayloadN(10000)
+	count := bytes.Count(payload, []byte(pats[0])) + bytes.Count(payload, []byte(pats[1]))
+	if count < 50 {
+		t.Errorf("attack payload has only %d full pattern occurrences in 10kB", count)
+	}
+}
+
+func TestAttackMixNoPatternsZeroFill(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3, Mix: AttackMix})
+	p := g.PayloadN(100)
+	if len(p) != 100 {
+		t.Fatalf("len = %d", len(p))
+	}
+}
+
+func TestCorpusCoversRequestedBytes(t *testing.T) {
+	g := NewGenerator(Config{Seed: 9})
+	corpus := g.Corpus(50_000)
+	total := 0
+	for _, p := range corpus {
+		total += len(p)
+	}
+	if total < 50_000 {
+		t.Errorf("corpus = %d bytes", total)
+	}
+}
+
+func TestFlowsDistinctTuples(t *testing.T) {
+	g := NewGenerator(Config{Seed: 11})
+	flows := g.Flows(50, 3)
+	seen := map[packet.FiveTuple]bool{}
+	for _, f := range flows {
+		if seen[f.Tuple] {
+			t.Fatalf("duplicate tuple %v", f.Tuple)
+		}
+		seen[f.Tuple] = true
+		if len(f.Payloads) != 3 {
+			t.Fatalf("flow has %d payloads", len(f.Payloads))
+		}
+	}
+}
+
+func TestFrameBuilderRoundTrip(t *testing.T) {
+	var fb FrameBuilder
+	fb.SrcMAC = packet.MAC{2, 0, 0, 0, 0, 1}
+	fb.DstMAC = packet.MAC{2, 0, 0, 0, 0, 2}
+	tuple := packet.FiveTuple{
+		Src: packet.IP4{10, 1, 2, 3}, Dst: packet.IP4{10, 4, 5, 6},
+		SrcPort: 1234, DstPort: 80, Protocol: packet.IPProtoTCP,
+	}
+	payload := []byte("round trip payload")
+	f1 := fb.Build(tuple, payload)
+	f2 := fb.Build(tuple, payload)
+
+	var s1, s2 packet.Summary
+	if err := packet.Summarize(f1, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := packet.Summarize(f2, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Tuple != tuple || !bytes.Equal(s1.Payload, payload) {
+		t.Errorf("summary = %+v", s1)
+	}
+	if s1.IPID == s2.IPID {
+		t.Error("IP IDs not sequential — result pairing would break")
+	}
+
+	// UDP variant.
+	udp := tuple
+	udp.Protocol = packet.IPProtoUDP
+	fu := fb.Build(udp, payload)
+	var su packet.Summary
+	if err := packet.Summarize(fu, &su); err != nil {
+		t.Fatal(err)
+	}
+	if su.Tuple != udp || !bytes.Equal(su.Payload, payload) {
+		t.Errorf("udp summary = %+v", su)
+	}
+
+	// FIN variant ends flows.
+	ff := fb.BuildFin(tuple, payload)
+	var sf packet.Summary
+	if err := packet.Summarize(ff, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if sf.TCPFlags&packet.TCPFin == 0 {
+		t.Error("FIN not set")
+	}
+}
+
+func TestFlowsDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Seed: 4}).Flows(5, 2)
+	b := NewGenerator(Config{Seed: 4}).Flows(5, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Flows not deterministic")
+	}
+}
