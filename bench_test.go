@@ -8,6 +8,7 @@ package dpiservice
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 
 	"dpiservice/internal/bench"
@@ -461,6 +462,94 @@ func BenchmarkEngineStatefulVsStateless(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelInspect drives one sharded engine from b.RunParallel
+// goroutines, each scanning its own flow population — the multi-core
+// scaling of the data plane. Run with `-cpu 1,2,4,8` to sweep cores:
+//
+//	go test -bench BenchmarkParallelInspect -cpu 1,2,4,8 .
+//
+// Aggregate throughput (the ns/op and MB/s columns are per-parallel
+// unit of work) should grow near-linearly until the core count exceeds
+// the shard count.
+func BenchmarkParallelInspect(b *testing.B) {
+	set := patterns.SnortLike(2000, benchSeed)
+	corpus := benchCorpus(set, 1<<20)
+	cfg := core.Config{
+		Profiles: []core.Profile{{ID: 0, Name: "ids", Patterns: set}},
+		Chains:   map[uint16][]int{1: {0}},
+	}
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total int64
+	for _, p := range corpus {
+		total += int64(len(p))
+	}
+	var nextWorker atomic.Int64
+	b.SetBytes(total)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// A distinct source IP per goroutine keeps flow populations
+		// disjoint, so goroutines contend only on shard locks.
+		w := nextWorker.Add(1)
+		tuple := packet.FiveTuple{
+			Src:      packet.IP4{10, 1, byte(w >> 8), byte(w)},
+			Dst:      packet.IP4{10, 0, 0, 2},
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+		for pb.Next() {
+			for j, p := range corpus {
+				tuple.SrcPort = uint16(j % 64)
+				if _, err := e.Inspect(1, tuple, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkInspectBatch measures the batch entry point itself at
+// GOMAXPROCS workers (compare against the workers=1 run for the
+// speedup the dpibench `parallel` experiment tabulates).
+func BenchmarkInspectBatch(b *testing.B) {
+	set := patterns.SnortLike(2000, benchSeed)
+	corpus := benchCorpus(set, 1<<20)
+	cfg := core.Config{
+		Profiles: []core.Profile{{ID: 0, Name: "ids", Patterns: set}},
+		Chains:   map[uint16][]int{1: {0}},
+	}
+	e, err := core.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]core.BatchItem, len(corpus))
+	var total int64
+	for j, p := range corpus {
+		items[j] = core.BatchItem{
+			Tag: 1,
+			Tuple: packet.FiveTuple{
+				Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+				SrcPort: uint16(j % 64), DstPort: 80, Protocol: packet.IPProtoTCP,
+			},
+			Payload: p,
+		}
+		total += int64(len(p))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.InspectBatch(items, 0)
+	}
+	b.StopTimer()
+	for i := range items {
+		if items[i].Err != nil {
+			b.Fatal(items[i].Err)
+		}
 	}
 }
 

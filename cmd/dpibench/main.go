@@ -7,7 +7,7 @@
 //	dpibench [flags] <experiment>
 //
 // Experiments: fig8, table2, fig9a, fig9b, fig10a, fig10b, fig11,
-// slowdown, ablations, all.
+// slowdown, parallel, ablations, all.
 package main
 
 import (
@@ -26,7 +26,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator seed")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|ablations|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|ablations|all>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +45,7 @@ func main() {
 		"fig10b":    runFig10b,
 		"fig11":     runFig11,
 		"slowdown":  runSlowdown,
+		"parallel":  runParallel,
 		"ablations": runAblations,
 	}
 	run := func(name string) {
@@ -59,7 +60,7 @@ func main() {
 		}
 	}
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"slowdown", "fig8", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "ablations"} {
+		for _, name := range []string{"slowdown", "fig8", "parallel", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "ablations"} {
 			run(name)
 		}
 		return
@@ -94,6 +95,17 @@ func runTable2(opt bench.Options) error {
 	if len(rows) == 3 && rows[0].Mbps > 0 {
 		fmt.Printf("combined vs separate: %.0f%% of Snort1's throughput\n\n", rows[2].Mbps/rows[0].Mbps*100)
 	}
+	return nil
+}
+
+func runParallel(opt bench.Options) error {
+	fmt.Println("== Parallel Inspect: one sharded instance, throughput vs scan workers ==")
+	rows, err := bench.ParallelScaling(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatParallel(rows))
+	fmt.Println()
 	return nil
 }
 

@@ -34,6 +34,7 @@ func main() {
 		id        = flag.String("id", "dpi-1", "instance identifier")
 		dedicated = flag.Bool("dedicated", false, "run as an MCA2 dedicated instance (compact automaton)")
 		telEvery  = flag.Duration("telemetry", 10*time.Second, "telemetry export interval (0 disables)")
+		workers   = flag.Int("workers", 1, "scan workers per data connection (>1 pipelines: reads, scans and ordered writes overlap)")
 	)
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				serveData(conn, &eng)
+				serveData(conn, &eng, *workers)
 			}()
 		}
 	}()
@@ -105,16 +106,21 @@ func main() {
 
 // serveData handles one data connection: packet in, report out. The
 // engine pointer is reloaded per packet so controller-pushed updates
-// apply without dropping the connection.
-func serveData(conn net.Conn, eng *atomic.Pointer[core.Engine]) {
+// apply without dropping the connection. With workers > 1 the
+// connection is pipelined: a reader feeds a scan worker pool and a
+// writer emits results in arrival order, so scans of different flows
+// overlap on all cores while the framed protocol stays in sequence.
+func serveData(conn net.Conn, eng *atomic.Pointer[core.Engine], workers int) {
 	defer conn.Close()
+	if workers > 1 {
+		serveDataParallel(conn, eng, workers)
+		return
+	}
 	var payload, enc []byte
 	for {
 		tag, tuple, p, err := ctlproto.ReadDataPacket(conn, payload)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				log.Printf("dpinstance: data read: %v", err)
-			}
+			logReadErr(err)
 			return
 		}
 		payload = p
@@ -134,6 +140,57 @@ func serveData(conn net.Conn, eng *atomic.Pointer[core.Engine]) {
 			return
 		}
 	}
+}
+
+func logReadErr(err error) {
+	if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		log.Printf("dpinstance: data read: %v", err)
+	}
+}
+
+// serveDataParallel runs the reader → worker pool → ordered writer
+// pipeline for one connection.
+func serveDataParallel(conn net.Conn, eng *atomic.Pointer[core.Engine], workers int) {
+	pool := core.NewPool(func() *core.Engine { return eng.Load() }, workers, 0)
+	defer pool.Close()
+	// The completion queue preserves read order; the writer drains it
+	// so result frames match the request sequence.
+	pending := make(chan *core.Job, workers*8)
+	writeDone := make(chan struct{})
+	go func() {
+		defer close(writeDone)
+		var enc []byte
+		dead := false
+		for job := range pending {
+			job.Wait()
+			if dead {
+				continue // keep draining so the reader never wedges
+			}
+			if job.Err != nil {
+				log.Printf("dpinstance: inspect: %v", job.Err)
+			}
+			enc = enc[:0]
+			if job.Report != nil {
+				enc = job.Report.AppendEncoded(enc)
+			}
+			if err := ctlproto.WriteResultFrame(conn, enc); err != nil {
+				conn.Close() // unblock the reader
+				dead = true
+			}
+		}
+	}()
+	for {
+		tag, tuple, p, err := ctlproto.ReadDataPacket(conn, nil)
+		if err != nil {
+			logReadErr(err)
+			break
+		}
+		job := &core.Job{Tag: tag, Tuple: tuple, Payload: p}
+		pool.Submit(job)
+		pending <- job
+	}
+	close(pending)
+	<-writeDone
 }
 
 // exportAndRefresh periodically ships counters and heavy flows, and

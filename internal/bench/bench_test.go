@@ -148,6 +148,30 @@ func TestSlowdownQuick(t *testing.T) {
 	}
 }
 
+func TestParallelQuick(t *testing.T) {
+	rows, err := ParallelScaling(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if rows[0].Workers != 1 || rows[0].Speedup != 1 {
+		t.Errorf("first row must be the 1-worker baseline: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Mbps <= 0 || r.Speedup <= 0 {
+			t.Errorf("non-positive measurement: %+v", r)
+		}
+	}
+	if s := FormatParallel(rows); !strings.Contains(s, "workers") {
+		t.Errorf("FormatParallel output %q", s)
+	}
+	// No scaling assertion here: quick corpora are tiny and the test
+	// host may have a single core. BenchmarkParallelInspect with
+	// -cpu 1,2,4,8 is the scaling measurement.
+}
+
 func TestAblationMatchersQuick(t *testing.T) {
 	rows, err := AblationMatchers(quick)
 	if err != nil {

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/patterns"
+)
+
+// This file measures the multi-core scaling of a single DPI instance:
+// the sharded, re-entrant engine driven through InspectBatch with k
+// workers should track the paper's "k VMs, one per core" aggregate
+// (Figure 8 / Section 6.2), without the k separate automaton copies.
+
+// ParallelRow is one point of the throughput-vs-cores curve.
+type ParallelRow struct {
+	Workers int
+	Mbps    float64
+	Speedup float64 // vs the 1-worker row
+}
+
+// parallelWorkerCounts picks the sweep: powers of two up to GOMAXPROCS,
+// always including GOMAXPROCS itself.
+func parallelWorkerCounts() []int {
+	maxW := runtime.GOMAXPROCS(0)
+	var counts []int
+	for w := 1; w < maxW; w <<= 1 {
+		counts = append(counts, w)
+	}
+	return append(counts, maxW)
+}
+
+// ParallelScaling sweeps InspectBatch workers over the HTTP-mix
+// workload on one engine with the full Snort-like set.
+func ParallelScaling(o Options) ([]ParallelRow, error) {
+	o.defaults()
+	total := patterns.SnortFullSize
+	if o.Quick {
+		total = 400
+	}
+	set := patterns.SnortLike(total, o.Seed)
+	corpus := corpusFor(o, set)
+	e, tag, err := engineFor(core.AutoFull, set)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ParallelRow
+	for _, w := range parallelWorkerCounts() {
+		r := MeasureEngineParallel(fmt.Sprintf("workers-%d", w), e, tag, corpus, 256, o.Repeat, w)
+		row := ParallelRow{Workers: w, Mbps: r.ThroughputMbps()}
+		if len(rows) > 0 && rows[0].Mbps > 0 {
+			row.Speedup = row.Mbps / rows[0].Mbps
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MeasureEngineParallel pushes the corpus through a service instance
+// with InspectBatch fanning packets across `workers` goroutines,
+// rotating across nFlows flow tuples so the sharded flow table spreads
+// the load, and reports aggregate throughput.
+func MeasureEngineParallel(name string, e *core.Engine, tag uint16, corpus [][]byte, nFlows, repeat, workers int) Result {
+	r := Result{Name: name, Patterns: e.NumPatterns(), States: e.NumStates(), MemBytes: e.MemoryBytes()}
+	items := make([]core.BatchItem, len(corpus))
+	for j, p := range corpus {
+		f := j % nFlows
+		items[j] = core.BatchItem{
+			Tag: tag,
+			Tuple: packet.FiveTuple{
+				Src:      packet.IP4{10, 0, byte(f >> 8), byte(f)},
+				Dst:      packet.IP4{10, 0, 0, 2},
+				SrcPort:  uint16(1024 + f),
+				DstPort:  80,
+				Protocol: packet.IPProtoTCP,
+			},
+			Payload: p,
+		}
+		r.Bytes += int64(len(p))
+	}
+	r.Bytes *= int64(repeat)
+	start := time.Now()
+	for i := 0; i < repeat; i++ {
+		e.InspectBatch(items, workers)
+	}
+	r.Elapsed = time.Since(start)
+	for i := range items {
+		if items[i].Err != nil {
+			panic(items[i].Err) // harness misconfiguration, not a data error
+		}
+	}
+	s := e.Snapshot()
+	r.Matches = s.Matches
+	return r
+}
+
+// FormatParallel renders the throughput-vs-cores table.
+func FormatParallel(rows []ParallelRow) string {
+	out := fmt.Sprintf("%10s %14s %10s\n", "workers", "Mbps", "speedup")
+	for _, r := range rows {
+		out += fmt.Sprintf("%10d %14.0f %9.2fx\n", r.Workers, r.Mbps, r.Speedup)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/packet"
+)
+
+// This file is the multi-core data-plane entry points: InspectBatch
+// fans a slice of packets across worker goroutines, and Pool is the
+// persistent worker-pool variant the instance daemons use. Both lean on
+// Inspect being re-entrant (sharded flow table, pooled scratch), so one
+// engine reproduces the paper's "k VMs = k engines" scaling in-process
+// (Section 6.2, Figure 8).
+
+// BatchItem couples one packet with its result slot for InspectBatch.
+type BatchItem struct {
+	Tag     uint16
+	Tuple   packet.FiveTuple
+	Payload []byte
+	// Report and Err are filled by InspectBatch; Report is nil when
+	// nothing matched.
+	Report *packet.Report
+	Err    error
+}
+
+// InspectBatch scans every item, using up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). Items are claimed in order but
+// complete in any order: callers feeding stateful chains must keep a
+// flow's packets in separate batches (or a single-worker batch) when
+// stream order matters.
+func (e *Engine) InspectBatch(items []BatchItem, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			it := &items[i]
+			it.Report, it.Err = e.Inspect(it.Tag, it.Tuple, it.Payload)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := &items[i]
+				it.Report, it.Err = e.Inspect(it.Tag, it.Tuple, it.Payload)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Job is one packet scan submitted to a Pool. After Wait returns (or
+// the job is received from its Done signal), Report and Err are set.
+type Job struct {
+	Tag     uint16
+	Tuple   packet.FiveTuple
+	Payload []byte
+	Report  *packet.Report
+	Err     error
+	// Ctx rides along untouched for the submitter's bookkeeping (e.g.
+	// the original frame awaiting forwarding).
+	Ctx  any
+	done chan struct{}
+}
+
+// Wait blocks until the job has been scanned.
+func (j *Job) Wait() { <-j.done }
+
+// Pool is a persistent worker pool scanning packets against an engine.
+// The engine is resolved per job through the provided func, so
+// controller-pushed hot swaps apply without restarting the pool.
+type Pool struct {
+	engine func() *Engine
+	jobs   chan *Job
+	wg     sync.WaitGroup
+}
+
+// NewPool starts workers goroutines (<= 0 selects GOMAXPROCS) feeding
+// off a queue of the given depth (<= 0 selects 4x workers).
+func NewPool(engine func() *Engine, workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = workers * 4
+	}
+	p := &Pool{engine: engine, jobs: make(chan *Job, queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j.Report, j.Err = p.engine().Inspect(j.Tag, j.Tuple, j.Payload)
+				close(j.done)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit queues one job; it blocks when the queue is full (natural
+// backpressure toward the packet source).
+func (p *Pool) Submit(j *Job) {
+	if j.done == nil {
+		j.done = make(chan struct{})
+	}
+	p.jobs <- j
+}
+
+// Close drains the queue and stops the workers. Submit must not be
+// called after (or concurrently with) Close.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

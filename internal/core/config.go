@@ -92,6 +92,11 @@ type Config struct {
 	// MaxDecompressedBytes bounds decompression output per packet to
 	// contain decompression bombs; 0 selects a default of 256 KiB.
 	MaxDecompressedBytes int
+	// Shards overrides the flow-table shard count (rounded to a power
+	// of two, capped at 256); 0 scales with GOMAXPROCS. Shards bound
+	// the engine's flow-level parallelism: packets of flows in
+	// different shards never contend.
+	Shards int
 }
 
 // Errors returned by the engine.

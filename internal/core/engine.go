@@ -1,10 +1,8 @@
 package core
 
 import (
-	"bytes"
-	"compress/gzip"
 	"fmt"
-	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -16,31 +14,37 @@ import (
 )
 
 // Engine is one DPI service instance's scanning engine. It is safe for
-// concurrent use; scans are serialized internally (an instance is a
-// single logical core, as in the paper's deployment — parallelism comes
-// from running more instances, Section 4.3).
+// concurrent use and scans different flows in parallel: the flow table
+// is sharded by tuple hash, every per-scan mutable structure lives in a
+// pooled scratch record, and telemetry counters are atomic, so the hot
+// path takes no global lock. A single instance can therefore use all of
+// a machine's cores — the in-process equivalent of the paper's "k VMs,
+// one per core" deployment (Section 6.2, Figure 8).
 type Engine struct {
-	mu sync.Mutex
-
 	auto mpm.Automaton
 	// autoFold matches the case-insensitive (Snort nocase) patterns
 	// against a case-folded view of the payload; nil when no profile
 	// has any.
 	autoFold mpm.Automaton
 	foldMask uint64 // sets contributing nocase patterns
-	foldBuf  []byte
 	profiles map[int]*compiledProfile
-	chains   map[uint16]*chainInfo
-	cfg      Config
+	// profileBySet is the hot-path view of profiles, indexed by set ID
+	// (dense, nil holes) so emit avoids a map lookup per match.
+	profileBySet []*compiledProfile
+	// rxProfiles lists the profiles with regular expressions, in the
+	// order their per-scan anchor scratch is laid out in scratch.rx.
+	rxProfiles []*compiledProfile
+	chains     map[uint16]*chainInfo
+	cfg        Config
 
-	flows   map[packet.FiveTuple]*flowState
-	useSeq  uint64 // logical clock for LRU eviction
-	epoch   uint64 // per-scan epoch for anchor scratch invalidation
-	cur     scanCtx
-	emitFn  mpm.EmitFunc
-	gzRdr   *gzip.Reader
-	gzBuf   []byte
-	counter Stats
+	// The flow table is sharded by FiveTuple.FastHash. Each shard has
+	// its own lock, map and LRU clock, so packets of different flows
+	// proceed concurrently.
+	shards    []*flowShard
+	shardMask uint64
+
+	scratchPool sync.Pool // of *scratch
+	counter     Stats
 }
 
 // Stats are cumulative engine counters, safe to read concurrently.
@@ -64,26 +68,36 @@ type StatsSnapshot struct {
 
 type chainInfo struct {
 	tag     uint16
-	members []int
+	members []*compiledProfile
 	mask    uint64
-	// anyUnlimited is set when some member scans unbounded; maxStop is
-	// the deepest finite stopping condition otherwise.
-	anyUnlimited bool
-	maxStop      int
-	anyStateful  bool
+	// anyUnlimited is set when some member scans unbounded; otherwise
+	// statelessStop is the deepest finite stopping condition among the
+	// stateless members (packet coordinates) and statefulLimited holds
+	// the stateful members whose remaining depth shrinks with the flow
+	// offset — the only per-packet recomputation left (Section 5.2).
+	anyUnlimited    bool
+	statelessStop   int
+	statefulLimited []*compiledProfile
+	anyStateful     bool
+	// rxMembers holds the members with regular expressions so the
+	// confirmation stage skips the rest.
+	rxMembers []*compiledProfile
 
-	// Per-chain counters (guarded by the engine mutex) — the
-	// controller uses these to decide grouping and scale-out
-	// (Section 4.3).
-	packets uint64
-	bytes   uint64
-	matches uint64
+	// Per-chain counters — the controller uses these to decide
+	// grouping and scale-out (Section 4.3). Atomic: chains are scanned
+	// from many goroutines at once.
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	matches atomic.Uint64
 }
 
 type compiledProfile struct {
 	Profile
 	bit uint64
 	rx  *regexengine.Engine
+	// rxIndex is this profile's slot in scratch.rx (per-scan anchor
+	// bookkeeping); -1 when the profile has no regexes.
+	rxIndex int
 	// constraints holds Snort-style offset/depth windows for the
 	// patterns that declared them; nil when the set has none so the
 	// hot path pays nothing.
@@ -94,13 +108,6 @@ type compiledProfile struct {
 	anchorOwner []anchorOwner
 	regexSlots  []regexSlot
 	hasPoor     bool
-
-	// Per-scan scratch, valid when the stored epoch matches the
-	// engine's current epoch.
-	anchorSeenEpoch [][]uint64 // [regexSlot][anchorIdx]
-	distinctSeen    []int      // per regexSlot, distinct anchors this epoch
-	slotEpoch       []uint64
-	candidates      []int // regex slots with all anchors seen this scan
 }
 
 // posConstraint is a Snort offset/depth window: the match must start at
@@ -120,25 +127,25 @@ type regexSlot struct {
 	numAnchors int
 }
 
-type flowState struct {
-	state       mpm.State
-	foldState   mpm.State
-	foldStarted bool
-	offset      int64
-	lastUsed    uint64
-	// MCA² telemetry (Section 4.3.1).
-	bytes   uint64
-	matches uint64
-}
-
-// scanCtx carries the state of the scan in progress, referenced by the
-// engine's pre-bound emit closure to keep the hot path allocation-free.
-type scanCtx struct {
-	chain       *chainInfo
-	report      *packet.Report
-	offset      int64
-	fromRestore bool // scan resumed from a non-start DFA state
-	matches     uint64
+// numShards picks a power-of-two shard count scaled to GOMAXPROCS (with
+// headroom so unrelated flows rarely contend), bounded so that every
+// shard can hold at least one flow under the configured table limit.
+func numShards(override, maxFlows int) int {
+	n := override
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0) * 4
+		if n < 8 {
+			n = 8
+		}
+	}
+	shards := 1
+	for shards < n && shards < 256 {
+		shards <<= 1
+	}
+	for shards > 1 && maxFlows/shards < 1 {
+		shards >>= 1
+	}
+	return shards
 }
 
 // NewEngine compiles the configuration into a ready engine: it merges
@@ -150,15 +157,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		profiles: make(map[int]*compiledProfile, len(cfg.Profiles)),
-		chains:   make(map[uint16]*chainInfo, len(cfg.Chains)),
-		flows:    make(map[packet.FiveTuple]*flowState),
-		cfg:      cfg,
+		profiles:     make(map[int]*compiledProfile, len(cfg.Profiles)),
+		profileBySet: make([]*compiledProfile, mpm.MaxSets),
+		chains:       make(map[uint16]*chainInfo, len(cfg.Chains)),
+		cfg:          cfg,
 	}
 	b := mpm.NewBuilder()
 	bFold := mpm.NewBuilder()
 	for _, p := range cfg.Profiles {
-		cp := &compiledProfile{Profile: p, bit: 1 << uint(p.ID)}
+		cp := &compiledProfile{Profile: p, bit: 1 << uint(p.ID), rxIndex: -1}
 		for _, pat := range p.Patterns.Patterns {
 			if pat.NoCase {
 				// Case-insensitive patterns live in the fold automaton
@@ -206,14 +213,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 					cp.anchorOwner = append(cp.anchorOwner, anchorOwner{slot: slot, idx: ai})
 				}
 			}
-			cp.anchorSeenEpoch = make([][]uint64, len(cp.regexSlots))
-			for i, rs := range cp.regexSlots {
-				cp.anchorSeenEpoch[i] = make([]uint64, rs.numAnchors)
-			}
-			cp.distinctSeen = make([]int, len(cp.regexSlots))
-			cp.slotEpoch = make([]uint64, len(cp.regexSlots))
+			cp.rxIndex = len(e.rxProfiles)
+			e.rxProfiles = append(e.rxProfiles, cp)
 		}
 		e.profiles[p.ID] = cp
+		e.profileBySet[p.ID] = cp
 	}
 	var (
 		auto mpm.Automaton
@@ -254,69 +258,46 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.autoFold = fold
 	}
 	for tag, members := range cfg.Chains {
-		ci := &chainInfo{tag: tag, members: append([]int(nil), members...)}
+		ci := &chainInfo{tag: tag}
 		for _, id := range members {
 			p := e.profiles[id]
+			ci.members = append(ci.members, p)
 			ci.mask |= p.bit
 			if p.Stateful {
 				ci.anyStateful = true
 			}
-			if p.StopAfter == 0 {
+			if p.rx != nil {
+				ci.rxMembers = append(ci.rxMembers, p)
+			}
+			// Stopping conditions are resolved here, once, instead of
+			// per packet: only stateful members with a finite depth
+			// still depend on the flow offset at scan time.
+			switch {
+			case p.StopAfter == 0:
 				ci.anyUnlimited = true
-			} else if p.StopAfter > ci.maxStop {
-				ci.maxStop = p.StopAfter
+			case p.Stateful:
+				ci.statefulLimited = append(ci.statefulLimited, p)
+			case p.StopAfter > ci.statelessStop:
+				ci.statelessStop = p.StopAfter
 			}
 		}
 		e.chains[tag] = ci
 	}
-	e.emitFn = e.emit
-	return e, nil
-}
-
-// emit is the automaton callback: it applies the per-middlebox filters
-// of Section 5.2 and records surviving matches in the report under
-// construction.
-func (e *Engine) emit(refs []mpm.PatternRef, end int) {
-	c := &e.cur
-	for _, r := range refs {
-		bit := uint64(1) << uint(r.Set)
-		if c.chain.mask&bit == 0 {
-			continue
-		}
-		p := e.profiles[int(r.Set)]
-		if int(r.ID) >= RegexReportBase {
-			// Anchor hit: record toward its regex's completion.
-			e.noteAnchor(p, int(r.ID)-RegexReportBase)
-			continue
-		}
-		if p.Stateful {
-			pos := c.offset + int64(end)
-			if p.StopAfter > 0 && pos > int64(p.StopAfter) {
-				continue
-			}
-			// Offset/depth windows apply over the stream for a
-			// stateful middlebox.
-			if p.constraints != nil && !checkWindow(p.constraints, r, pos) {
-				continue
-			}
-			c.report.AddMatch(uint8(r.Set), r.ID, uint32(pos))
-		} else {
-			// Stateless: a pattern longer than the bytes consumed in
-			// this packet began in a previous packet — not a match for
-			// a per-packet middlebox.
-			if c.fromRestore && int(r.Len) > end {
-				continue
-			}
-			if p.StopAfter > 0 && end > p.StopAfter {
-				continue
-			}
-			if p.constraints != nil && !checkWindow(p.constraints, r, int64(end)) {
-				continue
-			}
-			c.report.AddMatch(uint8(r.Set), r.ID, uint32(end))
-		}
-		c.matches++
+	n := numShards(cfg.Shards, cfg.MaxFlows)
+	e.shards = make([]*flowShard, n)
+	e.shardMask = uint64(n - 1)
+	perShard := cfg.MaxFlows / n
+	if perShard < 1 {
+		perShard = 1
 	}
+	for i := range e.shards {
+		e.shards[i] = &flowShard{
+			flows:    make(map[packet.FiveTuple]*flowState),
+			maxFlows: perShard,
+		}
+	}
+	e.scratchPool.New = func() any { return e.newScratch() }
+	return e, nil
 }
 
 // appendLowerASCII appends an ASCII-lowercased copy of src to dst.
@@ -347,47 +328,41 @@ func checkWindow(constraints map[uint16]posConstraint, r mpm.PatternRef, end int
 	return true
 }
 
-func (e *Engine) noteAnchor(p *compiledProfile, ord int) {
-	if ord >= len(p.anchorOwner) {
-		return
-	}
-	ao := p.anchorOwner[ord]
-	if p.slotEpoch[ao.slot] != e.epoch {
-		p.slotEpoch[ao.slot] = e.epoch
-		p.distinctSeen[ao.slot] = 0
-	}
-	if p.anchorSeenEpoch[ao.slot][ao.idx] == e.epoch {
-		return // same anchor seen again this packet
-	}
-	p.anchorSeenEpoch[ao.slot][ao.idx] = e.epoch
-	p.distinctSeen[ao.slot]++
-	if p.distinctSeen[ao.slot] == p.regexSlots[ao.slot].numAnchors {
-		p.candidates = append(p.candidates, ao.slot)
-	}
-}
-
 // Inspect scans one packet payload belonging to the given policy-chain
 // tag and flow tuple, returning the match report for the chain's
 // middleboxes, or nil when nothing matched (the common case — the packet
 // is then forwarded entirely unmodified). The returned report is freshly
 // allocated and owned by the caller.
+//
+// Inspect is re-entrant: calls for different flows run fully in
+// parallel, and calls for the same flow contend only on that flow's
+// state (and only when the chain is stateful). Concurrent packets of
+// one stateful flow are serialized in lock-acquisition order, so
+// callers needing exact stream order must submit a flow's packets
+// sequentially.
 func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*packet.Report, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
 	chain, ok := e.chains[tag]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownChain, tag)
 	}
+	s := e.scratchPool.Get().(*scratch)
+	rep := e.inspect(chain, tuple, payload, s)
+	e.scratchPool.Put(s)
+	return rep, nil
+}
+
+// inspect runs one scan using the given scratch. The chain has already
+// been resolved.
+func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byte, s *scratch) *packet.Report {
 	e.counter.Packets.Add(1)
 	e.counter.Bytes.Add(uint64(len(payload)))
-	e.epoch++
+	s.epoch++
 
 	// One-time decompression (Section 1): the service decompresses so
 	// no middlebox has to.
 	scanData := payload
 	if e.cfg.Decompress && len(payload) >= 2 && payload[0] == 0x1f && payload[1] == 0x8b {
-		if dec, err := e.decompress(payload); err == nil {
+		if dec, err := s.decompress(payload); err == nil {
 			scanData = dec
 			e.counter.Decompressed.Add(1)
 		}
@@ -396,7 +371,8 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 	// The flow record carries the DFA scan state for stateful chains
 	// and, for every chain, the per-flow telemetry MCA² consumes
 	// (Section 4.3.1).
-	fs := e.flow(tuple)
+	sh := e.shards[tuple.FastHash()&e.shardMask]
+	fs := sh.flow(e, tuple)
 	state := mpm.State(0)
 	if e.auto != nil {
 		state = e.auto.Start()
@@ -407,6 +383,9 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 	}
 	var offset int64
 	if chain.anyStateful {
+		// The flow lock serializes stateful scans of this one flow;
+		// packets of other flows are unaffected.
+		fs.mu.Lock()
 		state = fs.state
 		if e.autoFold != nil && fs.foldStarted {
 			foldState = fs.foldState
@@ -416,38 +395,33 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 
 	// Determine how deep this packet must be scanned: the most
 	// conservative (deepest) stopping condition among active
-	// middleboxes (Section 5.2).
+	// middleboxes (Section 5.2). The stateless part was folded into
+	// one number at engine build time; only stateful members' windows
+	// move with the flow offset.
 	limit := len(scanData)
 	if !chain.anyUnlimited {
-		deepest := 0
-		for _, id := range chain.members {
-			p := e.profiles[id]
-			var remaining int64
-			if p.Stateful {
-				remaining = int64(p.StopAfter) - offset
-			} else {
-				remaining = int64(p.StopAfter)
-			}
-			if remaining > int64(deepest) {
-				deepest = int(remaining)
+		deepest := int64(chain.statelessStop)
+		for _, p := range chain.statefulLimited {
+			if remaining := int64(p.StopAfter) - offset; remaining > deepest {
+				deepest = remaining
 			}
 		}
-		if deepest < limit {
-			limit = deepest
+		if deepest < int64(limit) {
+			limit = int(deepest)
 		}
 	}
 
-	report := &packet.Report{}
-	e.cur = scanCtx{chain: chain, report: report, offset: offset, fromRestore: chain.anyStateful && offset > 0}
+	s.report.Reset()
+	s.cur = scanCtx{chain: chain, report: &s.report, offset: offset, fromRestore: chain.anyStateful && offset > 0}
 	if e.auto != nil && limit > 0 {
-		state = e.auto.Scan(scanData[:limit], state, chain.mask, e.emitFn)
+		state = e.auto.Scan(scanData[:limit], state, chain.mask, s.emitFn)
 		e.counter.BytesScanned.Add(uint64(limit))
 	}
 	if e.autoFold != nil && limit > 0 && chain.mask&e.foldMask != 0 {
-		e.foldBuf = appendLowerASCII(e.foldBuf[:0], scanData[:limit])
-		foldState = e.autoFold.Scan(e.foldBuf, foldState, chain.mask, e.emitFn)
+		s.foldBuf = appendLowerASCII(s.foldBuf[:0], scanData[:limit])
+		foldState = e.autoFold.Scan(s.foldBuf, foldState, chain.mask, s.emitFn)
 	}
-	e.finishRegexes(chain, scanData, offset, report)
+	s.finishRegexes(chain, scanData, offset)
 
 	if chain.anyStateful {
 		fs.state = state
@@ -456,129 +430,48 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 			fs.foldStarted = true
 		}
 		fs.offset = offset + int64(len(scanData))
+		fs.mu.Unlock()
 	}
-	fs.bytes += uint64(len(scanData))
-	fs.matches += e.cur.matches
-	chain.packets++
-	chain.bytes += uint64(len(scanData))
-	chain.matches += e.cur.matches
-	e.counter.Matches.Add(e.cur.matches)
-	e.cur = scanCtx{}
-	if report.Empty() {
-		return nil, nil
+	fs.bytes.Add(uint64(len(scanData)))
+	fs.matches.Add(s.cur.matches)
+	chain.packets.Add(1)
+	chain.bytes.Add(uint64(len(scanData)))
+	chain.matches.Add(s.cur.matches)
+	e.counter.Matches.Add(s.cur.matches)
+	s.cur = scanCtx{}
+	if s.report.Empty() {
+		return nil
 	}
 	e.counter.Reports.Add(1)
-	return report, nil
-}
-
-// finishRegexes runs the confirmation stage (Section 5.3): expressions
-// whose anchors were all found are evaluated by the full engine, and
-// anchor-poor expressions are evaluated directly.
-func (e *Engine) finishRegexes(chain *chainInfo, scanData []byte, offset int64, report *packet.Report) {
-	for _, id := range chain.members {
-		p := e.profiles[id]
-		if p.rx == nil {
-			continue
-		}
-		for _, slot := range p.candidates {
-			rs := p.regexSlots[slot]
-			e.counter.RegexConfirms.Add(1)
-			if loc := p.rx.Get(rs.id); loc != nil {
-				if m := locMatch(loc, scanData); m >= 0 {
-					e.counter.RegexHits.Add(1)
-					e.addRegexMatch(p, rs.id, m, offset, report)
-				}
-			}
-		}
-		p.candidates = p.candidates[:0]
-		if p.hasPoor {
-			for _, rid := range p.rx.ScanAnchorPoor(scanData) {
-				e.counter.RegexHits.Add(1)
-				e.addRegexMatch(p, rid, len(scanData), offset, report)
-			}
-		}
-	}
-}
-
-func (e *Engine) addRegexMatch(p *compiledProfile, regexID, end int, offset int64, report *packet.Report) {
-	pos := int64(end)
-	if p.Stateful {
-		pos += offset
-	}
-	if p.StopAfter > 0 && pos > int64(p.StopAfter) {
-		return
-	}
-	report.AddMatch(uint8(p.ID), uint16(RegexReportBase+regexID), uint32(pos))
-	e.cur.matches++
-}
-
-// locMatch returns the end offset of the expression's first match in
-// data, or -1.
-func locMatch(c *regexengine.Compiled, data []byte) int {
-	loc := c.FindIndex(data)
-	if loc == nil {
-		return -1
-	}
-	return loc[1]
-}
-
-// flow returns the state record for tuple, creating (and possibly
-// evicting) as needed.
-func (e *Engine) flow(tuple packet.FiveTuple) *flowState {
-	fs, ok := e.flows[tuple]
-	if !ok {
-		if len(e.flows) >= e.cfg.MaxFlows {
-			e.evictFlow()
-		}
-		start := mpm.State(0)
-		if e.auto != nil {
-			start = e.auto.Start()
-		}
-		fs = &flowState{state: start}
-		e.flows[tuple] = fs
-	}
-	e.useSeq++
-	fs.lastUsed = e.useSeq
-	return fs
-}
-
-// evictFlow removes the least recently used among a small random sample
-// of flows — an O(1) approximation of LRU adequate for a table whose
-// entries are tiny (a DFA state and an offset, the paper's point about
-// instance state in Section 4.3).
-func (e *Engine) evictFlow() {
-	var victim packet.FiveTuple
-	var oldest uint64 = ^uint64(0)
-	n := 0
-	for t, fs := range e.flows {
-		if fs.lastUsed < oldest {
-			oldest = fs.lastUsed
-			victim = t
-		}
-		n++
-		if n >= 8 {
-			break
-		}
-	}
-	if n > 0 {
-		delete(e.flows, victim)
-		e.counter.FlowsEvicted.Add(1)
-	}
+	// The scratch (and its report) go back to the pool; hand the
+	// caller an owned copy. Non-empty reports are the rare case
+	// (Section 6.5: >90% of packets match nothing), so the common path
+	// stays allocation-free.
+	return s.report.Clone()
 }
 
 // EndFlow discards the scan state of a finished flow (e.g. on TCP FIN).
 func (e *Engine) EndFlow(tuple packet.FiveTuple) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.flows, tuple)
+	sh := e.shards[tuple.FastHash()&e.shardMask]
+	sh.mu.Lock()
+	delete(sh.flows, tuple)
+	sh.mu.Unlock()
 }
 
 // ActiveFlows reports the number of tracked flows.
 func (e *Engine) ActiveFlows() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.flows)
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		n += len(sh.flows)
+		sh.mu.Unlock()
+	}
+	return n
 }
+
+// NumShards reports the flow-table shard count (the engine's degree of
+// flow-level parallelism).
+func (e *Engine) NumShards() int { return len(e.shards) }
 
 // FlowStat is the per-flow telemetry MCA² uses to spot heavy flows.
 type FlowStat struct {
@@ -587,15 +480,37 @@ type FlowStat struct {
 	Matches uint64
 }
 
-// FlowStats snapshots per-flow telemetry.
+// FlowStats snapshots per-flow telemetry, sorted by tuple so repeated
+// snapshots diff cleanly.
 func (e *Engine) FlowStats() []FlowStat {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]FlowStat, 0, len(e.flows))
-	for t, fs := range e.flows {
-		out = append(out, FlowStat{Tuple: t, Bytes: fs.bytes, Matches: fs.matches})
+	var out []FlowStat
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		for t, fs := range sh.flows {
+			out = append(out, FlowStat{Tuple: t, Bytes: fs.bytes.Load(), Matches: fs.matches.Load()})
+		}
+		sh.mu.Unlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return tupleLess(out[i].Tuple, out[j].Tuple) })
 	return out
+}
+
+// tupleLess orders five-tuples lexicographically by (src, dst, sport,
+// dport, proto) — the deterministic telemetry order.
+func tupleLess(a, b packet.FiveTuple) bool {
+	if a.Src != b.Src {
+		return string(a.Src[:]) < string(b.Src[:])
+	}
+	if a.Dst != b.Dst {
+		return string(a.Dst[:]) < string(b.Dst[:])
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Protocol < b.Protocol
 }
 
 // Snapshot returns a copy of the cumulative counters.
@@ -647,45 +562,27 @@ type ChainStat struct {
 	Matches uint64
 }
 
-// ChainStats snapshots per-chain counters.
+// ChainStats snapshots per-chain counters, sorted by tag.
 func (e *Engine) ChainStats() []ChainStat {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	out := make([]ChainStat, 0, len(e.chains))
 	for tag, ci := range e.chains {
-		out = append(out, ChainStat{Tag: tag, Packets: ci.packets, Bytes: ci.bytes, Matches: ci.matches})
+		out = append(out, ChainStat{
+			Tag:     tag,
+			Packets: ci.packets.Load(),
+			Bytes:   ci.bytes.Load(),
+			Matches: ci.matches.Load(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
 	return out
 }
 
-// Chains returns the configured policy-chain tags.
+// Chains returns the configured policy-chain tags, sorted.
 func (e *Engine) Chains() []uint16 {
 	tags := make([]uint16, 0, len(e.chains))
 	for t := range e.chains {
 		tags = append(tags, t)
 	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
 	return tags
-}
-
-// decompress inflates a gzip payload up to the configured bound.
-func (e *Engine) decompress(payload []byte) ([]byte, error) {
-	rd := bytes.NewReader(payload)
-	if e.gzRdr == nil {
-		r, err := gzip.NewReader(rd)
-		if err != nil {
-			return nil, err
-		}
-		e.gzRdr = r
-	} else if err := e.gzRdr.Reset(rd); err != nil {
-		return nil, err
-	}
-	if e.gzBuf == nil {
-		e.gzBuf = make([]byte, e.cfg.MaxDecompressedBytes)
-	}
-	n, err := io.ReadFull(e.gzRdr, e.gzBuf)
-	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
-		return nil, err
-	}
-	return e.gzBuf[:n], nil
 }

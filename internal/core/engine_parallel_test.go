@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dpiservice/internal/packet"
+)
+
+// parallelFlowTuple returns the tuple for one of the test's flows.
+func parallelFlowTuple(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.IP4{10, 2, byte(i >> 8), byte(i)}, Dst: packet.IP4{10, 0, 0, 2},
+		SrcPort: uint16(2000 + i), DstPort: 80, Protocol: packet.IPProtoTCP,
+	}
+}
+
+// parallelFlowPackets builds a deterministic packet stream for flow i,
+// including patterns split across packet boundaries so the stateful
+// profile's cross-packet state matters.
+func parallelFlowPackets(i int) [][]byte {
+	return [][]byte{
+		[]byte("GET /index.html HTTP/1.1 atta"),
+		[]byte("ck-sig carried over"),
+		[]byte("perfectly clean payload"),
+		[]byte(fmt.Sprintf("flow %d reads /etc/pas", i)),
+		[]byte("swd and some ev"),
+		[]byte("il malware-body trailer"),
+		[]byte("final clean packet"),
+	}
+}
+
+// TestParallelInspectEquivalence hammers one engine from GOMAXPROCS
+// goroutines (run under -race) and asserts the merged per-flow match
+// records and the global telemetry equal a packet-by-packet sequential
+// run on a second, identical engine. Flows are partitioned across
+// workers so each flow's packets stay in order; different flows
+// interleave freely across shards.
+func TestParallelInspectEquivalence(t *testing.T) {
+	const nFlows = 64
+	workers := runtime.GOMAXPROCS(0) * 2 // oversubscribe to force interleaving
+
+	par, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference: flow-major order (flows are independent, so
+	// any cross-flow interleaving yields the same per-packet reports).
+	want := make([][][]rec, nFlows)
+	for i := 0; i < nFlows; i++ {
+		tuple := parallelFlowTuple(i)
+		for _, p := range parallelFlowPackets(i) {
+			rep, err := seq.Inspect(uint16(1+i%2), tuple, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = append(want[i], flatten(rep))
+		}
+	}
+
+	got := make([][][]rec, nFlows)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nFlows; i += workers {
+				tuple := parallelFlowTuple(i)
+				for _, p := range parallelFlowPackets(i) {
+					rep, err := par.Inspect(uint16(1+i%2), tuple, p)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					got[i] = append(got[i], flatten(rep))
+				}
+				// Telemetry reads must be safe mid-storm.
+				par.ChainStats()
+				par.Chains()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < nFlows; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("flow %d: parallel reports %v, sequential %v", i, got[i], want[i])
+		}
+	}
+
+	ps, ss := par.Snapshot(), seq.Snapshot()
+	if ps != ss {
+		t.Errorf("snapshots differ: parallel %+v, sequential %+v", ps, ss)
+	}
+	if !reflect.DeepEqual(par.ChainStats(), seq.ChainStats()) {
+		t.Errorf("chain stats differ: %+v vs %+v", par.ChainStats(), seq.ChainStats())
+	}
+	pf, sf := par.FlowStats(), seq.FlowStats()
+	if !reflect.DeepEqual(pf, sf) {
+		t.Errorf("flow stats differ: %+v vs %+v", pf, sf)
+	}
+}
+
+// TestInspectBatchMatchesInspect runs the same packets through
+// InspectBatch and the serial path and compares reports slot by slot
+// (stateless chain 2, so batch completion order cannot matter).
+func TestInspectBatchMatchesInspect(t *testing.T) {
+	e, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []BatchItem
+	payloads := [][]byte{
+		[]byte("clean"), []byte("has malware-body inside"),
+		[]byte("an evil payload"), []byte("nothing here"),
+	}
+	for i := 0; i < 128; i++ {
+		items = append(items, BatchItem{
+			Tag: 2, Tuple: parallelFlowTuple(i % 16), Payload: payloads[i%len(payloads)],
+		})
+	}
+	e.InspectBatch(items, 8)
+	for i := range items {
+		if items[i].Err != nil {
+			t.Fatal(items[i].Err)
+		}
+		wantRep, err := ref.Inspect(2, items[i].Tuple, items[i].Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := flatten(items[i].Report), flatten(wantRep); !reflect.DeepEqual(got, want) {
+			t.Errorf("item %d: report %v, want %v", i, got, want)
+		}
+	}
+	if ps, rs := e.Snapshot(), ref.Snapshot(); ps != rs {
+		t.Errorf("snapshots differ: batch %+v, serial %+v", ps, rs)
+	}
+}
+
+// TestPoolScansAndHotSwaps exercises the persistent worker pool,
+// including the engine-resolver indirection used for config hot swaps.
+func TestPoolScansAndHotSwaps(t *testing.T) {
+	e, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(func() *Engine { return e }, 4, 0)
+	defer pool.Close()
+	jobs := make([]*Job, 64)
+	for i := range jobs {
+		jobs[i] = &Job{Tag: 2, Tuple: parallelFlowTuple(i % 8), Payload: []byte("an evil payload"), Ctx: i}
+		pool.Submit(jobs[i])
+	}
+	for i, j := range jobs {
+		j.Wait()
+		if j.Err != nil {
+			t.Fatal(j.Err)
+		}
+		if j.Ctx.(int) != i {
+			t.Errorf("job %d: ctx %v", i, j.Ctx)
+		}
+		if got := flatten(j.Report); len(got) != 1 || got[0].pat != 1 {
+			t.Errorf("job %d: report %v", i, got)
+		}
+	}
+	if s := e.Snapshot(); s.Packets != 64 {
+		t.Errorf("Packets = %d, want 64", s.Packets)
+	}
+}
+
+// TestTelemetrySorted pins the deterministic ordering of the telemetry
+// accessors (consumers diff successive snapshots).
+func TestTelemetrySorted(t *testing.T) {
+	e, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 63; i >= 0; i-- { // insert flows in descending order
+		if _, err := e.Inspect(1, parallelFlowTuple(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := e.FlowStats()
+	if len(fs) != 64 {
+		t.Fatalf("FlowStats len = %d", len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if !tupleLess(fs[i-1].Tuple, fs[i].Tuple) {
+			t.Fatalf("FlowStats unsorted at %d: %v before %v", i, fs[i-1].Tuple, fs[i].Tuple)
+		}
+	}
+	if got := e.Chains(); !reflect.DeepEqual(got, []uint16{1, 2}) {
+		t.Errorf("Chains = %v", got)
+	}
+	cs := e.ChainStats()
+	if len(cs) != 2 || cs[0].Tag != 1 || cs[1].Tag != 2 {
+		t.Errorf("ChainStats = %+v", cs)
+	}
+}

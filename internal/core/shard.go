@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dpiservice/internal/mpm"
+	"dpiservice/internal/packet"
+)
+
+// flowShard is one slice of the sharded flow table. The shard lock
+// guards only the map and the LRU clock — never a scan — so the time a
+// packet holds it is a hash lookup, not a DFA traversal.
+type flowShard struct {
+	mu       sync.Mutex
+	flows    map[packet.FiveTuple]*flowState
+	useSeq   uint64 // logical clock for LRU eviction
+	maxFlows int
+}
+
+type flowState struct {
+	// mu serializes stateful scans of this one flow (a flow's DFA
+	// state must advance in packet order); stateless chains never take
+	// it.
+	mu          sync.Mutex
+	state       mpm.State
+	foldState   mpm.State
+	foldStarted bool
+	offset      int64
+	lastUsed    uint64 // guarded by the shard lock
+	// MCA² telemetry (Section 4.3.1), updated outside the locks.
+	bytes   atomic.Uint64
+	matches atomic.Uint64
+}
+
+// flow returns the state record for tuple, creating (and possibly
+// evicting) as needed. The returned pointer stays valid even if the
+// entry is evicted mid-scan; the replacement simply restarts clean.
+func (sh *flowShard) flow(e *Engine, tuple packet.FiveTuple) *flowState {
+	sh.mu.Lock()
+	fs, ok := sh.flows[tuple]
+	if !ok {
+		if len(sh.flows) >= sh.maxFlows {
+			sh.evictFlow(e)
+		}
+		start := mpm.State(0)
+		if e.auto != nil {
+			start = e.auto.Start()
+		}
+		fs = &flowState{state: start}
+		sh.flows[tuple] = fs
+	}
+	sh.useSeq++
+	fs.lastUsed = sh.useSeq
+	sh.mu.Unlock()
+	return fs
+}
+
+// evictFlow removes the least recently used among a small random sample
+// of the shard's flows — an O(1) approximation of LRU adequate for a
+// table whose entries are tiny (a DFA state and an offset, the paper's
+// point about instance state in Section 4.3). Caller holds sh.mu.
+func (sh *flowShard) evictFlow(e *Engine) {
+	var victim packet.FiveTuple
+	var oldest uint64 = ^uint64(0)
+	n := 0
+	for t, fs := range sh.flows {
+		if fs.lastUsed < oldest {
+			oldest = fs.lastUsed
+			victim = t
+		}
+		n++
+		if n >= 8 {
+			break
+		}
+	}
+	if n > 0 {
+		delete(sh.flows, victim)
+		e.counter.FlowsEvicted.Add(1)
+	}
+}

@@ -43,7 +43,22 @@ type DPINode struct {
 	asm        *reassembly.Assembler
 	curTag     uint16 // tag of the segment being fed to the assembler
 
+	// Scan worker pool (SetWorkers). submitMu guards pool/completions
+	// and makes submission order equal completion-queue order, so the
+	// finisher forwards frames in arrival order even though scans
+	// complete out of order.
+	submitMu    sync.Mutex
+	pool        *core.Pool
+	completions chan *core.Job
+	finWG       sync.WaitGroup
+
 	buf packet.SerializeBuffer
+}
+
+// frameScan is the pool-job context: the original frame and its parse.
+type frameScan struct {
+	frame []byte
+	sum   packet.Summary
 }
 
 // NewDPINode wraps a host and an engine into a service instance node
@@ -135,7 +150,66 @@ func (n *DPINode) handleFrame(frame []byte) {
 		n.mu.Unlock()
 		return
 	}
+	if n.trySubmit(frame, &sum, tag) {
+		return
+	}
 	report, err := n.engineRef().Inspect(tag, sum.Tuple, sum.Payload)
+	n.finishScan(frame, &sum, tag, report, err)
+}
+
+// trySubmit hands the frame to the scan worker pool when one is
+// running. Completion-queue order equals submission order, so the
+// finisher emits frames in arrival order.
+func (n *DPINode) trySubmit(frame []byte, sum *packet.Summary, tag uint16) bool {
+	n.submitMu.Lock()
+	defer n.submitMu.Unlock()
+	if n.pool == nil {
+		return false
+	}
+	job := &core.Job{Tag: tag, Tuple: sum.Tuple, Payload: sum.Payload,
+		Ctx: &frameScan{frame: frame, sum: *sum}}
+	n.pool.Submit(job)
+	n.completions <- job
+	return true
+}
+
+// SetWorkers starts a pool of count scan workers on the node (count <=
+// 0 stops the pool and returns to synchronous scanning). With workers,
+// packets of different flows scan on all cores while frames still leave
+// the node in arrival order — the in-process version of the paper's
+// one-instance-per-core deployment (Section 6.2).
+func (n *DPINode) SetWorkers(count int) {
+	n.submitMu.Lock()
+	old, oldComp := n.pool, n.completions
+	n.pool, n.completions = nil, nil
+	n.submitMu.Unlock()
+	if old != nil {
+		old.Close()
+		close(oldComp)
+		n.finWG.Wait()
+	}
+	if count <= 0 {
+		return
+	}
+	pool := core.NewPool(n.engineRef, count, 0)
+	comp := make(chan *core.Job, count*8)
+	n.finWG.Add(1)
+	go func() {
+		defer n.finWG.Done()
+		for job := range comp {
+			job.Wait()
+			fc := job.Ctx.(*frameScan)
+			n.finishScan(fc.frame, &fc.sum, job.Tag, job.Report, job.Err)
+		}
+	}()
+	n.submitMu.Lock()
+	n.pool, n.completions = pool, comp
+	n.submitMu.Unlock()
+}
+
+// finishScan completes one scanned frame: flow teardown, result-passing
+// mode resolution, marking, forwarding and report emission.
+func (n *DPINode) finishScan(frame []byte, sum *packet.Summary, tag uint16, report *packet.Report, err error) {
 	if err != nil {
 		// Unknown chain: forward; steering is the TSA's problem.
 		n.Send(frame)

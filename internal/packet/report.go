@@ -126,6 +126,22 @@ func (r *Report) section(mbox uint8) *Section {
 	return &r.Sections[len(r.Sections)-1]
 }
 
+// Clone returns a deep copy of the report sharing no storage with r,
+// so the copy outlives any reuse of r's buffers.
+func (r *Report) Clone() *Report {
+	out := &Report{PacketID: r.PacketID, Flags: r.Flags, Tuple: r.Tuple}
+	if len(r.Sections) > 0 {
+		out.Sections = make([]Section, len(r.Sections))
+		for i := range r.Sections {
+			out.Sections[i] = Section{
+				Mbox:    r.Sections[i].Mbox,
+				Entries: append([]Entry(nil), r.Sections[i].Entries...),
+			}
+		}
+	}
+	return out
+}
+
 // Empty reports whether the report carries no matches.
 func (r *Report) Empty() bool {
 	for i := range r.Sections {

@@ -573,3 +573,81 @@ func TestStatefulAcrossPacketsThroughFabric(t *testing.T) {
 	tb.Src.Send(fb.Build(tuple, []byte("oss-packets yyy")))
 	waitFor(t, "stateful match", func() bool { return idsLogic.Total() == 1 })
 }
+
+// TestParallelDPIInstanceEndToEnd reruns the Figure 1(b) chain with the
+// instance node scanning on a worker pool: forwarding must stay in
+// arrival order and the middleboxes must reach the same conclusions as
+// with the synchronous node.
+func TestParallelDPIInstanceEndToEnd(t *testing.T) {
+	tb, err := NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Stop()
+
+	idsLogic := middlebox.NewCountLogic()
+	avLogic := middlebox.NewCountLogic()
+	if _, err := tb.AddConsumerMbox("ids-1", "ids",
+		ctlproto.Register{Stateful: true, ReadOnly: true},
+		[]string{"attack-sig", "/etc/passwd"}, idsLogic); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddConsumerMbox("av-1", "av", ctlproto.Register{},
+		[]string{"malware-body", "attack-sig"}, avLogic); err != nil {
+		t.Fatal(err)
+	}
+	spec := sdn.ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ids-1", "av-1"}}
+	tag, err := tb.TSA.InstallChainWithDPI(spec, "dpi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := tb.AddParallelDPIInstance("dpi-1", []uint16{tag}, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.SetWorkers(0)
+
+	var fb traffic.FrameBuilder
+	tuple := packet.FiveTuple{
+		Src: tb.Src.IP, Dst: tb.Dst.IP, SrcPort: 41000, DstPort: 80,
+		Protocol: packet.IPProtoTCP,
+	}
+	payloads := [][]byte{
+		[]byte("a perfectly clean payload with nothing of note"),
+		[]byte("contains attack-sig right here"),
+		[]byte("cat /etc/passwd and also malware-body twice malware-body"),
+		[]byte("clean again"),
+	}
+	for _, p := range payloads {
+		if !tb.Src.Send(fb.Build(tuple, p)) {
+			t.Fatal("send failed")
+		}
+	}
+
+	var dataAtDst [][]byte
+	waitFor(t, "4 data packets at dst", func() bool {
+		for {
+			select {
+			case f := <-tb.Dst.Inbox():
+				var s packet.Summary
+				if packet.Summarize(f, &s) == nil && !s.IsReport {
+					dataAtDst = append(dataAtDst, f)
+				}
+			default:
+				return len(dataAtDst) == 4
+			}
+		}
+	})
+	// Forwarding preserved arrival order despite the worker pool.
+	for i, f := range dataAtDst {
+		var s packet.Summary
+		if err := packet.Summarize(f, &s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s.Payload, payloads[i]) {
+			t.Errorf("packet %d out of order or mutated: %q", i, s.Payload)
+		}
+	}
+	waitFor(t, "IDS count", func() bool { return idsLogic.Total() == 2 })
+	waitFor(t, "AV count", func() bool { return avLogic.Total() == 3 })
+}
