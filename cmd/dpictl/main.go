@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpictl: listen: %v", err)
 	}
-	srv := controller.Serve(ctl, ln)
+	srv := controller.Serve(ctl, ln, log.Printf)
 	log.Printf("dpictl: controller listening on %s", srv.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,48 @@
+// Command dpilint runs the data-plane invariant checks of internal/lint
+// over the module: hot-path purity, lock discipline, atomic-field
+// hygiene, and library API hygiene. It exits non-zero when any check
+// fires, so CI can gate on it:
+//
+//	go run ./cmd/dpilint ./...
+//
+// The -dir flag instead analyzes one bare directory as a single package
+// (used to demonstrate the checker against a violation fixture):
+//
+//	go run ./cmd/dpilint -dir internal/lint/testdata/src/hotpath
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpiservice/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", "", "analyze a single directory as one package instead of module patterns")
+	flag.Parse()
+
+	var (
+		mod *lint.Module
+		err error
+	)
+	if *dir != "" {
+		mod, err = lint.LoadDir(*dir)
+	} else {
+		mod, err = lint.LoadModule(".", flag.Args()...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpilint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(mod)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dpilint: %d issue(s) in %d package(s)\n", len(diags), len(mod.Pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dpilint: %d package(s) clean\n", len(mod.Pkgs))
+}

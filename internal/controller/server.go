@@ -3,7 +3,6 @@ package controller
 import (
 	"errors"
 	"io"
-	"log"
 	"net"
 	"sync"
 
@@ -23,17 +22,26 @@ type Server struct {
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
 
-	// Logf receives diagnostic messages; defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// logFn receives diagnostic messages; nil keeps the library quiet.
+	logFn func(format string, args ...any)
 }
 
 // Serve starts accepting control connections on ln; it returns
-// immediately. Close stops the server.
-func Serve(ctl *Controller, ln net.Listener) *Server {
-	s := &Server{ctl: ctl, ln: ln, conns: make(map[net.Conn]bool), Logf: log.Printf}
+// immediately. logf, when non-nil, receives diagnostic messages (cmd/
+// daemons pass log.Printf); it must be fixed at start so the accept
+// loop never races a later assignment. Close stops the server.
+func Serve(ctl *Controller, ln net.Listener, logf func(format string, args ...any)) *Server {
+	s := &Server{ctl: ctl, ln: ln, conns: make(map[net.Conn]bool), logFn: logf}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// logf forwards to the configured sink, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.logFn != nil {
+		s.logFn(format, args...)
+	}
 }
 
 // Addr returns the listener's address.
@@ -84,12 +92,12 @@ func (s *Server) handle(conn net.Conn) {
 		env, err := ctlproto.ReadMsg(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				s.Logf("controller: read: %v", err)
+				s.logf("controller: read: %v", err)
 			}
 			return
 		}
 		if err := s.dispatch(conn, env); err != nil {
-			s.Logf("controller: %s (seq %d): %v", env.Type, env.Seq, err)
+			s.logf("controller: %s (seq %d): %v", env.Type, env.Seq, err)
 			if werr := ctlproto.WriteMsg(conn, ctlproto.TypeError, env.Seq,
 				ctlproto.Error{AckSeq: env.Seq, Reason: err.Error()}); werr != nil {
 				return

@@ -17,8 +17,7 @@ func startServer(t *testing.T) (*Controller, *Server) {
 		t.Fatal(err)
 	}
 	ctl := New()
-	srv := Serve(ctl, ln)
-	srv.Logf = t.Logf
+	srv := Serve(ctl, ln, t.Logf)
 	t.Cleanup(func() { srv.Close() })
 	return ctl, srv
 }

@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"dpiservice/internal/mpm"
 	"dpiservice/internal/patterns"
@@ -105,6 +106,21 @@ var (
 	ErrDuplicateID  = errors.New("core: duplicate middlebox ID")
 	ErrBadProfile   = errors.New("core: invalid middlebox profile")
 )
+
+// UnknownChainError reports a scan against an unconfigured chain tag.
+// It is a dedicated type (rather than fmt.Errorf at the call site) so
+// constructing it on the per-packet path costs one small allocation and
+// no formatting; the message is rendered only if something prints it.
+// It unwraps to ErrUnknownChain.
+type UnknownChainError struct {
+	Tag uint16
+}
+
+func (e *UnknownChainError) Error() string {
+	return ErrUnknownChain.Error() + " " + strconv.Itoa(int(e.Tag))
+}
+
+func (e *UnknownChainError) Unwrap() error { return ErrUnknownChain }
 
 const (
 	defaultMaxFlows        = 1 << 16

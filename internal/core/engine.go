@@ -340,10 +340,12 @@ func checkWindow(constraints map[uint16]posConstraint, r mpm.PatternRef, end int
 // one stateful flow are serialized in lock-acquisition order, so
 // callers needing exact stream order must submit a flow's packets
 // sequentially.
+//
+//dpi:hotpath
 func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*packet.Report, error) {
 	chain, ok := e.chains[tag]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownChain, tag)
+		return nil, &UnknownChainError{Tag: tag}
 	}
 	s := e.scratchPool.Get().(*scratch)
 	rep := e.inspect(chain, tuple, payload, s)
@@ -353,6 +355,8 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 
 // inspect runs one scan using the given scratch. The chain has already
 // been resolved.
+//
+//dpi:hotpath
 func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byte, s *scratch) *packet.Report {
 	e.counter.Packets.Add(1)
 	e.counter.Bytes.Add(uint64(len(payload)))

@@ -69,7 +69,11 @@ func (e *Engine) newScratch() *scratch {
 
 // emit is the automaton callback: it applies the per-middlebox filters
 // of Section 5.2 and records surviving matches in the report under
-// construction.
+// construction. It is annotated directly because it reaches the scan
+// only as a func value (scratch.emitFn), which the static call graph
+// cannot follow.
+//
+//dpi:hotpath
 func (s *scratch) emit(refs []mpm.PatternRef, end int) {
 	c := &s.cur
 	for _, r := range refs {

@@ -12,22 +12,29 @@ import (
 // guards only the map and the LRU clock — never a scan — so the time a
 // packet holds it is a hash lookup, not a DFA traversal.
 type flowShard struct {
-	mu       sync.Mutex
-	flows    map[packet.FiveTuple]*flowState
+	mu sync.Mutex
+	//dpi:guardedby(mu)
+	flows map[packet.FiveTuple]*flowState
+	//dpi:guardedby(mu)
 	useSeq   uint64 // logical clock for LRU eviction
-	maxFlows int
+	maxFlows int    // immutable after NewEngine
 }
 
 type flowState struct {
 	// mu serializes stateful scans of this one flow (a flow's DFA
 	// state must advance in packet order); stateless chains never take
 	// it.
-	mu          sync.Mutex
-	state       mpm.State
-	foldState   mpm.State
+	mu sync.Mutex
+	//dpi:guardedby(mu)
+	state mpm.State
+	//dpi:guardedby(mu)
+	foldState mpm.State
+	//dpi:guardedby(mu)
 	foldStarted bool
-	offset      int64
-	lastUsed    uint64 // guarded by the shard lock
+	//dpi:guardedby(mu)
+	offset int64
+	//dpi:guardedby(mu)
+	lastUsed uint64 // the guarding mu is the owning shard's, not the flow's
 	// MCA² telemetry (Section 4.3.1), updated outside the locks.
 	bytes   atomic.Uint64
 	matches atomic.Uint64
@@ -36,6 +43,8 @@ type flowState struct {
 // flow returns the state record for tuple, creating (and possibly
 // evicting) as needed. The returned pointer stays valid even if the
 // entry is evicted mid-scan; the replacement simply restarts clean.
+//
+//dpi:hotpath
 func (sh *flowShard) flow(e *Engine, tuple packet.FiveTuple) *flowState {
 	sh.mu.Lock()
 	fs, ok := sh.flows[tuple]
@@ -60,6 +69,9 @@ func (sh *flowShard) flow(e *Engine, tuple packet.FiveTuple) *flowState {
 // of the shard's flows — an O(1) approximation of LRU adequate for a
 // table whose entries are tiny (a DFA state and an offset, the paper's
 // point about instance state in Section 4.3). Caller holds sh.mu.
+//
+//dpi:hotpath
+//dpi:locked(mu)
 func (sh *flowShard) evictFlow(e *Engine) {
 	var victim packet.FiveTuple
 	var oldest uint64 = ^uint64(0)

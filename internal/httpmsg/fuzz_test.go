@@ -1,0 +1,94 @@
+package httpmsg
+
+import (
+	"errors"
+	"testing"
+)
+
+// The header parsers run on reassembled attacker-controlled bytes, so
+// the bar is: no panic on any input, errors from the known set, and any
+// returned head safe to interrogate through its accessor methods.
+
+func FuzzParseRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"),
+		[]byte("POST /upload HTTP/1.1\r\nHost: a\r\nContent-Length: 12\r\n\r\nhello world!"),
+		[]byte("GET /a?b=c HTTP/1.0\r\nX: y\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nHost: split.exam"), // head cut mid-header
+		[]byte("GET /\r\n\r\n"),                      // no HTTP version
+		[]byte("BREW /pot HTCPCP/1.0\r\n\r\n"),       // unknown method
+		[]byte("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"),
+		[]byte(""),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := ParseRequest(payload)
+		checkParse(t, err, req == nil)
+		if req == nil {
+			return
+		}
+		// Accessors must be safe on complete and partial heads alike.
+		_, _ = req.Header("Host")
+		_ = req.Host()
+		_ = req.Path()
+		_ = req.ContentLength()
+		if req.Complete {
+			if req.BodyOffset < 0 || req.BodyOffset > len(payload) {
+				t.Fatalf("BodyOffset %d outside payload of %d bytes", req.BodyOffset, len(payload))
+			}
+			if err != nil {
+				t.Fatalf("complete head returned err %v", err)
+			}
+		}
+	})
+}
+
+func FuzzParseResponse(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n<html>"),
+		[]byte("HTTP/1.0 404 Not Found\r\n\r\n"),
+		[]byte("HTTP/1.1 301 Moved Permanently\r\nLocation: /new\r"), // cut mid-CRLF
+		[]byte("HTTP/1.1 abc Bad\r\n\r\n"),
+		[]byte("ICY 200 OK\r\n\r\n"),
+		[]byte(""),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		resp, err := ParseResponse(payload)
+		checkParse(t, err, resp == nil)
+		if resp == nil {
+			return
+		}
+		for _, h := range resp.Headers {
+			if h.Name == "" {
+				t.Fatal("accepted header with empty name")
+			}
+		}
+		if resp.Complete {
+			if resp.BodyOffset < 0 || resp.BodyOffset > len(payload) {
+				t.Fatalf("BodyOffset %d outside payload of %d bytes", resp.BodyOffset, len(payload))
+			}
+			if err != nil {
+				t.Fatalf("complete head returned err %v", err)
+			}
+		}
+	})
+}
+
+// checkParse asserts the error contract shared by both parsers: nil or
+// one of the package's sentinel errors, and a nil head only alongside a
+// non-nil error.
+func checkParse(t *testing.T, err error, headNil bool) {
+	t.Helper()
+	if err != nil && !errors.Is(err, ErrNotHTTP) && !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrMalformed) {
+		t.Fatalf("error outside the sentinel set: %v", err)
+	}
+	if headNil && err == nil {
+		t.Fatal("nil head with nil error")
+	}
+}

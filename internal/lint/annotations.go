@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// The annotation language is three comment directives:
+//
+//	//dpi:hotpath            on a function: it (and everything it calls
+//	                         inside the module) is per-packet code.
+//	//dpi:locked(mu)         on a function: the caller holds the lock
+//	                         named mu for the duration of the call.
+//	//dpi:guardedby(mu)      on a struct field: only touch it while the
+//	                         lock named mu is held.
+//
+// A directive may carry a trailing rationale after the closing token:
+// "//dpi:hotpath scan loop" parses the same as "//dpi:hotpath".
+
+var directiveRe = regexp.MustCompile(`^//dpi:(\w+)(?:\(([^)]*)\))?(?:\s.*)?$`)
+
+type funcAnnotation struct {
+	hotpath bool
+	locked  []string // lock names the caller is contracted to hold
+}
+
+// Annotations indexes every //dpi: directive in the module by the
+// object it annotates.
+type Annotations struct {
+	funcs   map[*types.Func]*funcAnnotation
+	guarded map[*types.Var]string // field -> lock name
+	diags   []Diagnostic          // malformed or misplaced directives
+}
+
+func (a *Annotations) funcAnn(fn *types.Func) *funcAnnotation {
+	if ann, ok := a.funcs[fn]; ok {
+		return ann
+	}
+	ann := &funcAnnotation{}
+	a.funcs[fn] = ann
+	return ann
+}
+
+func (a *Annotations) isLocked(fn *types.Func, lock string) bool {
+	ann, ok := a.funcs[fn]
+	if !ok {
+		return false
+	}
+	for _, l := range ann.locked {
+		if l == lock {
+			return true
+		}
+	}
+	return false
+}
+
+// directive is one parsed //dpi: line.
+type directive struct {
+	name string
+	arg  string
+	pos  token.Pos
+}
+
+// directivesIn extracts //dpi: lines from a comment group.
+func directivesIn(cg *ast.CommentGroup) []directive {
+	if cg == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range cg.List {
+		if !strings.HasPrefix(c.Text, "//dpi:") {
+			continue
+		}
+		d := directive{pos: c.Pos()}
+		if m := directiveRe.FindStringSubmatch(c.Text); m != nil {
+			d.name, d.arg = m[1], m[2]
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// collectAnnotations walks every file once, binding directives to the
+// functions and fields they document and reporting malformed or
+// misplaced ones.
+func collectAnnotations(m *Module) *Annotations {
+	ann := &Annotations{
+		funcs:   make(map[*types.Func]*funcAnnotation),
+		guarded: make(map[*types.Var]string),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			// Comment groups consumed as a func doc or a field
+			// doc/trailer; any //dpi: directive outside those spots is
+			// dead weight and gets reported.
+			consumed := make(map[*ast.CommentGroup]bool)
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.FuncDecl:
+					consumed[node.Doc] = true
+					ann.bindFunc(m, pkg, node)
+				case *ast.StructType:
+					for _, field := range node.Fields.List {
+						consumed[field.Doc] = true
+						consumed[field.Comment] = true
+						ann.bindField(m, pkg, field)
+					}
+				}
+				return true
+			})
+			for _, cg := range file.Comments {
+				if consumed[cg] {
+					continue
+				}
+				for _, d := range directivesIn(cg) {
+					ann.report(m, d.pos, "a //dpi: directive must be in a function or struct-field doc comment")
+				}
+			}
+		}
+	}
+	return ann
+}
+
+func (a *Annotations) bindFunc(m *Module, pkg *Package, decl *ast.FuncDecl) {
+	ds := directivesIn(decl.Doc)
+	if len(ds) == 0 {
+		return
+	}
+	fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	for _, d := range ds {
+		switch {
+		case d.name == "hotpath" && d.arg == "":
+			a.funcAnn(fn).hotpath = true
+		case d.name == "locked" && d.arg != "":
+			fa := a.funcAnn(fn)
+			fa.locked = append(fa.locked, d.arg)
+		case d.name == "guardedby":
+			a.report(m, d.pos, "//dpi:guardedby annotates struct fields, not functions")
+		default:
+			a.report(m, d.pos, "malformed directive: want //dpi:hotpath or //dpi:locked(lockname)")
+		}
+	}
+}
+
+func (a *Annotations) bindField(m *Module, pkg *Package, field *ast.Field) {
+	var ds []directive
+	ds = append(ds, directivesIn(field.Doc)...)
+	ds = append(ds, directivesIn(field.Comment)...)
+	if len(ds) == 0 {
+		return
+	}
+	for _, d := range ds {
+		switch {
+		case d.name == "guardedby" && d.arg != "":
+			for _, name := range field.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					a.guarded[v] = d.arg
+				}
+			}
+		case d.name == "hotpath" || d.name == "locked":
+			a.report(m, d.pos, "//dpi:"+d.name+" annotates functions, not fields")
+		default:
+			a.report(m, d.pos, "malformed directive: want //dpi:guardedby(lockname)")
+		}
+	}
+}
+
+func (a *Annotations) report(m *Module, pos token.Pos, msg string) {
+	a.diags = append(a.diags, Diagnostic{Pos: m.Fset.Position(pos), Check: "annotation", Msg: msg})
+}

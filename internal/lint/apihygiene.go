@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The apihygiene check keeps the library's surface quiet and its errors
+// inspectable:
+//
+//   - no package except a main (cmd/, examples/) may reference
+//     fmt.Print* or the log package's printing/exiting functions —
+//     libraries report through returned errors or injected callbacks
+//     (constructing a *log.Logger someone handed you is fine; writing
+//     to the process-global one is not);
+//   - fmt.Errorf calls that carry an error argument must wrap it with
+//     %w, so errors.Is/As keep working across package boundaries.
+
+// bannedLogFuncs are the package-level log functions that write to the
+// global logger or kill the process.
+var bannedLogFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+// bannedFmtFuncs are the fmt functions that write to stdout.
+var bannedFmtFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkAPIHygiene(m *Module) []Diagnostic {
+	var diags []Diagnostic
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, pkg := range m.Pkgs {
+		isMain := pkg.Pkg.Name() == "main"
+		// References (not just calls) are checked, so a default like
+		// `Logf: log.Printf` cannot smuggle a global-logger write past
+		// the rule.
+		if !isMain {
+			for ident, obj := range pkg.Info.Uses {
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				switch path := pkgPathOf(fn); {
+				case path == "fmt" && bannedFmtFuncs[fn.Name()]:
+					diags = append(diags, Diagnostic{
+						Pos: m.Fset.Position(ident.Pos()), Check: "apihygiene",
+						Msg: "fmt." + fn.Name() + " writes to stdout from a library package; return an error or take an injected sink",
+					})
+				case path == "log" && bannedLogFuncs[fn.Name()]:
+					diags = append(diags, Diagnostic{
+						Pos: m.Fset.Position(ident.Pos()), Check: "apihygiene",
+						Msg: "log." + fn.Name() + " used in a library package; inject a logging callback instead",
+					})
+				}
+			}
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil || pkgPathOf(fn) != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil || strings.Contains(format, "%w") {
+					return true
+				}
+				for _, arg := range call.Args[1:] {
+					t := pkg.Info.TypeOf(arg)
+					if t == nil || t == types.Typ[types.UntypedNil] {
+						continue
+					}
+					if types.Implements(t, errIface) {
+						diags = append(diags, Diagnostic{
+							Pos: m.Fset.Position(arg.Pos()), Check: "apihygiene",
+							Msg: "fmt.Errorf formats an error without %w; wrap it so errors.Is/As see the cause",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomichygiene check keeps sync/atomic fields sound: an atomic
+// value accessed around its methods (plain read, plain write, or a
+// struct copy that silently duplicates it) defeats the whole point of
+// making telemetry lock-free. Three rules:
+//
+//  1. an atomic-typed field may only appear as the receiver of one of
+//     its methods or under & (to pass a pointer onward);
+//  2. a struct that (transitively) contains atomic fields must not be
+//     copied — assignments, arguments, returns, and range values of
+//     such types are flagged (composite literals are construction, not
+//     copies, and stay legal);
+//  3. function parameters, results, and receivers of such struct types
+//     must be pointers.
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// atomicCarrier memoizes which struct types transitively contain an
+// atomic field.
+type atomicCarrier struct {
+	memo map[types.Type]bool
+}
+
+func (c *atomicCarrier) contains(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // break recursive types
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		result = isAtomicType(u) || c.contains(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if isAtomicType(ft) || c.contains(ft) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = c.contains(u.Elem())
+	}
+	c.memo[t] = result
+	return result
+}
+
+func checkAtomicHygiene(m *Module) []Diagnostic {
+	carrier := &atomicCarrier{memo: make(map[types.Type]bool)}
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			diags = append(diags, checkAtomicFile(m, pkg, file, carrier)...)
+		}
+	}
+	return diags
+}
+
+func checkAtomicFile(m *Module, pkg *Package, file *ast.File, carrier *atomicCarrier) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: m.Fset.Position(n.Pos()), Check: "atomichygiene", Msg: msg})
+	}
+
+	// typeName renders the copied type briefly.
+	typeName := func(t types.Type) string {
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+		return t.String()
+	}
+
+	// flagCopy reports expr when evaluating it copies an atomic-bearing
+	// struct by value. Composite literals construct rather than copy.
+	flagCopy := func(expr ast.Expr, what string) {
+		expr = ast.Unparen(expr)
+		if _, isLit := expr.(*ast.CompositeLit); isLit {
+			return
+		}
+		if sel, isSel := expr.(*ast.SelectorExpr); isSel {
+			// Reading an atomic field directly is already rule 1's
+			// diagnostic; don't stack a copy report on the same expression.
+			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && isAtomicType(s.Type()) {
+				return
+			}
+		}
+		t := pkg.Info.TypeOf(expr)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if carrier.contains(t) {
+			report(expr, what+" copies "+typeName(t)+", which contains atomic fields; pass a pointer")
+		}
+	}
+
+	// checkSignature flags by-value atomic-bearing parameters, results
+	// and receivers.
+	checkSignature := func(ft *ast.FuncType, recv *ast.FieldList) {
+		fields := []*ast.FieldList{ft.Params, ft.Results, recv}
+		for _, fl := range fields {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				t := pkg.Info.TypeOf(f.Type)
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.(*types.Pointer); isPtr {
+					continue
+				}
+				if carrier.contains(t) {
+					report(f.Type, "by-value "+typeName(t)+" in signature; a struct containing atomic fields must be passed by pointer")
+				}
+			}
+		}
+	}
+
+	// The walk keeps a parent stack so an atomic selector can be
+	// recognized as the receiver of its own method call or as the
+	// operand of &.
+	var stack []ast.Node
+	parent := func() ast.Node {
+		if len(stack) < 2 {
+			return nil
+		}
+		return stack[len(stack)-2]
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			checkSignature(node.Type, node.Recv)
+		case *ast.FuncLit:
+			checkSignature(node.Type, nil)
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				flagCopy(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range node.Values {
+				flagCopy(v, "assignment")
+			}
+		case *ast.CallExpr:
+			for _, arg := range node.Args {
+				flagCopy(arg, "argument")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				flagCopy(res, "return")
+			}
+		case *ast.RangeStmt:
+			if node.Value != nil {
+				if t := pkg.Info.TypeOf(node.Value); t != nil && carrier.contains(t) {
+					report(node.Value, "range value copies "+typeName(t)+", which contains atomic fields; range over indices or pointers")
+				}
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pkg.Info.Selections[node]
+			if !ok || sel.Kind() != types.FieldVal || !isAtomicType(sel.Type()) {
+				return true
+			}
+			switch p := parent().(type) {
+			case *ast.SelectorExpr:
+				// x.ctr.Load(): fine — selecting a method off the field.
+				if psel, ok := pkg.Info.Selections[p]; ok && psel.Kind() == types.MethodVal {
+					return true
+				}
+			case *ast.UnaryExpr:
+				if p.Op == token.AND {
+					return true
+				}
+			}
+			report(node, "atomic field "+sel.Obj().Name()+" used without its methods (Load/Store/Add/...)")
+		}
+		return true
+	})
+	return diags
+}

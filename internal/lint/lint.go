@@ -1,0 +1,178 @@
+// Package lint is dpilint's analyzer framework: a small, stdlib-only
+// static checker that makes the data plane's concurrency and hot-path
+// invariants machine-checked instead of conventional. The paper's
+// economics rest on one shared scan serving every middlebox (Section 3),
+// so a single regression in the scan hot path — a stray allocation-heavy
+// fmt call, a forgotten lock, a torn read of a telemetry counter — taxes
+// every chain at once. Four checks guard against that:
+//
+//   - hotpath: functions annotated //dpi:hotpath, and everything
+//     transitively reachable from them inside the module, must stay pure
+//     in the per-packet sense — no fmt/reflect, no time.Now, no new
+//     goroutines, no defer, and no mutex other than a shard/flow "mu".
+//   - guardedby: struct fields annotated //dpi:guardedby(mu) may only be
+//     touched lexically between mu.Lock() and mu.Unlock(), or inside
+//     functions annotated //dpi:locked(mu) whose contract is that the
+//     caller already holds the lock.
+//   - atomichygiene: sync/atomic-typed fields are only used through
+//     their methods, and structs containing them travel by pointer —
+//     a by-value copy silently forks the counter.
+//   - apihygiene: library packages neither print (fmt.Print*, log.*)
+//     nor wrap errors without %w.
+//
+// The framework deliberately avoids golang.org/x/tools: packages are
+// enumerated and their compiled dependencies resolved with `go list
+// -export`, module sources are type-checked with go/types, and the
+// checks work on plain go/ast with go/types facts.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module (or fixture) package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module is the unit of analysis: every package loaded for one run,
+// sharing a FileSet and a type universe, listed in dependency order.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
+}
+
+// Run executes every check against the module and returns the combined
+// findings sorted by position.
+func Run(m *Module) []Diagnostic {
+	ann := collectAnnotations(m)
+	var diags []Diagnostic
+	diags = append(diags, ann.diags...)
+	diags = append(diags, checkHotpath(m, ann)...)
+	diags = append(diags, checkGuardedBy(m, ann)...)
+	diags = append(diags, checkAtomicHygiene(m)...)
+	diags = append(diags, checkAPIHygiene(m)...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Msg < b.Msg
+	})
+	return diags
+}
+
+// funcName renders a *types.Func as pkg.Recv.Name for diagnostics.
+func funcName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// calleeOf resolves a call expression to the called *types.Func, or nil
+// when the callee is dynamic (a func value, a builtin, a conversion).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// pkgPathOf returns the import path of the package declaring fn, or "".
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isSyncLock reports whether call is m.Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex, sync.RWMutex, or sync.Locker receiver, returning the
+// terminal name of the mutex expression ("mu" in fs.mu.Lock()).
+func isSyncLock(info *types.Info, call *ast.CallExpr) (mutexName, method string, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sel, found := info.Selections[fun]
+	if !found {
+		return "", "", false
+	}
+	recv := sel.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex", "Locker":
+	default:
+		return "", "", false
+	}
+	switch x := ast.Unparen(fun.X).(type) {
+	case *ast.Ident:
+		mutexName = x.Name
+	case *ast.SelectorExpr:
+		mutexName = x.Sel.Name
+	default:
+		mutexName = strings.TrimSpace(types.ExprString(fun.X))
+	}
+	return mutexName, fun.Sel.Name, true
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// Fixtures under testdata/src declare their expected diagnostics inline:
+// a comment containing `want "regex"` on some line expects exactly one
+// diagnostic on that line whose message matches the regex. A fixture
+// with no want comments (testdata/src/clean) must produce none.
+
+var wantRe = regexp.MustCompile(`want "([^"]*)"`)
+
+type want struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every comment of the loaded fixture for want
+// expectations, keyed by base filename.
+func collectWants(t *testing.T, m *Module) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := m.Fset.Position(c.Pos())
+					name := filepath.Base(pos.Filename)
+					for _, sub := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(sub[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", name, pos.Line, sub[1], err)
+						}
+						wants[name] = append(wants[name], &want{line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			m, err := LoadDir(filepath.Join("testdata", "src", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, m)
+			for _, d := range Run(m) {
+				name := filepath.Base(d.Pos.Filename)
+				found := false
+				for _, w := range wants[name] {
+					if !w.matched && w.line == d.Pos.Line && w.pattern.MatchString(d.Msg) {
+						w.matched = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for name, ws := range wants {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s:%d: no diagnostic matching %q", name, w.line, w.pattern)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModule runs dpilint over the repository itself: the tree must be
+// clean, and the annotations the checks hang off must actually be
+// present on the per-packet hot path.
+func TestModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(m) {
+		t.Errorf("module not clean: %s", d)
+	}
+
+	ann := collectAnnotations(m)
+	hot := make(map[string]bool)
+	for fn, fa := range ann.funcs {
+		if fa.hotpath {
+			hot[funcName(fn)] = true
+		}
+	}
+	for _, name := range []string{
+		"core.Engine.Inspect",
+		"core.Engine.inspect",
+		"core.flowShard.flow",
+		"core.flowShard.evictFlow",
+		"core.scratch.emit",
+		"mpm.ACFull.Scan",
+		"mpm.ACCompact.Scan",
+		"mpm.ACBitmap.Scan",
+	} {
+		if !hot[name] {
+			t.Errorf("expected //dpi:hotpath on %s", name)
+		}
+	}
+}

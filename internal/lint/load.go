@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader enumerates packages with `go list -export`, which yields
+// both the file lists (honoring build constraints) and compiled export
+// data for every dependency. Module packages are then re-type-checked
+// from source — the checks need ASTs with comments and stable
+// *types.Func identities across packages — while everything outside the
+// module (stdlib, should external deps ever appear) is imported from
+// its export data, so a whole-module run costs seconds, not a stdlib
+// re-typecheck.
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` for patterns in dir and
+// decodes the stream. Packages arrive in dependency order.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths through compiled export data,
+// consulting already source-checked module packages first.
+type exportImporter struct {
+	gc     types.Importer
+	module map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	imp := &exportImporter{module: make(map[string]*types.Package)}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return imp
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := i.module[path]; ok {
+		return p, nil
+	}
+	return i.gc.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// checkPackage parses files and type-checks them as one package.
+func checkPackage(fset *token.FileSet, imp types.Importer, path string, files []string) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	info := newInfo()
+	cfg := types.Config{Importer: imp}
+	tpkg, err := cfg.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Files: asts, Pkg: tpkg, Info: info}, nil
+}
+
+// LoadModule loads and type-checks every module package matched by
+// patterns (typically "./...") relative to dir.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var modPkgs []*listPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && lp.Module != nil {
+			modPkgs = append(modPkgs, lp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	m := &Module{Fset: fset}
+	// go list -deps emits dependencies before dependents, so each
+	// package's module imports are already in imp.module when its turn
+	// comes.
+	for _, lp := range modPkgs {
+		files := make([]string, 0, len(lp.GoFiles))
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		imp.module[lp.ImportPath] = pkg.Pkg
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	if len(m.Pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no module packages matched %v", patterns)
+	}
+	return m, nil
+}
+
+// LoadDir loads the single package rooted at dir (used for violation
+// fixtures, which live under testdata where go list does not reach).
+// Imports are resolved through export data for the fixture's transitive
+// dependencies.
+func LoadDir(dir string) (*Module, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []string
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		af, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range af.Imports {
+			imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+		files = append(files, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		listed, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	pkg, err := checkPackage(fset, imp, "fixture/"+filepath.Base(dir), files)
+	if err != nil {
+		return nil, err
+	}
+	return &Module{Fset: fset, Pkgs: []*Package{pkg}}, nil
+}

@@ -1,0 +1,38 @@
+// Package annotations exercises directive validation: wrong placement
+// and malformed spellings are themselves diagnostics, so a typo cannot
+// silently disable a check.
+package annotations
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	//dpi:hotpath want "annotates functions, not fields"
+	n int
+	//dpi:guardedby want "malformed directive"
+	m int
+	//dpi:guardedby(mu)
+	ok int
+}
+
+//dpi:guardedby(mu) want "annotates struct fields, not functions"
+func f() {}
+
+//dpi:nonsense want "malformed directive"
+func g() {}
+
+//dpi:locked want "malformed directive"
+func h() {}
+
+func misplaced() {
+	//dpi:hotpath want "must be in a function or struct-field doc comment"
+	_ = 0
+}
+
+//dpi:locked(mu)
+func (v *s) lockedOK() int { return v.ok }
+
+var _ = f
+var _ = g
+var _ = h
+var _ = misplaced

@@ -1,0 +1,38 @@
+// Package apihygiene exercises the library-surface checks: no global
+// prints, errors wrapped with %w.
+package apihygiene
+
+import (
+	"errors"
+	"fmt"
+	"log"
+)
+
+var errBase = errors.New("base")
+
+func report() {
+	fmt.Println("hello")    // want "writes to stdout from a library package"
+	log.Printf("x = %d", 1) // want "used in a library package"
+}
+
+// Referencing (not calling) a banned function is caught too — this is
+// how a default like `Logf: log.Printf` sneaks prints into a library.
+var sink = log.Println // want "used in a library package"
+
+func wrapBad(err error) error {
+	return fmt.Errorf("ctx: %v", err) // want "formats an error without %w"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+func formatted(n int) error {
+	if n < 0 {
+		return fmt.Errorf("n = %d out of range (base %w)", n, errBase)
+	}
+	return nil
+}
+
+// Sprintf and Fprintf-to-an-injected-writer remain legal.
+func describe(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,67 @@
+// Package atomichygiene exercises atomic-field hygiene: atomics only
+// through their methods, atomic-bearing structs only by pointer.
+package atomichygiene
+
+import "sync/atomic"
+
+type stats struct {
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+type engine struct {
+	counter stats
+}
+
+func (e *engine) good() uint64 {
+	e.counter.packets.Add(1)
+	return e.counter.bytes.Load()
+}
+
+func (e *engine) borrow() *atomic.Uint64 { return &e.counter.packets }
+
+func (e *engine) torn() uint64 {
+	v := e.counter.packets // want "atomic field packets used without its methods"
+	return v.Load()
+}
+
+func (e *engine) overwrite() {
+	e.counter.packets = atomic.Uint64{} // want "atomic field packets used without its methods"
+}
+
+func consume(s stats) uint64 { // want "by-value stats in signature"
+	return s.packets.Load()
+}
+
+func (s stats) total() uint64 { // want "by-value stats in signature"
+	return s.packets.Load()
+}
+
+func copyOut(e *engine) uint64 {
+	snap := e.counter // want "assignment copies stats"
+	return snap.bytes.Load()
+}
+
+func relay(e *engine) uint64 {
+	return consume(e.counter) // want "argument copies stats"
+}
+
+func (e *engine) expose() stats { // want "by-value stats in signature"
+	return e.counter // want "return copies stats"
+}
+
+func sum(list []*stats) uint64 {
+	var t uint64
+	for _, s := range list {
+		t += s.packets.Load()
+	}
+	return t
+}
+
+func sumByValue(list []stats) uint64 {
+	var t uint64
+	for _, s := range list { // want "range value copies stats"
+		t += s.packets.Load()
+	}
+	return t
+}

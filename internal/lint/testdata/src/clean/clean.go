@@ -1,0 +1,60 @@
+// Package clean uses every annotation correctly and must produce zero
+// diagnostics — the fixture that keeps dpilint's false-positive rate at
+// the floor.
+package clean
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits atomic.Uint64
+}
+
+type cache struct {
+	mu sync.Mutex
+	//dpi:guardedby(mu)
+	entries map[string]string
+	stats   counters
+}
+
+// lookup is per-packet code: it takes only its own mu, briefly, and
+// bumps telemetry atomically.
+//
+//dpi:hotpath
+func (c *cache) lookup(k string) (string, bool) {
+	c.mu.Lock()
+	v, ok := c.entries[k]
+	c.mu.Unlock()
+	c.stats.hits.Add(1)
+	return v, ok
+}
+
+// lockedLen documents that its caller holds mu.
+//
+//dpi:locked(mu)
+func (c *cache) lockedLen() int { return len(c.entries) }
+
+// size takes the lock itself and may call locked helpers.
+func (c *cache) size() int {
+	c.mu.Lock()
+	n := c.lockedLen()
+	c.mu.Unlock()
+	return n
+}
+
+// deferred unlocking keeps the lock held to the end of the function.
+func (c *cache) get(k string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[k]
+}
+
+func (c *cache) describe() string {
+	return strconv.Itoa(int(c.stats.hits.Load()))
+}
+
+// borrow hands out a pointer to the atomic — legal, no copy.
+func (c *cache) borrow() *atomic.Uint64 { return &c.stats.hits }

@@ -1,0 +1,60 @@
+// Package guardedby exercises lexical lock discipline: accesses inside
+// a Lock/Unlock extent or in //dpi:locked functions pass; everything
+// else fires.
+package guardedby
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	//dpi:guardedby(mu)
+	entries map[string]int
+	//dpi:guardedby(mu)
+	seq int
+}
+
+func (t *table) good(k string) int {
+	t.mu.Lock()
+	v := t.entries[k]
+	t.seq++
+	t.mu.Unlock()
+	return v
+}
+
+func (t *table) deferred(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entries[k] // deferred unlock holds mu to the end
+}
+
+//dpi:locked(mu)
+func (t *table) lockedGet(k string) int { return t.entries[k] }
+
+func (t *table) bad(k string) int {
+	return t.entries[k] // want "field entries is guarded by mu, which is not held here"
+}
+
+func (t *table) afterUnlock(k string) int {
+	t.mu.Lock()
+	v := t.entries[k]
+	t.mu.Unlock()
+	t.seq++ // want "field seq is guarded by mu, which is not held here"
+	return v
+}
+
+// sibling guarded by another struct's mu: name-based matching accepts
+// any lexically held lock called mu, as core's shard/flow split needs.
+type entry struct {
+	//dpi:guardedby(mu)
+	lastUsed uint64
+}
+
+func (t *table) touch(e *entry, now uint64) {
+	t.mu.Lock()
+	e.lastUsed = now
+	t.mu.Unlock()
+}
+
+func (t *table) touchUnlocked(e *entry, now uint64) {
+	e.lastUsed = now // want "field lastUsed is guarded by mu, which is not held here"
+}

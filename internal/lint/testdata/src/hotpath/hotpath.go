@@ -1,0 +1,68 @@
+// Package hotpath exercises the dpilint hotpath check: each banned
+// construct fires once, purity is enforced transitively through
+// unannotated callees, and interface dispatch fans out to every module
+// implementation.
+package hotpath
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	n     int
+}
+
+//dpi:hotpath
+func (s *shard) scan(data []byte) int {
+	s.mu.Lock() // the shard's own mu is the one permitted lock
+	s.n++
+	s.mu.Unlock()
+	defer trace()                    // want "uses defer"
+	go trace()                       // want "starts a goroutine"
+	_ = fmt.Sprintf("%d", len(data)) // want "calls fmt.Sprintf"
+	_ = reflect.TypeOf(data)         // want "calls reflect.TypeOf"
+	_ = time.Now()                   // want "calls time.Now"
+	s.other.Lock()                   // want "acquires mutex other"
+	s.other.Unlock()
+	return helper(data)
+}
+
+func trace() {}
+
+// helper is not annotated: it inherits hotness by reachability.
+func helper(data []byte) int {
+	_ = time.Now() // want "calls time.Now"
+	return len(data)
+}
+
+// matcher mimics mpm.Automaton: a call through a module interface
+// reaches every implementation.
+type matcher interface{ match([]byte) bool }
+
+type slow struct{}
+
+func (slow) match(b []byte) bool {
+	_ = time.Now() // want "calls time.Now"
+	return len(b) > 0
+}
+
+type never struct{}
+
+func (never) match([]byte) bool { return false }
+
+//dpi:hotpath
+func dispatch(m matcher, b []byte) bool { return m.match(b) }
+
+// cold is unreachable from any hot path: the same constructs are legal.
+func cold() {
+	defer trace()
+	_ = fmt.Sprintf("%v", time.Now())
+}
+
+var _ = []matcher{slow{}, never{}}
+var _ = cold

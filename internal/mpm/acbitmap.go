@@ -98,6 +98,8 @@ func (a *ACBitmap) step(state State, c byte) State {
 }
 
 // Scan implements Automaton.
+//
+//dpi:hotpath
 func (a *ACBitmap) Scan(data []byte, state State, active uint64, emit EmitFunc) State {
 	acc := a.numAccepting
 	for i := 0; i < len(data); i++ {

@@ -104,6 +104,8 @@ func (a *ACCompact) step(state State, c byte) State {
 }
 
 // Scan implements Automaton.
+//
+//dpi:hotpath
 func (a *ACCompact) Scan(data []byte, state State, active uint64, emit EmitFunc) State {
 	acc := a.numAccepting
 	for i := 0; i < len(data); i++ {

@@ -66,6 +66,8 @@ func (a *ACFull) Start() State { return a.startState }
 // one table load per byte, one compare against numAccepting, and — only
 // on the rare accepting states — one bitmap AND against the packet's
 // active-middlebox mask (Section 5.2).
+//
+//dpi:hotpath
 func (a *ACFull) Scan(data []byte, state State, active uint64, emit EmitFunc) State {
 	next := a.next
 	acc := a.numAccepting

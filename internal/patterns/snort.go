@@ -208,7 +208,7 @@ func decodeSnortContent(val string) (string, error) {
 			for j := 0; j < len(hexRun); j += 2 {
 				b, err := strconv.ParseUint(hexRun[j:j+2], 16, 8)
 				if err != nil {
-					return "", fmt.Errorf("bad hex run %q: %v", hexRun, err)
+					return "", fmt.Errorf("bad hex run %q: %w", hexRun, err)
 				}
 				out = append(out, byte(b))
 			}

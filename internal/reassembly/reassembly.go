@@ -48,13 +48,18 @@ type Assembler struct {
 	cfg     Config
 	deliver DeliverFunc
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//dpi:guardedby(mu)
 	streams map[packet.FiveTuple]*stream
 
 	// Counters.
-	Delivered   int64 // bytes handed to the callback
-	Buffered    int64 // bytes currently held out of order
-	Overlapped  int64 // duplicate bytes discarded
+	//dpi:guardedby(mu)
+	Delivered int64 // bytes handed to the callback
+	//dpi:guardedby(mu)
+	Buffered int64 // bytes currently held out of order
+	//dpi:guardedby(mu)
+	Overlapped int64 // duplicate bytes discarded
+	//dpi:guardedby(mu)
 	GapsSkipped int64 // bytes skipped over
 }
 
@@ -147,6 +152,8 @@ func (a *Assembler) Segment(tuple packet.FiveTuple, seq uint32, data []byte, fin
 }
 
 // ingest merges one data segment and delivers any newly contiguous run.
+//
+//dpi:locked(mu)
 func (a *Assembler) ingest(tuple packet.FiveTuple, s *stream, seq uint32, data []byte) {
 	// Trim the part already delivered (retransmission / overlap).
 	if seqLess(seq, s.nextSeq) {
@@ -179,6 +186,8 @@ func (a *Assembler) ingest(tuple packet.FiveTuple, s *stream, seq uint32, data [
 }
 
 // deliverRun hands contiguous bytes up and advances the stream.
+//
+//dpi:locked(mu)
 func (a *Assembler) deliverRun(tuple packet.FiveTuple, s *stream, data []byte, skipped int64) {
 	off := s.offset
 	s.nextSeq += uint32(len(data))
@@ -190,6 +199,8 @@ func (a *Assembler) deliverRun(tuple packet.FiveTuple, s *stream, data []byte, s
 }
 
 // drainPending delivers buffered segments that became contiguous.
+//
+//dpi:locked(mu)
 func (a *Assembler) drainPending(tuple packet.FiveTuple, s *stream) {
 	for len(s.pending) > 0 {
 		head := s.pending[0]
@@ -214,6 +225,8 @@ func (a *Assembler) drainPending(tuple packet.FiveTuple, s *stream) {
 }
 
 // skipGap jumps over the gap before the first pending segment.
+//
+//dpi:locked(mu)
 func (a *Assembler) skipGap(tuple packet.FiveTuple, s *stream) {
 	if len(s.pending) == 0 {
 		return
@@ -230,6 +243,8 @@ func (a *Assembler) skipGap(tuple packet.FiveTuple, s *stream) {
 }
 
 // flushAll skips every remaining gap of a stream (used at FIN).
+//
+//dpi:locked(mu)
 func (a *Assembler) flushAll(tuple packet.FiveTuple, s *stream) {
 	for len(s.pending) > 0 {
 		a.skipGap(tuple, s)
