@@ -4,10 +4,19 @@
 //
 // Usage:
 //
-//	dpibench [flags] <experiment>
+//	dpibench [flags] <experiment> [experiment ...]
 //
 // Experiments: fig8, table2, fig9a, fig9b, fig10a, fig10b, fig11,
 // slowdown, parallel, ablations, all.
+//
+// With -json, the raw measurements of the record-collectable
+// experiments (table2, fig9a, fig9b, parallel) are additionally written
+// as a BENCH_*.json report (schema dpibench/v1: experiment, pattern
+// count, packets, ns/op, MB/s, Mbps, allocs/op, matches, and the
+// engine's metric snapshot per record). With -baseline, throughput is
+// compared against a previously committed report and the process exits
+// nonzero when any record regressed by more than -regress percent —
+// the CI benchmark gate.
 package main
 
 import (
@@ -20,21 +29,25 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "small pattern sets and corpus (seconds instead of minutes)")
-		corpus = flag.Int("corpus", 0, "corpus size in bytes per measurement (default 4 MiB)")
-		repeat = flag.Int("repeat", 0, "corpus passes per measurement (default 1)")
-		seed   = flag.Int64("seed", 1, "generator seed")
+		quick    = flag.Bool("quick", false, "small pattern sets and corpus (seconds instead of minutes)")
+		corpus   = flag.Int("corpus", 0, "corpus size in bytes per measurement (default 4 MiB)")
+		repeat   = flag.Int("repeat", 0, "corpus passes per measurement (default 1)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		trials   = flag.Int("trials", 1, "best-of-`N` runs per record in collection mode (damps machine noise)")
+		jsonOut  = flag.String("json", "", "write a BENCH_*.json report of the collectable experiments to this `file`")
+		baseline = flag.String("baseline", "", "compare throughput against this committed BENCH_*.json `file`; exit 1 on regression")
+		regress  = flag.Float64("regress", 15, "regression threshold in `percent` for -baseline")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|ablations|all>\n")
+		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|ablations|all> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := bench.Options{Quick: *quick, CorpusBytes: *corpus, Repeat: *repeat, Seed: *seed}
+	opt := bench.Options{Quick: *quick, CorpusBytes: *corpus, Repeat: *repeat, Seed: *seed, Trials: *trials}
 
 	exps := map[string]func(bench.Options) error{
 		"fig8":      runFig8,
@@ -48,24 +61,85 @@ func main() {
 		"parallel":  runParallel,
 		"ablations": runAblations,
 	}
-	run := func(name string) {
+	var names []string
+	for _, name := range flag.Args() {
+		if name == "all" {
+			names = append(names, "slowdown", "fig8", "parallel", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "ablations")
+			continue
+		}
+		names = append(names, name)
+	}
+	collectable := map[string]bool{}
+	for _, name := range bench.CollectableExperiments() {
+		collectable[name] = true
+	}
+	collecting := *jsonOut != "" || *baseline != ""
+
+	var toCollect []string
+	for _, name := range names {
 		fn, ok := exps[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dpibench: unknown experiment %q\n", name)
 			os.Exit(2)
+		}
+		// In collection mode the collectable experiments run once
+		// through Collect (below) instead of the pretty printer, so the
+		// measurements in the report are the ones actually taken.
+		if collecting && collectable[name] {
+			toCollect = append(toCollect, name)
+			continue
 		}
 		if err := fn(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "dpibench %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-	if flag.Arg(0) == "all" {
-		for _, name := range []string{"slowdown", "fig8", "parallel", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "ablations"} {
-			run(name)
-		}
+	if !collecting {
 		return
 	}
-	run(flag.Arg(0))
+	if len(toCollect) == 0 {
+		fmt.Fprintf(os.Stderr, "dpibench: -json/-baseline need at least one collectable experiment (%v)\n",
+			bench.CollectableExperiments())
+		os.Exit(2)
+	}
+	rep, err := bench.Collect(toCollect, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpibench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== Benchmark records (%v) ==\n", toCollect)
+	fmt.Printf("%-10s %-24s %10s %12s %12s %12s\n", "experiment", "name", "patterns", "ns/op", "MB/s", "Mbps")
+	for _, r := range rep.Records {
+		fmt.Printf("%-10s %-24s %10d %12.0f %12.1f %12.0f\n", r.Experiment, r.Name, r.Patterns, r.NsPerOp, r.MBps, r.Mbps)
+	}
+	if *jsonOut != "" {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dpibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records)\n", *jsonOut, len(rep.Records))
+	}
+	if *baseline != "" {
+		base, err := bench.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpibench: %v\n", err)
+			os.Exit(1)
+		}
+		cmp := bench.Compare(base, rep)
+		fmt.Printf("\n== Regression check vs %s (threshold %.0f%%) ==\n", *baseline, *regress)
+		fmt.Printf("%-10s %-24s %14s %14s %9s\n", "experiment", "name", "baseline Mbps", "current Mbps", "delta")
+		for _, c := range cmp {
+			fmt.Printf("%-10s %-24s %14.0f %14.0f %+8.1f%%\n", c.Experiment, c.Name, c.BaselineMbps, c.CurrentMbps, c.DeltaPct)
+		}
+		if len(cmp) == 0 {
+			fmt.Println("no overlapping records to compare")
+		}
+		if reg := bench.Regressed(cmp, *regress); len(reg) > 0 {
+			fmt.Fprintf(os.Stderr, "dpibench: %d record(s) regressed more than %.0f%% vs %s\n", len(reg), *regress, *baseline)
+			os.Exit(1)
+		}
+		fmt.Println("no regressions beyond threshold")
+	}
 }
 
 func runFig8(opt bench.Options) error {

@@ -4,26 +4,33 @@
 //
 // Usage:
 //
-//	dpictl [-listen addr]
+//	dpictl [-listen addr] [-debug-addr addr]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"dpiservice/internal/controller"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9090", "control-plane listen address")
 	stateFile := flag.String("state", "", "load/save controller state at this path")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /instances and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
-	ctl := controller.New()
+	reg := obs.NewRegistry()
+	ctlproto.EnableMetrics(reg)
+	ctl := controller.NewWithMetrics(reg)
 	if *stateFile != "" {
 		if f, err := os.Open(*stateFile); err == nil {
 			err := ctl.LoadState(f)
@@ -43,6 +50,24 @@ func main() {
 	}
 	srv := controller.Serve(ctl, ln, log.Printf)
 	log.Printf("dpictl: controller listening on %s", srv.Addr())
+
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux(reg, nil)
+		// /instances renders the controller's per-instance load view —
+		// the data the MCA² stress monitor works from.
+		mux.HandleFunc("/instances", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(ctl.TelemetrySnapshots())
+		})
+		dbg, err := obs.StartDebugServer(*debugAddr, mux)
+		if err != nil {
+			log.Fatalf("dpictl: debug listen: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("dpictl: debug endpoints on http://%s", dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

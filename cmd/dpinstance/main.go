@@ -7,6 +7,7 @@
 // Usage:
 //
 //	dpinstance [-controller addr] [-data addr] [-id name] [-dedicated]
+//	           [-debug-addr addr]
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"dpiservice/internal/controller"
 	"dpiservice/internal/core"
 	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/obs"
 )
 
 func main() {
@@ -35,8 +37,15 @@ func main() {
 		dedicated = flag.Bool("dedicated", false, "run as an MCA2 dedicated instance (compact automaton)")
 		telEvery  = flag.Duration("telemetry", 10*time.Second, "telemetry export interval (0 disables)")
 		workers   = flag.Int("workers", 1, "scan workers per data connection (>1 pipelines: reads, scans and ordered writes overlap)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	// One registry for the whole process: the engine (also across
+	// hot-swaps, so counters stay continuous), the wire protocol, and
+	// the debug endpoints all share it.
+	reg := obs.NewRegistry()
+	ctlproto.EnableMetrics(reg)
 
 	cl, err := controller.Dial(*ctlAddr)
 	if err != nil {
@@ -50,6 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpinstance: init: %v", err)
 	}
+	cfg.Metrics = reg
 	engine, err := core.NewEngine(cfg)
 	if err != nil {
 		log.Fatalf("dpinstance: engine: %v", err)
@@ -67,13 +77,23 @@ func main() {
 	}
 	log.Printf("dpinstance %s: data plane on %s", *id, ln.Addr())
 
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux(reg, func() bool { return eng.Load() != nil })
+		dbg, err := obs.StartDebugServer(*debugAddr, mux)
+		if err != nil {
+			log.Fatalf("dpinstance: debug listen: %v", err)
+		}
+		defer dbg.Close()
+		log.Printf("dpinstance %s: debug endpoints on http://%s", *id, dbg.Addr())
+	}
+
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	if *telEvery > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			exportAndRefresh(cl, *id, *dedicated, &eng, &version, *telEvery, stop)
+			exportAndRefresh(cl, *id, *dedicated, reg, &eng, &version, *telEvery, stop)
 		}()
 	}
 	wg.Add(1)
@@ -124,7 +144,7 @@ func serveData(conn net.Conn, eng *atomic.Pointer[core.Engine], workers int) {
 			return
 		}
 		payload = p
-		rep, err := eng.Load().Inspect(tag, tuple, p)
+		rep, err := eng.Load().InspectTimed(tag, tuple, p)
 		if err != nil {
 			log.Printf("dpinstance: inspect: %v", err)
 			if err := ctlproto.WriteResultFrame(conn, nil); err != nil {
@@ -196,7 +216,7 @@ func serveDataParallel(conn net.Conn, eng *atomic.Pointer[core.Engine], workers 
 // exportAndRefresh periodically ships counters and heavy flows, and
 // re-requests the instance configuration, hot-swapping the engine when
 // the controller's version advanced (the runtime pattern-update path).
-func exportAndRefresh(cl *controller.Client, id string, dedicated bool, eng *atomic.Pointer[core.Engine], version *uint64, every time.Duration, stop <-chan struct{}) {
+func exportAndRefresh(cl *controller.Client, id string, dedicated bool, reg *obs.Registry, eng *atomic.Pointer[core.Engine], version *uint64, every time.Duration, stop <-chan struct{}) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -212,6 +232,9 @@ func exportAndRefresh(cl *controller.Client, id string, dedicated bool, eng *ato
 		}
 		if init.Version != *version {
 			cfg, err := controller.ConfigFromInit(init)
+			// The rebuilt engine keeps feeding the shared registry so
+			// scrape-side counters never reset across config updates.
+			cfg.Metrics = reg
 			if err != nil {
 				log.Printf("dpinstance: bad update: %v", err)
 			} else if fresh, err := core.NewEngine(cfg); err != nil {

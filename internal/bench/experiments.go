@@ -21,17 +21,24 @@ type Options struct {
 	CorpusBytes int  // payload bytes per measurement; default 4 MiB
 	Repeat      int  // corpus passes per measurement; default 1
 	Quick       bool // shrink pattern counts and corpus for tests
+	// Trials makes Collect keep the best (highest-throughput) of N runs
+	// per record, damping scheduler and GC noise for the CI regression
+	// gate; default 1. The figure/table drivers ignore it.
+	Trials int
 }
 
 func (o *Options) defaults() {
 	if o.CorpusBytes <= 0 {
-		o.CorpusBytes = 4 << 20
+		// Quick shrinks the corpus only when the caller did not size it
+		// explicitly; an explicit -corpus always wins.
+		if o.Quick {
+			o.CorpusBytes = 256 << 10
+		} else {
+			o.CorpusBytes = 4 << 20
+		}
 	}
 	if o.Repeat <= 0 {
 		o.Repeat = 1
-	}
-	if o.Quick {
-		o.CorpusBytes = 256 << 10
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -168,9 +175,9 @@ type Table2Row struct {
 	Mbps     float64
 }
 
-// Table2 reproduces Table 2: Snort split into Snort1/Snort2, measured
-// separately and merged.
-func Table2(o Options) ([]Table2Row, error) {
+// table2Results measures the three Table 2 configurations and returns
+// the raw results (Table2 condenses them into the paper's rows).
+func table2Results(o Options) ([]Result, error) {
 	o.defaults()
 	total := patterns.SnortFullSize
 	if o.Quick {
@@ -183,7 +190,7 @@ func Table2(o Options) ([]Table2Row, error) {
 	}
 	corpus := corpusFor(o, full)
 
-	var rows []Table2Row
+	var results []Result
 	for _, tc := range []struct {
 		name string
 		sets []*patterns.Set
@@ -196,11 +203,24 @@ func Table2(o Options) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := MeasureAutomaton(tc.name, a, corpus, o.Repeat)
+		results = append(results, MeasureAutomaton(tc.name, a, corpus, o.Repeat))
+	}
+	return results, nil
+}
+
+// Table2 reproduces Table 2: Snort split into Snort1/Snort2, measured
+// separately and merged.
+func Table2(o Options) ([]Table2Row, error) {
+	results, err := table2Results(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, res := range results {
 		rows = append(rows, Table2Row{
-			Sets:     tc.name,
-			Patterns: a.NumPatterns(),
-			SpaceMB:  float64(a.MemoryBytes()) / 1e6,
+			Sets:     res.Name,
+			Patterns: res.Patterns,
+			SpaceMB:  float64(res.MemBytes) / 1e6,
 			Mbps:     res.ThroughputMbps(),
 		})
 	}
@@ -263,23 +283,33 @@ func Fig9b(o Options) ([]Fig9Row, error) {
 	return rows, nil
 }
 
-func fig9Point(o Options, total int, setA, setB, injectFrom *patterns.Set) (*Fig9Row, error) {
+// fig9Measure runs the three underlying measurements of one Figure 9
+// point: each half separately and the merged automaton.
+func fig9Measure(o Options, setA, setB, injectFrom *patterns.Set) (rA, rB, rC Result, err error) {
 	corpus := corpusFor(o, injectFrom)
 	aA, err := buildFull(setA)
 	if err != nil {
-		return nil, err
+		return rA, rB, rC, err
 	}
 	aB, err := buildFull(setB)
 	if err != nil {
-		return nil, err
+		return rA, rB, rC, err
 	}
 	comb, err := buildCombined(setA, setB)
 	if err != nil {
+		return rA, rB, rC, err
+	}
+	rA = MeasureAutomaton(setA.Name, aA, corpus, o.Repeat)
+	rB = MeasureAutomaton(setB.Name, aB, corpus, o.Repeat)
+	rC = MeasureAutomaton("combined", comb, corpus, o.Repeat)
+	return rA, rB, rC, nil
+}
+
+func fig9Point(o Options, total int, setA, setB, injectFrom *patterns.Set) (*Fig9Row, error) {
+	rA, rB, rC, err := fig9Measure(o, setA, setB, injectFrom)
+	if err != nil {
 		return nil, err
 	}
-	rA := MeasureAutomaton(setA.Name, aA, corpus, o.Repeat)
-	rB := MeasureAutomaton(setB.Name, aB, corpus, o.Repeat)
-	rC := MeasureAutomaton("combined", comb, corpus, o.Repeat)
 	return &Fig9Row{
 		TotalPatterns: total,
 		// Pipeline: every packet crosses both boxes; the slower one is

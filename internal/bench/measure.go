@@ -10,10 +10,12 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"dpiservice/internal/core"
 	"dpiservice/internal/mpm"
+	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 )
 
@@ -24,8 +26,17 @@ type Result struct {
 	States   int
 	MemBytes int64
 	Bytes    int64
+	Packets  int64
 	Elapsed  time.Duration
 	Matches  uint64
+	// Allocs is the heap-allocation count of the whole measurement loop
+	// (runtime mallocs delta), so AllocsPerOp covers harness overhead
+	// too; the hot-path guarantee proper is asserted by
+	// core.TestInspectMetricsAllocFree.
+	Allocs uint64
+	// Metrics is the engine's observability snapshot taken after the
+	// measurement; nil for raw-automaton measurements.
+	Metrics *obs.Snapshot
 }
 
 // ThroughputMbps returns the measured scan rate in megabits per second
@@ -35,6 +46,37 @@ func (r Result) ThroughputMbps() float64 {
 		return 0
 	}
 	return float64(r.Bytes) * 8 / 1e6 / r.Elapsed.Seconds()
+}
+
+// MBps returns the scan rate in megabytes per second.
+func (r Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// NsPerOp returns nanoseconds per inspected packet.
+func (r Result) NsPerOp() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Packets)
+}
+
+// AllocsPerOp returns heap allocations per inspected packet.
+func (r Result) AllocsPerOp() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Allocs) / float64(r.Packets)
+}
+
+// mallocs reads the process-wide cumulative allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 // String renders the result compactly.
@@ -50,6 +92,7 @@ func MeasureAutomaton(name string, a mpm.Automaton, corpus [][]byte, repeat int)
 	r := Result{Name: name, Patterns: a.NumPatterns(), States: a.NumStates(), MemBytes: a.MemoryBytes()}
 	var matches uint64
 	emit := func(refs []mpm.PatternRef, end int) { matches += uint64(len(refs)) }
+	m0 := mallocs()
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
 		state := a.Start()
@@ -59,6 +102,8 @@ func MeasureAutomaton(name string, a mpm.Automaton, corpus [][]byte, repeat int)
 		}
 	}
 	r.Elapsed = time.Since(start)
+	r.Allocs = mallocs() - m0
+	r.Packets = int64(repeat) * int64(len(corpus))
 	r.Matches = matches
 	return r
 }
@@ -79,6 +124,7 @@ func MeasureEngine(name string, e *core.Engine, tag uint16, corpus [][]byte, nFl
 			Protocol: packet.IPProtoTCP,
 		}
 	}
+	m0 := mallocs()
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
 		for j, p := range corpus {
@@ -90,8 +136,11 @@ func MeasureEngine(name string, e *core.Engine, tag uint16, corpus [][]byte, nFl
 		}
 	}
 	r.Elapsed = time.Since(start)
+	r.Allocs = mallocs() - m0
+	r.Packets = int64(repeat) * int64(len(corpus))
 	s := e.Snapshot()
 	r.Matches = s.Matches
+	r.Metrics = e.Metrics().Snapshot()
 	return r
 }
 

@@ -33,9 +33,8 @@ func parallelWorkerCounts() []int {
 	return append(counts, maxW)
 }
 
-// ParallelScaling sweeps InspectBatch workers over the HTTP-mix
-// workload on one engine with the full Snort-like set.
-func ParallelScaling(o Options) ([]ParallelRow, error) {
+// parallelResults runs the worker sweep and returns the raw results.
+func parallelResults(o Options) ([]Result, error) {
 	o.defaults()
 	total := patterns.SnortFullSize
 	if o.Quick {
@@ -47,10 +46,23 @@ func ParallelScaling(o Options) ([]ParallelRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []ParallelRow
+	var results []Result
 	for _, w := range parallelWorkerCounts() {
-		r := MeasureEngineParallel(fmt.Sprintf("workers-%d", w), e, tag, corpus, 256, o.Repeat, w)
-		row := ParallelRow{Workers: w, Mbps: r.ThroughputMbps()}
+		results = append(results, MeasureEngineParallel(fmt.Sprintf("workers-%d", w), e, tag, corpus, 256, o.Repeat, w))
+	}
+	return results, nil
+}
+
+// ParallelScaling sweeps InspectBatch workers over the HTTP-mix
+// workload on one engine with the full Snort-like set.
+func ParallelScaling(o Options) ([]ParallelRow, error) {
+	results, err := parallelResults(o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ParallelRow
+	for i, r := range results {
+		row := ParallelRow{Workers: parallelWorkerCounts()[i], Mbps: r.ThroughputMbps()}
 		if len(rows) > 0 && rows[0].Mbps > 0 {
 			row.Speedup = row.Mbps / rows[0].Mbps
 		} else {
@@ -84,11 +96,14 @@ func MeasureEngineParallel(name string, e *core.Engine, tag uint16, corpus [][]b
 		r.Bytes += int64(len(p))
 	}
 	r.Bytes *= int64(repeat)
+	m0 := mallocs()
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
 		e.InspectBatch(items, workers)
 	}
 	r.Elapsed = time.Since(start)
+	r.Allocs = mallocs() - m0
+	r.Packets = int64(repeat) * int64(len(items))
 	for i := range items {
 		if items[i].Err != nil {
 			panic(items[i].Err) // harness misconfiguration, not a data error
@@ -96,6 +111,7 @@ func MeasureEngineParallel(name string, e *core.Engine, tag uint16, corpus [][]b
 	}
 	s := e.Snapshot()
 	r.Matches = s.Matches
+	r.Metrics = e.Metrics().Snapshot()
 	return r
 }
 

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dpiservice/internal/obs"
+	"dpiservice/internal/patterns"
+)
+
+// This file defines the machine-readable benchmark report emitted by
+// cmd/dpibench -json (BENCH_*.json). Records carry enough detail —
+// packets, ns/op, MB/s, allocations, the engine's metric snapshot — to
+// compare runs over time; Compare implements the CI regression gate
+// against a committed baseline (see EXPERIMENTS.md).
+
+// Schema identifies the BENCH_*.json layout.
+const Schema = "dpibench/v1"
+
+// Record is one measurement in a benchmark report. Experiment+Name is
+// the stable key regression comparisons match on.
+type Record struct {
+	Experiment  string  `json:"experiment"`
+	Name        string  `json:"name"`
+	Patterns    int     `json:"patterns"`
+	Packets     int64   `json:"packets"`
+	Bytes       int64   `json:"bytes"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBps        float64 `json:"mb_per_s"`
+	Mbps        float64 `json:"mbps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Matches     uint64  `json:"matches"`
+	// Metrics is the engine's observability snapshot after the
+	// measurement; absent for raw-automaton records.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Report is a full dpibench JSON report.
+type Report struct {
+	Schema      string   `json:"schema"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Quick       bool     `json:"quick"`
+	Seed        int64    `json:"seed"`
+	CorpusBytes int      `json:"corpus_bytes"`
+	Repeat      int      `json:"repeat"`
+	Records     []Record `json:"records"`
+}
+
+// recordFrom converts one measurement; name overrides r.Name (pass ""
+// to keep it) so sweep points stay unique within an experiment.
+func recordFrom(experiment, name string, r Result) Record {
+	if name == "" {
+		name = r.Name
+	}
+	return Record{
+		Experiment:  experiment,
+		Name:        name,
+		Patterns:    r.Patterns,
+		Packets:     r.Packets,
+		Bytes:       r.Bytes,
+		NsPerOp:     r.NsPerOp(),
+		MBps:        r.MBps(),
+		Mbps:        r.ThroughputMbps(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Matches:     r.Matches,
+		Metrics:     r.Metrics,
+	}
+}
+
+// CollectableExperiments lists the experiments Collect supports.
+func CollectableExperiments() []string {
+	return []string{"table2", "fig9a", "fig9b", "parallel"}
+}
+
+// Collect runs the given experiments and assembles their raw
+// measurements into a report.
+func Collect(experiments []string, o Options) (*Report, error) {
+	o.defaults()
+	rep := &Report{
+		Schema:      Schema,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       o.Quick,
+		Seed:        o.Seed,
+		CorpusBytes: o.CorpusBytes,
+		Repeat:      o.Repeat,
+	}
+	trials := o.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	for _, exp := range experiments {
+		recs, err := collectOne(exp, o)
+		if err != nil {
+			return nil, fmt.Errorf("bench: collect %s: %w", exp, err)
+		}
+		// Best-of-N: re-run and keep the fastest measurement per record.
+		// A benchmark can only be slowed down by outside interference,
+		// so the maximum is the least noisy throughput estimator.
+		for t := 1; t < trials; t++ {
+			again, err := collectOne(exp, o)
+			if err != nil {
+				return nil, fmt.Errorf("bench: collect %s (trial %d): %w", exp, t+1, err)
+			}
+			byKey := make(map[string]Record, len(again))
+			for _, r := range again {
+				byKey[r.Experiment+"/"+r.Name] = r
+			}
+			for i, r := range recs {
+				if a, ok := byKey[r.Experiment+"/"+r.Name]; ok && a.Mbps > r.Mbps {
+					recs[i] = a
+				}
+			}
+		}
+		rep.Records = append(rep.Records, recs...)
+	}
+	return rep, nil
+}
+
+func collectOne(exp string, o Options) ([]Record, error) {
+	switch exp {
+	case "table2":
+		results, err := table2Results(o)
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, r := range results {
+			recs = append(recs, recordFrom(exp, "", r))
+		}
+		return recs, nil
+	case "fig9a":
+		return collectFig9a(o)
+	case "fig9b":
+		return collectFig9b(o)
+	case "parallel":
+		results, err := parallelResults(o)
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, r := range results {
+			recs = append(recs, recordFrom(exp, "", r))
+		}
+		return recs, nil
+	default:
+		return nil, fmt.Errorf("experiment %q has no record collector", exp)
+	}
+}
+
+// collectFig9a records the underlying measurements of every Figure 9(a)
+// sweep point (the figure's pipeline/virtual curves are pure functions
+// of them).
+func collectFig9a(o Options) ([]Record, error) {
+	totals := []int{1089, 2178, 3267, patterns.SnortFullSize}
+	if o.Quick {
+		totals = []int{200, 600}
+	}
+	var recs []Record
+	for _, total := range totals {
+		full := patterns.SnortLike(total, o.Seed)
+		halves, err := patterns.Split(full, 2, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rA, rB, rC, err := fig9Measure(o, halves[0], halves[1], full)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []Result{rA, rB, rC} {
+			recs = append(recs, recordFrom("fig9a", fmt.Sprintf("%s-%d", r.Name, total), r))
+		}
+	}
+	return recs, nil
+}
+
+// collectFig9b is collectFig9a for the Snort-vs-ClamAV sweep.
+func collectFig9b(o Options) ([]Record, error) {
+	snortN, clamCounts := patterns.SnortFullSize, []int{4356, 13000, 22000, patterns.ClamAVFullSize}
+	if o.Quick {
+		snortN, clamCounts = 300, []int{300, 600}
+	}
+	snort := patterns.SnortLike(snortN, o.Seed)
+	var recs []Record
+	for _, cn := range clamCounts {
+		clam := patterns.ClamAVLike(cn, o.Seed)
+		rA, rB, rC, err := fig9Measure(o, snort, clam, snort)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []Result{rA, rB, rC} {
+			recs = append(recs, recordFrom("fig9b", fmt.Sprintf("%s-%d", r.Name, snortN+cn), r))
+		}
+	}
+	return recs, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a BENCH_*.json report and checks its schema.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s has schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Comparison is one baseline-vs-current throughput delta.
+type Comparison struct {
+	Experiment   string  `json:"experiment"`
+	Name         string  `json:"name"`
+	BaselineMbps float64 `json:"baseline_mbps"`
+	CurrentMbps  float64 `json:"current_mbps"`
+	// DeltaPct is the throughput change vs baseline; negative = slower.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// Compare matches records by Experiment+Name and returns one entry per
+// record present in both reports. Records only one side measured (e.g.
+// a worker count the other machine does not have) are skipped.
+func Compare(baseline, current *Report) []Comparison {
+	idx := make(map[string]Record, len(baseline.Records))
+	for _, r := range baseline.Records {
+		idx[r.Experiment+"/"+r.Name] = r
+	}
+	var out []Comparison
+	for _, c := range current.Records {
+		b, ok := idx[c.Experiment+"/"+c.Name]
+		if !ok || b.Mbps <= 0 {
+			continue
+		}
+		out = append(out, Comparison{
+			Experiment:   c.Experiment,
+			Name:         c.Name,
+			BaselineMbps: b.Mbps,
+			CurrentMbps:  c.Mbps,
+			DeltaPct:     (c.Mbps - b.Mbps) / b.Mbps * 100,
+		})
+	}
+	return out
+}
+
+// Regressed filters comparisons that got more than thresholdPct percent
+// slower than baseline.
+func Regressed(cmp []Comparison, thresholdPct float64) []Comparison {
+	var out []Comparison
+	for _, c := range cmp {
+		if c.DeltaPct < -thresholdPct {
+			out = append(out, c)
+		}
+	}
+	return out
+}

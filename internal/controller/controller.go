@@ -17,6 +17,7 @@ import (
 	"dpiservice/internal/core"
 	"dpiservice/internal/ctlproto"
 	"dpiservice/internal/mpm"
+	"dpiservice/internal/obs"
 	"dpiservice/internal/patterns"
 )
 
@@ -46,6 +47,9 @@ type Controller struct {
 	instances map[string]*instanceRecord
 
 	version uint64 // bumped on any change affecting instance configs
+
+	// met caches the obs instruments (set once in New/NewWithMetrics).
+	met *ctlMetrics
 }
 
 type mboxRecord struct {
@@ -81,8 +85,16 @@ type instanceRecord struct {
 	hasTel    bool
 }
 
-// New returns an empty controller.
-func New() *Controller {
+// New returns an empty controller with a private metrics registry.
+func New() *Controller { return NewWithMetrics(nil) }
+
+// NewWithMetrics returns an empty controller publishing its
+// instruments into reg (nil selects a private registry, reachable via
+// Metrics).
+func NewWithMetrics(reg *obs.Registry) *Controller {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Controller{
 		mboxes:    make(map[string]*mboxRecord),
 		sets:      make(map[string]*setRecord),
@@ -90,6 +102,7 @@ func New() *Controller {
 		chains:    make(map[uint16][]string),
 		nextTag:   1,
 		instances: make(map[string]*instanceRecord),
+		met:       newCtlMetrics(reg),
 	}
 }
 
@@ -126,7 +139,9 @@ func (c *Controller) Register(reg ctlproto.Register) (int, error) {
 		c.sets[typ] = set
 	}
 	c.mboxes[reg.MboxID] = &mboxRecord{reg: reg, set: set}
-	c.version++
+	c.met.registrations.Inc()
+	c.met.mboxes.Set(int64(len(c.mboxes)))
+	c.bumpLocked()
 	return set.index, nil
 }
 
@@ -146,7 +161,10 @@ func (c *Controller) Deregister(mboxID string) error {
 	}
 	c.removeLocked(rec, ids)
 	delete(c.mboxes, mboxID)
-	c.version++
+	c.met.deregistrations.Inc()
+	c.met.mboxes.Set(int64(len(c.mboxes)))
+	c.met.globalPatterns.Set(int64(len(c.global)))
+	c.bumpLocked()
 	return nil
 }
 
@@ -187,7 +205,9 @@ func (c *Controller) AddPatterns(mboxID string, defs []ctlproto.PatternDef) erro
 			c.refGlobal(string(d.Content), mboxID, d.RuleID)
 		}
 	}
-	c.version++
+	c.met.patternsAdded.Add(uint64(len(defs)))
+	c.met.globalPatterns.Set(int64(len(c.global)))
+	c.bumpLocked()
 	return nil
 }
 
@@ -202,7 +222,9 @@ func (c *Controller) RemovePatterns(mboxID string, ruleIDs []int) error {
 		return fmt.Errorf("%w: %s", ErrUnknownMbox, mboxID)
 	}
 	c.removeLocked(rec, ruleIDs)
-	c.version++
+	c.met.patternsRemoved.Add(uint64(len(ruleIDs)))
+	c.met.globalPatterns.Set(int64(len(c.global)))
+	c.bumpLocked()
 	return nil
 }
 
@@ -272,7 +294,9 @@ func (c *Controller) DefineChain(members []string) (uint16, error) {
 	tag := c.nextTag
 	c.nextTag++
 	c.chains[tag] = append([]string(nil), members...)
-	c.version++
+	c.met.chainsDefined.Inc()
+	c.met.chains.Set(int64(len(c.chains)))
+	c.bumpLocked()
 	return tag, nil
 }
 
@@ -526,14 +550,22 @@ func (c *Controller) Mbox(id string) (MboxInfo, error) {
 func (c *Controller) AddInstance(id string, tags []uint16, dedicated bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.instances[id]; !ok {
+		c.met.instancesAdded.Inc()
+	}
 	c.instances[id] = &instanceRecord{id: id, chains: append([]uint16(nil), tags...), dedicated: dedicated}
+	c.met.instances.Set(int64(len(c.instances)))
 }
 
 // RemoveInstance forgets an instance.
 func (c *Controller) RemoveInstance(id string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.instances[id]; ok {
+		c.met.instancesRemoved.Inc()
+	}
 	delete(c.instances, id)
+	c.met.instances.Set(int64(len(c.instances)))
 }
 
 // ReportTelemetry ingests an instance's periodic report.
@@ -546,6 +578,7 @@ func (c *Controller) ReportTelemetry(tel ctlproto.Telemetry) error {
 	}
 	rec.telemetry = tel
 	rec.hasTel = true
+	c.met.telemetryReports.Inc()
 	return nil
 }
 

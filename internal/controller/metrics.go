@@ -1,0 +1,91 @@
+package controller
+
+import (
+	"sort"
+
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/obs"
+)
+
+// ctlMetrics caches the controller's obs instruments. All updates
+// happen under the controller mutex, so plain cached pointers suffice;
+// the gauges mirror the sizes of the guarded maps after each mutation.
+type ctlMetrics struct {
+	reg *obs.Registry
+
+	registrations    *obs.Counter
+	deregistrations  *obs.Counter
+	patternsAdded    *obs.Counter
+	patternsRemoved  *obs.Counter
+	chainsDefined    *obs.Counter
+	telemetryReports *obs.Counter
+	instancesAdded   *obs.Counter
+	instancesRemoved *obs.Counter
+	configChanges    *obs.Counter
+
+	mboxes         *obs.Gauge
+	globalPatterns *obs.Gauge
+	chains         *obs.Gauge
+	instances      *obs.Gauge
+}
+
+func newCtlMetrics(reg *obs.Registry) *ctlMetrics {
+	return &ctlMetrics{
+		reg:              reg,
+		registrations:    reg.Counter("controller.registrations"),
+		deregistrations:  reg.Counter("controller.deregistrations"),
+		patternsAdded:    reg.Counter("controller.patterns_added"),
+		patternsRemoved:  reg.Counter("controller.patterns_removed"),
+		chainsDefined:    reg.Counter("controller.chains_defined"),
+		telemetryReports: reg.Counter("controller.telemetry_reports"),
+		instancesAdded:   reg.Counter("controller.instances_added"),
+		instancesRemoved: reg.Counter("controller.instances_removed"),
+		configChanges:    reg.Counter("controller.config_changes"),
+		mboxes:           reg.Gauge("controller.mboxes"),
+		globalPatterns:   reg.Gauge("controller.global_patterns"),
+		chains:           reg.Gauge("controller.chains"),
+		instances:        reg.Gauge("controller.instances"),
+	}
+}
+
+// Metrics returns the controller's metrics registry.
+func (c *Controller) Metrics() *obs.Registry { return c.met.reg }
+
+// bumpLocked advances the configuration version and counts the change.
+// Caller holds c.mu.
+func (c *Controller) bumpLocked() {
+	c.version++
+	c.met.configChanges.Inc()
+}
+
+// InstanceSnapshot is one DPI service instance's control-plane state:
+// identity, served chains, and the latest load report.
+type InstanceSnapshot struct {
+	ID           string             `json:"id"`
+	Chains       []uint16           `json:"chains,omitempty"`
+	Dedicated    bool               `json:"dedicated,omitempty"`
+	HasTelemetry bool               `json:"has_telemetry"`
+	Telemetry    ctlproto.Telemetry `json:"telemetry"`
+}
+
+// TelemetrySnapshots returns a deterministic, ID-sorted snapshot of
+// every known instance taken under one lock acquisition — the view
+// MCA² evaluation and the dpictl /instances endpoint consume. Unlike
+// ranging the instance map, repeated calls with unchanged state return
+// identical slices.
+func (c *Controller) TelemetrySnapshots() []InstanceSnapshot {
+	c.mu.Lock()
+	out := make([]InstanceSnapshot, 0, len(c.instances))
+	for _, rec := range c.instances {
+		out = append(out, InstanceSnapshot{
+			ID:           rec.id,
+			Chains:       append([]uint16(nil), rec.chains...),
+			Dedicated:    rec.dedicated,
+			HasTelemetry: rec.hasTel,
+			Telemetry:    rec.telemetry,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,100 @@
+package controller
+
+import (
+	"sort"
+	"testing"
+
+	"dpiservice/internal/ctlproto"
+)
+
+func TestControllerMetrics(t *testing.T) {
+	c := New()
+	if _, err := c.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(ctlproto.Register{MboxID: "av-1", Type: "av"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPatterns("ids-1", []ctlproto.PatternDef{
+		{RuleID: 1, Content: []byte("attack")},
+		{RuleID: 2, Content: []byte("evil")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DefineChain([]string{"ids-1", "av-1"}); err != nil {
+		t.Fatal(err)
+	}
+	c.AddInstance("dpi-1", nil, false)
+	c.AddInstance("dpi-2", nil, true)
+	c.RemoveInstance("dpi-2")
+	if err := c.ReportTelemetry(ctlproto.Telemetry{InstanceID: "dpi-1", Packets: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.Metrics().Snapshot()
+	for name, want := range map[string]uint64{
+		"controller.registrations":     2,
+		"controller.patterns_added":    2,
+		"controller.chains_defined":    1,
+		"controller.instances_added":   2,
+		"controller.instances_removed": 1,
+		"controller.telemetry_reports": 1,
+	} {
+		if got, ok := s.Counter(name); !ok || got != want {
+			t.Errorf("%s = %d (present=%v), want %d", name, got, ok, want)
+		}
+	}
+	for name, want := range map[string]int64{
+		"controller.mboxes":          2,
+		"controller.global_patterns": 2,
+		"controller.chains":          1,
+		"controller.instances":       1,
+	} {
+		if got, ok := s.Gauge(name); !ok || got != want {
+			t.Errorf("%s = %d (present=%v), want %d", name, got, ok, want)
+		}
+	}
+	if got, _ := s.Counter("controller.config_changes"); got != uint64(c.Version()) {
+		t.Errorf("controller.config_changes = %d, want version %d", got, c.Version())
+	}
+}
+
+func TestTelemetrySnapshotsSorted(t *testing.T) {
+	c := New()
+	// Insert in non-sorted order; map iteration would scramble further.
+	for _, id := range []string{"dpi-9", "dpi-1", "dpi-5", "dpi-3"} {
+		c.AddInstance(id, []uint16{1}, id == "dpi-5")
+	}
+	if err := c.ReportTelemetry(ctlproto.Telemetry{InstanceID: "dpi-3", Packets: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		snaps := c.TelemetrySnapshots()
+		ids := make([]string, len(snaps))
+		for j, s := range snaps {
+			ids[j] = s.ID
+		}
+		if !sort.StringsAreSorted(ids) {
+			t.Fatalf("iteration %d: snapshots not sorted: %v", i, ids)
+		}
+		if len(snaps) != 4 {
+			t.Fatalf("got %d snapshots, want 4", len(snaps))
+		}
+		for _, s := range snaps {
+			switch s.ID {
+			case "dpi-3":
+				if !s.HasTelemetry || s.Telemetry.Packets != 7 {
+					t.Fatalf("dpi-3 telemetry = %+v", s)
+				}
+			case "dpi-5":
+				if !s.Dedicated {
+					t.Fatal("dpi-5 should be dedicated")
+				}
+			default:
+				if s.HasTelemetry {
+					t.Fatalf("%s unexpectedly has telemetry", s.ID)
+				}
+			}
+		}
+	}
+}

@@ -186,7 +186,12 @@ func (c *Controller) LoadState(r io.Reader) error {
 	}
 	c.nextTag = st.NextTag
 	c.nextSet = st.NextSet
-	c.version++
+	// Restored state bypassed the mutation paths; resync the size gauges.
+	c.met.mboxes.Set(int64(len(c.mboxes)))
+	c.met.globalPatterns.Set(int64(len(c.global)))
+	c.met.chains.Set(int64(len(c.chains)))
+	c.met.instances.Set(int64(len(c.instances)))
+	c.bumpLocked()
 	return nil
 }
 

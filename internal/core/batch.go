@@ -105,7 +105,10 @@ func NewPool(engine func() *Engine, workers, queue int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.jobs {
-				j.Report, j.Err = p.engine().Inspect(j.Tag, j.Tuple, j.Payload)
+				// InspectTimed feeds the core.scan_ns histogram; the
+				// clock read happens out here in the worker, never on
+				// the //dpi:hotpath scan path itself.
+				j.Report, j.Err = p.engine().InspectTimed(j.Tag, j.Tuple, j.Payload)
 				close(j.done)
 			}
 		}()

@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	"dpiservice/internal/mpm"
+	"dpiservice/internal/obs"
 	"dpiservice/internal/patterns"
 )
 
@@ -98,6 +99,12 @@ type Config struct {
 	// the engine's flow-level parallelism: packets of flows in
 	// different shards never contend.
 	Shards int
+	// Metrics is the registry the engine publishes its instruments
+	// into; nil gives the engine a private registry (reachable via
+	// Engine.Metrics). Sharing one registry across engines aggregates
+	// their counters — usually wrong for per-instance telemetry, so
+	// pass a dedicated registry per engine.
+	Metrics *obs.Registry
 }
 
 // Errors returned by the engine.

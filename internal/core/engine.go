@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"dpiservice/internal/mpm"
+	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 	"dpiservice/internal/regexengine"
 )
@@ -44,23 +45,15 @@ type Engine struct {
 	shardMask uint64
 
 	scratchPool sync.Pool // of *scratch
-	counter     Stats
+	// met caches the obs instruments (Config.Metrics or a private
+	// registry); the hot path updates them through cached pointers.
+	met *engineMetrics
 }
 
-// Stats are cumulative engine counters, safe to read concurrently.
-type Stats struct {
-	Packets       atomic.Uint64
-	Bytes         atomic.Uint64 // payload bytes presented
-	BytesScanned  atomic.Uint64 // bytes actually fed to the automaton
-	Matches       atomic.Uint64 // occurrences reported (post-filter)
-	Reports       atomic.Uint64 // non-empty reports produced
-	FlowsEvicted  atomic.Uint64
-	RegexConfirms atomic.Uint64 // full-engine invocations
-	RegexHits     atomic.Uint64
-	Decompressed  atomic.Uint64 // packets decompressed before scanning
-}
-
-// StatsSnapshot is a plain-value copy of Stats.
+// StatsSnapshot is a plain-value copy of the engine's cumulative
+// counters: Packets/Bytes presented, BytesScanned fed to the
+// automaton, Matches reported post-filter, Reports produced non-empty,
+// and the flow/regex/decompression counters.
 type StatsSnapshot struct {
 	Packets, Bytes, BytesScanned, Matches, Reports       uint64
 	FlowsEvicted, RegexConfirms, RegexHits, Decompressed uint64
@@ -290,12 +283,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if perShard < 1 {
 		perShard = 1
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.met = newEngineMetrics(reg, n)
 	for i := range e.shards {
 		e.shards[i] = &flowShard{
 			flows:    make(map[packet.FiveTuple]*flowState),
 			maxFlows: perShard,
+			scans:    e.met.shardScans[i],
 		}
 	}
+	// Build-time facts exported as gauges so a /metrics scrape carries
+	// the instance's static shape alongside its traffic counters.
+	reg.Gauge("core.shards").Set(int64(n))
+	reg.Gauge("core.patterns").Set(int64(e.NumPatterns()))
+	reg.Gauge("core.states").Set(int64(e.NumStates()))
+	reg.Gauge("core.memory_bytes").Set(e.MemoryBytes())
 	e.scratchPool.New = func() any { return e.newScratch() }
 	return e, nil
 }
@@ -358,8 +363,9 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 //
 //dpi:hotpath
 func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byte, s *scratch) *packet.Report {
-	e.counter.Packets.Add(1)
-	e.counter.Bytes.Add(uint64(len(payload)))
+	e.met.packets.Inc()
+	e.met.bytes.Add(uint64(len(payload)))
+	e.met.payloadBytes.Observe(uint64(len(payload)))
 	s.epoch++
 
 	// One-time decompression (Section 1): the service decompresses so
@@ -368,7 +374,7 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 	if e.cfg.Decompress && len(payload) >= 2 && payload[0] == 0x1f && payload[1] == 0x8b {
 		if dec, err := s.decompress(payload); err == nil {
 			scanData = dec
-			e.counter.Decompressed.Add(1)
+			e.met.decompressed.Inc()
 		}
 	}
 
@@ -376,6 +382,7 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 	// and, for every chain, the per-flow telemetry MCA² consumes
 	// (Section 4.3.1).
 	sh := e.shards[tuple.FastHash()&e.shardMask]
+	sh.scans.Inc()
 	fs := sh.flow(e, tuple)
 	state := mpm.State(0)
 	if e.auto != nil {
@@ -419,7 +426,7 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 	s.cur = scanCtx{chain: chain, report: &s.report, offset: offset, fromRestore: chain.anyStateful && offset > 0}
 	if e.auto != nil && limit > 0 {
 		state = e.auto.Scan(scanData[:limit], state, chain.mask, s.emitFn)
-		e.counter.BytesScanned.Add(uint64(limit))
+		e.met.bytesScanned.Add(uint64(limit))
 	}
 	if e.autoFold != nil && limit > 0 && chain.mask&e.foldMask != 0 {
 		s.foldBuf = appendLowerASCII(s.foldBuf[:0], scanData[:limit])
@@ -441,12 +448,12 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 	chain.packets.Add(1)
 	chain.bytes.Add(uint64(len(scanData)))
 	chain.matches.Add(s.cur.matches)
-	e.counter.Matches.Add(s.cur.matches)
+	e.met.matches.Add(s.cur.matches)
 	s.cur = scanCtx{}
 	if s.report.Empty() {
 		return nil
 	}
-	e.counter.Reports.Add(1)
+	e.met.reports.Inc()
 	// The scratch (and its report) go back to the pool; hand the
 	// caller an owned copy. Non-empty reports are the rare case
 	// (Section 6.5: >90% of packets match nothing), so the common path
@@ -458,8 +465,14 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 func (e *Engine) EndFlow(tuple packet.FiveTuple) {
 	sh := e.shards[tuple.FastHash()&e.shardMask]
 	sh.mu.Lock()
-	delete(sh.flows, tuple)
+	_, ok := sh.flows[tuple]
+	if ok {
+		delete(sh.flows, tuple)
+	}
 	sh.mu.Unlock()
+	if ok {
+		e.met.flowsActive.Add(-1)
+	}
 }
 
 // ActiveFlows reports the number of tracked flows.
@@ -517,18 +530,19 @@ func tupleLess(a, b packet.FiveTuple) bool {
 	return a.Protocol < b.Protocol
 }
 
-// Snapshot returns a copy of the cumulative counters.
+// Snapshot returns a copy of the cumulative counters (read from the
+// engine's obs registry, which is the single source of truth).
 func (e *Engine) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Packets:       e.counter.Packets.Load(),
-		Bytes:         e.counter.Bytes.Load(),
-		BytesScanned:  e.counter.BytesScanned.Load(),
-		Matches:       e.counter.Matches.Load(),
-		Reports:       e.counter.Reports.Load(),
-		FlowsEvicted:  e.counter.FlowsEvicted.Load(),
-		RegexConfirms: e.counter.RegexConfirms.Load(),
-		RegexHits:     e.counter.RegexHits.Load(),
-		Decompressed:  e.counter.Decompressed.Load(),
+		Packets:       e.met.packets.Value(),
+		Bytes:         e.met.bytes.Value(),
+		BytesScanned:  e.met.bytesScanned.Value(),
+		Matches:       e.met.matches.Value(),
+		Reports:       e.met.reports.Value(),
+		FlowsEvicted:  e.met.flowsEvicted.Value(),
+		RegexConfirms: e.met.regexConfirms.Value(),
+		RegexHits:     e.met.regexHits.Value(),
+		Decompressed:  e.met.decompressed.Value(),
 	}
 }
 

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dpiservice/internal/obs"
+	"dpiservice/internal/packet"
+)
+
+// engineMetrics caches the engine's obs instruments. Lookup by name
+// happens once, in NewEngine; the hot path touches only the cached
+// pointers, so a metric update is a single atomic RMW — no map access,
+// no lock, no allocation.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	packets       *obs.Counter
+	bytes         *obs.Counter
+	bytesScanned  *obs.Counter
+	matches       *obs.Counter
+	reports       *obs.Counter
+	flowsEvicted  *obs.Counter
+	regexConfirms *obs.Counter
+	regexHits     *obs.Counter
+	decompressed  *obs.Counter
+	flowHits      *obs.Counter
+	flowMisses    *obs.Counter
+
+	flowsActive *obs.Gauge
+
+	payloadBytes *obs.Histogram
+	scanNs       *obs.Histogram
+
+	// shardScans is indexed parallel to Engine.shards.
+	shardScans []*obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
+	m := &engineMetrics{
+		reg:           reg,
+		packets:       reg.Counter("core.packets"),
+		bytes:         reg.Counter("core.bytes"),
+		bytesScanned:  reg.Counter("core.bytes_scanned"),
+		matches:       reg.Counter("core.matches"),
+		reports:       reg.Counter("core.reports"),
+		flowsEvicted:  reg.Counter("core.flows_evicted"),
+		regexConfirms: reg.Counter("core.regex_confirms"),
+		regexHits:     reg.Counter("core.regex_hits"),
+		decompressed:  reg.Counter("core.decompressed"),
+		flowHits:      reg.Counter("core.flow_hits"),
+		flowMisses:    reg.Counter("core.flow_misses"),
+		flowsActive:   reg.Gauge("core.flows_active"),
+		payloadBytes:  reg.Histogram("core.payload_bytes", obs.SizeBounds),
+		scanNs:        reg.Histogram("core.scan_ns", obs.LatencyBounds),
+	}
+	m.shardScans = make([]*obs.Counter, shards)
+	for i := range m.shardScans {
+		m.shardScans[i] = reg.Counter(fmt.Sprintf("core.shard.%03d.scans", i))
+	}
+	return m
+}
+
+// Metrics returns the engine's metrics registry — the one passed in
+// Config.Metrics, or the engine's private registry when none was.
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// InspectTimed is Inspect plus a scan-latency observation into the
+// core.scan_ns histogram. The clock read lives here, outside the
+// //dpi:hotpath-checked scan path, so daemons and worker pools get
+// latency telemetry while Inspect itself stays clock-free for callers
+// (like dpibench) that measure externally.
+func (e *Engine) InspectTimed(tag uint16, tuple packet.FiveTuple, payload []byte) (*packet.Report, error) {
+	start := time.Now()
+	rep, err := e.Inspect(tag, tuple, payload)
+	e.met.scanNs.Observe(uint64(time.Since(start)))
+	return rep, err
+}

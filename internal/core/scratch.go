@@ -145,10 +145,10 @@ func (s *scratch) finishRegexes(chain *chainInfo, scanData []byte, offset int64)
 		rs := &s.rx[p.rxIndex]
 		for _, slot := range rs.candidates {
 			sl := p.regexSlots[slot]
-			s.e.counter.RegexConfirms.Add(1)
+			s.e.met.regexConfirms.Inc()
 			if loc := p.rx.Get(sl.id); loc != nil {
 				if m := locMatch(loc, scanData); m >= 0 {
-					s.e.counter.RegexHits.Add(1)
+					s.e.met.regexHits.Inc()
 					s.addRegexMatch(p, sl.id, m, offset)
 				}
 			}
@@ -156,7 +156,7 @@ func (s *scratch) finishRegexes(chain *chainInfo, scanData []byte, offset int64)
 		rs.candidates = rs.candidates[:0]
 		if p.hasPoor {
 			for _, rid := range p.rx.ScanAnchorPoor(scanData) {
-				s.e.counter.RegexHits.Add(1)
+				s.e.met.regexHits.Inc()
 				s.addRegexMatch(p, rid, len(scanData), offset)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dpiservice/internal/mpm"
+	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 )
 
@@ -18,6 +19,10 @@ type flowShard struct {
 	//dpi:guardedby(mu)
 	useSeq   uint64 // logical clock for LRU eviction
 	maxFlows int    // immutable after NewEngine
+	// scans counts packets routed to this shard (core.shard.NNN.scans)
+	// — the skew monitor for the FastHash distribution. Set once in
+	// NewEngine.
+	scans *obs.Counter
 }
 
 type flowState struct {
@@ -62,6 +67,12 @@ func (sh *flowShard) flow(e *Engine, tuple packet.FiveTuple) *flowState {
 	sh.useSeq++
 	fs.lastUsed = sh.useSeq
 	sh.mu.Unlock()
+	if ok {
+		e.met.flowHits.Inc()
+	} else {
+		e.met.flowMisses.Inc()
+		e.met.flowsActive.Add(1)
+	}
 	return fs
 }
 
@@ -88,6 +99,7 @@ func (sh *flowShard) evictFlow(e *Engine) {
 	}
 	if n > 0 {
 		delete(sh.flows, victim)
-		e.counter.FlowsEvicted.Add(1)
+		e.met.flowsEvicted.Inc()
+		e.met.flowsActive.Add(-1)
 	}
 }

@@ -238,8 +238,15 @@ func WriteMsg(w io.Writer, typ MsgType, seq uint64, body any) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(env)
-	return err
+	if _, err := w.Write(env); err != nil {
+		return err
+	}
+	if m := wireMet.Load(); m != nil {
+		m.msgsWritten.Inc()
+		m.bytesWritten.Add(uint64(len(hdr) + len(env)))
+		m.countMsg(typ)
+	}
+	return nil
 }
 
 // ReadMsg reads one framed envelope.
@@ -262,6 +269,11 @@ func ReadMsg(r io.Reader) (*Envelope, error) {
 	}
 	if env.Type == "" {
 		return nil, ErrBadEnvelope
+	}
+	if m := wireMet.Load(); m != nil {
+		m.msgsRead.Inc()
+		m.bytesRead.Add(uint64(len(hdr)) + uint64(n))
+		m.countMsg(env.Type)
 	}
 	return &env, nil
 }

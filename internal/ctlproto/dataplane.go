@@ -39,8 +39,14 @@ func WriteDataPacket(w io.Writer, tag uint16, tuple packet.FiveTuple, payload []
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	if m := wireMet.Load(); m != nil {
+		m.dataPacketsOut.Inc()
+		m.dataBytesOut.Add(uint64(len(hdr) + len(payload)))
+	}
+	return nil
 }
 
 // ReadDataPacket reads one framed packet. The payload is appended to
@@ -64,6 +70,10 @@ func ReadDataPacket(r io.Reader, buf []byte) (tag uint16, tuple packet.FiveTuple
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, tuple, nil, err
 	}
+	if m := wireMet.Load(); m != nil {
+		m.dataPacketsIn.Inc()
+		m.dataBytesIn.Add(uint64(dataHdrLen) + uint64(n))
+	}
 	return tag, tuple, payload, nil
 }
 
@@ -74,11 +84,15 @@ func WriteResultFrame(w io.Writer, encodedReport []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if len(encodedReport) == 0 {
-		return nil
+	if len(encodedReport) > 0 {
+		if _, err := w.Write(encodedReport); err != nil {
+			return err
+		}
 	}
-	_, err := w.Write(encodedReport)
-	return err
+	if m := wireMet.Load(); m != nil {
+		m.resultsOut.Inc()
+	}
+	return nil
 }
 
 // ReadResultFrame reads one result frame; nil means no matches.
@@ -88,15 +102,18 @@ func ReadResultFrame(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 {
-		return nil, nil
-	}
 	if n > MaxDataPayload {
 		return nil, ErrPayloadTooLarge
 	}
-	out := append(buf[:0], make([]byte, n)...)
-	if _, err := io.ReadFull(r, out); err != nil {
-		return nil, err
+	var out []byte
+	if n > 0 {
+		out = append(buf[:0], make([]byte, n)...)
+		if _, err := io.ReadFull(r, out); err != nil {
+			return nil, err
+		}
+	}
+	if m := wireMet.Load(); m != nil {
+		m.resultsIn.Inc()
 	}
 	return out, nil
 }

@@ -1,0 +1,71 @@
+package ctlproto
+
+import (
+	"sync/atomic"
+
+	"dpiservice/internal/obs"
+)
+
+// Wire metrics are package-global because the framing functions are
+// free functions shared by every connection: a daemon opts in once via
+// EnableMetrics and all subsequent reads/writes are counted. The
+// pointer is swapped atomically, the per-type counter map is built
+// read-only at install time, and the nil default keeps the uncounted
+// path to a single atomic load.
+type wireMetrics struct {
+	msgsRead     *obs.Counter
+	msgsWritten  *obs.Counter
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	// perType counts envelopes by type, read and written combined.
+	// Read-only after construction.
+	perType map[MsgType]*obs.Counter
+
+	dataPacketsIn  *obs.Counter
+	dataBytesIn    *obs.Counter
+	dataPacketsOut *obs.Counter
+	dataBytesOut   *obs.Counter
+	resultsIn      *obs.Counter
+	resultsOut     *obs.Counter
+}
+
+var wireMet atomic.Pointer[wireMetrics]
+
+// EnableMetrics counts all ctlproto control and data-plane traffic in
+// this process into reg (pass nil to disable again). Intended for the
+// daemons; libraries and tests that share the process see the same
+// global switch.
+func EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		wireMet.Store(nil)
+		return
+	}
+	m := &wireMetrics{
+		msgsRead:       reg.Counter("ctlproto.msgs_read"),
+		msgsWritten:    reg.Counter("ctlproto.msgs_written"),
+		bytesRead:      reg.Counter("ctlproto.bytes_read"),
+		bytesWritten:   reg.Counter("ctlproto.bytes_written"),
+		perType:        make(map[MsgType]*obs.Counter),
+		dataPacketsIn:  reg.Counter("ctlproto.data_packets_in"),
+		dataBytesIn:    reg.Counter("ctlproto.data_bytes_in"),
+		dataPacketsOut: reg.Counter("ctlproto.data_packets_out"),
+		dataBytesOut:   reg.Counter("ctlproto.data_bytes_out"),
+		resultsIn:      reg.Counter("ctlproto.result_frames_in"),
+		resultsOut:     reg.Counter("ctlproto.result_frames_out"),
+	}
+	for _, t := range []MsgType{
+		TypeRegister, TypeRegisterAck, TypeDeregister,
+		TypeAddPatterns, TypeRemovePatterns, TypePolicyChains,
+		TypeInstanceHello, TypeInstanceInit, TypeTelemetry,
+		TypeMigrateFlows, TypeAck, TypeError,
+	} {
+		m.perType[t] = reg.Counter("ctlproto.msg." + string(t))
+	}
+	wireMet.Store(m)
+}
+
+func (m *wireMetrics) countMsg(typ MsgType) {
+	if c := m.perType[typ]; c != nil {
+		c.Inc()
+	}
+}

@@ -1,0 +1,65 @@
+package ctlproto
+
+import (
+	"bytes"
+	"testing"
+
+	"dpiservice/internal/obs"
+	"dpiservice/internal/packet"
+)
+
+func TestWireMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, TypeRegister, 1, Register{MboxID: "ids-1"}); err != nil {
+		t.Fatal(err)
+	}
+	wireLen := buf.Len()
+	env, err := ReadMsg(&buf)
+	if err != nil || env.Type != TypeRegister {
+		t.Fatalf("ReadMsg: %v (%v)", env, err)
+	}
+
+	tuple := packet.FiveTuple{Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2}, SrcPort: 1000, DstPort: 80, Protocol: packet.IPProtoTCP}
+	if err := WriteDataPacket(&buf, 7, tuple, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadDataPacket(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResultFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResultFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"ctlproto.msgs_written":      1,
+		"ctlproto.msgs_read":         1,
+		"ctlproto.bytes_written":     uint64(wireLen),
+		"ctlproto.bytes_read":        uint64(wireLen),
+		"ctlproto.msg.register":      2, // one write + one read
+		"ctlproto.data_packets_out":  1,
+		"ctlproto.data_packets_in":   1,
+		"ctlproto.result_frames_out": 1,
+		"ctlproto.result_frames_in":  1,
+	} {
+		if got, ok := s.Counter(name); !ok || got != want {
+			t.Errorf("%s = %d (present=%v), want %d", name, got, ok, want)
+		}
+	}
+
+	// Disabled again: traffic no longer counts.
+	EnableMetrics(nil)
+	if err := WriteMsg(&buf, TypeAck, 2, Ack{AckSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := reg.Snapshot().Counter("ctlproto.msgs_written"); got != 1 {
+		t.Errorf("msgs_written after disable = %d, want 1", got)
+	}
+}

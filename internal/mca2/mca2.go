@@ -14,6 +14,7 @@ import (
 
 	"dpiservice/internal/controller"
 	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/obs"
 )
 
 // Config tunes the stress monitor.
@@ -27,6 +28,9 @@ type Config struct {
 	MinFlowBytes uint64
 	// MaxMigrationsPerRound bounds churn per Evaluate call. Default 8.
 	MaxMigrationsPerRound int
+	// Metrics is the registry the monitor publishes its instruments
+	// into; nil selects a private registry.
+	Metrics *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -57,17 +61,45 @@ var ErrNoDedicated = errors.New("mca2: heavy flows detected but no dedicated ins
 type Monitor struct {
 	ctl *controller.Controller
 	cfg Config
+	met monMetrics
 
 	mu       sync.Mutex
 	rr       int
 	migrated map[ctlproto.FlowKey]string // flow -> dedicated instance
 }
 
+// monMetrics are the monitor's instruments: stress detections,
+// migration churn, and the diverted-flow population.
+type monMetrics struct {
+	reg           *obs.Registry
+	heavyFlows    *obs.Counter
+	migrations    *obs.Counter
+	releases      *obs.Counter
+	migratedFlows *obs.Gauge
+}
+
 // New creates a monitor over the controller's telemetry.
 func New(ctl *controller.Controller, cfg Config) *Monitor {
 	cfg.defaults()
-	return &Monitor{ctl: ctl, cfg: cfg, migrated: make(map[ctlproto.FlowKey]string)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Monitor{
+		ctl: ctl, cfg: cfg,
+		met: monMetrics{
+			reg:           reg,
+			heavyFlows:    reg.Counter("mca2.heavy_flows_seen"),
+			migrations:    reg.Counter("mca2.migrations"),
+			releases:      reg.Counter("mca2.releases"),
+			migratedFlows: reg.Gauge("mca2.migrated_flows"),
+		},
+		migrated: make(map[ctlproto.FlowKey]string),
+	}
 }
+
+// Metrics returns the monitor's metrics registry.
+func (m *Monitor) Metrics() *obs.Registry { return m.met.reg }
 
 // Evaluate examines the latest telemetry of every regular instance and
 // returns the migrations to perform. Flows already migrated are not
@@ -77,21 +109,25 @@ func New(ctl *controller.Controller, cfg Config) *Monitor {
 // ("dedicated DPI instances can be dynamically allocated as an attack
 // becomes more intense").
 func (m *Monitor) Evaluate() ([]Decision, error) {
-	dedicated := m.ctl.Instances(true)
+	// One sorted snapshot of every instance: deterministic iteration
+	// order and a single consistent telemetry cut per round.
+	snaps := m.ctl.TelemetrySnapshots()
+	var dedicated []string
+	for _, s := range snaps {
+		if s.Dedicated {
+			dedicated = append(dedicated, s.ID)
+		}
+	}
 	var decisions []Decision
 	heavySeen := false
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, id := range m.ctl.Instances(false) {
-		if isIn(dedicated, id) {
+	for _, snap := range snaps {
+		if snap.Dedicated || !snap.HasTelemetry {
 			continue
 		}
-		tel, ok := m.ctl.InstanceTelemetry(id)
-		if !ok {
-			continue
-		}
-		for _, f := range tel.HeavyFlows {
+		for _, f := range snap.Telemetry.HeavyFlows {
 			if f.Bytes < m.cfg.MinFlowBytes {
 				continue
 			}
@@ -99,6 +135,7 @@ func (m *Monitor) Evaluate() ([]Decision, error) {
 				continue
 			}
 			heavySeen = true
+			m.met.heavyFlows.Inc()
 			if _, done := m.migrated[f.Flow]; done {
 				continue
 			}
@@ -111,9 +148,11 @@ func (m *Monitor) Evaluate() ([]Decision, error) {
 			target := dedicated[m.rr%len(dedicated)]
 			m.rr++
 			m.migrated[f.Flow] = target
-			decisions = append(decisions, Decision{From: id, To: target, Flow: f.Flow})
+			m.met.migrations.Inc()
+			decisions = append(decisions, Decision{From: snap.ID, To: target, Flow: f.Flow})
 		}
 	}
+	m.met.migratedFlows.Set(int64(len(m.migrated)))
 	if heavySeen && len(dedicated) == 0 {
 		return nil, ErrNoDedicated
 	}
@@ -126,12 +165,11 @@ func (m *Monitor) Evaluate() ([]Decision, error) {
 // can then be re-steered to regular instances by the caller.
 func (m *Monitor) Release() []ctlproto.FlowKey {
 	stillHeavy := make(map[ctlproto.FlowKey]bool)
-	for _, id := range m.ctl.Instances(false) {
-		tel, ok := m.ctl.InstanceTelemetry(id)
-		if !ok {
+	for _, snap := range m.ctl.TelemetrySnapshots() {
+		if !snap.HasTelemetry {
 			continue
 		}
-		for _, f := range tel.HeavyFlows {
+		for _, f := range snap.Telemetry.HeavyFlows {
 			if f.Bytes >= m.cfg.MinFlowBytes &&
 				float64(f.Matches)/float64(f.Bytes) >= m.cfg.MatchDensity {
 				stillHeavy[f.Flow] = true
@@ -147,6 +185,8 @@ func (m *Monitor) Release() []ctlproto.FlowKey {
 			delete(m.migrated, flow)
 		}
 	}
+	m.met.releases.Add(uint64(len(released)))
+	m.met.migratedFlows.Set(int64(len(m.migrated)))
 	return released
 }
 
@@ -176,6 +216,7 @@ func (m *Monitor) Forget(flow ctlproto.FlowKey) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.migrated, flow)
+	m.met.migratedFlows.Set(int64(len(m.migrated)))
 }
 
 // MigratedCount reports how many flows are currently diverted.
@@ -191,13 +232,4 @@ func (m *Monitor) TargetOf(flow ctlproto.FlowKey) (string, bool) {
 	defer m.mu.Unlock()
 	t, ok := m.migrated[flow]
 	return t, ok
-}
-
-func isIn(list []string, s string) bool {
-	for _, v := range list {
-		if v == s {
-			return true
-		}
-	}
-	return false
 }

@@ -13,10 +13,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"dpiservice/internal/core"
 	"dpiservice/internal/ctlproto"
 	"dpiservice/internal/netsim"
+	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 	"dpiservice/internal/reassembly"
 )
@@ -34,7 +36,11 @@ const ResultOnlyBit = packet.VLANResultOnlyBit
 type DPINode struct {
 	*netsim.Host
 	engine *core.Engine
-	ID     string
+	// met caches the node's instruments in the engine's registry; it is
+	// re-resolved on SwapEngine so node counters follow the active
+	// engine's registry (guarded by mu, like engine).
+	met *nodeMetrics
+	ID  string
 
 	mu         sync.Mutex
 	resultOnly map[uint16]bool
@@ -55,10 +61,32 @@ type DPINode struct {
 	buf packet.SerializeBuffer
 }
 
-// frameScan is the pool-job context: the original frame and its parse.
+// frameScan is the pool-job context: the original frame, its parse,
+// and the submit time feeding the queue-wait histogram.
 type frameScan struct {
-	frame []byte
-	sum   packet.Summary
+	frame     []byte
+	sum       packet.Summary
+	submitted time.Time
+}
+
+// nodeMetrics are the DPINode's instruments: frames seen/bypassed,
+// reports emitted, and the worker-queue depth and wait time.
+type nodeMetrics struct {
+	frames      *obs.Counter
+	untagged    *obs.Counter
+	reportsSent *obs.Counter
+	queueDepth  *obs.Gauge
+	queueWait   *obs.Histogram
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	return &nodeMetrics{
+		frames:      reg.Counter("dpinode.frames"),
+		untagged:    reg.Counter("dpinode.frames_untagged"),
+		reportsSent: reg.Counter("dpinode.reports_sent"),
+		queueDepth:  reg.Gauge("dpinode.queue_depth"),
+		queueWait:   reg.Histogram("dpinode.queue_wait_ns", obs.LatencyBounds),
+	}
 }
 
 // NewDPINode wraps a host and an engine into a service instance node
@@ -66,6 +94,7 @@ type frameScan struct {
 func NewDPINode(id string, host *netsim.Host, engine *core.Engine) *DPINode {
 	n := &DPINode{
 		Host: host, engine: engine, ID: id,
+		met:        newNodeMetrics(engine.Metrics()),
 		resultOnly: make(map[uint16]bool),
 		reassemble: make(map[uint16]bool),
 		inline:     make(map[uint16]bool),
@@ -94,6 +123,15 @@ func (n *DPINode) SwapEngine(e *core.Engine) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.engine = e
+	n.met = newNodeMetrics(e.Metrics())
+}
+
+// metRef returns the node's current instruments (paired with the
+// current engine's registry).
+func (n *DPINode) metRef() *nodeMetrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.met
 }
 
 // SetReassembly enables TCP stream reassembly for a chain (the
@@ -119,10 +157,13 @@ func (n *DPINode) SetResultOnly(tag uint16, on bool) {
 
 // handleFrame processes one frame: scan, mark, forward, report.
 func (n *DPINode) handleFrame(frame []byte) {
+	met := n.metRef()
+	met.frames.Inc()
 	var sum packet.Summary
 	if packet.Summarize(frame, &sum) != nil || sum.IsReport || !sum.Tagged {
 		// Not steerable DPI traffic; forward unchanged (the paper's
 		// service is oblivious to traffic it was not asked to scan).
+		met.untagged.Inc()
 		n.Send(frame)
 		return
 	}
@@ -150,26 +191,27 @@ func (n *DPINode) handleFrame(frame []byte) {
 		n.mu.Unlock()
 		return
 	}
-	if n.trySubmit(frame, &sum, tag) {
+	if n.trySubmit(frame, &sum, tag, met) {
 		return
 	}
-	report, err := n.engineRef().Inspect(tag, sum.Tuple, sum.Payload)
+	report, err := n.engineRef().InspectTimed(tag, sum.Tuple, sum.Payload)
 	n.finishScan(frame, &sum, tag, report, err)
 }
 
 // trySubmit hands the frame to the scan worker pool when one is
 // running. Completion-queue order equals submission order, so the
 // finisher emits frames in arrival order.
-func (n *DPINode) trySubmit(frame []byte, sum *packet.Summary, tag uint16) bool {
+func (n *DPINode) trySubmit(frame []byte, sum *packet.Summary, tag uint16, met *nodeMetrics) bool {
 	n.submitMu.Lock()
 	defer n.submitMu.Unlock()
 	if n.pool == nil {
 		return false
 	}
 	job := &core.Job{Tag: tag, Tuple: sum.Tuple, Payload: sum.Payload,
-		Ctx: &frameScan{frame: frame, sum: *sum}}
+		Ctx: &frameScan{frame: frame, sum: *sum, submitted: time.Now()}}
 	n.pool.Submit(job)
 	n.completions <- job
+	met.queueDepth.Add(1)
 	return true
 }
 
@@ -199,6 +241,9 @@ func (n *DPINode) SetWorkers(count int) {
 		for job := range comp {
 			job.Wait()
 			fc := job.Ctx.(*frameScan)
+			met := n.metRef()
+			met.queueDepth.Add(-1)
+			met.queueWait.Observe(uint64(time.Since(fc.submitted)))
 			n.finishScan(fc.frame, &fc.sum, job.Tag, job.Report, job.Err)
 		}
 	}()
@@ -297,6 +342,7 @@ func (n *DPINode) sendReportLocked(tag uint16, report *packet.Report) {
 	}
 	out := make([]byte, len(n.buf.Bytes()))
 	copy(out, n.buf.Bytes())
+	n.met.reportsSent.Inc()
 	n.Send(out)
 }
 

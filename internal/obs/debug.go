@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the debug/introspection handler served behind the
+// daemons' -debug-addr flag:
+//
+//	/metrics        registry snapshot, JSON (add ?format=text for
+//	                expvar-style "name value" lines)
+//	/healthz        200 "ok" while healthy() reports true (nil means
+//	                always healthy), 503 otherwise
+//	/debug/pprof/   the standard net/http/pprof profile endpoints
+func NewDebugMux(reg *Registry, healthy func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if healthy != nil && !healthy() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("unhealthy\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (host:port; port 0 picks a free
+// one) and serves handler in a background goroutine.
+func StartDebugServer(addr string, handler http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's host:port.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and any active connections.
+func (d *DebugServer) Close() error { return d.srv.Close() }

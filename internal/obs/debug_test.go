@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.packets").Add(42)
+	reg.Histogram("core.payload_bytes", SizeBounds).Observe(512)
+	var healthy atomic.Bool
+	healthy.Store(true)
+
+	srv, err := StartDebugServer("127.0.0.1:0", NewDebugMux(reg, healthy.Load))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if v, ok := snap.Counter("core.packets"); !ok || v != 42 {
+		t.Fatalf("core.packets = %d, %v", v, ok)
+	}
+
+	code, body = get(t, base+"/metrics?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "core.packets 42\n") {
+		t.Fatalf("/metrics?format=text = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy.Store(false)
+	code, _ = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while unhealthy = %d, want 503", code)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%s", code, body)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+	if r.Counter("pkts") != c {
+		t.Fatal("Counter did not return the registered instance")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("Gauge did not return the registered instance")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sz", []uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if want := uint64(1 + 10 + 11 + 100 + 101 + 5000); h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	hv, ok := r.Snapshot().Histogram("sz")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	counts := make([]uint64, len(hv.Buckets))
+	for i, b := range hv.Buckets {
+		counts[i] = b.Count
+	}
+	// <=10: {1,10}; <=100: {11,100}; overflow: {101,5000}.
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("bucket counts = %v, want [2 2 2]", counts)
+	}
+	if !hv.Buckets[len(hv.Buckets)-1].Inf {
+		t.Fatal("last bucket should be the overflow bucket")
+	}
+	if r.Histogram("sz", nil) != h {
+		t.Fatal("Histogram did not return the registered instance")
+	}
+}
+
+func TestSnapshotSortedAndSerialized(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("z").Set(-5)
+	r.Histogram("h", SizeBounds).Observe(300)
+
+	s := r.Snapshot()
+	names := make([]string, len(s.Counters))
+	for i, c := range s.Counters {
+		names[i] = c.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("counters not sorted: %v", names)
+	}
+	if v, ok := s.Counter("a"); !ok || v != 1 {
+		t.Fatalf("Counter(a) = %d, %v", v, ok)
+	}
+	if v, ok := s.Gauge("z"); !ok || v != -5 {
+		t.Fatalf("Gauge(z) = %d, %v", v, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if v, ok := back.Counter("b"); !ok || v != 2 {
+		t.Fatalf("round-tripped Counter(b) = %d, %v", v, ok)
+	}
+
+	buf.Reset()
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"a 1\n", "b 2\n", "z -5\n", "h.count 1\n", "h.sum 300\n", "h.le.inf 0\n"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text export missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBounds)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(1)
+		g.Set(0)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path updates allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, n = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat", LatencyBounds)
+			for i := 0; i < n; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*n {
+		t.Fatalf("counter = %d, want %d", got, workers*n)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != workers*n {
+		t.Fatalf("histogram count = %d, want %d", got, workers*n)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CounterValue is one counter reading in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge reading in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramBucket is one bucket of a histogram snapshot. The overflow
+// bucket has Inf set instead of an upper bound.
+type HistogramBucket struct {
+	UpperBound uint64 `json:"le,omitempty"`
+	Inf        bool   `json:"inf,omitempty"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram reading in a snapshot.
+type HistogramValue struct {
+	Name    string            `json:"name"`
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time reading of every instrument in a
+// registry, each section sorted by name. Snapshots are plain data:
+// safe to copy, compare, and marshal.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot reads every instrument. Individual reads are atomic; the
+// snapshot as a whole is not a consistent cut across instruments,
+// which is fine for monitoring and for monotonicity checks.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	s := &Snapshot{}
+	for name, c := range ctrs {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range hists {
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			b := HistogramBucket{Count: h.buckets[i].Load()}
+			if i < len(h.bounds) {
+				b.UpperBound = h.bounds[i]
+			} else {
+				b.Inf = true
+			}
+			hv.Buckets = append(hv.Buckets, b)
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the value of the named counter in the snapshot.
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	for i := range s.Counters {
+		if s.Counters[i].Name == name {
+			return s.Counters[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the value of the named gauge in the snapshot.
+func (s *Snapshot) Gauge(name string) (int64, bool) {
+	for i := range s.Gauges {
+		if s.Gauges[i].Name == name {
+			return s.Gauges[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram reading in the snapshot.
+func (s *Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return s.Histograms[i], true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// WriteJSON marshals the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot in expvar-style lines, one
+// "name value" pair per line; histograms expand into name.count,
+// name.sum, and per-bucket name.le.<bound> lines.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var buf []byte
+	var firstErr error
+	line := func(name string, v uint64) {
+		buf = append(buf[:0], name...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, v, 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, c := range s.Counters {
+		line(c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		buf = append(buf[:0], g.Name...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, g.Value, 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, h := range s.Histograms {
+		line(h.Name+".count", h.Count)
+		line(h.Name+".sum", h.Sum)
+		for _, b := range h.Buckets {
+			if b.Inf {
+				line(h.Name+".le.inf", b.Count)
+			} else {
+				line(h.Name+".le."+strconv.FormatUint(b.UpperBound, 10), b.Count)
+			}
+		}
+	}
+	return firstErr
+}
