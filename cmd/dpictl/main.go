@@ -1,10 +1,11 @@
 // Command dpictl runs the DPI controller daemon (Section 4.1): it
 // accepts middlebox registrations, pattern updates, policy chains from
-// the TSA, instance hellos and telemetry on a TCP control port.
+// the TSA, instance hellos, lease renewals and telemetry on a TCP
+// control port, and fails chains over from dead instances to survivors.
 //
 // Usage:
 //
-//	dpictl [-listen addr] [-debug-addr addr]
+//	dpictl [-listen addr] [-debug-addr addr] [-lease-ttl d] [-lease-sweep d]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dpiservice/internal/controller"
 	"dpiservice/internal/ctlproto"
@@ -26,35 +28,52 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9090", "control-plane listen address")
 	stateFile := flag.String("state", "", "load/save controller state at this path")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /instances and /debug/pprof on this address (empty disables)")
+	leaseTTL := flag.Duration("lease-ttl", controller.DefaultLeaseConfig.TTL,
+		"instance lease duration: silent instances go suspect after one TTL and dead (failed over) after two")
+	leaseSweep := flag.Duration("lease-sweep", 0,
+		"lease sweep interval (0 = TTL/3): how often instance health is re-evaluated")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	ctlproto.EnableMetrics(reg)
 	ctl := controller.NewWithMetrics(reg)
 	if *stateFile != "" {
-		if f, err := os.Open(*stateFile); err == nil {
-			err := ctl.LoadState(f)
-			f.Close()
-			if err != nil {
-				log.Fatalf("dpictl: load state: %v", err)
-			}
+		if err := ctl.LoadStateFile(*stateFile); err == nil {
 			log.Printf("dpictl: restored state from %s (%d chains)", *stateFile, len(ctl.ChainTags()))
 		} else if !os.IsNotExist(err) {
-			log.Fatalf("dpictl: open state: %v", err)
+			log.Fatalf("dpictl: load state: %v", err)
 		}
 	}
+
+	ctl.ConfigureLeases(controller.LeaseConfig{TTL: *leaseTTL})
+	ctl.OnFailover(func(f controller.Failover) {
+		// The TSA polls /instances and executes the re-steer; the log is
+		// the operator's record of the event.
+		log.Printf("dpictl: instance %s dead; reassigned %v, unassigned %v",
+			f.Dead, f.Reassigned, f.Unassigned)
+	})
+	sweep := *leaseSweep
+	if sweep <= 0 {
+		sweep = *leaseTTL / 3
+	}
+	if sweep < time.Second {
+		sweep = time.Second
+	}
+	stopMonitor := ctl.StartLeaseMonitor(sweep)
+	defer stopMonitor()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("dpictl: listen: %v", err)
 	}
 	srv := controller.Serve(ctl, ln, log.Printf)
-	log.Printf("dpictl: controller listening on %s", srv.Addr())
+	log.Printf("dpictl: controller listening on %s (lease ttl %v, sweep %v)", srv.Addr(), *leaseTTL, sweep)
 
 	if *debugAddr != "" {
 		mux := obs.NewDebugMux(reg, nil)
-		// /instances renders the controller's per-instance load view —
-		// the data the MCA² stress monitor works from.
+		// /instances renders the controller's per-instance load and
+		// health view — the data the MCA² stress monitor and failover
+		// tooling work from.
 		mux.HandleFunc("/instances", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
@@ -77,29 +96,10 @@ func main() {
 		log.Printf("dpictl: close: %v", err)
 	}
 	if *stateFile != "" {
-		if err := saveState(ctl, *stateFile); err != nil {
+		if err := ctl.SaveStateFile(*stateFile); err != nil {
 			log.Printf("dpictl: save state: %v", err)
 		} else {
 			log.Printf("dpictl: state saved to %s", *stateFile)
 		}
 	}
-}
-
-// saveState writes the snapshot atomically (temp file + rename).
-func saveState(ctl *controller.Controller, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := ctl.SaveState(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

@@ -7,10 +7,11 @@
 // Usage:
 //
 //	dpinstance [-controller addr] [-data addr] [-id name] [-dedicated]
-//	           [-debug-addr addr]
+//	           [-lease interval] [-debug-addr addr]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"io"
@@ -31,13 +32,14 @@ import (
 
 func main() {
 	var (
-		ctlAddr   = flag.String("controller", "127.0.0.1:9090", "DPI controller address")
-		dataAddr  = flag.String("data", "127.0.0.1:9191", "data-plane listen address")
-		id        = flag.String("id", "dpi-1", "instance identifier")
-		dedicated = flag.Bool("dedicated", false, "run as an MCA2 dedicated instance (compact automaton)")
-		telEvery  = flag.Duration("telemetry", 10*time.Second, "telemetry export interval (0 disables)")
-		workers   = flag.Int("workers", 1, "scan workers per data connection (>1 pipelines: reads, scans and ordered writes overlap)")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
+		ctlAddr    = flag.String("controller", "127.0.0.1:9090", "DPI controller address")
+		dataAddr   = flag.String("data", "127.0.0.1:9191", "data-plane listen address")
+		id         = flag.String("id", "dpi-1", "instance identifier")
+		dedicated  = flag.Bool("dedicated", false, "run as an MCA2 dedicated instance (compact automaton)")
+		telEvery   = flag.Duration("telemetry", 10*time.Second, "telemetry export interval (0 disables)")
+		leaseEvery = flag.Duration("lease", 5*time.Second, "liveness lease renewal interval (0 disables leasing; keep well under the controller's lease TTL)")
+		workers    = flag.Int("workers", 1, "scan workers per data connection (>1 pipelines: reads, scans and ordered writes overlap)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpinstance: controller: %v", err)
 	}
-	init, err := cl.InstanceHello(*id, nil, *dedicated)
+	init, err := helloCtx(cl, *id, *dedicated)
 	if err != nil {
 		log.Fatalf("dpinstance: hello: %v", err)
 	}
@@ -94,6 +96,13 @@ func main() {
 		go func() {
 			defer wg.Done()
 			exportAndRefresh(cl, *id, *dedicated, reg, &eng, &version, *telEvery, stop)
+		}()
+	}
+	if *leaseEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			renewLeases(cl, *id, *dedicated, *leaseEvery, stop)
 		}()
 	}
 	wg.Add(1)
@@ -213,6 +222,47 @@ func serveDataParallel(conn net.Conn, eng *atomic.Pointer[core.Engine], workers 
 	<-writeDone
 }
 
+// opTimeout bounds every control round-trip so a hung or partitioned
+// controller never wedges a daemon loop.
+const opTimeout = 5 * time.Second
+
+// helloCtx runs one bounded InstanceHello.
+func helloCtx(cl *controller.Client, id string, dedicated bool) (ctlproto.InstanceInit, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	return cl.InstanceHello(ctx, id, nil, dedicated)
+}
+
+// renewLeases keeps the instance's liveness lease fresh. A renewal
+// rejected with "lease expired" means the controller already declared
+// this instance dead and failed its chains over; the instance re-hellos
+// to rejoin service rather than silently scanning for chains it no
+// longer owns.
+func renewLeases(cl *controller.Client, id string, dedicated bool, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		_, _, err := cl.RenewLease(ctx, id)
+		cancel()
+		switch {
+		case err == nil:
+		case controller.IsLeaseExpired(err):
+			log.Printf("dpinstance %s: lease expired, re-helloing", id)
+			if _, herr := helloCtx(cl, id, dedicated); herr != nil {
+				log.Printf("dpinstance %s: re-hello: %v", id, herr)
+			}
+		default:
+			log.Printf("dpinstance %s: lease renewal: %v", id, err)
+		}
+	}
+}
+
 // exportAndRefresh periodically ships counters and heavy flows, and
 // re-requests the instance configuration, hot-swapping the engine when
 // the controller's version advanced (the runtime pattern-update path).
@@ -225,7 +275,7 @@ func exportAndRefresh(cl *controller.Client, id string, dedicated bool, reg *obs
 			return
 		case <-tick.C:
 		}
-		init, err := cl.InstanceHello(id, nil, dedicated)
+		init, err := helloCtx(cl, id, dedicated)
 		if err != nil {
 			log.Printf("dpinstance: refresh: %v", err)
 			return
@@ -268,7 +318,10 @@ func exportAndRefresh(cl *controller.Client, id string, dedicated bool, reg *obs
 				break
 			}
 		}
-		if err := cl.SendTelemetry(tel); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		err = cl.SendTelemetry(ctx, tel)
+		cancel()
+		if err != nil {
 			log.Printf("dpinstance: telemetry: %v", err)
 			return
 		}

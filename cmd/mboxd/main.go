@@ -8,15 +8,17 @@
 //
 //	mboxd -id ids-1 -type ids [-rules file.rules | -clamav file.ndb | -synthetic N]
 //	      [-stateful] [-readonly] [-stop N] [-inherit other-mbox]
-//	      [-chain mbox1,mbox2,...]
+//	      [-on-dpi-loss fail-open|fail-closed] [-chain mbox1,mbox2,...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"dpiservice/internal/controller"
 	"dpiservice/internal/ctlproto"
@@ -36,11 +38,18 @@ func main() {
 		readonly  = flag.Bool("readonly", false, "results only, no packets (e.g. an IDS)")
 		stopAfter = flag.Int("stop", 0, "stopping condition in payload bytes (0 = unlimited)")
 		inherit   = flag.String("inherit", "", "inherit the pattern set of this registered middlebox")
+		onLoss    = flag.String("on-dpi-loss", "", "degraded mode when DPI results stop arriving: fail-open (pass unscanned) or fail-closed (drop); default: fail-open if -readonly, else fail-closed")
 		chain     = flag.String("chain", "", "comma-separated middlebox IDs to report as a policy chain")
 	)
 	flag.Parse()
 	if *id == "" {
 		fmt.Fprintln(os.Stderr, "mboxd: -id is required")
+		os.Exit(2)
+	}
+	switch *onLoss {
+	case "", ctlproto.FailOpen, ctlproto.FailClosed:
+	default:
+		fmt.Fprintf(os.Stderr, "mboxd: -on-dpi-loss must be %q or %q\n", ctlproto.FailOpen, ctlproto.FailClosed)
 		os.Exit(2)
 	}
 
@@ -55,10 +64,15 @@ func main() {
 	}
 	defer cl.Close()
 
-	setIdx, err := cl.Register(ctlproto.Register{
+	// Every control call is bounded: a wedged controller must fail the
+	// daemon loudly, not hang it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	setIdx, err := cl.Register(ctx, ctlproto.Register{
 		MboxID: *id, Name: *id, Type: *typ,
 		Stateful: *stateful, ReadOnly: *readonly, StopAfter: *stopAfter,
-		InheritFrom: *inherit,
+		InheritFrom: *inherit, FailMode: *onLoss,
 	})
 	if err != nil {
 		log.Fatalf("mboxd: register: %v", err)
@@ -74,7 +88,7 @@ func main() {
 			defs = append(defs, ctlproto.PatternDef{RuleID: r.ID, Regex: r.Expr})
 		}
 		if len(defs) > 0 {
-			if err := cl.AddPatterns(*id, defs); err != nil {
+			if err := cl.AddPatterns(ctx, *id, defs); err != nil {
 				log.Fatalf("mboxd: add patterns: %v", err)
 			}
 			raw, comp := set.RawSize(), 0
@@ -88,7 +102,7 @@ func main() {
 
 	if *chain != "" {
 		members := strings.Split(*chain, ",")
-		defs, err := cl.ReportChains([][]string{members})
+		defs, err := cl.ReportChains(ctx, [][]string{members})
 		if err != nil {
 			log.Fatalf("mboxd: chain: %v", err)
 		}

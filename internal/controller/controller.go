@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dpiservice/internal/core"
 	"dpiservice/internal/ctlproto"
@@ -47,6 +48,17 @@ type Controller struct {
 	instances map[string]*instanceRecord
 
 	version uint64 // bumped on any change affecting instance configs
+
+	// lease holds the liveness configuration (ConfigureLeases).
+	lease LeaseConfig
+	// onFailover, when set, receives every failover event computed by
+	// SweepLeases; invoked without c.mu held.
+	onFailover func(Failover)
+
+	// now is the controller's clock, injectable for deterministic
+	// health tests. Fixed at construction (tests overwrite it before
+	// concurrent use).
+	now func() time.Time
 
 	// met caches the obs instruments (set once in New/NewWithMetrics).
 	met *ctlMetrics
@@ -83,6 +95,12 @@ type instanceRecord struct {
 	dedicated bool
 	telemetry ctlproto.Telemetry
 	hasTel    bool
+
+	// Liveness (see health.go). lastRenewal is the clock reading of the
+	// most recent lease renewal (or AddInstance); health advances
+	// Healthy -> Suspect -> Dead as renewals are missed.
+	lastRenewal time.Time
+	health      HealthState
 }
 
 // New returns an empty controller with a private metrics registry.
@@ -102,6 +120,8 @@ func NewWithMetrics(reg *obs.Registry) *Controller {
 		chains:    make(map[uint16][]string),
 		nextTag:   1,
 		instances: make(map[string]*instanceRecord),
+		lease:     DefaultLeaseConfig,
+		now:       time.Now,
 		met:       newCtlMetrics(reg),
 	}
 }
@@ -115,7 +135,13 @@ func (c *Controller) Register(reg ctlproto.Register) (int, error) {
 	if reg.MboxID == "" {
 		return 0, fmt.Errorf("%w: empty middlebox ID", ErrUnknownMbox)
 	}
-	if _, dup := c.mboxes[reg.MboxID]; dup {
+	if prev, dup := c.mboxes[reg.MboxID]; dup {
+		// Re-registering with an identical body is idempotent: a client
+		// retrying after a lost ack gets the original answer back.
+		// Diverging bodies are still a conflict.
+		if prev.reg == reg {
+			return prev.set.index, nil
+		}
 		return 0, fmt.Errorf("%w: %s", ErrDuplicateMbox, reg.MboxID)
 	}
 	typ := reg.Type
@@ -546,15 +572,21 @@ func (c *Controller) Mbox(id string) (MboxInfo, error) {
 // --- instance lifecycle and telemetry -------------------------------
 
 // AddInstance records a deployed DPI service instance and the chains it
-// serves.
+// serves. The instance starts Healthy with a fresh lease; a re-added
+// instance (an instance re-helloing after the controller declared it
+// dead) is restored to Healthy.
 func (c *Controller) AddInstance(id string, tags []uint16, dedicated bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.instances[id]; !ok {
 		c.met.instancesAdded.Inc()
 	}
-	c.instances[id] = &instanceRecord{id: id, chains: append([]uint16(nil), tags...), dedicated: dedicated}
+	c.instances[id] = &instanceRecord{
+		id: id, chains: append([]uint16(nil), tags...), dedicated: dedicated,
+		lastRenewal: c.now(), health: Healthy,
+	}
 	c.met.instances.Set(int64(len(c.instances)))
+	c.healthGaugesLocked()
 }
 
 // RemoveInstance forgets an instance.
@@ -566,6 +598,7 @@ func (c *Controller) RemoveInstance(id string) {
 	}
 	delete(c.instances, id)
 	c.met.instances.Set(int64(len(c.instances)))
+	c.healthGaugesLocked()
 }
 
 // ReportTelemetry ingests an instance's periodic report.

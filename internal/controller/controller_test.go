@@ -42,7 +42,12 @@ func TestRegisterAssignsSetsByType(t *testing.T) {
 	if s3 == s1 {
 		t.Errorf("different types share set %d", s3)
 	}
-	if _, err := c.Register(reg("ids-1", "ids")); !errors.Is(err, ErrDuplicateMbox) {
+	// Identical re-registration is idempotent (lost-ack retry); a
+	// diverging body is still a conflict.
+	if s, err := c.Register(reg("ids-1", "ids")); err != nil || s != s1 {
+		t.Errorf("idempotent re-registration = %d, %v; want %d, nil", s, err, s1)
+	}
+	if _, err := c.Register(ctlproto.Register{MboxID: "ids-1", Type: "av"}); !errors.Is(err, ErrDuplicateMbox) {
 		t.Errorf("duplicate registration err = %v", err)
 	}
 	if _, err := c.Register(ctlproto.Register{}); err == nil {

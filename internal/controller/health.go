@@ -1,0 +1,301 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the controller's failure domain (Section 4 of the
+// paper): because every middlebox on a chain depends on the shared DPI
+// service, a dead instance is a correctness event — traffic steered
+// through it is blackholed and nothing downstream scans it. The
+// controller therefore tracks per-instance liveness leases, demotes
+// instances through Healthy -> Suspect -> Dead as renewals are missed,
+// and on death computes a failover plan re-assigning the dead
+// instance's chains to surviving instances. The SDN traffic-steering
+// application consumes the plan to rewrite flow rules (sdn.TSA.
+// FailoverInstance); per-flow scan state on the dead instance is lost
+// and re-steered flows restart their scan from the failover point —
+// the paper's design makes this loss cheap (a DFA state and an offset
+// per flow, Section 4.3).
+
+// HealthState is an instance's liveness classification.
+type HealthState int
+
+// Liveness states. Ordering matters: states only advance toward Dead
+// between renewals.
+const (
+	// Healthy: the instance renewed its lease within the TTL.
+	Healthy HealthState = iota
+	// Suspect: one lease TTL elapsed without renewal; the instance
+	// keeps its chains but is no longer a failover target.
+	Suspect
+	// Dead: DeadAfter elapsed without renewal; the instance's chains
+	// have been re-assigned and a late renewal is rejected.
+	Dead
+)
+
+// String renders the state for snapshots and logs.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// LeaseConfig sets the liveness timings.
+type LeaseConfig struct {
+	// TTL is the lease duration: an instance unheard-of for TTL is
+	// marked Suspect.
+	TTL time.Duration
+	// DeadAfter is the time since the last renewal after which a
+	// Suspect instance is declared Dead and failed over. Zero defaults
+	// to 2*TTL; values below TTL are raised to TTL.
+	DeadAfter time.Duration
+}
+
+// DefaultLeaseConfig mirrors the daemon defaults: mark Suspect after
+// 15s of silence, fail over after 30s.
+var DefaultLeaseConfig = LeaseConfig{TTL: 15 * time.Second, DeadAfter: 30 * time.Second}
+
+// normalize fills the defaulting rules in.
+func (lc LeaseConfig) normalize() LeaseConfig {
+	if lc.TTL <= 0 {
+		lc.TTL = DefaultLeaseConfig.TTL
+	}
+	if lc.DeadAfter == 0 {
+		lc.DeadAfter = 2 * lc.TTL
+	}
+	if lc.DeadAfter < lc.TTL {
+		lc.DeadAfter = lc.TTL
+	}
+	return lc
+}
+
+// ErrLeaseExpired is returned for a renewal from an instance already
+// declared Dead: its chains have been re-assigned, so the instance must
+// re-hello (and be re-admitted explicitly) instead of silently resuming.
+var ErrLeaseExpired = fmt.Errorf("controller: lease expired; re-hello required")
+
+// ConfigureLeases installs the liveness timings. Call before traffic;
+// existing instances keep their renewal times.
+func (c *Controller) ConfigureLeases(cfg LeaseConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lease = cfg.normalize()
+}
+
+// LeaseTTL reports the configured lease duration (what LeaseAck
+// advertises to instances).
+func (c *Controller) LeaseTTL() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lease.TTL
+}
+
+// RenewLease records a liveness signal from an instance. A Suspect
+// instance recovers to Healthy; a Dead one is rejected with
+// ErrLeaseExpired (its chains are gone — it must re-hello).
+func (c *Controller) RenewLease(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if rec.health == Dead {
+		return fmt.Errorf("%w (instance %s)", ErrLeaseExpired, id)
+	}
+	rec.lastRenewal = c.now()
+	rec.health = Healthy
+	c.met.leasesRenewed.Inc()
+	c.healthGaugesLocked()
+	return nil
+}
+
+// InstanceHealth reports an instance's current liveness state.
+func (c *Controller) InstanceHealth(id string) (HealthState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.instances[id]
+	if !ok {
+		return Healthy, false
+	}
+	return rec.health, true
+}
+
+// Failover is one computed failover plan: the dead instance and, per
+// chain tag it served, the surviving instance the chain was re-assigned
+// to. Tags with no surviving candidate appear in Unassigned; the
+// deployment layer may spawn a backup instance for them.
+type Failover struct {
+	Dead       string
+	Reassigned map[uint16]string
+	Unassigned []uint16
+}
+
+// OnFailover registers the callback receiving every failover plan
+// SweepLeases produces. The callback runs without the controller lock
+// held; register it before starting the lease monitor.
+func (c *Controller) OnFailover(fn func(Failover)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onFailover = fn
+}
+
+// SweepLeases advances instance health by the clock: instances silent
+// for TTL become Suspect, those silent for DeadAfter become Dead and
+// are failed over. It returns the failover plans of newly-dead
+// instances (also delivered to the OnFailover callback). The lease
+// monitor calls this periodically; tests call it directly with a fake
+// clock.
+func (c *Controller) SweepLeases() []Failover {
+	c.mu.Lock()
+	now := c.now()
+	var failovers []Failover
+	ids := make([]string, 0, len(c.instances))
+	for id := range c.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic sweep and reassignment order
+	for _, id := range ids {
+		rec := c.instances[id]
+		silent := now.Sub(rec.lastRenewal)
+		switch {
+		case rec.health == Dead:
+			// Stays dead until it re-hellos (AddInstance).
+		case silent >= c.lease.DeadAfter:
+			rec.health = Dead
+			c.met.leaseExpiries.Inc()
+			failovers = append(failovers, c.failoverLocked(rec))
+		case silent >= c.lease.TTL:
+			if rec.health == Healthy {
+				c.met.leaseMisses.Inc()
+			}
+			rec.health = Suspect
+		}
+	}
+	c.healthGaugesLocked()
+	cb := c.onFailover
+	c.mu.Unlock()
+	if cb != nil {
+		for _, f := range failovers {
+			cb(f)
+		}
+	}
+	return failovers
+}
+
+// failoverLocked computes the failover plan for a newly-dead instance:
+// each chain it served moves to the Healthy non-dedicated instance
+// already serving that chain where possible, else to the least-loaded
+// Healthy instance, else into Unassigned. The dead instance's chain
+// list is cleared. Caller holds c.mu.
+func (c *Controller) failoverLocked(dead *instanceRecord) Failover {
+	f := Failover{Dead: dead.id, Reassigned: make(map[uint16]string)}
+	for _, tag := range dead.chains {
+		target := c.failoverTargetLocked(dead.id, tag)
+		if target == nil {
+			f.Unassigned = append(f.Unassigned, tag)
+			c.met.failoversUnresolved.Inc()
+			continue
+		}
+		if !hasTag(target.chains, tag) {
+			target.chains = append(target.chains, tag)
+		}
+		f.Reassigned[tag] = target.id
+		c.met.chainsReassigned.Inc()
+	}
+	dead.chains = nil
+	c.met.failovers.Inc()
+	return f
+}
+
+// failoverTargetLocked picks the surviving instance for one chain tag:
+// Healthy, not dedicated (MCA² dedicated instances run the compact
+// automaton for diverted heavy flows, not general service), preferring
+// instances already serving the tag (their engine config already
+// includes it), then the fewest chains, then lexical order.
+func (c *Controller) failoverTargetLocked(deadID string, tag uint16) *instanceRecord {
+	var best *instanceRecord
+	bestServes := false
+	ids := make([]string, 0, len(c.instances))
+	for id := range c.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := c.instances[id]
+		if rec.id == deadID || rec.health != Healthy || rec.dedicated {
+			continue
+		}
+		// An instance with an empty chain list serves every chain.
+		serves := len(rec.chains) == 0 || hasTag(rec.chains, tag)
+		switch {
+		case best == nil,
+			serves && !bestServes,
+			serves == bestServes && len(rec.chains) < len(best.chains):
+			best, bestServes = rec, serves
+		}
+	}
+	return best
+}
+
+func hasTag(tags []uint16, tag uint16) bool {
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// healthGaugesLocked re-derives the per-state instance gauges. Caller
+// holds c.mu.
+func (c *Controller) healthGaugesLocked() {
+	var healthy, suspect, dead int64
+	for _, rec := range c.instances {
+		switch rec.health {
+		case Healthy:
+			healthy++
+		case Suspect:
+			suspect++
+		case Dead:
+			dead++
+		}
+	}
+	c.met.instancesHealthy.Set(healthy)
+	c.met.instancesSuspect.Set(suspect)
+	c.met.instancesDead.Set(dead)
+}
+
+// StartLeaseMonitor sweeps leases every interval until the returned
+// stop function is called. Failover plans reach the OnFailover
+// callback.
+func (c *Controller) StartLeaseMonitor(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				c.SweepLeases()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}

@@ -1,0 +1,225 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dpiservice/internal/ctlproto"
+)
+
+// fakeClock drives the controller's injectable clock deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock(c *Controller) *fakeClock {
+	f := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = f.now
+	return f
+}
+
+func leaseCtl(t *testing.T, ttl, dead time.Duration) (*Controller, *fakeClock) {
+	t.Helper()
+	c := New()
+	clk := newFakeClock(c)
+	c.ConfigureLeases(LeaseConfig{TTL: ttl, DeadAfter: dead})
+	return c, clk
+}
+
+func TestLeaseStateTransitions(t *testing.T) {
+	c, clk := leaseCtl(t, 10*time.Second, 20*time.Second)
+	c.AddInstance("dpi-1", []uint16{1}, false)
+
+	assertHealth := func(want HealthState) {
+		t.Helper()
+		if got, ok := c.InstanceHealth("dpi-1"); !ok || got != want {
+			t.Fatalf("health = %v, %v; want %v", got, ok, want)
+		}
+	}
+
+	assertHealth(Healthy)
+	clk.advance(9 * time.Second)
+	c.SweepLeases()
+	assertHealth(Healthy)
+
+	clk.advance(2 * time.Second) // 11s silent > TTL
+	if f := c.SweepLeases(); len(f) != 0 {
+		t.Fatalf("failovers at suspect stage: %+v", f)
+	}
+	assertHealth(Suspect)
+
+	// A renewal recovers a Suspect instance.
+	if err := c.RenewLease("dpi-1"); err != nil {
+		t.Fatal(err)
+	}
+	assertHealth(Healthy)
+
+	// Full silence until DeadAfter kills it.
+	clk.advance(21 * time.Second)
+	f := c.SweepLeases()
+	assertHealth(Dead)
+	if len(f) != 1 || f[0].Dead != "dpi-1" {
+		t.Fatalf("failovers = %+v", f)
+	}
+	// With no survivors the chain is unassigned.
+	if len(f[0].Unassigned) != 1 || f[0].Unassigned[0] != 1 {
+		t.Fatalf("unassigned = %v", f[0].Unassigned)
+	}
+
+	// A dead instance's renewal is rejected until it re-hellos.
+	if err := c.RenewLease("dpi-1"); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("dead renewal err = %v", err)
+	}
+	c.AddInstance("dpi-1", []uint16{1}, false)
+	assertHealth(Healthy)
+
+	if err := c.RenewLease("ghost"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("unknown renewal err = %v", err)
+	}
+}
+
+func TestFailoverReassignsChains(t *testing.T) {
+	c, clk := leaseCtl(t, 10*time.Second, 20*time.Second)
+	c.AddInstance("dpi-a", []uint16{1, 2}, false)
+	c.AddInstance("dpi-b", []uint16{2}, false)
+	c.AddInstance("dpi-c", []uint16{3}, false)
+	c.AddInstance("dpi-ded", nil, true) // dedicated: never a failover target
+
+	// Only dpi-a goes silent.
+	clk.advance(21 * time.Second)
+	for _, id := range []string{"dpi-b", "dpi-c", "dpi-ded"} {
+		if err := c.RenewLease(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := c.SweepLeases()
+	if len(fs) != 1 {
+		t.Fatalf("failovers = %+v", fs)
+	}
+	f := fs[0]
+	// Chain 2 goes to dpi-b (already serving it); chain 1 to the
+	// least-loaded survivor.
+	if f.Reassigned[2] != "dpi-b" {
+		t.Errorf("chain 2 -> %s, want dpi-b", f.Reassigned[2])
+	}
+	if got := f.Reassigned[1]; got != "dpi-b" && got != "dpi-c" {
+		t.Errorf("chain 1 -> %s, want a survivor", got)
+	}
+	if len(f.Unassigned) != 0 {
+		t.Errorf("unassigned = %v", f.Unassigned)
+	}
+
+	// The dead instance's record no longer owns chains; the target does.
+	snaps := c.TelemetrySnapshots()
+	for _, s := range snaps {
+		if s.ID == "dpi-a" && len(s.Chains) != 0 {
+			t.Errorf("dead instance keeps chains %v", s.Chains)
+		}
+		if s.ID == "dpi-a" && s.Health != "dead" {
+			t.Errorf("snapshot health = %q", s.Health)
+		}
+	}
+
+	// A second sweep does not re-fail the same instance.
+	clk.advance(time.Second)
+	if fs := c.SweepLeases(); len(fs) != 0 {
+		t.Fatalf("repeated failover: %+v", fs)
+	}
+}
+
+func TestOnFailoverCallback(t *testing.T) {
+	c, clk := leaseCtl(t, time.Second, 2*time.Second)
+	c.AddInstance("dpi-1", []uint16{7}, false)
+	c.AddInstance("dpi-2", nil, false)
+	var got []Failover
+	c.OnFailover(func(f Failover) { got = append(got, f) })
+	clk.advance(3 * time.Second)
+	if err := c.RenewLease("dpi-2"); err != nil {
+		t.Fatal(err)
+	}
+	c.SweepLeases()
+	if len(got) != 1 || got[0].Dead != "dpi-1" || got[0].Reassigned[7] != "dpi-2" {
+		t.Fatalf("callback got %+v", got)
+	}
+}
+
+func TestLeaseOverWire(t *testing.T) {
+	ctl, srv := startServer(t)
+	ctl.ConfigureLeases(LeaseConfig{TTL: 30 * time.Second})
+	cl := dial(t, srv)
+	if _, err := cl.InstanceHello(context.Background(), "dpi-1", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	ttl, _, err := cl.RenewLease(context.Background(), "dpi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != 30*time.Second {
+		t.Errorf("ttl = %v", ttl)
+	}
+	// Renewal for an unknown instance is a rejection, not a transport
+	// error, and must not be retried into a different answer.
+	if _, _, err := cl.RenewLease(context.Background(), "ghost"); !IsRejection(err) {
+		t.Errorf("unknown instance err = %v", err)
+	}
+}
+
+func TestLeaseConfigNormalize(t *testing.T) {
+	cases := []struct{ in, want LeaseConfig }{
+		{LeaseConfig{}, LeaseConfig{TTL: DefaultLeaseConfig.TTL, DeadAfter: 2 * DefaultLeaseConfig.TTL}},
+		{LeaseConfig{TTL: 4 * time.Second}, LeaseConfig{TTL: 4 * time.Second, DeadAfter: 8 * time.Second}},
+		{LeaseConfig{TTL: 4 * time.Second, DeadAfter: time.Second}, LeaseConfig{TTL: 4 * time.Second, DeadAfter: 4 * time.Second}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.normalize(); got != tc.want {
+			t.Errorf("normalize(%+v) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStartLeaseMonitor(t *testing.T) {
+	c := New()
+	c.ConfigureLeases(LeaseConfig{TTL: time.Millisecond, DeadAfter: 2 * time.Millisecond})
+	c.AddInstance("dpi-1", []uint16{1}, false)
+	fired := make(chan Failover, 1)
+	c.OnFailover(func(f Failover) {
+		select {
+		case fired <- f:
+		default:
+		}
+	})
+	stop := c.StartLeaseMonitor(time.Millisecond)
+	defer stop()
+	select {
+	case f := <-fired:
+		if f.Dead != "dpi-1" {
+			t.Errorf("dead = %s", f.Dead)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("lease monitor never failed the silent instance over")
+	}
+	// Telemetry snapshot reflects the death.
+	if h, _ := c.InstanceHealth("dpi-1"); h != Dead {
+		t.Errorf("health = %v", h)
+	}
+}
+
+// Retries reach the ctlproto.Telemetry path too: a snapshot report is
+// idempotent by construction.
+func TestTelemetryIdempotent(t *testing.T) {
+	ctl, srv := startServer(t)
+	cl := dial(t, srv)
+	if _, err := cl.InstanceHello(context.Background(), "dpi-1", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := cl.SendTelemetry(context.Background(), ctlproto.Telemetry{InstanceID: "dpi-1", Packets: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tel, ok := ctl.InstanceTelemetry("dpi-1"); !ok || tel.Packets != 5 {
+		t.Errorf("telemetry = %+v, %v", tel, ok)
+	}
+}

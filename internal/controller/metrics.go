@@ -23,10 +23,21 @@ type ctlMetrics struct {
 	instancesRemoved *obs.Counter
 	configChanges    *obs.Counter
 
+	leasesRenewed       *obs.Counter
+	leaseMisses         *obs.Counter
+	leaseExpiries       *obs.Counter
+	failovers           *obs.Counter
+	chainsReassigned    *obs.Counter
+	failoversUnresolved *obs.Counter
+
 	mboxes         *obs.Gauge
 	globalPatterns *obs.Gauge
 	chains         *obs.Gauge
 	instances      *obs.Gauge
+
+	instancesHealthy *obs.Gauge
+	instancesSuspect *obs.Gauge
+	instancesDead    *obs.Gauge
 }
 
 func newCtlMetrics(reg *obs.Registry) *ctlMetrics {
@@ -41,10 +52,22 @@ func newCtlMetrics(reg *obs.Registry) *ctlMetrics {
 		instancesAdded:   reg.Counter("controller.instances_added"),
 		instancesRemoved: reg.Counter("controller.instances_removed"),
 		configChanges:    reg.Counter("controller.config_changes"),
-		mboxes:           reg.Gauge("controller.mboxes"),
-		globalPatterns:   reg.Gauge("controller.global_patterns"),
-		chains:           reg.Gauge("controller.chains"),
-		instances:        reg.Gauge("controller.instances"),
+
+		leasesRenewed:       reg.Counter("controller.leases_renewed"),
+		leaseMisses:         reg.Counter("controller.lease_misses"),
+		leaseExpiries:       reg.Counter("controller.lease_expiries"),
+		failovers:           reg.Counter("controller.failovers"),
+		chainsReassigned:    reg.Counter("controller.chains_reassigned"),
+		failoversUnresolved: reg.Counter("controller.failovers_unresolved"),
+
+		mboxes:         reg.Gauge("controller.mboxes"),
+		globalPatterns: reg.Gauge("controller.global_patterns"),
+		chains:         reg.Gauge("controller.chains"),
+		instances:      reg.Gauge("controller.instances"),
+
+		instancesHealthy: reg.Gauge("controller.instances_healthy"),
+		instancesSuspect: reg.Gauge("controller.instances_suspect"),
+		instancesDead:    reg.Gauge("controller.instances_dead"),
 	}
 }
 
@@ -64,6 +87,7 @@ type InstanceSnapshot struct {
 	ID           string             `json:"id"`
 	Chains       []uint16           `json:"chains,omitempty"`
 	Dedicated    bool               `json:"dedicated,omitempty"`
+	Health       string             `json:"health"`
 	HasTelemetry bool               `json:"has_telemetry"`
 	Telemetry    ctlproto.Telemetry `json:"telemetry"`
 }
@@ -81,6 +105,7 @@ func (c *Controller) TelemetrySnapshots() []InstanceSnapshot {
 			ID:           rec.id,
 			Chains:       append([]uint16(nil), rec.chains...),
 			Dedicated:    rec.dedicated,
+			Health:       rec.health.String(),
 			HasTelemetry: rec.hasTel,
 			Telemetry:    rec.telemetry,
 		})

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"dpiservice/internal/ctlproto"
-	"sort"
 )
 
 // This file persists the controller's registration state so a restarted
@@ -37,6 +39,7 @@ type stateMbox struct {
 	ReadOnly    bool   `json:"read_only,omitempty"`
 	StopAfter   int    `json:"stop_after,omitempty"`
 	InheritFrom string `json:"inherit_from,omitempty"`
+	FailMode    string `json:"fail_mode,omitempty"`
 	SetType     string `json:"set_type"` // resolved set key
 }
 
@@ -79,7 +82,8 @@ func (c *Controller) SaveState(w io.Writer) error {
 			MboxID: id, Name: rec.reg.Name, Type: rec.reg.Type,
 			Stateful: rec.reg.Stateful, ReadOnly: rec.reg.ReadOnly,
 			StopAfter: rec.reg.StopAfter, InheritFrom: rec.reg.InheritFrom,
-			SetType: rec.set.mboxType,
+			FailMode: rec.reg.FailMode,
+			SetType:  rec.set.mboxType,
 		})
 	}
 	sort.Slice(st.Mboxes, func(i, j int) bool { return st.Mboxes[i].MboxID < st.Mboxes[j].MboxID })
@@ -182,7 +186,13 @@ func (c *Controller) LoadState(r io.Reader) error {
 		c.chains[sc.Tag] = append([]string(nil), sc.Members...)
 	}
 	for _, si := range st.Instances {
-		c.instances[si.ID] = &instanceRecord{id: si.ID, chains: si.Tags, dedicated: si.Dedicated}
+		// A freshly-restored instance gets a full lease: the controller
+		// just restarted and has heard from nobody yet, which is not the
+		// instance's fault.
+		c.instances[si.ID] = &instanceRecord{
+			id: si.ID, chains: si.Tags, dedicated: si.Dedicated,
+			lastRenewal: c.now(), health: Healthy,
+		}
 	}
 	c.nextTag = st.NextTag
 	c.nextSet = st.NextSet
@@ -191,6 +201,7 @@ func (c *Controller) LoadState(r io.Reader) error {
 	c.met.globalPatterns.Set(int64(len(c.global)))
 	c.met.chains.Set(int64(len(c.chains)))
 	c.met.instances.Set(int64(len(c.instances)))
+	c.healthGaugesLocked()
 	c.bumpLocked()
 	return nil
 }
@@ -200,5 +211,51 @@ func ctlRegister(sm stateMbox) ctlproto.Register {
 		MboxID: sm.MboxID, Name: sm.Name, Type: sm.Type,
 		Stateful: sm.Stateful, ReadOnly: sm.ReadOnly,
 		StopAfter: sm.StopAfter, InheritFrom: sm.InheritFrom,
+		FailMode: sm.FailMode,
 	}
+}
+
+// SaveStateFile atomically persists the controller snapshot to path: the
+// snapshot is written to a temp file in the same directory, fsynced,
+// and renamed over the target, so a crash mid-save leaves either the
+// old snapshot or the new one — never a torn file. The directory entry
+// is fsynced too, making the rename itself durable.
+func (c *Controller) SaveStateFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.SaveState(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadStateFile restores a snapshot written by SaveStateFile. Leftover
+// temp files from a crashed save are ignored (and never loaded: only
+// the renamed target is read).
+func (c *Controller) LoadStateFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.LoadState(f)
 }

@@ -1,0 +1,116 @@
+package controller
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveStateFileAtomic(t *testing.T) {
+	orig, tag := populatedController(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := orig.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files linger after a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.json" {
+		t.Fatalf("directory contents after save: %v", entries)
+	}
+
+	restored := New()
+	if err := restored.LoadStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.ChainTags(); len(got) != 1 || got[0] != tag {
+		t.Fatalf("restored chains = %v, want [%d]", got, tag)
+	}
+	// Restored instances carry a fresh lease, not a zero renewal time
+	// that the first sweep would declare dead.
+	if h, ok := restored.InstanceHealth("dpi-1"); !ok || h != Healthy {
+		t.Fatalf("restored dpi-1 health = %v, %v", h, ok)
+	}
+	if fails := restored.SweepLeases(); len(fails) != 0 {
+		t.Fatalf("first sweep after restore failed over %v", fails)
+	}
+}
+
+// TestCrashRecovery simulates a controller that died mid-save: a torn
+// temp file sits next to a valid snapshot. The snapshot must load
+// untouched — rename atomicity means the torn write never became the
+// state file — and a truncated state file must be rejected, not
+// half-loaded.
+func TestCrashRecovery(t *testing.T) {
+	orig, tag := populatedController(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := orig.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The crash artifact: a save that got halfway through writing.
+	torn := filepath.Join(dir, "state.json.tmp-123456")
+	if err := os.WriteFile(torn, []byte(`{"version":1,"mboxes":[{"mbox`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New()
+	if err := restored.LoadStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.ChainTags(); len(got) != 1 || got[0] != tag {
+		t.Fatalf("restored chains = %v, want [%d]", got, tag)
+	}
+
+	// A truncated snapshot (crash during a non-atomic write, or disk
+	// corruption) is rejected outright.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(trunc, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	if err := fresh.LoadStateFile(trunc); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("truncated load err = %v, want ErrBadStateFile", err)
+	}
+	// The failed load left it usable as an empty controller.
+	if err := fresh.LoadStateFile(path); err == nil {
+		// Partial loads may have populated sets; either a clean load or
+		// ErrNotEmpty is acceptable — what matters is no torn state that
+		// claims to be the full snapshot.
+		if got := fresh.ChainTags(); len(got) != 1 || got[0] != tag {
+			t.Fatalf("recovered chains = %v, want [%d]", got, tag)
+		}
+	}
+}
+
+func TestSaveStateFilePersistsFailMode(t *testing.T) {
+	c := New()
+	if _, err := c.Register(reg("ips-1", "ips")); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.mboxes["ips-1"].reg.FailMode = "fail-closed"
+	c.mu.Unlock()
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := c.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.LoadStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored.mu.Lock()
+	mode := restored.mboxes["ips-1"].reg.FailMode
+	restored.mu.Unlock()
+	if mode != "fail-closed" {
+		t.Fatalf("restored FailMode = %q", mode)
+	}
+}

@@ -184,6 +184,20 @@ func (s *Server) dispatch(conn net.Conn, env *ctlproto.Envelope) error {
 		s.ctl.AddInstance(hello.InstanceID, tags, hello.Dedicated)
 		return ctlproto.WriteMsg(conn, ctlproto.TypeInstanceInit, env.Seq, init)
 
+	case ctlproto.TypeLease:
+		var lease ctlproto.Lease
+		if err := env.Decode(&lease); err != nil {
+			return err
+		}
+		if err := s.ctl.RenewLease(lease.InstanceID); err != nil {
+			return err
+		}
+		return ctlproto.WriteMsg(conn, ctlproto.TypeLeaseAck, env.Seq, ctlproto.LeaseAck{
+			InstanceID: lease.InstanceID,
+			TTLMillis:  s.ctl.LeaseTTL().Milliseconds(),
+			Version:    s.ctl.Version(),
+		})
+
 	case ctlproto.TypeTelemetry:
 		var tel ctlproto.Telemetry
 		if err := env.Decode(&tel); err != nil {

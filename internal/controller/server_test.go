@@ -1,9 +1,11 @@
 package controller
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"dpiservice/internal/core"
 	"dpiservice/internal/ctlproto"
@@ -28,6 +30,7 @@ func dial(t *testing.T, srv *Server) *Client {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cl.SetRetryPolicy(RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: 5 * time.Millisecond})
 	t.Cleanup(func() { cl.Close() })
 	return cl
 }
@@ -37,11 +40,11 @@ func TestServerFullLifecycle(t *testing.T) {
 
 	// Middleboxes register and push patterns over the wire.
 	ids := dial(t, srv)
-	set, err := ids.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids", Stateful: true, ReadOnly: true})
+	set, err := ids.Register(context.Background(), ctlproto.Register{MboxID: "ids-1", Type: "ids", Stateful: true, ReadOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ids.AddPatterns("ids-1", []ctlproto.PatternDef{
+	if err := ids.AddPatterns(context.Background(), "ids-1", []ctlproto.PatternDef{
 		{RuleID: 0, Content: []byte("attack-sig")},
 		{RuleID: 1, Regex: `regular\s*expression\s*\d+`},
 	}); err != nil {
@@ -49,20 +52,20 @@ func TestServerFullLifecycle(t *testing.T) {
 	}
 
 	av := dial(t, srv)
-	set2, err := av.Register(ctlproto.Register{MboxID: "av-1", Type: "av"})
+	set2, err := av.Register(context.Background(), ctlproto.Register{MboxID: "av-1", Type: "av"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if set == set2 {
 		t.Error("distinct types share a set")
 	}
-	if err := av.AddPatterns("av-1", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("malware-body")}}); err != nil {
+	if err := av.AddPatterns(context.Background(), "av-1", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("malware-body")}}); err != nil {
 		t.Fatal(err)
 	}
 
 	// The TSA reports a policy chain.
 	tsa := dial(t, srv)
-	defs, err := tsa.ReportChains([][]string{{"ids-1", "av-1"}})
+	defs, err := tsa.ReportChains(context.Background(), [][]string{{"ids-1", "av-1"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +76,7 @@ func TestServerFullLifecycle(t *testing.T) {
 
 	// A DPI instance boots, fetches its init, and builds an engine.
 	inst := dial(t, srv)
-	init, err := inst.InstanceHello("dpi-1", nil, false)
+	init, err := inst.InstanceHello(context.Background(), "dpi-1", nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +98,7 @@ func TestServerFullLifecycle(t *testing.T) {
 	}
 
 	// The instance exports telemetry; the controller records it.
-	if err := inst.SendTelemetry(ctlproto.Telemetry{InstanceID: "dpi-1", Packets: 1}); err != nil {
+	if err := inst.SendTelemetry(context.Background(), ctlproto.Telemetry{InstanceID: "dpi-1", Packets: 1}); err != nil {
 		t.Fatal(err)
 	}
 	tel, ok := ctl.InstanceTelemetry("dpi-1")
@@ -107,23 +110,23 @@ func TestServerFullLifecycle(t *testing.T) {
 func TestServerDeregister(t *testing.T) {
 	ctl, srv := startServer(t)
 	cl := dial(t, srv)
-	if _, err := cl.Register(ctlproto.Register{MboxID: "m1", Type: "t"}); err != nil {
+	if _, err := cl.Register(context.Background(), ctlproto.Register{MboxID: "m1", Type: "t"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.AddPatterns("m1", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("solo-pattern")}}); err != nil {
+	if err := cl.AddPatterns(context.Background(), "m1", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("solo-pattern")}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Deregister("m1"); err != nil {
+	if err := cl.Deregister(context.Background(), "m1"); err != nil {
 		t.Fatal(err)
 	}
 	if got := ctl.GlobalPatternCount(); got != 0 {
 		t.Errorf("patterns survive deregister: %d", got)
 	}
-	if err := cl.Deregister("m1"); err == nil {
+	if err := cl.Deregister(context.Background(), "m1"); err == nil {
 		t.Error("double deregister accepted")
 	}
 	// The ID is reusable.
-	if _, err := cl.Register(ctlproto.Register{MboxID: "m1", Type: "t"}); err != nil {
+	if _, err := cl.Register(context.Background(), ctlproto.Register{MboxID: "m1", Type: "t"}); err != nil {
 		t.Errorf("re-register after deregister: %v", err)
 	}
 }
@@ -134,11 +137,11 @@ func TestServerErrorReplies(t *testing.T) {
 
 	// Pattern push for an unregistered middlebox yields a protocol
 	// error, and the connection remains usable afterwards.
-	err := cl.AddPatterns("ghost", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("x")}})
+	err := cl.AddPatterns(context.Background(), "ghost", []ctlproto.PatternDef{{RuleID: 0, Content: []byte("x")}})
 	if err == nil || !strings.Contains(err.Error(), "unknown middlebox") {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := cl.Register(ctlproto.Register{MboxID: "m", Type: "t"}); err != nil {
+	if _, err := cl.Register(context.Background(), ctlproto.Register{MboxID: "m", Type: "t"}); err != nil {
 		t.Fatalf("connection dead after error: %v", err)
 	}
 }
@@ -165,11 +168,11 @@ func TestServerRejectsUnsupportedType(t *testing.T) {
 func TestServerCloseUnblocksClients(t *testing.T) {
 	_, srv := startServer(t)
 	cl := dial(t, srv)
-	if _, err := cl.Register(ctlproto.Register{MboxID: "m", Type: "t"}); err != nil {
+	if _, err := cl.Register(context.Background(), ctlproto.Register{MboxID: "m", Type: "t"}); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
-	if _, err := cl.Register(ctlproto.Register{MboxID: "m2", Type: "t"}); err == nil {
+	if _, err := cl.Register(context.Background(), ctlproto.Register{MboxID: "m2", Type: "t"}); err == nil {
 		t.Error("request succeeded after server close")
 	}
 }

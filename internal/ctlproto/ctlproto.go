@@ -31,6 +31,8 @@ const (
 	TypeInstanceHello  MsgType = "instance_hello"
 	TypeInstanceInit   MsgType = "instance_init"
 	TypeTelemetry      MsgType = "telemetry"
+	TypeLease          MsgType = "lease"
+	TypeLeaseAck       MsgType = "lease_ack"
 	TypeMigrateFlows   MsgType = "migrate_flows"
 	TypeAck            MsgType = "ack"
 	TypeError          MsgType = "error"
@@ -66,6 +68,32 @@ type Register struct {
 	// InheritFrom names an already-registered middlebox whose pattern
 	// set this one adopts.
 	InheritFrom string `json:"inherit_from,omitempty"`
+	// FailMode declares how the middlebox degrades when DPI results
+	// stop arriving (a dead or partitioned instance): FailOpen forwards
+	// traffic unscanned, FailClosed drops it. Empty selects
+	// DefaultFailMode for the middlebox's read-only flag.
+	FailMode string `json:"fail_mode,omitempty"`
+}
+
+// Degraded-mode policies for Register.FailMode.
+const (
+	// FailOpen passes traffic unscanned while DPI results are missing —
+	// acceptable for monitoring-only middleboxes (IDS).
+	FailOpen = "fail-open"
+	// FailClosed drops traffic while DPI results are missing — the safe
+	// default for enforcing middleboxes (IPS, AV, L7 firewall), which
+	// must not let unscanned traffic through.
+	FailClosed = "fail-closed"
+)
+
+// DefaultFailMode selects the degraded-mode policy for a middlebox that
+// did not declare one: read-only (monitoring) middleboxes fail open,
+// enforcing middleboxes fail closed.
+func DefaultFailMode(readOnly bool) string {
+	if readOnly {
+		return FailOpen
+	}
+	return FailClosed
 }
 
 // Deregister removes a middlebox; its pattern references are dropped
@@ -187,6 +215,25 @@ type Telemetry struct {
 	BytesScanned uint64          `json:"bytes_scanned"`
 	Matches      uint64          `json:"matches"`
 	HeavyFlows   []FlowTelemetry `json:"heavy_flows,omitempty"`
+}
+
+// Lease renews a DPI service instance's liveness lease with the
+// controller. An instance that misses renewals is marked Suspect and
+// then Dead, at which point the controller re-steers its chains to
+// surviving instances (Section 4.3's failure handling).
+type Lease struct {
+	InstanceID string `json:"instance_id"`
+}
+
+// LeaseAck acknowledges a lease renewal, telling the instance how long
+// the lease is valid and the controller's current configuration version
+// (so a lagging instance knows to re-request its configuration).
+type LeaseAck struct {
+	InstanceID string `json:"instance_id"`
+	// TTLMillis is the lease duration in milliseconds; the instance
+	// should renew well within it (the daemons renew at TTL/3).
+	TTLMillis int64  `json:"ttl_ms"`
+	Version   uint64 `json:"version"`
 }
 
 // MigrateFlows instructs an instance to hand the given flows to another

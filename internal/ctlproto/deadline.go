@@ -1,0 +1,106 @@
+package ctlproto
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"dpiservice/internal/packet"
+)
+
+// This file makes the wire functions interruptible. The plain framing
+// calls (ReadMsg, WriteDataPacket, ...) block for as long as the peer
+// does — a hung or partitioned DPI instance wedges its caller forever.
+// The *Ctx variants bound every call with a context: a deadline maps
+// onto the connection's I/O deadline, and cancellation aborts the
+// in-flight read or write by expiring it immediately.
+
+// aLongTimeAgo is the deadline used to force an in-flight I/O call to
+// return when the context is canceled (the net package's own idiom).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// armDeadline applies ctx's deadline to conn and arranges for
+// cancellation to interrupt in-flight I/O. The returned stop function
+// must be called when the operation finishes; it releases the watcher
+// and reports whether the context had fired.
+func armDeadline(ctx context.Context, conn net.Conn) (stop func() bool) {
+	dl, hasDL := ctx.Deadline()
+	if !hasDL {
+		dl = time.Time{} // clear any previous deadline
+	}
+	_ = conn.SetDeadline(dl)
+	if ctx.Done() == nil {
+		return func() bool { return false }
+	}
+	cancel := context.AfterFunc(ctx, func() {
+		_ = conn.SetDeadline(aLongTimeAgo)
+	})
+	return func() bool { return !cancel() }
+}
+
+// wrapCtxErr surfaces the context's error when it caused the failure,
+// so callers see context.DeadlineExceeded/Canceled instead of a bare
+// net timeout.
+func wrapCtxErr(ctx context.Context, fired bool, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctxErr := ctx.Err(); fired && ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
+// WriteMsgCtx is WriteMsg bounded by ctx.
+//
+//dpi:ctx
+func WriteMsgCtx(ctx context.Context, conn net.Conn, typ MsgType, seq uint64, body any) error {
+	stop := armDeadline(ctx, conn)
+	err := WriteMsg(conn, typ, seq, body)
+	return wrapCtxErr(ctx, stop(), err)
+}
+
+// ReadMsgCtx is ReadMsg bounded by ctx.
+//
+//dpi:ctx
+func ReadMsgCtx(ctx context.Context, conn net.Conn) (*Envelope, error) {
+	stop := armDeadline(ctx, conn)
+	env, err := ReadMsg(conn)
+	return env, wrapCtxErr(ctx, stop(), err)
+}
+
+// WriteDataPacketCtx is WriteDataPacket bounded by ctx.
+//
+//dpi:ctx
+func WriteDataPacketCtx(ctx context.Context, conn net.Conn, tag uint16, tuple packet.FiveTuple, payload []byte) error {
+	stop := armDeadline(ctx, conn)
+	err := WriteDataPacket(conn, tag, tuple, payload)
+	return wrapCtxErr(ctx, stop(), err)
+}
+
+// ReadDataPacketCtx is ReadDataPacket bounded by ctx.
+//
+//dpi:ctx
+func ReadDataPacketCtx(ctx context.Context, conn net.Conn, buf []byte) (tag uint16, tuple packet.FiveTuple, payload []byte, err error) {
+	stop := armDeadline(ctx, conn)
+	tag, tuple, payload, err = ReadDataPacket(conn, buf)
+	return tag, tuple, payload, wrapCtxErr(ctx, stop(), err)
+}
+
+// WriteResultFrameCtx is WriteResultFrame bounded by ctx.
+//
+//dpi:ctx
+func WriteResultFrameCtx(ctx context.Context, conn net.Conn, encodedReport []byte) error {
+	stop := armDeadline(ctx, conn)
+	err := WriteResultFrame(conn, encodedReport)
+	return wrapCtxErr(ctx, stop(), err)
+}
+
+// ReadResultFrameCtx is ReadResultFrame bounded by ctx.
+//
+//dpi:ctx
+func ReadResultFrameCtx(ctx context.Context, conn net.Conn, buf []byte) ([]byte, error) {
+	stop := armDeadline(ctx, conn)
+	out, err := ReadResultFrame(conn, buf)
+	return out, wrapCtxErr(ctx, stop(), err)
+}

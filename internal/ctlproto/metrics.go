@@ -57,6 +57,7 @@ func EnableMetrics(reg *obs.Registry) {
 		TypeRegister, TypeRegisterAck, TypeDeregister,
 		TypeAddPatterns, TypeRemovePatterns, TypePolicyChains,
 		TypeInstanceHello, TypeInstanceInit, TypeTelemetry,
+		TypeLease, TypeLeaseAck,
 		TypeMigrateFlows, TypeAck, TypeError,
 	} {
 		m.perType[t] = reg.Counter("ctlproto.msg." + string(t))

@@ -16,6 +16,9 @@ import (
 //	                         named mu for the duration of the call.
 //	//dpi:guardedby(mu)      on a struct field: only touch it while the
 //	                         lock named mu is held.
+//	//dpi:ctx                on a function: it is RPC-shaped (crosses the
+//	                         control plane or blocks on I/O) and must take
+//	                         a context.Context as its first parameter.
 //
 // A directive may carry a trailing rationale after the closing token:
 // "//dpi:hotpath scan loop" parses the same as "//dpi:hotpath".
@@ -24,6 +27,7 @@ var directiveRe = regexp.MustCompile(`^//dpi:(\w+)(?:\(([^)]*)\))?(?:\s.*)?$`)
 
 type funcAnnotation struct {
 	hotpath bool
+	ctx     bool     // RPC-shaped: context.Context must come first
 	locked  []string // lock names the caller is contracted to hold
 }
 
@@ -137,13 +141,15 @@ func (a *Annotations) bindFunc(m *Module, pkg *Package, decl *ast.FuncDecl) {
 		switch {
 		case d.name == "hotpath" && d.arg == "":
 			a.funcAnn(fn).hotpath = true
+		case d.name == "ctx" && d.arg == "":
+			a.funcAnn(fn).ctx = true
 		case d.name == "locked" && d.arg != "":
 			fa := a.funcAnn(fn)
 			fa.locked = append(fa.locked, d.arg)
 		case d.name == "guardedby":
 			a.report(m, d.pos, "//dpi:guardedby annotates struct fields, not functions")
 		default:
-			a.report(m, d.pos, "malformed directive: want //dpi:hotpath or //dpi:locked(lockname)")
+			a.report(m, d.pos, "malformed directive: want //dpi:hotpath, //dpi:ctx or //dpi:locked(lockname)")
 		}
 	}
 }
@@ -163,7 +169,7 @@ func (a *Annotations) bindField(m *Module, pkg *Package, field *ast.Field) {
 					a.guarded[v] = d.arg
 				}
 			}
-		case d.name == "hotpath" || d.name == "locked":
+		case d.name == "hotpath" || d.name == "locked" || d.name == "ctx":
 			a.report(m, d.pos, "//dpi:"+d.name+" annotates functions, not fields")
 		default:
 			a.report(m, d.pos, "malformed directive: want //dpi:guardedby(lockname)")

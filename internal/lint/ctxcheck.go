@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// The ctx check enforces cancellation plumbing on the control plane:
+// a function annotated //dpi:ctx is RPC-shaped — it crosses a network
+// boundary or blocks on I/O — and must accept a context.Context as its
+// first parameter (after the receiver), per the standard library's own
+// convention. The failure-domain work leans on this: every blocking
+// control-plane call must be abortable, or a hung controller turns a
+// liveness problem into a stuck data-plane daemon.
+
+// isContextContext reports whether t is context.Context.
+func isContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkCtx(m *Module, ann *Annotations) []Diagnostic {
+	fns := make([]*types.Func, 0)
+	for fn, fa := range ann.funcs {
+		if fa.ctx {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return funcName(fns[i]) < funcName(fns[j]) })
+
+	var diags []Diagnostic
+	for _, fn := range fns {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		params := sig.Params()
+		if params.Len() >= 1 && isContextContext(params.At(0).Type()) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   m.Fset.Position(fn.Pos()),
+			Check: "ctx",
+			Msg:   "//dpi:ctx function " + funcName(fn) + " must take a context.Context as its first parameter",
+		})
+	}
+	return diags
+}

@@ -4,7 +4,7 @@
 // economics rest on one shared scan serving every middlebox (Section 3),
 // so a single regression in the scan hot path — a stray allocation-heavy
 // fmt call, a forgotten lock, a torn read of a telemetry counter — taxes
-// every chain at once. Four checks guard against that:
+// every chain at once. Five checks guard against that:
 //
 //   - hotpath: functions annotated //dpi:hotpath, and everything
 //     transitively reachable from them inside the module, must stay pure
@@ -19,6 +19,9 @@
 //     a by-value copy silently forks the counter.
 //   - apihygiene: library packages neither print (fmt.Print*, log.*)
 //     nor wrap errors without %w.
+//   - ctx: functions annotated //dpi:ctx — RPC-shaped control-plane
+//     calls — take a context.Context as their first parameter, so every
+//     blocking call is abortable when a peer hangs or dies.
 //
 // The framework deliberately avoids golang.org/x/tools: packages are
 // enumerated and their compiled dependencies resolved with `go list
@@ -71,6 +74,7 @@ func Run(m *Module) []Diagnostic {
 	diags = append(diags, checkGuardedBy(m, ann)...)
 	diags = append(diags, checkAtomicHygiene(m)...)
 	diags = append(diags, checkAPIHygiene(m)...)
+	diags = append(diags, checkCtx(m, ann)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -121,4 +121,33 @@ func TestModule(t *testing.T) {
 			t.Errorf("expected //dpi:hotpath on %s", name)
 		}
 	}
+
+	// The control-plane RPC surface carries //dpi:ctx — the failover
+	// machinery relies on every blocking call being abortable.
+	ctxed := make(map[string]bool)
+	for fn, fa := range ann.funcs {
+		if fa.ctx {
+			ctxed[funcName(fn)] = true
+		}
+	}
+	for _, name := range []string{
+		"controller.Client.Register",
+		"controller.Client.Deregister",
+		"controller.Client.AddPatterns",
+		"controller.Client.RemovePatterns",
+		"controller.Client.ReportChains",
+		"controller.Client.InstanceHello",
+		"controller.Client.SendTelemetry",
+		"controller.Client.RenewLease",
+		"ctlproto.WriteMsgCtx",
+		"ctlproto.ReadMsgCtx",
+		"ctlproto.WriteDataPacketCtx",
+		"ctlproto.ReadDataPacketCtx",
+		"ctlproto.WriteResultFrameCtx",
+		"ctlproto.ReadResultFrameCtx",
+	} {
+		if !ctxed[name] {
+			t.Errorf("expected //dpi:ctx on %s", name)
+		}
+	}
 }

@@ -1,0 +1,50 @@
+// Package ctxcheck exercises the dpilint ctx check: annotated
+// RPC-shaped functions must take context.Context first; unannotated
+// functions are left alone.
+package ctxcheck
+
+import "context"
+
+type client struct{}
+
+// Register is RPC-shaped and correctly context-first.
+//
+//dpi:ctx
+func (c *client) Register(ctx context.Context, id string) error {
+	_ = ctx
+	_ = id
+	return nil
+}
+
+// RenewLease forgot its context parameter entirely.
+//
+//dpi:ctx
+func (c *client) RenewLease(id string) error { // want "must take a context.Context as its first parameter"
+	_ = id
+	return nil
+}
+
+// Deregister takes a context, but not first.
+//
+//dpi:ctx
+func (c *client) Deregister(id string, ctx context.Context) error { // want "must take a context.Context as its first parameter"
+	_ = ctx
+	_ = id
+	return nil
+}
+
+//dpi:ctx
+func dialControl(ctx context.Context, addr string) error {
+	_ = ctx
+	_ = addr
+	return nil
+}
+
+// localHelper is not annotated; no context required.
+func localHelper(id string) string { return id }
+
+//dpi:ctx(arg) // want "malformed directive"
+func badDirective(ctx context.Context) { _ = ctx }
+
+var _ = dialControl
+var _ = localHelper

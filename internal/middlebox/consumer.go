@@ -3,9 +3,36 @@ package middlebox
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpiservice/internal/packet"
 )
+
+// LossPolicy selects a consumer middlebox's degraded mode when DPI
+// results stop arriving (a dead, crashed or partitioned DPI instance):
+// every ECN-marked data packet promises a result packet, so a pairing
+// buffer that only ages means the instance is gone.
+type LossPolicy int32
+
+const (
+	// FailOpen forwards timed-out packets unscanned (counted in
+	// Unscanned) — the monitoring posture: an IDS prefers passing
+	// traffic it could not inspect over an outage.
+	FailOpen LossPolicy = iota
+	// FailClosed drops timed-out packets (counted in DroppedUnscanned) —
+	// the enforcing posture: an IPS, AV or L7 firewall must not let
+	// unscanned traffic through.
+	FailClosed
+)
+
+// PolicyFromFailMode maps a ctlproto Register.FailMode string onto a
+// LossPolicy; anything but "fail-open" is the safe FailClosed.
+func PolicyFromFailMode(mode string) LossPolicy {
+	if mode == "fail-open" {
+		return FailOpen
+	}
+	return FailClosed
+}
 
 // Logic is the middlebox-internal rule logic that consumes DPI results:
 // "The DPI service responsibility is only to indicate appearances of
@@ -37,17 +64,28 @@ type ConsumerNode struct {
 	waiting map[uint32]pending // IPID -> data frame awaiting its result
 	order   []uint32           // FIFO of waiting keys for bounded memory
 
+	// policy is the degraded mode applied to packets whose results never
+	// arrive (buffer overflow, or janitor timeout when armed via
+	// SetLossPolicy). Defaults to FailOpen, the pre-failover behavior.
+	policy atomic.Int32
+
 	// Counters.
 	DataPackets   atomic.Uint64
 	ResultPackets atomic.Uint64
 	RulesReported atomic.Uint64
 	Dropped       atomic.Uint64
 	Unpaired      atomic.Uint64
+	// Unscanned counts packets forwarded without results under FailOpen;
+	// DroppedUnscanned counts packets discarded under FailClosed. Both
+	// only move while the DPI service is failing this middlebox.
+	Unscanned        atomic.Uint64
+	DroppedUnscanned atomic.Uint64
 }
 
 type pending struct {
 	frame []byte
 	tuple packet.FiveTuple
+	at    time.Time
 }
 
 // maxWaiting bounds the pairing buffer; an overflow forwards the oldest
@@ -93,7 +131,7 @@ func (n *ConsumerNode) handleFrame(frame []byte) {
 	if len(n.waiting) >= maxWaiting {
 		n.evictOldestLocked()
 	}
-	n.waiting[key] = pending{frame: frame, tuple: sum.Tuple}
+	n.waiting[key] = pending{frame: frame, tuple: sum.Tuple, at: time.Now()}
 	n.order = append(n.order, key)
 	n.mu.Unlock()
 }
@@ -105,13 +143,81 @@ func (n *ConsumerNode) evictOldestLocked() {
 		if p, ok := n.waiting[k]; ok {
 			delete(n.waiting, k)
 			n.Unpaired.Add(1)
-			// Fail open: forward without results.
 			n.mu.Unlock()
-			n.finish(p.tuple, nil, p.frame)
+			n.degrade(p)
 			n.mu.Lock()
 			return
 		}
 	}
+}
+
+// LossPolicyValue reports the node's current degraded mode.
+func (n *ConsumerNode) LossPolicyValue() LossPolicy { return LossPolicy(n.policy.Load()) }
+
+// SetLossPolicy sets the degraded mode and, when resultTimeout > 0,
+// starts a janitor that applies it to buffered data packets whose
+// result packet has not arrived within resultTimeout — the signal that
+// the DPI instance on this chain died with packets in flight. The
+// returned stop function halts the janitor (idempotent).
+func (n *ConsumerNode) SetLossPolicy(p LossPolicy, resultTimeout time.Duration) (stop func()) {
+	n.policy.Store(int32(p))
+	if resultTimeout <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	interval := resultTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				n.flushAged(time.Now().Add(-resultTimeout))
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// flushAged applies the loss policy to every buffered pair older than
+// cutoff.
+func (n *ConsumerNode) flushAged(cutoff time.Time) {
+	n.mu.Lock()
+	var aged []pending
+	for len(n.order) > 0 {
+		k := n.order[0]
+		p, ok := n.waiting[k]
+		if !ok {
+			n.order = n.order[1:]
+			continue
+		}
+		if p.at.After(cutoff) {
+			break // FIFO: everything behind is younger
+		}
+		delete(n.waiting, k)
+		n.order = n.order[1:]
+		aged = append(aged, p)
+	}
+	n.mu.Unlock()
+	for _, p := range aged {
+		n.degrade(p)
+	}
+}
+
+// degrade disposes of one data packet whose result is not coming.
+func (n *ConsumerNode) degrade(p pending) {
+	if n.LossPolicyValue() == FailClosed {
+		n.DroppedUnscanned.Add(1)
+		return
+	}
+	n.Unscanned.Add(1)
+	n.finish(p.tuple, nil, p.frame)
 }
 
 func (n *ConsumerNode) handleReport(frame, body []byte, tag uint16) {

@@ -1,0 +1,139 @@
+package middlebox
+
+import (
+	"testing"
+	"time"
+
+	"dpiservice/internal/packet"
+	"dpiservice/internal/traffic"
+)
+
+func TestPolicyFromFailMode(t *testing.T) {
+	cases := []struct {
+		mode string
+		want LossPolicy
+	}{
+		{"fail-open", FailOpen},
+		{"fail-closed", FailClosed},
+		{"", FailClosed},      // unset: safe default
+		{"bogus", FailClosed}, // unknown: safe default
+	}
+	for _, c := range cases {
+		if got := PolicyFromFailMode(c.mode); got != c.want {
+			t.Errorf("PolicyFromFailMode(%q) = %v, want %v", c.mode, got, c.want)
+		}
+	}
+}
+
+// markedFrame builds an ECN-marked data frame: the consumer buffers it
+// awaiting a result packet that, in these tests, never comes.
+func markedFrame(t *testing.T, fb *traffic.FrameBuilder, payload string) []byte {
+	t.Helper()
+	f := fb.Build(tpl, []byte(payload))
+	if err := packet.SetECNMark(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func waitCounter(t *testing.T, what string, c interface{ Load() uint64 }, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Load() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("%s = %d, want >= %d", what, c.Load(), want)
+}
+
+func TestConsumerFailOpenTimeout(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	n := NewConsumerNode(h, 0, NewCountLogic())
+	stop := n.SetLossPolicy(FailOpen, 10*time.Millisecond)
+	defer stop()
+
+	var fb traffic.FrameBuilder
+	h.inject(markedFrame(t, &fb, "orphaned"))
+	waitCounter(t, "Unscanned", &n.Unscanned, 1)
+	if got := len(h.drain()); got != 1 {
+		t.Fatalf("forwarded %d frames, want 1", got)
+	}
+	if n.PendingPairs() != 0 {
+		t.Errorf("PendingPairs = %d after flush", n.PendingPairs())
+	}
+	if n.DroppedUnscanned.Load() != 0 {
+		t.Errorf("DroppedUnscanned = %d under FailOpen", n.DroppedUnscanned.Load())
+	}
+}
+
+func TestConsumerFailClosedTimeout(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	n := NewConsumerNode(h, 0, NewCountLogic())
+	stop := n.SetLossPolicy(FailClosed, 10*time.Millisecond)
+	defer stop()
+
+	var fb traffic.FrameBuilder
+	h.inject(markedFrame(t, &fb, "orphaned"))
+	waitCounter(t, "DroppedUnscanned", &n.DroppedUnscanned, 1)
+	if got := len(h.drain()); got != 0 {
+		t.Fatalf("FailClosed forwarded %d frames, want 0", got)
+	}
+	if n.PendingPairs() != 0 {
+		t.Errorf("PendingPairs = %d after flush", n.PendingPairs())
+	}
+	if n.Unscanned.Load() != 0 {
+		t.Errorf("Unscanned = %d under FailClosed", n.Unscanned.Load())
+	}
+}
+
+// A result arriving inside the timeout pairs normally: the janitor only
+// acts on pairs the DPI service actually abandoned.
+func TestConsumerResultBeatsJanitor(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	logic := NewCountLogic()
+	n := NewConsumerNode(h, 0, logic)
+	stop := n.SetLossPolicy(FailClosed, time.Minute)
+	defer stop()
+
+	var fb traffic.FrameBuilder
+	frame := markedFrame(t, &fb, "paired")
+	var sum packet.Summary
+	if err := packet.Summarize(frame, &sum); err != nil {
+		t.Fatal(err)
+	}
+	h.inject(frame)
+	h.inject(mkReportFrame(t, &packet.Report{Tuple: tpl, PacketID: uint32(sum.IPID)}))
+
+	if got := len(h.drain()); got != 2 { // data frame + relayed result
+		t.Fatalf("forwarded %d frames, want 2", got)
+	}
+	if n.DroppedUnscanned.Load() != 0 || n.Unscanned.Load() != 0 {
+		t.Errorf("degraded counters moved: unscanned=%d dropped=%d",
+			n.Unscanned.Load(), n.DroppedUnscanned.Load())
+	}
+	if logic.Total() != 0 {
+		t.Errorf("Total = %d, want 0 (empty report)", logic.Total())
+	}
+}
+
+// Buffer-overflow eviction honors the loss policy too: an enforcing
+// middlebox must not fail open just because its pairing buffer filled.
+func TestConsumerOverflowFailsClosed(t *testing.T) {
+	h := &fakeHost{name: "m"}
+	n := NewConsumerNode(h, 0, NewCountLogic())
+	stop := n.SetLossPolicy(FailClosed, 0) // policy only, no janitor
+	defer stop()
+
+	var fb traffic.FrameBuilder
+	for i := 0; i < maxWaiting+10; i++ {
+		h.inject(markedFrame(t, &fb, "data"))
+	}
+	if n.DroppedUnscanned.Load() == 0 {
+		t.Error("no fail-closed drops recorded on overflow")
+	}
+	if got := len(h.drain()); got != 0 {
+		t.Errorf("FailClosed overflow forwarded %d frames", got)
+	}
+}

@@ -88,6 +88,10 @@ type Network struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	stopped bool
+
+	// chaos is the fault-injection layer (chaos.go); zero value = no
+	// faults.
+	chaos chaosState
 }
 
 // NewNetwork returns an empty network.
@@ -143,6 +147,7 @@ func (n *Network) startDirection(src, dst Node, opts LinkOpts) {
 	p := &Port{ch: make(chan []byte, depth)}
 	n.ports = append(n.ports, p)
 	dstPort := portOf(dst, src.Name())
+	srcName, dstName := src.Name(), dst.Name()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -154,6 +159,20 @@ func (n *Network) startDirection(src, dst Node, opts LinkOpts) {
 				}
 				if opts.RateBps > 0 {
 					time.Sleep(time.Duration(int64(len(frame)) * 8 * int64(time.Second) / opts.RateBps))
+				}
+				if n.chaosActive() {
+					drop, dup, delay := n.chaosVerdict(srcName, dstName)
+					if drop {
+						continue
+					}
+					if delay > 0 {
+						time.Sleep(delay)
+					}
+					if dup {
+						// The callee owns its frame; the copy is made
+						// before the original is handed over.
+						dst.Recv(dstPort, append([]byte(nil), frame...))
+					}
 				}
 				dst.Recv(dstPort, frame)
 			case <-n.done:

@@ -259,6 +259,14 @@ func (fe *FlowEntry) SetIdleTimeout(d time.Duration) *FlowEntry {
 	return fe
 }
 
+// Revoke permanently disables the entry, as if its timeout had fired.
+// Safe to call concurrently with lookups; the entry stops matching
+// immediately and is reaped on the next table cleanup. The TSA revokes
+// a flow's old steering rule when re-steering it (migration, failover),
+// since an equal-priority replacement would otherwise lose the
+// first-inserted-wins tie.
+func (fe *FlowEntry) Revoke() { fe.expired.Store(true) }
+
 // alive reports whether the entry is usable at time now, marking it
 // expired when its idle timeout has elapsed.
 func (fe *FlowEntry) alive(now int64) bool {

@@ -1,0 +1,172 @@
+package sdn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dpiservice/internal/packet"
+	"dpiservice/internal/traffic"
+)
+
+// tupleN builds the nth distinct test flow.
+func tupleN(n int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+		SrcPort: uint16(1000 + n), DstPort: 80, Protocol: packet.IPProtoTCP,
+	}
+}
+
+func TestFailoverInstanceReSteersFlows(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "dpi-1", "dpi-2")
+	f.registerMbox(t, "mb1")
+	f.sw.SetController(f.tsa)
+	spec := ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}
+	tag, err := f.tsa.InstallBalancedChain(spec, []string{"dpi-1", "dpi-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb traffic.FrameBuilder
+	// Two flows: round-robin pins flow 0 to dpi-1, flow 1 to dpi-2.
+	f.hosts["src"].Send(fb.Build(tupleN(0), []byte("a")))
+	recvFrame(t, f.hosts["dpi-1"])
+	f.hosts["src"].Send(fb.Build(tupleN(1), []byte("b")))
+	recvFrame(t, f.hosts["dpi-2"])
+
+	moved, err := f.tsa.FailoverInstance("dpi-1", map[uint16]string{tag: "dpi-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 1 {
+		t.Fatalf("moved = %d, want 1", moved)
+	}
+	if inst, _ := f.tsa.InstanceOf(tupleN(0)); inst != "dpi-2" {
+		t.Fatalf("flow 0 on %q after failover", inst)
+	}
+	// Existing flow's traffic lands on the survivor, none on the dead
+	// instance.
+	f.hosts["src"].Send(fb.Build(tupleN(0), []byte("after")))
+	recvFrame(t, f.hosts["dpi-2"])
+	// New flows avoid the dead instance entirely.
+	for n := 2; n < 5; n++ {
+		f.hosts["src"].Send(fb.Build(tupleN(n), []byte("new")))
+		recvFrame(t, f.hosts["dpi-2"])
+	}
+	select {
+	case <-f.hosts["dpi-1"].Inbox():
+		t.Fatal("dead instance still receives traffic")
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	// A stale-tag packet already emitted by the dead instance still
+	// follows the chain's hop rules — late in-flight frames drain through
+	// the middleboxes instead of leaking or looping.
+	stale, err := packet.PushVLAN(fb.Build(tupleN(0), []byte("stale")), tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.hosts["dpi-1"].Send(stale)
+	fr := recvFrame(t, f.hosts["mb1"])
+	if id, ok := packet.OuterVLAN(fr); !ok || id != tag {
+		t.Fatalf("stale frame tag = %d/%v, want %d", id, ok, tag)
+	}
+}
+
+func TestFailoverWithoutReplacementDropsAndRecovers(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "dpi-1", "dpi-2")
+	f.registerMbox(t, "mb1")
+	f.sw.SetController(f.tsa)
+	spec := ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}
+	if _, err := f.tsa.InstallBalancedChain(spec, []string{"dpi-1", "dpi-2"}); err != nil {
+		t.Fatal(err)
+	}
+	var fb traffic.FrameBuilder
+	f.hosts["src"].Send(fb.Build(tupleN(0), []byte("a")))
+	recvFrame(t, f.hosts["dpi-1"])
+
+	// No replacement for the tag: the flow is forgotten, not re-steered.
+	moved, err := f.tsa.FailoverInstance("dpi-1", nil)
+	if err != nil || moved != 0 {
+		t.Fatalf("moved, err = %d, %v", moved, err)
+	}
+	if _, ok := f.tsa.InstanceOf(tupleN(0)); ok {
+		t.Fatal("unre-steerable flow still tracked")
+	}
+	// Its next packet falls back to packet-in and is re-steered among the
+	// survivors.
+	f.hosts["src"].Send(fb.Build(tupleN(0), []byte("retry")))
+	recvFrame(t, f.hosts["dpi-2"])
+	if inst, _ := f.tsa.InstanceOf(tupleN(0)); inst != "dpi-2" {
+		t.Errorf("recovered flow on %q", inst)
+	}
+}
+
+// TestFailoverConcurrentPacketIn exercises the flow-mod rewrite while
+// packet-in events are steering new flows concurrently (run with
+// -race). Afterwards every tracked flow must be off the dead instance
+// and still deliver traffic.
+func TestFailoverConcurrentPacketIn(t *testing.T) {
+	f := newFabric(t, "src", "dst", "mb1", "dpi-1", "dpi-2", "dpi-3")
+	f.registerMbox(t, "mb1")
+	f.sw.SetController(f.tsa)
+	spec := ChainSpec{Src: "src", Dst: "dst", Elements: []string{"mb1"}}
+	tag, err := f.tsa.InstallBalancedChain(spec, []string{"dpi-1", "dpi-2", "dpi-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the DPI hosts so their inbox buffers never block the fabric.
+	for _, name := range []string{"dpi-1", "dpi-2", "dpi-3", "mb1", "dst"} {
+		h := f.hosts[name]
+		go func() {
+			for range h.Inbox() {
+			}
+		}()
+	}
+
+	const flows = 60
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var fb traffic.FrameBuilder
+		for n := 0; n < flows; n++ {
+			f.hosts["src"].Send(fb.Build(tupleN(n), []byte(fmt.Sprintf("pkt %d", n))))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// Fail dpi-1 over mid-storm, twice (second is a no-op sweep).
+		for i := 0; i < 2; i++ {
+			if _, err := f.tsa.FailoverInstance("dpi-1", map[uint16]string{tag: "dpi-2"}); err != nil {
+				t.Errorf("failover: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if !f.net.Flush(5 * time.Second) {
+		t.Fatal("network never quiesced")
+	}
+
+	// Late packet-ins may still have steered to dpi-1 if they claimed the
+	// flow before the failover snapshot; a final sweep must settle it.
+	if _, err := f.tsa.FailoverInstance("dpi-1", map[uint16]string{tag: "dpi-2"}); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < flows; n++ {
+		if inst, ok := f.tsa.InstanceOf(tupleN(n)); ok && inst == "dpi-1" {
+			t.Fatalf("flow %d still pinned to dead instance", n)
+		}
+	}
+	// The fabric still forwards: a fresh flow is steered to a survivor.
+	var fb traffic.FrameBuilder
+	f.hosts["src"].Send(fb.Build(tupleN(flows+1), []byte("post")))
+	if !f.net.Flush(5 * time.Second) {
+		t.Fatal("network never quiesced after post-failover flow")
+	}
+	if inst, ok := f.tsa.InstanceOf(tupleN(flows + 1)); !ok || inst == "dpi-1" {
+		t.Fatalf("post-failover flow on %q, %v", inst, ok)
+	}
+}

@@ -57,9 +57,18 @@ type TSA struct {
 
 	mu            sync.Mutex
 	rr            int
-	flows         map[packet.FiveTuple]string // reactive flow -> instance
+	flows         map[packet.FiveTuple]steeredFlow // reactive flow state
 	pending       []pendingChain
 	installedHops map[string]bool // "tag/instance" hop rules laid
+}
+
+// steeredFlow records where a reactive flow is steered and which switch
+// rule realizes it, so re-steering (migration, failover) can revoke the
+// old rule instead of racing it on priority ties.
+type steeredFlow struct {
+	instance string
+	tag      uint16
+	entry    *openflow.FlowEntry
 }
 
 type pendingChain struct {
@@ -70,7 +79,7 @@ type pendingChain struct {
 
 // NewTSA creates a TSA controlling sw and negotiating with dpictl.
 func NewTSA(sw *openflow.Switch, dpictl *controller.Controller) *TSA {
-	t := &TSA{sw: sw, dpictl: dpictl, flows: make(map[packet.FiveTuple]string)}
+	t := &TSA{sw: sw, dpictl: dpictl, flows: make(map[packet.FiveTuple]steeredFlow)}
 	return t
 }
 
@@ -285,24 +294,47 @@ func (t *TSA) PacketIn(sw *openflow.Switch, inPort int, frame []byte) {
 		t.mu.Unlock()
 		return
 	}
+	tag, spec := pc.tag, pc.spec
 	instance := pc.instances[t.rr%len(pc.instances)]
 	t.rr++
-	t.flows[sum.Tuple] = instance
-	t.mu.Unlock()
-
-	if err := t.steerFlow(pc.tag, pc.spec, sum.Tuple, instance); err != nil {
+	// Claim the flow before releasing the lock so a concurrent packet-in
+	// for the same flow does not double-steer it.
+	if _, claimed := t.flows[sum.Tuple]; claimed {
+		t.mu.Unlock()
+		sw.Recv(inPort, frame)
 		return
 	}
+	t.flows[sum.Tuple] = steeredFlow{instance: instance, tag: tag}
+	t.mu.Unlock()
+
+	fe, err := t.steerFlow(tag, spec, sum.Tuple, instance)
+	if err != nil {
+		t.mu.Lock()
+		delete(t.flows, sum.Tuple)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	if sf, ok := t.flows[sum.Tuple]; ok && sf.instance == instance && sf.entry == nil {
+		sf.entry = fe
+		t.flows[sum.Tuple] = sf
+	} else {
+		// The flow was re-steered (migration/failover) while we were
+		// installing; our rule is stale.
+		fe.Revoke()
+	}
+	t.mu.Unlock()
+
 	// Re-inject: the frame now hits the per-flow rules.
 	sw.Recv(inPort, frame)
 }
 
 // steerFlow installs exact five-tuple rules sending the flow through
-// instance and then the chain elements.
-func (t *TSA) steerFlow(tag uint16, spec ChainSpec, tuple packet.FiveTuple, instance string) error {
+// instance and then the chain elements, returning the steering rule.
+func (t *TSA) steerFlow(tag uint16, spec ChainSpec, tuple packet.FiveTuple, instance string) (*openflow.FlowEntry, error) {
 	srcPort, err := t.port(spec.Src)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	m := openflow.NewMatch()
 	m.InPort = srcPort
@@ -312,13 +344,13 @@ func (t *TSA) steerFlow(tag uint16, spec ChainSpec, tuple packet.FiveTuple, inst
 	m.IPProto = tuple.Protocol
 	instPort, err := t.port(instance)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fe := t.sw.AddFlowWithCookie(uint64(tag), PrioFlow, m, openflow.PushVLAN(tag), openflow.Output(instPort))
 	if t.FlowIdleTimeout > 0 {
 		fe.SetIdleTimeout(t.FlowIdleTimeout)
 	}
-	return t.installHopsOnce(tag, spec, instance)
+	return fe, t.installHopsOnce(tag, spec, instance)
 }
 
 // MigrateFlow re-steers one flow of a balanced chain to a different
@@ -346,12 +378,94 @@ func (t *TSA) MigrateFlow(tag uint16, spec ChainSpec, tuple packet.FiveTuple, ne
 	}
 	// Ensure downstream hops exist for the new instance.
 	if err := t.installHopsOnce(tag, spec, newInstance); err != nil {
+		fe.Revoke()
 		return err
 	}
 	t.mu.Lock()
-	t.flows[tuple] = newInstance
+	if old, ok := t.flows[tuple]; ok && old.entry != nil {
+		// The override outranks the old rule by priority, but revoking it
+		// keeps repeated re-steers (migrate, then failover) from piling
+		// up equal-priority overrides where the oldest would win ties.
+		old.entry.Revoke()
+	}
+	t.flows[tuple] = steeredFlow{instance: newInstance, tag: tag, entry: fe}
 	t.mu.Unlock()
 	return nil
+}
+
+// FailoverInstance re-steers every reactive flow currently pinned to the
+// dead instance onto the replacement the controller chose for its chain
+// tag (controller.Failover.Reassigned), and removes the dead instance
+// from all balanced chains' round-robin sets so new flows avoid it. A
+// flow whose tag has no surviving replacement has its rule revoked and
+// its packets fall back to packet-in (re-steered if capacity returns).
+// It returns how many flows were re-steered.
+//
+// Packets already in flight toward the dead instance, and flow scan
+// state held by it, are lost: re-steered flows restart scanning at the
+// replacement mid-stream (the paper accepts this — per-flow DPI state is
+// a DFA state and an offset, Section 4.3).
+func (t *TSA) FailoverInstance(dead string, replacements map[uint16]string) (int, error) {
+	type job struct {
+		tuple packet.FiveTuple
+		sf    steeredFlow
+	}
+	t.mu.Lock()
+	for i := range t.pending {
+		pc := &t.pending[i]
+		survivors := make([]string, 0, len(pc.instances))
+		for _, in := range pc.instances {
+			if in != dead {
+				survivors = append(survivors, in)
+			}
+		}
+		pc.instances = survivors
+	}
+	var jobs []job
+	for tuple, sf := range t.flows {
+		if sf.instance == dead {
+			jobs = append(jobs, job{tuple: tuple, sf: sf})
+		}
+	}
+	t.mu.Unlock()
+
+	moved := 0
+	var firstErr error
+	for _, j := range jobs {
+		repl, haveRepl := replacements[j.sf.tag]
+		spec, haveSpec := t.chainSpec(j.sf.tag)
+		if !haveRepl || !haveSpec {
+			if j.sf.entry != nil {
+				j.sf.entry.Revoke()
+			}
+			t.mu.Lock()
+			if cur, ok := t.flows[j.tuple]; ok && cur.instance == dead {
+				delete(t.flows, j.tuple)
+			}
+			t.mu.Unlock()
+			continue
+		}
+		if err := t.MigrateFlow(j.sf.tag, spec, j.tuple, repl); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+// chainSpec finds the balanced chain's spec by tag.
+func (t *TSA) chainSpec(tag uint16) (ChainSpec, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pc := range t.pending {
+		if pc.tag == tag {
+			return pc.spec, true
+		}
+	}
+	return ChainSpec{}, false
 }
 
 // installHopsOnce lays the in-port forwarding rules for one
@@ -421,6 +535,6 @@ func (t *TSA) UninstallChain(tag uint16) int {
 func (t *TSA) InstanceOf(tuple packet.FiveTuple) (string, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	inst, ok := t.flows[tuple]
-	return inst, ok
+	sf, ok := t.flows[tuple]
+	return sf.instance, ok
 }

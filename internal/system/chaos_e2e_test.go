@@ -1,0 +1,265 @@
+package system
+
+import (
+	"testing"
+	"time"
+
+	"dpiservice/internal/controller"
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/middlebox"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/sdn"
+	"dpiservice/internal/traffic"
+)
+
+// chaosSeed makes the fault layer's schedule reproducible; the CI chaos
+// job runs these tests with -race and this fixed seed.
+const chaosSeed = 1
+
+// TestChaosInstanceDeathFailover is the failure-domain end-to-end: a
+// two-instance balanced deployment loses one DPI instance under live
+// traffic (netsim CrashNode: connectivity severed, heartbeats stop).
+// The lease monitor must declare it dead and the TSA must re-steer its
+// flows to the survivor within the lease timeout; nothing may be
+// reported as scanned that no engine actually scanned; and the outage
+// must be visible in the controller metrics.
+func TestChaosInstanceDeathFailover(t *testing.T) {
+	tb, err := NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Stop()
+	tb.Net.SetChaosSeed(chaosSeed)
+
+	idsLogic := middlebox.NewCountLogic()
+	ids, err := tb.AddConsumerMbox("ids-1", "ids", ctlproto.Register{},
+		[]string{"needle-pattern"}, idsLogic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monitoring posture: orphaned pairs (data scanned, result lost in
+	// the crash) flush fail-open instead of pinning memory.
+	defer ids.SetLossPolicy(middlebox.FailOpen, 200*time.Millisecond)()
+
+	tb.Switch.SetController(tb.TSA)
+	spec := sdn.ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ids-1"}}
+	tag, err := tb.TSA.InstallBalancedChain(spec, []string{"dpi-1", "dpi-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpi1, err := tb.AddDPIInstance("dpi-1", []uint16{tag}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpi2, err := tb.AddDPIInstance("dpi-2", []uint16{tag}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := controller.LeaseConfig{TTL: 100 * time.Millisecond, DeadAfter: 250 * time.Millisecond}
+	sweep := 20 * time.Millisecond
+	events, stopMon := tb.EnableFailover(cfg, sweep)
+	defer stopMon()
+	defer tb.StartLease("dpi-1", 20*time.Millisecond)()
+	defer tb.StartLease("dpi-2", 20*time.Millisecond)()
+
+	flowT := func(n int) packet.FiveTuple {
+		return packet.FiveTuple{
+			Src: tb.Src.IP, Dst: tb.Dst.IP,
+			SrcPort: uint16(40000 + n), DstPort: 80, Protocol: packet.IPProtoTCP,
+		}
+	}
+
+	// Pin four flows; round-robin splits them across both instances.
+	var fb traffic.FrameBuilder
+	const flows = 4
+	for n := 0; n < flows; n++ {
+		tb.Src.Send(fb.Build(flowT(n), []byte("has needle-pattern inside")))
+		waitFor(t, "flow pinned", func() bool {
+			_, ok := tb.TSA.InstanceOf(flowT(n))
+			return ok
+		})
+	}
+	var onDead, onSurvivor []int
+	for n := 0; n < flows; n++ {
+		if inst, _ := tb.TSA.InstanceOf(flowT(n)); inst == "dpi-1" {
+			onDead = append(onDead, n)
+		} else {
+			onSurvivor = append(onSurvivor, n)
+		}
+	}
+	if len(onDead) == 0 || len(onSurvivor) == 0 {
+		t.Fatalf("balanced chain did not split flows: dead=%v survivor=%v", onDead, onSurvivor)
+	}
+	waitFor(t, "pre-crash matches", func() bool { return idsLogic.Total() >= flows })
+
+	// Kill dpi-1 mid-traffic: a generator keeps all flows active across
+	// the outage so the failure hits live, steered flows.
+	trafficDone := make(chan struct{})
+	trafficStopped := make(chan struct{})
+	go func() {
+		defer close(trafficStopped)
+		var gfb traffic.FrameBuilder
+		for {
+			select {
+			case <-trafficDone:
+				return
+			default:
+				for n := 0; n < flows; n++ {
+					tb.Src.Send(gfb.Build(flowT(n), []byte("has needle-pattern inside")))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	crashed := time.Now()
+	tb.Net.CrashNode("dpi-1")
+
+	var ev FailoverEvent
+	select {
+	case ev = <-events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no failover within 5s of the crash")
+	}
+	elapsed := time.Since(crashed)
+	close(trafficDone)
+	<-trafficStopped
+
+	// Failover must land within the lease timeout (DeadAfter) plus one
+	// sweep; the slack absorbs scheduler jitter under -race.
+	if bound := cfg.DeadAfter + sweep + 750*time.Millisecond; elapsed > bound {
+		t.Errorf("failover took %v, want <= %v", elapsed, bound)
+	}
+	if ev.Plan.Dead != "dpi-1" || ev.Err != nil {
+		t.Fatalf("failover event = %+v", ev)
+	}
+	if ev.Plan.Reassigned[tag] != "dpi-2" {
+		t.Fatalf("chain %d reassigned to %q, want dpi-2", tag, ev.Plan.Reassigned[tag])
+	}
+	if h, _ := tb.DPICtl.InstanceHealth("dpi-1"); h != controller.Dead {
+		t.Fatalf("dpi-1 health = %v, want dead", h)
+	}
+	if h, _ := tb.DPICtl.InstanceHealth("dpi-2"); h != controller.Healthy {
+		t.Fatalf("dpi-2 health = %v, want healthy", h)
+	}
+
+	// Every flow is off the dead instance and traffic keeps flowing
+	// through the survivor.
+	for n := 0; n < flows; n++ {
+		if inst, ok := tb.TSA.InstanceOf(flowT(n)); ok && inst == "dpi-1" {
+			t.Fatalf("flow %d still pinned to the dead instance", n)
+		}
+	}
+	before := idsLogic.Total()
+	beforeScanned := dpi2.Engine().Snapshot().Packets
+	for _, n := range onDead {
+		tb.Src.Send(fb.Build(flowT(n), []byte("post-failover needle-pattern")))
+	}
+	waitFor(t, "post-failover matches", func() bool {
+		return idsLogic.Total() >= before+uint64(len(onDead))
+	})
+	waitFor(t, "survivor scanned the re-steered flows", func() bool {
+		return dpi2.Engine().Snapshot().Packets >= beforeScanned+uint64(len(onDead))
+	})
+	// A brand-new flow avoids the dead instance entirely.
+	tb.Src.Send(fb.Build(flowT(100), []byte("fresh needle-pattern flow")))
+	waitFor(t, "fresh flow pinned to survivor", func() bool {
+		inst, ok := tb.TSA.InstanceOf(flowT(100))
+		return ok && inst == "dpi-2"
+	})
+
+	// No packet was reported scanned that wasn't: every result the
+	// middlebox consumed corresponds to a packet an engine scanned.
+	scanned := dpi1.Engine().Snapshot().Packets + dpi2.Engine().Snapshot().Packets
+	if got := ids.ResultPackets.Load(); got > scanned {
+		t.Errorf("middlebox consumed %d results but engines scanned %d", got, scanned)
+	}
+	if got := idsLogic.Total(); got > scanned {
+		t.Errorf("logic observed %d matches but engines scanned %d packets", got, scanned)
+	}
+
+	// The outage is visible in the metrics and the fault layer.
+	reg := tb.DPICtl.Metrics()
+	if v := reg.Counter("controller.lease_expiries").Value(); v != 1 {
+		t.Errorf("lease_expiries = %d, want 1", v)
+	}
+	if v := reg.Counter("controller.failovers").Value(); v != 1 {
+		t.Errorf("failovers = %d, want 1", v)
+	}
+	if v := reg.Counter("controller.chains_reassigned").Value(); v != 1 {
+		t.Errorf("chains_reassigned = %d, want 1", v)
+	}
+	if v := reg.Gauge("controller.instances_dead").Value(); v != 1 {
+		t.Errorf("instances_dead gauge = %d, want 1", v)
+	}
+	if s := tb.Net.ChaosStats(); s.Dropped == 0 {
+		t.Error("chaos layer dropped nothing — the instance never really died")
+	}
+}
+
+// TestChaosInstanceRestartRejoins re-admits a crashed instance: after
+// failover its lease renewals are rejected (re-hello required), and an
+// explicit AddInstance — the daemon's re-hello path — restores it to
+// Healthy with a fresh lease.
+func TestChaosInstanceRestartRejoins(t *testing.T) {
+	tb, err := NewTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Stop()
+
+	if _, err := tb.AddConsumerMbox("ids-1", "ids", ctlproto.Register{},
+		[]string{"needle-pattern"}, middlebox.NewCountLogic()); err != nil {
+		t.Fatal(err)
+	}
+	tb.Switch.SetController(tb.TSA)
+	spec := sdn.ChainSpec{Src: "src", Dst: "dst", Elements: []string{"ids-1"}}
+	tag, err := tb.TSA.InstallBalancedChain(spec, []string{"dpi-1", "dpi-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"dpi-1", "dpi-2"} {
+		if _, err := tb.AddDPIInstance(id, []uint16{tag}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := controller.LeaseConfig{TTL: 50 * time.Millisecond, DeadAfter: 100 * time.Millisecond}
+	events, stopMon := tb.EnableFailover(cfg, 10*time.Millisecond)
+	defer stopMon()
+	defer tb.StartLease("dpi-1", 10*time.Millisecond)()
+	defer tb.StartLease("dpi-2", 10*time.Millisecond)()
+
+	tb.Net.CrashNode("dpi-1")
+	select {
+	case ev := <-events:
+		if ev.Plan.Dead != "dpi-1" {
+			t.Fatalf("failover of %q, want dpi-1", ev.Plan.Dead)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no failover after crash")
+	}
+
+	// While dead, renewals are rejected: the lease loop alone cannot
+	// resurrect the instance.
+	tb.Net.RestartNode("dpi-1")
+	if err := tb.DPICtl.RenewLease("dpi-1"); err == nil {
+		t.Fatal("renewal of an expired lease succeeded")
+	}
+	waitFor(t, "dpi-1 still dead", func() bool {
+		h, _ := tb.DPICtl.InstanceHealth("dpi-1")
+		return h == controller.Dead
+	})
+
+	// Explicit re-hello re-admits it with a fresh lease.
+	tb.DPICtl.AddInstance("dpi-1", []uint16{tag}, false)
+	waitFor(t, "dpi-1 healthy after re-hello", func() bool {
+		h, _ := tb.DPICtl.InstanceHealth("dpi-1")
+		return h == controller.Healthy
+	})
+	// And the running lease loop keeps it healthy past a full DeadAfter.
+	time.Sleep(2 * cfg.DeadAfter)
+	if h, _ := tb.DPICtl.InstanceHealth("dpi-1"); h != controller.Healthy {
+		t.Fatalf("re-admitted instance decayed to %v", h)
+	}
+}

@@ -1,0 +1,73 @@
+package system
+
+import (
+	"time"
+
+	"dpiservice/internal/controller"
+)
+
+// This file wires the controller's failure domain (controller/health.go)
+// to the data plane: lease renewals stand in for the dpinstance daemon's
+// heartbeats, and failover plans are executed by the TSA's flow-mod
+// rewrite. Re-steered flows restart their scan state on the survivor —
+// the paper's per-flow DPI state (a DFA state and a stream offset,
+// Section 4.3) lives on the instance and dies with it.
+
+// FailoverEvent records one executed failover: the controller's plan and
+// the TSA's execution result.
+type FailoverEvent struct {
+	Plan  controller.Failover
+	Moved int // flows re-steered by the TSA
+	Err   error
+}
+
+// EnableFailover installs the lease timings, connects the controller's
+// failover plans to the TSA's flow-mod rewrite, and starts the lease
+// monitor sweeping every sweep. Executed failovers are delivered on the
+// returned channel (buffered; overflow is dropped, events are for test
+// observation). The stop function halts the monitor.
+func (tb *Testbed) EnableFailover(cfg controller.LeaseConfig, sweep time.Duration) (events <-chan FailoverEvent, stop func()) {
+	ch := make(chan FailoverEvent, 16)
+	tb.DPICtl.ConfigureLeases(cfg)
+	tb.DPICtl.OnFailover(func(plan controller.Failover) {
+		moved, err := tb.TSA.FailoverInstance(plan.Dead, plan.Reassigned)
+		select {
+		case ch <- FailoverEvent{Plan: plan, Moved: moved, Err: err}:
+		default:
+		}
+	})
+	return ch, tb.DPICtl.StartLeaseMonitor(sweep)
+}
+
+// StartLease renews the named instance's lease every interval until the
+// returned stop function is called. Netsim instance nodes are in-process
+// and do not speak ctlproto, so renewal is a direct controller call —
+// but it is gated on the chaos layer: a crashed node (Net.CrashNode)
+// stops renewing, exactly as a dead VM's heartbeats stop reaching the
+// controller. A rejected renewal (lease already expired) is left for the
+// operator: the instance must be explicitly re-admitted via AddInstance,
+// mirroring the daemon's re-hello.
+func (tb *Testbed) StartLease(id string, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if tb.Net.NodeDown(id) {
+					continue
+				}
+				_ = tb.DPICtl.RenewLease(id)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}

@@ -89,7 +89,17 @@ func (tb *Testbed) AddConsumerMbox(id, typ string, reg ctlproto.Register, pats [
 	if err != nil {
 		return nil, err
 	}
-	return middlebox.NewConsumerNode(host, uint8(set), logic), nil
+	node := middlebox.NewConsumerNode(host, uint8(set), logic)
+	// The registered degraded mode takes effect immediately; the janitor
+	// that applies it to timed-out pairs is armed separately
+	// (SetLossPolicy with a timeout) because the right timeout is
+	// deployment-specific.
+	mode := reg.FailMode
+	if mode == "" {
+		mode = ctlproto.DefaultFailMode(reg.ReadOnly)
+	}
+	node.SetLossPolicy(middlebox.PolicyFromFailMode(mode), 0)
+	return node, nil
 }
 
 // AddDPIInstance builds an engine from the controller's current state
