@@ -7,10 +7,12 @@
 //	dpibench [flags] <experiment> [experiment ...]
 //
 // Experiments: fig8, table2, fig9a, fig9b, fig10a, fig10b, fig11,
-// slowdown, parallel, ablations, all.
+// slowdown, parallel, prefilter, ablations, all. The -adversarial flag
+// switches corpus construction to the attack mix (worst case for the
+// two-stage prefiltered matcher).
 //
 // With -json, the raw measurements of the record-collectable
-// experiments (table2, fig9a, fig9b, parallel) are additionally written
+// experiments (table2, fig9a, fig9b, parallel, prefilter) are written
 // as a BENCH_*.json report (schema dpibench/v1: experiment, pattern
 // count, packets, ns/op, MB/s, Mbps, allocs/op, matches, and the
 // engine's metric snapshot per record). With -baseline, throughput is
@@ -37,9 +39,10 @@ func main() {
 		jsonOut  = flag.String("json", "", "write a BENCH_*.json report of the collectable experiments to this `file`")
 		baseline = flag.String("baseline", "", "compare throughput against this committed BENCH_*.json `file`; exit 1 on regression")
 		regress  = flag.Float64("regress", 15, "regression threshold in `percent` for -baseline")
+		advers   = flag.Bool("adversarial", false, "use the attack-mix corpus (high prefilter hit rate) for all experiments")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|ablations|all> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|prefilter|ablations|all> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +50,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := bench.Options{Quick: *quick, CorpusBytes: *corpus, Repeat: *repeat, Seed: *seed, Trials: *trials}
+	opt := bench.Options{Quick: *quick, CorpusBytes: *corpus, Repeat: *repeat, Seed: *seed, Trials: *trials, Adversarial: *advers}
 
 	exps := map[string]func(bench.Options) error{
 		"fig8":      runFig8,
@@ -59,12 +62,13 @@ func main() {
 		"fig11":     runFig11,
 		"slowdown":  runSlowdown,
 		"parallel":  runParallel,
+		"prefilter": runPrefilter,
 		"ablations": runAblations,
 	}
 	var names []string
 	for _, name := range flag.Args() {
 		if name == "all" {
-			names = append(names, "slowdown", "fig8", "parallel", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "ablations")
+			names = append(names, "slowdown", "fig8", "parallel", "table2", "fig9a", "fig9b", "fig10a", "fig10b", "fig11", "prefilter", "ablations")
 			continue
 		}
 		names = append(names, name)
@@ -179,6 +183,17 @@ func runParallel(opt bench.Options) error {
 		return err
 	}
 	fmt.Print(bench.FormatParallel(rows))
+	fmt.Println()
+	return nil
+}
+
+func runPrefilter(opt bench.Options) error {
+	fmt.Println("== Prefilter: plain AC vs two-stage prefiltered matcher ==")
+	rows, err := bench.Prefilter(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPrefilter(rows))
 	fmt.Println()
 	return nil
 }

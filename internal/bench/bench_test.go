@@ -219,8 +219,45 @@ func TestAblationEngineKindsQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || rows[0].SpaceMB <= rows[1].SpaceMB {
+	if len(rows) != 3 || rows[0].SpaceMB <= rows[1].SpaceMB {
 		t.Errorf("rows = %+v", rows)
+	}
+	// The prefiltered instance carries the full table plus the filter.
+	if rows[2].Kind != "prefilter" || rows[2].SpaceMB < rows[0].SpaceMB {
+		t.Errorf("prefilter row = %+v, want space >= full's %.1f", rows[2], rows[0].SpaceMB)
+	}
+}
+
+func TestPrefilterQuick(t *testing.T) {
+	rows, err := Prefilter(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byKey := map[string]PrefilterRow{}
+	for _, r := range rows {
+		if r.Mbps <= 0 {
+			t.Errorf("no throughput: %+v", r)
+		}
+		byKey[r.Corpus+"/"+r.Matcher] = r
+	}
+	// Equivalence: both matchers must report identical match counts on
+	// both corpora.
+	for _, c := range []string{"low-match", "adversarial"} {
+		if a, p := byKey[c+"/ac"], byKey[c+"/prefilter"]; a.Matches != p.Matches {
+			t.Errorf("%s: ac found %d matches, prefilter %d", c, a.Matches, p.Matches)
+		}
+	}
+	// The adversarial corpus must exercise the prefilter much harder
+	// than the low-match one.
+	low, adv := byKey["low-match/prefilter"], byKey["adversarial/prefilter"]
+	if low.HitPct >= adv.HitPct {
+		t.Errorf("hit rates: low-match %.2f%% >= adversarial %.2f%%", low.HitPct, adv.HitPct)
+	}
+	if s := FormatPrefilter(rows); !strings.Contains(s, "prefilter/ac") {
+		t.Errorf("FormatPrefilter output %q", s)
 	}
 }
 

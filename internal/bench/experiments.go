@@ -25,6 +25,10 @@ type Options struct {
 	// per record, damping scheduler and GC noise for the CI regression
 	// gate; default 1. The figure/table drivers ignore it.
 	Trials int
+	// Adversarial switches corpus construction to the attack mix:
+	// payloads densely packed with pattern material, the worst case for
+	// the prefilter (near-100% candidate rate, constant confirm work).
+	Adversarial bool
 }
 
 func (o *Options) defaults() {
@@ -47,7 +51,9 @@ func (o *Options) defaults() {
 
 // corpusFor builds the HTTP-mix corpus used across experiments, with a
 // sub-10% match fraction drawn from the given pattern set (Section 6.5:
-// over 90% of trace packets have no matches).
+// over 90% of trace packets have no matches). With Options.Adversarial
+// it builds the attack mix instead: payloads stitched from pattern
+// fragments, so nearly every prefilter window flags.
 func corpusFor(o Options, set *patterns.Set) [][]byte {
 	var inject []string
 	if set != nil {
@@ -57,8 +63,12 @@ func corpusFor(o Options, set *patterns.Set) [][]byte {
 			inject = append(inject, all[i])
 		}
 	}
+	mix := traffic.HTTPMix
+	if o.Adversarial {
+		mix = traffic.AttackMix
+	}
 	g := traffic.NewGenerator(traffic.Config{
-		Seed: o.Seed + 7, Mix: traffic.HTTPMix,
+		Seed: o.Seed + 7, Mix: mix,
 		MatchFraction: 0.08, InjectPatterns: inject,
 	})
 	return g.Corpus(o.CorpusBytes)
@@ -82,6 +92,19 @@ func buildCombined(sets ...*patterns.Set) (*mpm.ACFull, error) {
 		}
 	}
 	return b.BuildFull()
+}
+
+// buildPrefiltered builds a two-stage prefiltered automaton over several
+// sets. BuildPrefiltered never fails on pattern shape — unsuitable sets
+// compile in fallback mode and scan like plain AC.
+func buildPrefiltered(sets ...*patterns.Set) (*mpm.PrefilteredAC, error) {
+	b := mpm.NewBuilder()
+	for i, s := range sets {
+		if err := b.AddSet(i, s.Strings()); err != nil {
+			return nil, err
+		}
+	}
+	return b.BuildPrefiltered()
 }
 
 // engineFor wraps pattern sets into a one-chain service instance.
@@ -284,18 +307,21 @@ func Fig9b(o Options) ([]Fig9Row, error) {
 }
 
 // fig9Measure runs the three underlying measurements of one Figure 9
-// point: each half separately and the merged automaton.
+// point: each half separately and the merged automaton. All three run
+// the production two-stage matcher (prefilter + exact confirm), the
+// engine's AutoPrefilter data path; sets whose patterns are unsuitable
+// compile in fallback mode and measure as plain AC.
 func fig9Measure(o Options, setA, setB, injectFrom *patterns.Set) (rA, rB, rC Result, err error) {
 	corpus := corpusFor(o, injectFrom)
-	aA, err := buildFull(setA)
+	aA, err := buildPrefiltered(setA)
 	if err != nil {
 		return rA, rB, rC, err
 	}
-	aB, err := buildFull(setB)
+	aB, err := buildPrefiltered(setB)
 	if err != nil {
 		return rA, rB, rC, err
 	}
-	comb, err := buildCombined(setA, setB)
+	comb, err := buildPrefiltered(setA, setB)
 	if err != nil {
 		return rA, rB, rC, err
 	}
@@ -760,7 +786,7 @@ func AblationEngineKinds(o Options) ([]AblationKindRow, error) {
 	for _, tc := range []struct {
 		name string
 		kind core.AutomatonKind
-	}{{"full", core.AutoFull}, {"compact", core.AutoCompact}} {
+	}{{"full", core.AutoFull}, {"compact", core.AutoCompact}, {"prefilter", core.AutoPrefilter}} {
 		e, tag, err := engineFor(tc.kind, set)
 		if err != nil {
 			return nil, err

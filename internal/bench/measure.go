@@ -37,6 +37,31 @@ type Result struct {
 	// Metrics is the engine's observability snapshot taken after the
 	// measurement; nil for raw-automaton measurements.
 	Metrics *obs.Snapshot
+	// Prefilter telemetry, filled only when the measured automaton is a
+	// *mpm.PrefilteredAC: probe and hit volume, bytes the exact stage
+	// re-scanned, and the two escape hatches.
+	PfProbes    uint64
+	PfHits      uint64
+	PfConfirmed uint64
+	PfBailouts  uint64
+	PfPlain     uint64
+}
+
+// PfHitPct returns the prefilter probe hit rate in percent.
+func (r Result) PfHitPct() float64 {
+	if r.PfProbes == 0 {
+		return 0
+	}
+	return float64(r.PfHits) / float64(r.PfProbes) * 100
+}
+
+// PfConfirmPct returns the fraction of scanned bytes the exact stage had
+// to re-scan, in percent.
+func (r Result) PfConfirmPct() float64 {
+	if r.Bytes == 0 {
+		return 0
+	}
+	return float64(r.PfConfirmed) / float64(r.Bytes) * 100
 }
 
 // ThroughputMbps returns the measured scan rate in megabits per second
@@ -92,19 +117,37 @@ func MeasureAutomaton(name string, a mpm.Automaton, corpus [][]byte, repeat int)
 	r := Result{Name: name, Patterns: a.NumPatterns(), States: a.NumStates(), MemBytes: a.MemoryBytes()}
 	var matches uint64
 	emit := func(refs []mpm.PatternRef, end int) { matches += uint64(len(refs)) }
+	pf, _ := a.(*mpm.PrefilteredAC)
+	var pfStats mpm.PrefilterStats
+	// Untimed warm-up pass: the first scan through a pooled matcher may
+	// lazily allocate its scratch (the prefilter's candidate-region
+	// buffer), which must not count against the measured loop's allocs.
+	if len(corpus) > 0 {
+		a.Scan(corpus[0], a.Start(), mpm.AllSets, func(refs []mpm.PatternRef, end int) {})
+	}
 	m0 := mallocs()
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
 		state := a.Start()
-		for _, p := range corpus {
-			state = a.Scan(p, state, mpm.AllSets, emit)
-			r.Bytes += int64(len(p))
+		if pf != nil {
+			for _, p := range corpus {
+				state = pf.ScanStats(p, state, mpm.AllSets, emit, &pfStats)
+				r.Bytes += int64(len(p))
+			}
+		} else {
+			for _, p := range corpus {
+				state = a.Scan(p, state, mpm.AllSets, emit)
+				r.Bytes += int64(len(p))
+			}
 		}
 	}
 	r.Elapsed = time.Since(start)
 	r.Allocs = mallocs() - m0
 	r.Packets = int64(repeat) * int64(len(corpus))
 	r.Matches = matches
+	r.PfProbes, r.PfHits = pfStats.Probes, pfStats.Hits
+	r.PfConfirmed = pfStats.ConfirmedBytes
+	r.PfBailouts, r.PfPlain = pfStats.Bailouts, pfStats.PlainScans
 	return r
 }
 

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+
+	"dpiservice/internal/patterns"
+)
+
+// This file is the prefilter experiment: plain AC versus the two-stage
+// prefiltered matcher on the same pattern set, over a low-match corpus
+// (the regime the prefilter is built for) and over the adversarial
+// attack mix (its worst case — nearly every window flags, so the exact
+// stage re-scans almost everything and the prefilter probes are pure
+// overhead). The adversarial pair bounds the downside; the regression
+// gate holds it within 10% of plain AC.
+
+// PrefilterRow is one matcher-corpus measurement of the experiment.
+type PrefilterRow struct {
+	Corpus     string // "low-match" or "adversarial"
+	Matcher    string // "ac" or "prefilter"
+	Mbps       float64
+	HitPct     float64 // flagged probes / probes (prefilter rows only)
+	ConfirmPct float64 // exact-stage bytes / scanned bytes
+	Bailouts   uint64
+	PlainScans uint64
+	Matches    uint64
+}
+
+// prefilterResults runs the four underlying measurements and returns the
+// raw results in low/adv x ac/prefilter order.
+func prefilterResults(o Options) ([]Result, error) {
+	o.defaults()
+	total := patterns.SnortFullSize
+	if o.Quick {
+		total = 400
+	}
+	set := patterns.SnortLike(total, o.Seed)
+	plain, err := buildFull(set)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := buildPrefiltered(set)
+	if err != nil {
+		return nil, err
+	}
+	low := corpusFor(o, set)
+	advOpts := o
+	advOpts.Adversarial = true
+	adv := corpusFor(advOpts, set)
+
+	return []Result{
+		MeasureAutomaton("ac-low", plain, low, o.Repeat),
+		MeasureAutomaton("prefilter-low", pf, low, o.Repeat),
+		MeasureAutomaton("ac-adversarial", plain, adv, o.Repeat),
+		MeasureAutomaton("prefilter-adversarial", pf, adv, o.Repeat),
+	}, nil
+}
+
+// Prefilter runs the prefilter experiment and condenses the results.
+func Prefilter(o Options) ([]PrefilterRow, error) {
+	results, err := prefilterResults(o)
+	if err != nil {
+		return nil, err
+	}
+	corpora := []string{"low-match", "low-match", "adversarial", "adversarial"}
+	matchers := []string{"ac", "prefilter", "ac", "prefilter"}
+	var rows []PrefilterRow
+	for i, r := range results {
+		rows = append(rows, PrefilterRow{
+			Corpus:     corpora[i],
+			Matcher:    matchers[i],
+			Mbps:       r.ThroughputMbps(),
+			HitPct:     r.PfHitPct(),
+			ConfirmPct: r.PfConfirmPct(),
+			Bailouts:   r.PfBailouts,
+			PlainScans: r.PfPlain,
+			Matches:    r.Matches,
+		})
+	}
+	return rows, nil
+}
+
+// FormatPrefilter renders the experiment with per-corpus speedups.
+func FormatPrefilter(rows []PrefilterRow) string {
+	out := fmt.Sprintf("%12s %10s %10s %8s %9s %9s %10s\n",
+		"corpus", "matcher", "Mbps", "hit%", "confirm%", "bailouts", "matches")
+	byCorpus := map[string][2]float64{}
+	for _, r := range rows {
+		out += fmt.Sprintf("%12s %10s %10.0f %8.2f %9.2f %9d %10d\n",
+			r.Corpus, r.Matcher, r.Mbps, r.HitPct, r.ConfirmPct, r.Bailouts, r.Matches)
+		pair := byCorpus[r.Corpus]
+		if r.Matcher == "ac" {
+			pair[0] = r.Mbps
+		} else {
+			pair[1] = r.Mbps
+		}
+		byCorpus[r.Corpus] = pair
+	}
+	for _, c := range []string{"low-match", "adversarial"} {
+		if pair := byCorpus[c]; pair[0] > 0 && pair[1] > 0 {
+			out += fmt.Sprintf("%12s: prefilter/ac = %.2fx\n", c, pair[1]/pair[0])
+		}
+	}
+	return out
+}

@@ -35,6 +35,11 @@ type Record struct {
 	// Metrics is the engine's observability snapshot after the
 	// measurement; absent for raw-automaton records.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Prefilter telemetry, present only for two-stage matcher records.
+	PrefilterHitPct     float64 `json:"prefilter_hit_pct,omitempty"`
+	PrefilterConfirmPct float64 `json:"prefilter_confirm_pct,omitempty"`
+	PrefilterBailouts   uint64  `json:"prefilter_bailouts,omitempty"`
+	PrefilterPlainScans uint64  `json:"prefilter_plain_scans,omitempty"`
 }
 
 // Report is a full dpibench JSON report.
@@ -56,23 +61,27 @@ func recordFrom(experiment, name string, r Result) Record {
 		name = r.Name
 	}
 	return Record{
-		Experiment:  experiment,
-		Name:        name,
-		Patterns:    r.Patterns,
-		Packets:     r.Packets,
-		Bytes:       r.Bytes,
-		NsPerOp:     r.NsPerOp(),
-		MBps:        r.MBps(),
-		Mbps:        r.ThroughputMbps(),
-		AllocsPerOp: r.AllocsPerOp(),
-		Matches:     r.Matches,
-		Metrics:     r.Metrics,
+		Experiment:          experiment,
+		Name:                name,
+		Patterns:            r.Patterns,
+		Packets:             r.Packets,
+		Bytes:               r.Bytes,
+		NsPerOp:             r.NsPerOp(),
+		MBps:                r.MBps(),
+		Mbps:                r.ThroughputMbps(),
+		AllocsPerOp:         r.AllocsPerOp(),
+		Matches:             r.Matches,
+		Metrics:             r.Metrics,
+		PrefilterHitPct:     r.PfHitPct(),
+		PrefilterConfirmPct: r.PfConfirmPct(),
+		PrefilterBailouts:   r.PfBailouts,
+		PrefilterPlainScans: r.PfPlain,
 	}
 }
 
 // CollectableExperiments lists the experiments Collect supports.
 func CollectableExperiments() []string {
-	return []string{"table2", "fig9a", "fig9b", "parallel"}
+	return []string{"table2", "fig9a", "fig9b", "parallel", "prefilter"}
 }
 
 // Collect runs the given experiments and assembles their raw
@@ -138,6 +147,16 @@ func collectOne(exp string, o Options) ([]Record, error) {
 		return collectFig9b(o)
 	case "parallel":
 		results, err := parallelResults(o)
+		if err != nil {
+			return nil, err
+		}
+		var recs []Record
+		for _, r := range results {
+			recs = append(recs, recordFrom(exp, "", r))
+		}
+		return recs, nil
+	case "prefilter":
+		results, err := prefilterResults(o)
 		if err != nil {
 			return nil, err
 		}

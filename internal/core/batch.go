@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dpiservice/internal/mpm"
 	"dpiservice/internal/packet"
 )
 
@@ -26,22 +27,46 @@ type BatchItem struct {
 	Err    error
 }
 
+const (
+	// defaultBatchLanes is how many packets one InspectBatch worker
+	// advances in lockstep through the DFA when Config.BatchInterleave
+	// is unset. Four lanes keep four independent DFA rows in flight per
+	// worker, enough to hide most of a row fetch's latency without
+	// spilling lane state out of registers.
+	defaultBatchLanes = 4
+	// maxBatchLanes caps Config.BatchInterleave.
+	maxBatchLanes = 8
+)
+
 // InspectBatch scans every item, using up to workers goroutines
 // (workers <= 0 selects GOMAXPROCS). Items are claimed in order but
 // complete in any order: callers feeding stateful chains must keep a
 // flow's packets in separate batches (or a single-worker batch) when
 // stream order matters.
+//
+// When the engine's automaton supports it (AutoFull, the default), each
+// worker claims a small group of items and advances the stateless ones'
+// DFA scans in lockstep, so one lane's cache miss overlaps the other
+// lanes' work instead of stalling the worker (Config.BatchInterleave).
 func (e *Engine) InspectBatch(items []BatchItem, workers int) {
+	g := 1
+	if e.acLanes != nil {
+		g = e.lanesPer
+	}
+	numGroups := (len(items) + g - 1) / g
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(items) {
-		workers = len(items)
+	if workers > numGroups {
+		workers = numGroups
 	}
 	if workers <= 1 {
-		for i := range items {
-			it := &items[i]
-			it.Report, it.Err = e.Inspect(it.Tag, it.Tuple, it.Payload)
+		for lo := 0; lo < len(items); lo += g {
+			hi := lo + g
+			if hi > len(items) {
+				hi = len(items)
+			}
+			e.inspectGroup(items[lo:hi])
 		}
 		return
 	}
@@ -52,16 +77,87 @@ func (e *Engine) InspectBatch(items []BatchItem, workers int) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) {
+				gi := int(next.Add(1)) - 1
+				if gi >= numGroups {
 					return
 				}
-				it := &items[i]
-				it.Report, it.Err = e.Inspect(it.Tag, it.Tuple, it.Payload)
+				lo := gi * g
+				hi := lo + g
+				if hi > len(items) {
+					hi = len(items)
+				}
+				e.inspectGroup(items[lo:hi])
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// inspectGroup scans one worker's claimed run of items. Stateless-chain
+// items are prepared, their DFA stages advanced together through
+// acLanes.ScanLanes, then finished one by one. Stateful items are
+// scanned solo: prepare holds the flow lock until finish, and two
+// packets of one flow landing in the same group must not wait on each
+// other's locks mid-group.
+//
+//dpi:hotpath
+func (e *Engine) inspectGroup(items []BatchItem) {
+	if e.acLanes == nil || len(items) < 2 {
+		for i := range items {
+			it := &items[i]
+			it.Report, it.Err = e.Inspect(it.Tag, it.Tuple, it.Payload)
+		}
+		return
+	}
+	var (
+		lanes    [maxBatchLanes]mpm.Lane
+		scr      [maxBatchLanes]*scratch
+		laneItem [maxBatchLanes]*BatchItem
+		nLanes   int
+	)
+	for i := range items {
+		it := &items[i]
+		it.Report, it.Err = nil, nil
+		chain, ok := e.chains[it.Tag]
+		if !ok {
+			it.Err = &UnknownChainError{Tag: it.Tag}
+			continue
+		}
+		if chain.anyStateful {
+			s := e.scratchPool.Get().(*scratch)
+			it.Report = e.inspect(chain, it.Tuple, it.Payload, s)
+			e.scratchPool.Put(s)
+			continue
+		}
+		s := e.scratchPool.Get().(*scratch)
+		e.prepare(chain, it.Tuple, it.Payload, s)
+		if s.ps.limit > 0 {
+			lanes[nLanes] = mpm.Lane{
+				Data:   s.ps.scanData[:s.ps.limit],
+				State:  s.ps.state,
+				Active: chain.mask,
+				Emit:   s.emitFn,
+			}
+			scr[nLanes] = s
+			laneItem[nLanes] = it
+			nLanes++
+		} else {
+			it.Report = e.finish(s)
+			e.scratchPool.Put(s)
+		}
+	}
+	if nLanes == 0 {
+		return
+	}
+	e.acLanes.ScanLanes(lanes[:nLanes])
+	for k := 0; k < nLanes; k++ {
+		s := scr[k]
+		s.ps.state = lanes[k].State
+		e.met.bytesScanned.Add(uint64(s.ps.limit))
+		laneItem[k].Report = e.finish(s)
+		e.scratchPool.Put(s)
+		lanes[k] = mpm.Lane{}
+	}
 }
 
 // Job is one packet scan submitted to a Pool. After Wait returns (or

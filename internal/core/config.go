@@ -45,6 +45,13 @@ const (
 	// AutoBitmap selects the bitmap-compressed representation (Tuck et
 	// al. style), the intermediate space-time point.
 	AutoBitmap
+	// AutoPrefilter selects the two-stage matcher: a q-gram prefilter
+	// dismisses innocent payload with L1-resident probes and the full
+	// DFA confirms only candidate windows. Equivalent match-for-match to
+	// AutoFull; pattern sets the filter cannot serve (any pattern under
+	// 5 bytes, or a gram table too dense) compile in fallback mode and
+	// scan as plain AutoFull.
+	AutoPrefilter
 )
 
 // Profile describes one registered middlebox as the controller passes it
@@ -105,6 +112,13 @@ type Config struct {
 	// their counters — usually wrong for per-instance telemetry, so
 	// pass a dedicated registry per engine.
 	Metrics *obs.Registry
+	// BatchInterleave sets how many packets one InspectBatch worker
+	// advances in lockstep through the DFA, hiding each lane's cache-miss
+	// latency behind the others' work. 0 selects the default of 4,
+	// 1 disables interleaving, values above 8 are capped at 8. Only the
+	// full-table automaton (AutoFull) interleaves; other kinds scan one
+	// packet at a time regardless.
+	BatchInterleave int
 }
 
 // Errors returned by the engine.
@@ -173,6 +187,9 @@ func (c *Config) validate() error {
 				return fmt.Errorf("%w: chain %d references unknown middlebox %d", ErrBadProfile, tag, id)
 			}
 		}
+	}
+	if c.BatchInterleave < 0 {
+		return fmt.Errorf("%w: negative batch interleave %d", ErrBadProfile, c.BatchInterleave)
 	}
 	if c.MaxFlows <= 0 {
 		c.MaxFlows = defaultMaxFlows

@@ -23,6 +23,15 @@ import (
 // one per core" deployment (Section 6.2, Figure 8).
 type Engine struct {
 	auto mpm.Automaton
+	// pf is the concrete two-stage matcher when Kind is AutoPrefilter
+	// (the same object as auto); the scan path uses it directly so
+	// prefilter telemetry flows without an interface indirection.
+	pf *mpm.PrefilteredAC
+	// acLanes is the concrete full-table automaton when Kind is AutoFull
+	// and batch interleaving is enabled: InspectBatch advances up to
+	// lanesPer packets' scans in lockstep through it.
+	acLanes  *mpm.ACFull
+	lanesPer int
 	// autoFold matches the case-insensitive (Snort nocase) patterns
 	// against a case-folded view of the payload; nil when no profile
 	// has any.
@@ -212,17 +221,36 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.profiles[p.ID] = cp
 		e.profileBySet[p.ID] = cp
 	}
+	e.lanesPer = cfg.BatchInterleave
+	if e.lanesPer == 0 {
+		e.lanesPer = defaultBatchLanes
+	}
+	if e.lanesPer > maxBatchLanes {
+		e.lanesPer = maxBatchLanes
+	}
 	var (
 		auto mpm.Automaton
 		err  error
 	)
 	switch cfg.Kind {
 	case AutoFull:
-		auto, err = b.BuildFull()
+		var full *mpm.ACFull
+		if full, err = b.BuildFull(); err == nil {
+			auto = full
+			if e.lanesPer > 1 {
+				e.acLanes = full
+			}
+		}
 	case AutoCompact:
 		auto, err = b.BuildCompact()
 	case AutoBitmap:
 		auto, err = b.BuildBitmap()
+	case AutoPrefilter:
+		var pf *mpm.PrefilteredAC
+		if pf, err = b.BuildPrefiltered(); err == nil {
+			auto = pf
+			e.pf = pf
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown automaton kind %d", cfg.Kind)
 	}
@@ -301,6 +329,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	reg.Gauge("core.patterns").Set(int64(e.NumPatterns()))
 	reg.Gauge("core.states").Set(int64(e.NumStates()))
 	reg.Gauge("core.memory_bytes").Set(e.MemoryBytes())
+	if e.pf != nil && !e.pf.Fallback() {
+		reg.Gauge("core.prefilter_enabled").Set(1)
+	}
+	if e.acLanes != nil {
+		reg.Gauge("core.batch_lanes").Set(int64(e.lanesPer))
+	}
 	e.scratchPool.New = func() any { return e.newScratch() }
 	return e, nil
 }
@@ -359,10 +393,34 @@ func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*p
 }
 
 // inspect runs one scan using the given scratch. The chain has already
-// been resolved.
+// been resolved. The body is split into prepare / DFA stage / finish so
+// InspectBatch can run the DFA stage of several prepared scans in
+// lockstep (see inspectGroup); this function is the one-packet
+// composition of the three stages.
 //
 //dpi:hotpath
 func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byte, s *scratch) *packet.Report {
+	e.prepare(chain, tuple, payload, s)
+	if e.auto != nil && s.ps.limit > 0 {
+		if e.pf != nil {
+			// The concrete two-stage matcher, so telemetry accumulates
+			// into the scratch and finish can fold it into the counters.
+			s.ps.state = e.pf.ScanStats(s.ps.scanData[:s.ps.limit], s.ps.state, chain.mask, s.emitFn, &s.pfStats)
+		} else {
+			s.ps.state = e.auto.Scan(s.ps.scanData[:s.ps.limit], s.ps.state, chain.mask, s.emitFn)
+		}
+		e.met.bytesScanned.Add(uint64(s.ps.limit))
+	}
+	return e.finish(s)
+}
+
+// prepare runs everything ahead of the main DFA stage of one scan:
+// per-packet metrics, decompression, flow lookup (taking the flow lock
+// on stateful chains — held until finish), stopping conditions, and
+// report reset. The resulting scan plan is left in s.ps.
+//
+//dpi:hotpath
+func (e *Engine) prepare(chain *chainInfo, tuple packet.FiveTuple, payload []byte, s *scratch) {
 	e.met.packets.Inc()
 	e.met.bytes.Add(uint64(len(payload)))
 	e.met.payloadBytes.Observe(uint64(len(payload)))
@@ -424,9 +482,24 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 
 	s.report.Reset()
 	s.cur = scanCtx{chain: chain, report: &s.report, offset: offset, fromRestore: chain.anyStateful && offset > 0}
-	if e.auto != nil && limit > 0 {
-		state = e.auto.Scan(scanData[:limit], state, chain.mask, s.emitFn)
-		e.met.bytesScanned.Add(uint64(limit))
+	s.ps = pscan{chain: chain, fs: fs, scanData: scanData, limit: limit, state: state, foldState: foldState, offset: offset}
+}
+
+// finish completes a prepared scan after the main DFA stage has run
+// (s.ps.state updated): the case-fold scan, regex confirmation, flow
+// state write-back, counters, and the report hand-off. On stateful
+// chains the flow lock prepare took is still held on entry and is
+// released here — the locked(mu) contract below.
+//
+//dpi:hotpath
+//dpi:locked(mu)
+func (e *Engine) finish(s *scratch) *packet.Report {
+	chain, fs := s.ps.chain, s.ps.fs
+	scanData, limit, offset := s.ps.scanData, s.ps.limit, s.ps.offset
+	foldState := s.ps.foldState
+	if e.pf != nil {
+		e.met.notePrefilter(&s.pfStats)
+		s.pfStats = mpm.PrefilterStats{}
 	}
 	if e.autoFold != nil && limit > 0 && chain.mask&e.foldMask != 0 {
 		s.foldBuf = appendLowerASCII(s.foldBuf[:0], scanData[:limit])
@@ -435,7 +508,7 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 	s.finishRegexes(chain, scanData, offset)
 
 	if chain.anyStateful {
-		fs.state = state
+		fs.state = s.ps.state
 		if e.autoFold != nil {
 			fs.foldState = foldState
 			fs.foldStarted = true
@@ -450,6 +523,7 @@ func (e *Engine) inspect(chain *chainInfo, tuple packet.FiveTuple, payload []byt
 	chain.matches.Add(s.cur.matches)
 	e.met.matches.Add(s.cur.matches)
 	s.cur = scanCtx{}
+	s.ps = pscan{}
 	if s.report.Empty() {
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dpiservice/internal/mpm"
 	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 )
@@ -26,6 +27,15 @@ type engineMetrics struct {
 	decompressed  *obs.Counter
 	flowHits      *obs.Counter
 	flowMisses    *obs.Counter
+
+	// Prefilter telemetry (AutoPrefilter engines only): probe volume,
+	// hit volume, bytes the exact automaton re-scanned, and the two
+	// escape hatches (per-scan bailouts and plain-routed scans).
+	pfProbes    *obs.Counter
+	pfHits      *obs.Counter
+	pfConfirmed *obs.Counter
+	pfBailouts  *obs.Counter
+	pfPlain     *obs.Counter
 
 	flowsActive *obs.Gauge
 
@@ -50,6 +60,11 @@ func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
 		decompressed:  reg.Counter("core.decompressed"),
 		flowHits:      reg.Counter("core.flow_hits"),
 		flowMisses:    reg.Counter("core.flow_misses"),
+		pfProbes:      reg.Counter("core.prefilter_probes"),
+		pfHits:        reg.Counter("core.prefilter_hits"),
+		pfConfirmed:   reg.Counter("core.prefilter_confirmed_bytes"),
+		pfBailouts:    reg.Counter("core.prefilter_bailouts"),
+		pfPlain:       reg.Counter("core.prefilter_plain_scans"),
 		flowsActive:   reg.Gauge("core.flows_active"),
 		payloadBytes:  reg.Histogram("core.payload_bytes", obs.SizeBounds),
 		scanNs:        reg.Histogram("core.scan_ns", obs.LatencyBounds),
@@ -59,6 +74,29 @@ func newEngineMetrics(reg *obs.Registry, shards int) *engineMetrics {
 		m.shardScans[i] = reg.Counter(fmt.Sprintf("core.shard.%03d.scans", i))
 	}
 	return m
+}
+
+// notePrefilter folds one scan's accumulated prefilter stats into the
+// cached counters. Zero fields are skipped so the common all-dismissed
+// scan costs two atomic adds, not five.
+//
+//dpi:hotpath
+func (m *engineMetrics) notePrefilter(st *mpm.PrefilterStats) {
+	if st.Probes != 0 {
+		m.pfProbes.Add(st.Probes)
+	}
+	if st.Hits != 0 {
+		m.pfHits.Add(st.Hits)
+	}
+	if st.ConfirmedBytes != 0 {
+		m.pfConfirmed.Add(st.ConfirmedBytes)
+	}
+	if st.Bailouts != 0 {
+		m.pfBailouts.Add(st.Bailouts)
+	}
+	if st.PlainScans != 0 {
+		m.pfPlain.Add(st.PlainScans)
+	}
 }
 
 // Metrics returns the engine's metrics registry — the one passed in

@@ -29,6 +29,27 @@ type scratch struct {
 	epoch uint64
 	// rx is indexed parallel to Engine.rxProfiles.
 	rx []rxScratch
+	// ps carries one inspection's in-flight scan between prepare and
+	// finish, so InspectBatch can interleave the DFA stage of several
+	// prepared scans before finishing each.
+	ps pscan
+	// pfStats accumulates the prefilter telemetry of the scan in
+	// progress; finish folds it into the engine counters and clears it.
+	pfStats mpm.PrefilterStats
+}
+
+// pscan is the state of one inspection between prepare (metrics,
+// decompression, flow lookup, stopping conditions, report reset) and
+// finish (fold scan, regex confirmation, flow-state store, counters).
+// For a stateful chain the flow's lock is held across the whole span.
+type pscan struct {
+	chain     *chainInfo
+	fs        *flowState
+	scanData  []byte
+	limit     int
+	state     mpm.State
+	foldState mpm.State
+	offset    int64
 }
 
 // rxScratch is one profile's per-scan anchor bookkeeping (Section 5.3):

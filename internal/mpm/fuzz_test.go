@@ -1,0 +1,91 @@
+package mpm
+
+import (
+	"sync"
+	"testing"
+
+	"dpiservice/internal/patterns"
+)
+
+// The fuzz target asserts the tentpole invariant of the two-stage scan
+// path: over arbitrary payloads and arbitrary stream fragmentation, the
+// prefiltered matcher emits exactly the match stream of the plain
+// automaton and lands in the same state.
+
+var (
+	pfFuzzOnce  sync.Once
+	pfFuzzPlain *ACFull
+	pfFuzzPref  *PrefilteredAC
+	pfFuzzPats  []string
+)
+
+func pfFuzzSetup(t interface{ Fatal(args ...any) }) {
+	pfFuzzOnce.Do(func() {
+		// A snortlike set (the bench workload) plus short and binary
+		// patterns to stress window selection at the length boundary.
+		set := patterns.SnortLike(150, 97).Strings()
+		set = append(set, "passwd7", "\x00\x01\x02\x03\x04\x05\x06\x07", "AAAAAAAA")
+		b := NewBuilder()
+		if err := b.AddSet(0, set); err != nil {
+			return
+		}
+		plain, err := b.BuildFull()
+		if err != nil {
+			return
+		}
+		pf, err := b.BuildPrefiltered()
+		if err != nil {
+			return
+		}
+		pfFuzzPlain, pfFuzzPref, pfFuzzPats = plain, pf, set
+	})
+	if pfFuzzPlain == nil {
+		t.Fatal("fuzz automaton setup failed")
+	}
+}
+
+func FuzzPrefilterEquivalence(f *testing.F) {
+	pfFuzzSetup(f)
+	f.Add([]byte("GET /admin/../../etc/passwd HTTP/1.1\r\nHost: x\r\n\r\n"), uint16(10))
+	f.Add([]byte(pfFuzzPats[0]+pfFuzzPats[1]+pfFuzzPats[2]), uint16(3))
+	f.Add(make([]byte, 4096), uint16(100))
+	long := make([]byte, 0, 2048)
+	for len(long) < 2048 {
+		long = append(long, pfFuzzPats[len(long)%len(pfFuzzPats)]...)
+	}
+	f.Add(long, uint16(512))
+	f.Fuzz(func(t *testing.T, data []byte, split uint16) {
+		pfFuzzSetup(t)
+		plain, pf := pfFuzzPlain, pfFuzzPref
+
+		// Whole-buffer equivalence.
+		var wantMs, gotMs []matchRec
+		wantSt := plain.Scan(data, plain.Start(), AllSets, collect(&wantMs, AllSets))
+		var stats PrefilterStats
+		gotSt := pf.ScanStats(data, pf.Start(), AllSets, collect(&gotMs, AllSets), &stats)
+		if gotSt != wantSt {
+			t.Fatalf("whole buffer: state %d, want %d", gotSt, wantSt)
+		}
+		if !equalMatches(wantMs, gotMs) {
+			t.Fatalf("whole buffer: %d matches, want %d", len(gotMs), len(wantMs))
+		}
+
+		// Streaming equivalence: cut at the fuzzer-chosen point and
+		// carry state across, so the carried-state head-region path is
+		// driven with adversarial boundaries.
+		if len(data) > 0 {
+			cut := int(split) % len(data)
+			wantMs, gotMs = wantMs[:0], gotMs[:0]
+			ws := plain.Scan(data[:cut], plain.Start(), AllSets, collect(&wantMs, AllSets))
+			ws = plain.Scan(data[cut:], ws, AllSets, collect(&wantMs, AllSets))
+			gs := pf.ScanStats(data[:cut], pf.Start(), AllSets, collect(&gotMs, AllSets), &stats)
+			gs = pf.ScanStats(data[cut:], gs, AllSets, collect(&gotMs, AllSets), &stats)
+			if gs != ws {
+				t.Fatalf("split %d: state %d, want %d", cut, gs, ws)
+			}
+			if !equalMatches(wantMs, gotMs) {
+				t.Fatalf("split %d: %d matches, want %d", cut, len(gotMs), len(wantMs))
+			}
+		}
+	})
+}

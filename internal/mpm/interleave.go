@@ -1,0 +1,97 @@
+package mpm
+
+// Batch-interleaved scanning: several packets' DFA walks advance in
+// lockstep inside one goroutine. A big merged automaton misses cache on
+// most row loads, and a single scan chain serializes those misses — the
+// next state load cannot issue until the previous one returns. Four
+// independent chains give the core four loads in flight at once
+// (memory-level parallelism), hiding most of the miss latency without
+// threads. This is the software analogue of the paper's observation
+// that the DFA walk, not pattern count, bounds throughput.
+
+// Lane is one packet's scan in an interleaved batch: its payload, the
+// DFA state to resume from, the active-set mask and the emit callback.
+// ScanLanes updates State in place.
+type Lane struct {
+	Data   []byte
+	State  State
+	Active uint64
+	Emit   EmitFunc
+}
+
+// ScanLanes advances every lane's scan to completion, interleaving them
+// four at a time. The per-lane result — emitted matches and final
+// state — is identical to calling Scan(l.Data, l.State, l.Active,
+// l.Emit) lane by lane; only the instruction schedule differs.
+//
+//dpi:hotpath
+func (a *ACFull) ScanLanes(lanes []Lane) {
+	for len(lanes) >= 4 {
+		a.scan4(lanes)
+		lanes = lanes[4:]
+	}
+	for i := range lanes {
+		l := &lanes[i]
+		l.State = a.Scan(l.Data, l.State, l.Active, l.Emit)
+	}
+}
+
+// scan4 runs four lanes in lockstep over their common length, then
+// finishes each lane's remainder with a plain chain.
+//
+//dpi:hotpath
+func (a *ACFull) scan4(l []Lane) {
+	l0, l1, l2, l3 := &l[0], &l[1], &l[2], &l[3]
+	d0, d1, d2, d3 := l0.Data, l1.Data, l2.Data, l3.Data
+	s0, s1, s2, s3 := l0.State, l1.State, l2.State, l3.State
+	n := len(d0)
+	if len(d1) < n {
+		n = len(d1)
+	}
+	if len(d2) < n {
+		n = len(d2)
+	}
+	if len(d3) < n {
+		n = len(d3)
+	}
+	next := a.next
+	acc := a.numAccepting
+	for i := 0; i < n; i++ {
+		s0 = next[int(s0)<<8|int(d0[i])]
+		s1 = next[int(s1)<<8|int(d1[i])]
+		s2 = next[int(s2)<<8|int(d2[i])]
+		s3 = next[int(s3)<<8|int(d3[i])]
+		if s0 < acc && a.bitmaps[s0]&l0.Active != 0 {
+			l0.Emit(a.match[s0], i+1)
+		}
+		if s1 < acc && a.bitmaps[s1]&l1.Active != 0 {
+			l1.Emit(a.match[s1], i+1)
+		}
+		if s2 < acc && a.bitmaps[s2]&l2.Active != 0 {
+			l2.Emit(a.match[s2], i+1)
+		}
+		if s3 < acc && a.bitmaps[s3]&l3.Active != 0 {
+			l3.Emit(a.match[s3], i+1)
+		}
+	}
+	l0.State = a.scanFrom(d0, n, s0, l0.Active, l0.Emit)
+	l1.State = a.scanFrom(d1, n, s1, l1.Active, l1.Emit)
+	l2.State = a.scanFrom(d2, n, s2, l2.Active, l2.Emit)
+	l3.State = a.scanFrom(d3, n, s3, l3.Active, l3.Emit)
+}
+
+// scanFrom is Scan resuming at byte offset from, emitting positions in
+// whole-buffer coordinates.
+//
+//dpi:hotpath
+func (a *ACFull) scanFrom(data []byte, from int, state State, active uint64, emit EmitFunc) State {
+	next := a.next
+	acc := a.numAccepting
+	for i := from; i < len(data); i++ {
+		state = next[int(state)<<8|int(data[i])]
+		if state < acc && a.bitmaps[state]&active != 0 {
+			emit(a.match[state], i+1)
+		}
+	}
+	return state
+}

@@ -1,0 +1,506 @@
+package mpm
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// This file implements the two-stage scan path: a q-gram prefilter that
+// walks the payload 8 bytes per step on uint64 words and emits candidate
+// windows, and a confirm stage that runs the exact AC automaton only
+// over those windows. The construction follows the fast-pattern-matcher
+// idea of production engines (Snort's fast_pattern, Hyperscan's literal
+// prefilter): the overwhelming majority of innocent payload positions
+// are dismissed with one hash probe into a 16 KiB bitset that lives in
+// L1, and the big DFA — whose rows miss cache — is touched only near
+// candidate positions. The result is bit-for-bit equivalent to a full
+// scan (see the invariants on ScanStats) and degrades gracefully: sets
+// the filter cannot serve (very short patterns, or so many grams the
+// bitset saturates) fall back to the plain automaton at compile time,
+// and adversarial match-dense payloads fall back per scan via a running
+// hit budget that trips within the first few hundred bytes, bounding
+// the worst-case overhead to a short aborted probe prefix.
+
+const (
+	// pfGram is the q-gram width: probes hash 4 payload bytes at a
+	// time, loaded as one uint32.
+	pfGram = 4
+	// pfHashBits sizes the bitset: 2^17 bits = 16 KiB, small enough to
+	// stay resident in L1/L2 next to the scan loop.
+	pfHashBits   = 17
+	pfHashMul    = 2654435761 // Knuth's multiplicative hash constant
+	pfTableWords = 1 << pfHashBits / 64
+	pfBuckets    = 1 << pfHashBits
+	// pfMaxFlagged is the compile-time saturation bound: when more than
+	// 1/8 of the buckets are flagged, random payload bytes hit so often
+	// that confirm regions cover most of the buffer and the filter only
+	// adds overhead — fall back to the plain automaton instead.
+	pfMaxFlagged = pfBuckets / 8
+	// pfMinSlack is the shortest buffer worth prefiltering beyond the
+	// forced tail region; anything at or below maxLen+pfMinSlack scans
+	// plain.
+	pfMinSlack = 16
+	// pfBailSlack is the flat allowance added to the running hit
+	// budget. It absorbs the hit cluster a packet's protocol-header
+	// region produces (HTTP-ish text shares grams with IDS patterns)
+	// so a dense start followed by a clean body does not bail; on
+	// uniformly dense adversarial payloads the budget still trips
+	// within the first ~quarter of the buffer.
+	pfBailSlack = 8
+)
+
+// pfByteScore is the rarity model used for fast-window selection: an
+// estimated relative frequency of each byte in scanned traffic (higher =
+// more common). Windows minimizing the summed score of their bytes
+// produce the fewest false prefilter hits. The model is baked in —
+// ASCII-protocol traffic is letter/space-heavy with moderate digits and
+// URL punctuation, while control and high-half bytes are rare — so
+// compilation stays deterministic and needs no traffic sample.
+var pfByteScore = buildByteScore()
+
+func buildByteScore() [256]uint8 {
+	var s [256]uint8
+	for i := 0x80; i < 0x100; i++ {
+		s[i] = 30 // binary high half
+	}
+	for i := 0; i < 0x20; i++ {
+		s[i] = 20 // control bytes
+	}
+	s['\r'], s['\n'] = 160, 160 // header line endings
+	s['\t'] = 120
+	for i := 0x20; i < 0x80; i++ {
+		s[i] = 100 // printable default (rare punctuation)
+	}
+	for c := 'a'; c <= 'z'; c++ {
+		s[c] = 230
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		s[c] = 120
+	}
+	for c := '0'; c <= '9'; c++ {
+		s[c] = 150
+	}
+	s[' '] = 255
+	for _, c := range "/.:;,=-_\"'<>" {
+		s[c] = 200 // markup and URL punctuation
+	}
+	return s
+}
+
+// PrefilterStats accumulates one or more scans' prefilter behavior.
+// ScanStats adds into the caller's struct, so a caller can aggregate
+// across a whole measurement or flush per packet.
+type PrefilterStats struct {
+	// Probes is the number of gram probes issued by the filter loop.
+	Probes uint64
+	// Hits is how many probes found a flagged bucket.
+	Hits uint64
+	// ConfirmedBytes is how many payload bytes the exact automaton
+	// re-scanned (candidate regions plus the forced head/tail regions).
+	ConfirmedBytes uint64
+	// Bailouts counts scans that exceeded the hit budget and were
+	// rescanned plain (the adversarial escape hatch).
+	Bailouts uint64
+	// PlainScans counts scans routed to the plain automaton without
+	// probing at all (compile-time fallback or short buffers).
+	PlainScans uint64
+}
+
+// pfRegion is one candidate byte range [start, end) of the buffer.
+type pfRegion struct {
+	start, end int
+}
+
+// pfScratch is the pooled per-scan state: the candidate region list and
+// the rebasing emit closure that translates region-relative match
+// positions back to buffer coordinates.
+type pfScratch struct {
+	regions []pfRegion
+	user    EmitFunc
+	base    int
+	emitFn  EmitFunc // pre-bound ps.rebase, allocated once
+}
+
+func newPfScratch() *pfScratch {
+	ps := &pfScratch{regions: make([]pfRegion, 0, 64)}
+	ps.emitFn = ps.rebase
+	return ps
+}
+
+// rebase forwards a confirm-stage match to the user's emit with the
+// region's base offset added, so reported positions are identical to a
+// full scan's. Annotated directly because it reaches the automaton only
+// as a func value, which the static call graph cannot follow.
+//
+//dpi:hotpath
+func (ps *pfScratch) rebase(refs []PatternRef, end int) {
+	ps.user(refs, ps.base+end)
+}
+
+// add appends the candidate region [start, end), merging it with any
+// overlapping or touching predecessors. Probe positions grow
+// monotonically but per-bucket extents differ, so a later region can
+// reach further back than an earlier one ends — the pop loop restores
+// the invariant that the list is sorted and pairwise disjoint.
+//
+//dpi:hotpath
+func (ps *pfScratch) add(start, end int) {
+	if start < 0 {
+		start = 0
+	}
+	for n := len(ps.regions); n > 0; n = len(ps.regions) {
+		last := ps.regions[n-1]
+		if start > last.end {
+			break
+		}
+		if last.start < start {
+			start = last.start
+		}
+		if last.end > end {
+			end = last.end
+		}
+		ps.regions = ps.regions[:n-1]
+	}
+	ps.regions = append(ps.regions, pfRegion{start, end})
+}
+
+// PrefilteredAC is the two-stage matcher: a gram-hash bitset prefilter
+// in front of the exact full-table automaton. It implements Automaton
+// (streaming, state carried across buffers) and BufMatcher, and its
+// match stream — refs, positions, order, and returned state — is
+// identical to scanning the underlying ACFull directly.
+type PrefilteredAC struct {
+	ac *ACFull
+
+	// table is the flagged-gram bitset: bit h set means some pattern's
+	// fast window contains a gram hashing to h.
+	table []uint64
+	// back[h] is the maximum gram offset within its pattern over all
+	// grams flagged into bucket h: how far before a probe hit an
+	// occurrence can start. fwd[h] is the maximum remaining pattern
+	// length (len - offset): how far past the probe it can end.
+	back, fwd []uint16
+
+	// stride is the probe step (4 when minLen >= 7, 2 when >= 5);
+	// every pattern flags stride consecutive grams of its fast window
+	// so any probe phase intersects the window.
+	stride   int
+	minLen   int
+	maxLen   int
+	fallback bool
+	grams    int // distinct flagged buckets
+	// bailDiv sets the running hit budget pos/bailDiv+pfBailSlack:
+	// when the hits seen so far exceed the budget at the current scan
+	// position, the payload is declared match-dense and rescanned
+	// plain. Keying the budget to the position (not the buffer length)
+	// trips the bailout within the first few hundred bytes of a dense
+	// payload, so the wasted probe work stays flat per buffer.
+	bailDiv int
+	// windowOffs records each pattern's chosen fast-window offset in
+	// Add order — compiler introspection for the golden tests; not
+	// serialized.
+	windowOffs []int
+
+	pool sync.Pool // of *pfScratch
+}
+
+// BuildPrefiltered constructs the two-stage matcher over the builder's
+// patterns. When the set has no usable fast windows (any pattern
+// shorter than 5 bytes) or flags so many grams the filter would pass
+// nearly everything, the matcher is built in fallback mode and scans
+// route straight to the plain automaton.
+func (b *Builder) BuildPrefiltered() (*PrefilteredAC, error) {
+	ac, err := b.BuildFull()
+	if err != nil {
+		return nil, err
+	}
+	p := &PrefilteredAC{ac: ac}
+	p.pool.New = func() any { return newPfScratch() }
+	minL, maxL := len(b.patterns[0].pat), 0
+	for _, bp := range b.patterns {
+		if len(bp.pat) < minL {
+			minL = len(bp.pat)
+		}
+		if len(bp.pat) > maxL {
+			maxL = len(bp.pat)
+		}
+	}
+	p.minLen, p.maxLen = minL, maxL
+	switch {
+	case maxL >= 1<<15:
+		// Extents no longer fit uint16 comfortably; such sets are
+		// pathological anyway.
+	case minL >= pfGram+3:
+		p.stride = 4
+	case minL >= pfGram+1:
+		p.stride = 2
+	}
+	if p.stride == 0 {
+		p.fallback = true
+		return p, nil
+	}
+	p.table = make([]uint64, pfTableWords)
+	p.back = make([]uint16, pfBuckets)
+	p.fwd = make([]uint16, pfBuckets)
+	p.windowOffs = make([]int, len(b.patterns))
+	w := pfGram + p.stride - 1
+	for pi, bp := range b.patterns {
+		off := selectWindow(bp.pat, w)
+		p.windowOffs[pi] = off
+		// Flag stride consecutive grams starting at the window: an
+		// occurrence at any alignment then places at least one flagged
+		// gram on a probe position (a multiple of stride).
+		for j := off; j < off+p.stride; j++ {
+			h := pfHash(gramAt(bp.pat, j))
+			word, bit := h>>6, uint64(1)<<(h&63)
+			if p.table[word]&bit == 0 {
+				p.table[word] |= bit
+				p.grams++
+			}
+			if uint16(j) > p.back[h] {
+				p.back[h] = uint16(j)
+			}
+			if rest := uint16(len(bp.pat) - j); rest > p.fwd[h] {
+				p.fwd[h] = rest
+			}
+		}
+	}
+	if p.grams > pfMaxFlagged {
+		p.fallback = true
+		p.stride = 0
+		p.table, p.back, p.fwd = nil, nil, nil
+		return p, nil
+	}
+	p.bailDiv = 2 * maxL
+	return p, nil
+}
+
+// selectWindow picks the w-byte window of pat with the lowest summed
+// byte score — the rarest stretch, minimizing false prefilter hits.
+// Ties break to the leftmost window, keeping selection deterministic.
+func selectWindow(pat string, w int) int {
+	sum := 0
+	for i := 0; i < w; i++ {
+		sum += int(pfByteScore[pat[i]])
+	}
+	best, bestSum := 0, sum
+	for i := w; i < len(pat); i++ {
+		sum += int(pfByteScore[pat[i]]) - int(pfByteScore[pat[i-w]])
+		if sum < bestSum {
+			bestSum, best = sum, i-w+1
+		}
+	}
+	return best
+}
+
+func gramAt(pat string, j int) uint32 {
+	return uint32(pat[j]) | uint32(pat[j+1])<<8 | uint32(pat[j+2])<<16 | uint32(pat[j+3])<<24
+}
+
+func pfHash(g uint32) uint32 {
+	return g * pfHashMul >> (32 - pfHashBits)
+}
+
+// Start implements Automaton.
+func (p *PrefilteredAC) Start() State { return p.ac.Start() }
+
+// NumStates implements Automaton.
+func (p *PrefilteredAC) NumStates() int { return p.ac.NumStates() }
+
+// NumPatterns implements Automaton and BufMatcher.
+func (p *PrefilteredAC) NumPatterns() int { return p.ac.NumPatterns() }
+
+// MemoryBytes implements Automaton and BufMatcher.
+func (p *PrefilteredAC) MemoryBytes() int64 {
+	return p.ac.MemoryBytes() + int64(len(p.table))*8 +
+		int64(len(p.back))*2 + int64(len(p.fwd))*2
+}
+
+// Fallback reports whether the matcher compiled in fallback mode (every
+// scan routes to the plain automaton).
+func (p *PrefilteredAC) Fallback() bool { return p.fallback }
+
+// Stride reports the probe step (0 in fallback mode).
+func (p *PrefilteredAC) Stride() int { return p.stride }
+
+// GramCount reports how many distinct bitset buckets the pattern set
+// flagged.
+func (p *PrefilteredAC) GramCount() int { return p.grams }
+
+// WindowOffsets returns each pattern's chosen fast-window offset in Add
+// order (nil in fallback mode or after deserialization).
+func (p *PrefilteredAC) WindowOffsets() []int {
+	return append([]int(nil), p.windowOffs...)
+}
+
+// TableDigest returns an FNV-1a digest of the prefilter bitset — a
+// compact fingerprint for golden-compile tests.
+func (p *PrefilteredAC) TableDigest() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	d := uint64(offset)
+	for _, w := range p.table {
+		d ^= w
+		d *= prime
+	}
+	return d
+}
+
+// Underlying returns the exact automaton the confirm stage runs.
+func (p *PrefilteredAC) Underlying() *ACFull { return p.ac }
+
+// Find implements BufMatcher: a whole-buffer scan from the start state
+// with every set active.
+func (p *PrefilteredAC) Find(data []byte, emit EmitFunc) {
+	p.Scan(data, p.ac.Start(), AllSets, emit)
+}
+
+// Scan implements Automaton. See ScanStats for the contract.
+//
+//dpi:hotpath
+func (p *PrefilteredAC) Scan(data []byte, state State, active uint64, emit EmitFunc) State {
+	var stats PrefilterStats
+	return p.ScanStats(data, state, active, emit, &stats)
+}
+
+// ScanStats is Scan with prefilter telemetry accumulated into stats.
+// The emitted match stream — refs slices, 1-based end positions, order —
+// and the returned state are identical to p.Underlying().Scan on the
+// same inputs. The equivalence rests on three invariants:
+//
+//   - Every occurrence of every pattern lying fully inside data places a
+//     flagged gram on a probe position (the pattern flags stride
+//     consecutive grams of its window, so some multiple of stride falls
+//     on one of them), and that probe's region [pos-back, pos+fwd)
+//     contains the whole occurrence by the definition of the extents.
+//   - Occurrences continuing from a previous buffer end within the
+//     first maxLen-1 bytes, which are covered by a forced head region
+//     scanned from the carried state.
+//   - The returned state is the DFA state after the final maxLen bytes,
+//     which a forced tail region reproduces from the start state (the
+//     state's label is a pattern prefix, hence at most maxLen long).
+//
+// Regions are disjoint after merging, each is confirmed left to right by
+// the exact automaton, and a state's output list depends only on the
+// pattern suffixes present at the position — so per-position emissions
+// match the full scan exactly.
+//
+//dpi:hotpath
+func (p *PrefilteredAC) ScanStats(data []byte, state State, active uint64, emit EmitFunc, stats *PrefilterStats) State {
+	n := len(data)
+	if p.fallback || n <= p.maxLen+pfMinSlack {
+		stats.PlainScans++
+		return p.ac.Scan(data, state, active, emit)
+	}
+	ps := p.pool.Get().(*pfScratch)
+	ps.regions = ps.regions[:0]
+	tbl := (*[pfTableWords]uint64)(p.table)
+	back := (*[pfBuckets]uint16)(p.back)
+	fwd := (*[pfBuckets]uint16)(p.fwd)
+	hits := 0
+	i := 0
+	bailed := false
+	if p.stride == 4 {
+		// Main loop: one 8-byte load yields two probe grams. The
+		// no-hit case — the overwhelming majority — is two multiplies,
+		// two L1 loads and one branch per 8 payload bytes. The budget
+		// check (a division) runs only on the hit path.
+		for ; i+8 <= n; i += 8 {
+			w := binary.LittleEndian.Uint64(data[i:])
+			h0 := pfHash(uint32(w))
+			h1 := pfHash(uint32(w >> 32))
+			hit0 := tbl[h0>>6&(pfTableWords-1)] >> (h0 & 63) & 1
+			hit1 := tbl[h1>>6&(pfTableWords-1)] >> (h1 & 63) & 1
+			if hit0|hit1 == 0 {
+				continue
+			}
+			if hit0 != 0 {
+				hits++
+				b := h0 & (pfBuckets - 1)
+				ps.add(i-int(back[b]), i+int(fwd[b]))
+			}
+			if hit1 != 0 {
+				hits++
+				b := h1 & (pfBuckets - 1)
+				ps.add(i+4-int(back[b]), i+4+int(fwd[b]))
+			}
+			if hits > i/p.bailDiv+pfBailSlack {
+				bailed = true
+				break
+			}
+		}
+		if !bailed {
+			// Tail probes: single-gram steps over the last sub-word.
+			for ; i+pfGram <= n; i += 4 {
+				h := pfHash(binary.LittleEndian.Uint32(data[i:]))
+				if tbl[h>>6&(pfTableWords-1)]>>(h&63)&1 != 0 {
+					hits++
+					b := h & (pfBuckets - 1)
+					ps.add(i-int(back[b]), i+int(fwd[b]))
+				}
+			}
+		}
+	} else {
+		for ; i+pfGram <= n; i += p.stride {
+			h := pfHash(binary.LittleEndian.Uint32(data[i:]))
+			if tbl[h>>6&(pfTableWords-1)]>>(h&63)&1 != 0 {
+				hits++
+				b := h & (pfBuckets - 1)
+				ps.add(i-int(back[b]), i+int(fwd[b]))
+				if hits > i/p.bailDiv+pfBailSlack {
+					bailed = true
+					break
+				}
+			}
+		}
+	}
+	stats.Probes += uint64(i / p.stride)
+	stats.Hits += uint64(hits)
+	if bailed {
+		// Match-dense payload: nothing has been emitted yet, so one
+		// plain scan reproduces the full result. The cost cap is the
+		// aborted probe loop, a few percent of a full scan.
+		p.pool.Put(ps)
+		stats.Bailouts++
+		return p.ac.Scan(data, state, active, emit)
+	}
+	for j := range ps.regions {
+		if ps.regions[j].end > n {
+			ps.regions[j].end = n
+		}
+	}
+	// Forced tail region: rescanning the final maxLen bytes from the
+	// start state yields exactly the full scan's end-of-buffer state.
+	ps.add(n-p.maxLen, n)
+
+	startSt := p.ac.Start()
+	final := state
+	ps.user = emit
+	j := 0
+	if state != startSt {
+		// Carried state: occurrences straddling the buffer boundary end
+		// within the first maxLen-1 bytes. Scan a head region from the
+		// carried state, absorbing any candidate regions it overlaps.
+		he := p.maxLen - 1
+		for j < len(ps.regions) && ps.regions[j].start <= he {
+			if ps.regions[j].end > he {
+				he = ps.regions[j].end
+			}
+			j++
+		}
+		if he > n {
+			he = n
+		}
+		ps.base = 0
+		stats.ConfirmedBytes += uint64(he)
+		final = p.ac.Scan(data[:he], state, active, ps.emitFn)
+	}
+	for ; j < len(ps.regions); j++ {
+		rs, re := ps.regions[j].start, ps.regions[j].end
+		ps.base = rs
+		stats.ConfirmedBytes += uint64(re - rs)
+		final = p.ac.Scan(data[rs:re], startSt, active, ps.emitFn)
+	}
+	ps.user = nil
+	p.pool.Put(ps)
+	return final
+}

@@ -17,6 +17,9 @@ import (
 const (
 	snapMagic   = 0x44504941 // "DPIA"
 	snapVersion = 1
+
+	pfSnapMagic   = 0x44504950 // "DPIP"
+	pfSnapVersion = 1
 )
 
 // Snapshot errors.
@@ -183,6 +186,156 @@ func ReadACFull(r io.Reader) (*ACFull, error) {
 		a.match[i] = refs
 	}
 	return a, nil
+}
+
+// WriteTo serializes the two-stage matcher: a prefilter header and
+// tables, followed by the embedded exact-automaton snapshot. Window
+// offsets are compile-time introspection only and are not serialized.
+func (p *PrefilteredAC) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		_, err := cw.Write(b[:])
+		return err
+	}
+	fallback := uint32(0)
+	if p.fallback {
+		fallback = 1
+	}
+	for _, v := range []uint32{
+		pfSnapMagic, pfSnapVersion, fallback, uint32(p.stride),
+		pfHashBits, uint32(p.minLen), uint32(p.maxLen), uint32(p.grams),
+	} {
+		if err := bw(v); err != nil {
+			return cw.n, err
+		}
+	}
+	if !p.fallback {
+		var b8 [8]byte
+		for _, word := range p.table {
+			binary.LittleEndian.PutUint64(b8[:], word)
+			if _, err := cw.Write(b8[:]); err != nil {
+				return cw.n, err
+			}
+		}
+		for _, arr := range [][]uint16{p.back, p.fwd} {
+			buf := make([]byte, 2*4096)
+			for off := 0; off < len(arr); {
+				chunk := len(arr) - off
+				if chunk > 4096 {
+					chunk = 4096
+				}
+				for i := 0; i < chunk; i++ {
+					binary.LittleEndian.PutUint16(buf[i*2:], arr[off+i])
+				}
+				if _, err := cw.Write(buf[:chunk*2]); err != nil {
+					return cw.n, err
+				}
+				off += chunk
+			}
+		}
+	}
+	n, err := p.ac.WriteTo(cw)
+	_ = n // already counted through cw
+	return cw.n, err
+}
+
+// ReadPrefiltered deserializes a snapshot written by
+// (*PrefilteredAC).WriteTo. The restored matcher scans identically to
+// the original; WindowOffsets is not restored.
+func ReadPrefiltered(r io.Reader) (*PrefilteredAC, error) {
+	br := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	magic, err := br()
+	if err != nil {
+		return nil, err
+	}
+	if magic != pfSnapMagic {
+		return nil, ErrBadSnapshot
+	}
+	ver, err := br()
+	if err != nil {
+		return nil, err
+	}
+	if ver != pfSnapVersion {
+		return nil, ErrSnapshotVersion
+	}
+	var hdr [6]uint32
+	for i := range hdr {
+		if hdr[i], err = br(); err != nil {
+			return nil, err
+		}
+	}
+	fallback, stride := hdr[0] == 1, int(hdr[1])
+	p := &PrefilteredAC{
+		fallback: fallback,
+		stride:   stride,
+		minLen:   int(hdr[3]),
+		maxLen:   int(hdr[4]),
+		grams:    int(hdr[5]),
+	}
+	p.pool.New = func() any { return newPfScratch() }
+	switch {
+	case hdr[0] > 1, hdr[2] != pfHashBits:
+		return nil, ErrBadSnapshot
+	case !fallback && stride != 2 && stride != 4:
+		return nil, ErrBadSnapshot
+	case fallback && stride != 0:
+		return nil, ErrBadSnapshot
+	case p.minLen <= 0 || p.maxLen < p.minLen || p.maxLen >= 1<<16:
+		return nil, ErrBadSnapshot
+	case p.grams < 0 || p.grams > pfBuckets:
+		return nil, ErrBadSnapshot
+	}
+	if !fallback {
+		if p.grams > pfMaxFlagged {
+			return nil, ErrBadSnapshot
+		}
+		p.table = make([]uint64, pfTableWords)
+		var b8 [8]byte
+		for i := range p.table {
+			if _, err := io.ReadFull(r, b8[:]); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			p.table[i] = binary.LittleEndian.Uint64(b8[:])
+		}
+		p.back = make([]uint16, pfBuckets)
+		p.fwd = make([]uint16, pfBuckets)
+		buf := make([]byte, 2*4096)
+		for _, arr := range [][]uint16{p.back, p.fwd} {
+			for off := 0; off < len(arr); {
+				chunk := len(arr) - off
+				if chunk > 4096 {
+					chunk = 4096
+				}
+				if _, err := io.ReadFull(r, buf[:chunk*2]); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+				}
+				for i := 0; i < chunk; i++ {
+					arr[off+i] = binary.LittleEndian.Uint16(buf[i*2:])
+				}
+				off += chunk
+			}
+		}
+		for i := range p.back {
+			if int(p.back[i]) >= p.maxLen || int(p.fwd[i]) > p.maxLen {
+				return nil, ErrBadSnapshot
+			}
+		}
+		p.bailDiv = 2 * p.maxLen
+	}
+	ac, err := ReadACFull(r)
+	if err != nil {
+		return nil, err
+	}
+	p.ac = ac
+	return p, nil
 }
 
 type countWriter struct {

@@ -112,7 +112,15 @@ func (b *Builder) buildTrie() (*trie, error) {
 	t.bfs = append(t.bfs, 0)
 	for head := 0; head < len(t.bfs); head++ {
 		s := t.bfs[head]
-		for c, child := range t.children[s] {
+		// Iterate edges in byte order, not map order, so the BFS order —
+		// and therefore state numbering — is identical across builds.
+		// Deterministic numbering lets snapshots and golden tests compare
+		// automata built independently from the same pattern list.
+		for c := 0; c < 256; c++ {
+			child, ok := t.children[s][byte(c)]
+			if !ok {
+				continue
+			}
 			t.bfs = append(t.bfs, child)
 			if s == 0 {
 				t.fail[child] = 0
@@ -120,7 +128,7 @@ func (b *Builder) buildTrie() (*trie, error) {
 			}
 			f := t.fail[s]
 			for {
-				if next, ok := t.children[f][c]; ok && next != child {
+				if next, ok := t.children[f][byte(c)]; ok && next != child {
 					t.fail[child] = next
 					break
 				}
