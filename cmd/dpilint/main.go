@@ -1,9 +1,21 @@
 // Command dpilint runs the data-plane invariant checks of internal/lint
-// over the module: hot-path purity, lock discipline, atomic-field
-// hygiene, and library API hygiene. It exits non-zero when any check
-// fires, so CI can gate on it:
+// over the module: hot-path purity, lock discipline, lock-order/deadlock
+// analysis, goroutine lifecycle, atomic-field hygiene, and library API
+// hygiene. It exits non-zero when any check fires, so CI can gate on it:
 //
 //	go run ./cmd/dpilint ./...
+//
+// The -escape flag adds (or, with -static=false, isolates) the static
+// zero-allocation proof: the //dpi:hotpath-reachable packages are
+// recompiled with -gcflags=-m and any heap allocation the compiler's
+// escape analysis reports inside reachable code fails the run. CI runs
+// it as its own job, sharing the module load logic but not the job:
+//
+//	go run ./cmd/dpilint -escape -static=false ./...
+//
+// The -json flag emits machine-readable diagnostics (one array of
+// {file,line,column,check,message}); the default text format matches
+// the GitHub Actions problem matcher in .github/dpilint-matcher.json.
 //
 // The -dir flag instead analyzes one bare directory as a single package
 // (used to demonstrate the checker against a violation fixture):
@@ -12,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +34,9 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "analyze a single directory as one package instead of module patterns")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	escape := flag.Bool("escape", false, "prove //dpi:hotpath-reachable code allocation-free via -gcflags=-m")
+	static := flag.Bool("static", true, "run the static checks (disable to run -escape alone)")
 	flag.Parse()
 
 	var (
@@ -30,15 +46,43 @@ func main() {
 	if *dir != "" {
 		mod, err = lint.LoadDir(*dir)
 	} else {
+		// One load feeds every requested analysis: `go list -export`
+		// is the slow step, so -escape piggybacks on the same Module
+		// instead of re-listing.
 		mod, err = lint.LoadModule(".", flag.Args()...)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dpilint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(mod)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	var diags []lint.Diagnostic
+	if *static {
+		diags = lint.Run(mod)
+	}
+	if *escape {
+		ediags, err := lint.CheckEscape(mod, lint.Annotate(mod))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpilint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ediags...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dpilint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dpilint: %d issue(s) in %d package(s)\n", len(diags), len(mod.Pkgs))

@@ -120,6 +120,7 @@ func (e *Engine) inspectGroup(items []BatchItem) {
 		it.Report, it.Err = nil, nil
 		chain, ok := e.chains[it.Tag]
 		if !ok {
+			//dpi:coldalloc(error branch: unknown chain tags are a config bug, not traffic)
 			it.Err = &UnknownChainError{Tag: it.Tag}
 			continue
 		}

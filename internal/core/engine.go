@@ -384,6 +384,7 @@ func checkWindow(constraints map[uint16]posConstraint, r mpm.PatternRef, end int
 func (e *Engine) Inspect(tag uint16, tuple packet.FiveTuple, payload []byte) (*packet.Report, error) {
 	chain, ok := e.chains[tag]
 	if !ok {
+		//dpi:coldalloc(error branch: unknown chain tags are a config bug, not traffic)
 		return nil, &UnknownChainError{Tag: tag}
 	}
 	s := e.scratchPool.Get().(*scratch)
@@ -532,6 +533,7 @@ func (e *Engine) finish(s *scratch) *packet.Report {
 	// caller an owned copy. Non-empty reports are the rare case
 	// (Section 6.5: >90% of packets match nothing), so the common path
 	// stays allocation-free.
+	//dpi:coldalloc(match path: Clone inlined here, runs only for matched packets)
 	return s.report.Clone()
 }
 

@@ -22,6 +22,7 @@ type scratch struct {
 	emitFn  mpm.EmitFunc // pre-bound s.emit, so Scan gets a stable closure
 	report  packet.Report
 	foldBuf []byte
+	gzSrc   bytes.Reader // reused source for gzRdr: no per-body reader alloc
 	gzRdr   *gzip.Reader
 	gzBuf   []byte
 	// epoch invalidates the anchor bookkeeping between scans without
@@ -206,19 +207,23 @@ func locMatch(c *regexengine.Compiled, data []byte) int {
 	return loc[1]
 }
 
-// decompress inflates a gzip payload up to the configured bound.
+// decompress inflates a gzip payload up to the configured bound. The
+// source reader and output buffer live in the scratch, so only the
+// first compressed body a scratch ever sees pays an allocation.
 func (s *scratch) decompress(payload []byte) ([]byte, error) {
-	rd := bytes.NewReader(payload)
+	s.gzSrc.Reset(payload)
 	if s.gzRdr == nil {
-		r, err := gzip.NewReader(rd)
+		//dpi:coldalloc(one gzip.Reader per pooled scratch, first compressed body only)
+		r, err := gzip.NewReader(&s.gzSrc)
 		if err != nil {
 			return nil, err
 		}
 		s.gzRdr = r
-	} else if err := s.gzRdr.Reset(rd); err != nil {
+	} else if err := s.gzRdr.Reset(&s.gzSrc); err != nil {
 		return nil, err
 	}
 	if s.gzBuf == nil {
+		//dpi:coldalloc(decompression buffer, sized once per scratch)
 		s.gzBuf = make([]byte, s.e.cfg.MaxDecompressedBytes)
 	}
 	n, err := io.ReadFull(s.gzRdr, s.gzBuf)

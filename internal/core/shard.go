@@ -9,6 +9,14 @@ import (
 	"dpiservice/internal/packet"
 )
 
+// The shard lock and a flow's lock are never held together today (flow
+// returns the state after releasing the shard); the declared order pins
+// the only acceptable nesting should one ever appear — the short
+// hash-lookup lock outside the long per-flow scan lock, never a shard
+// operation waiting on a DFA traversal.
+//
+//dpi:lockorder(core.flowShard.mu < core.flowState.mu)
+
 // flowShard is one slice of the sharded flow table. The shard lock
 // guards only the map and the LRU clock — never a scan — so the time a
 // packet holds it is a hash lookup, not a DFA traversal.
@@ -61,6 +69,10 @@ func (sh *flowShard) flow(e *Engine, tuple packet.FiveTuple) *flowState {
 		if e.auto != nil {
 			start = e.auto.Start()
 		}
+		// Not recycled through a freelist on purpose: an evicted
+		// flowState may still be referenced by an in-flight scan (see
+		// the contract above), so reuse would alias live state.
+		//dpi:coldalloc(once per new flow, amortized across the flow's packets)
 		fs = &flowState{state: start}
 		sh.flows[tuple] = fs
 	}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The static call graph is shared infrastructure: hotpath reachability,
+// the lock-order analysis and the escape proof all need "which module
+// functions can this body call", with calls through module interfaces
+// (e.g. mpm.Automaton.Scan) fanned out to every module implementation.
+// Calls through plain func values stay invisible — the checks that care
+// (hotpath) require their roots to be annotated directly.
+
+// declOf locates the AST and package of a module function.
+type declOf struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// callGraph indexes every module function declaration and resolves
+// call expressions, including interface dispatch, to module callees.
+type callGraph struct {
+	m     *Module
+	idx   map[*types.Func]declOf
+	named []*types.Named
+}
+
+func newCallGraph(m *Module) *callGraph {
+	cg := &callGraph{m: m, idx: make(map[*types.Func]declOf)}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						cg.idx[fn] = declOf{decl: fd, pkg: pkg}
+					}
+				}
+			}
+		}
+	}
+	// Every named (non-interface) type declared in the module, for
+	// interface-dispatch expansion.
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			cg.named = append(cg.named, named)
+		}
+	}
+	return cg
+}
+
+// moduleInterfaceMethod reports whether fn is a method of an interface
+// type declared inside the module.
+func (cg *callGraph) moduleInterfaceMethod(fn *types.Func) (*types.Interface, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil, false
+	}
+	if fn.Pkg() == nil {
+		return nil, false
+	}
+	for _, pkg := range cg.m.Pkgs {
+		if pkg.Pkg == fn.Pkg() {
+			return iface, true
+		}
+	}
+	return nil, false
+}
+
+// implementersOf resolves an interface method to the corresponding
+// concrete methods of every module type satisfying the interface.
+func (cg *callGraph) implementersOf(iface *types.Interface, name string) []*types.Func {
+	var out []*types.Func
+	for _, named := range cg.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), name)
+		if fn, ok := obj.(*types.Func); ok {
+			if _, inModule := cg.idx[fn]; inModule {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// resolve maps one call expression to the module functions it can
+// reach: the static callee when it is declared in the module, or every
+// module implementation when the callee is a module interface method.
+func (cg *callGraph) resolve(info *types.Info, call *ast.CallExpr) []*types.Func {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return nil
+	}
+	if iface, ok := cg.moduleInterfaceMethod(fn); ok {
+		return cg.implementersOf(iface, fn.Name())
+	}
+	if _, inModule := cg.idx[fn]; inModule {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// callees returns the module functions a body can call directly.
+func (cg *callGraph) callees(d declOf) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			out = append(out, cg.resolve(d.pkg.Info, call)...)
+		}
+		return true
+	})
+	return out
+}
+
+// provenance records how the reachability BFS arrived at a function, so
+// diagnostics can name the responsible entry point.
+type provenance struct {
+	root *types.Func
+	via  *types.Func // immediate caller, nil at a root
+}
+
+// reachableFrom runs a BFS over the call graph from the annotated
+// hotpath roots (sorted for determinism) and returns every module
+// function transitively reachable, with provenance.
+func (cg *callGraph) reachableFrom(roots []*types.Func) map[*types.Func]provenance {
+	sort.Slice(roots, func(i, j int) bool { return funcName(roots[i]) < funcName(roots[j]) })
+	reached := make(map[*types.Func]provenance)
+	var queue []*types.Func
+	for _, fn := range roots {
+		if _, ok := cg.idx[fn]; !ok {
+			continue // annotated declaration without a body in this load
+		}
+		if _, seen := reached[fn]; seen {
+			continue
+		}
+		reached[fn] = provenance{root: fn}
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		d := cg.idx[fn]
+		if d.decl.Body == nil {
+			continue
+		}
+		for _, callee := range cg.callees(d) {
+			if _, seen := reached[callee]; seen {
+				continue
+			}
+			reached[callee] = provenance{root: reached[fn].root, via: fn}
+			queue = append(queue, callee)
+		}
+	}
+	return reached
+}
+
+// hotpathRoots returns every function annotated //dpi:hotpath.
+func hotpathRoots(ann *Annotations) []*types.Func {
+	var roots []*types.Func
+	for fn, fa := range ann.funcs {
+		if fa.hotpath {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}

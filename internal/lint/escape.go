@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape proof turns "allocs_per_op happened to be 0 in the bench"
+// into a compile-time guarantee: CheckEscape recompiles every package
+// that contains //dpi:hotpath-reachable code with -gcflags=-m, parses
+// the compiler's escape-analysis verdicts, and fails on any heap
+// allocation ("escapes to heap", "moved to heap") whose position falls
+// inside a reachable function. The benchmark can only observe the
+// corpora it was fed; the compiler's escape analysis covers every path,
+// including the error branches a benchmark never takes.
+//
+// The hotpath purity check already bans the usual allocation factories
+// (fmt, reflect, goroutines, defer) — this check catches the rest:
+// a make() that outgrew its stack bound, a slice captured by a
+// returned closure, an interface conversion boxing a scalar. Because
+// `go build` caches compiled objects together with their diagnostics,
+// a warm run costs milliseconds; only edited packages recompile.
+//
+// Not every reachable allocation is per-packet: first-use setup (a
+// pooled scratch's gzip reader), per-flow state creation, error
+// branches and match reporting all allocate by design, amortized away
+// from the steady-state path. Those carry a //dpi:coldalloc(reason)
+// waiver on the allocating line; a waiver that stops matching any
+// compiler verdict is itself reported so stale waivers cannot rot in
+// place.
+
+// escapeLine matches one -m verdict: file:line:col: message.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// funcExtent is one declared function's source span.
+type funcExtent struct {
+	start, end token.Pos
+	fn         *types.Func
+}
+
+// CheckEscape proves the absence of heap allocations in
+// //dpi:hotpath-reachable functions. dir is the module root `go build`
+// runs in; the module must already be loaded into m.
+func CheckEscape(m *Module, ann *Annotations) ([]Diagnostic, error) {
+	cg := newCallGraph(m)
+	reached := cg.reachableFrom(hotpathRoots(ann))
+	if len(reached) == 0 {
+		return nil, nil
+	}
+
+	// The packages worth recompiling, and every reachable function's
+	// extent indexed by filename for position lookup.
+	pkgSet := make(map[string]bool)
+	extents := make(map[string][]funcExtent)
+	for fn := range reached {
+		d := cg.idx[fn]
+		if d.decl.Body == nil {
+			continue
+		}
+		pkgSet[d.pkg.Path] = true
+		file := m.Fset.Position(d.decl.Pos()).Filename
+		extents[file] = append(extents[file], funcExtent{start: d.decl.Pos(), end: d.decl.End(), fn: fn})
+	}
+	var pkgs []string
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	out, err := buildWithEscapeAnalysis(m.Dir, pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(out, "\n") {
+		sub := escapeLine.FindStringSubmatch(line)
+		if sub == nil {
+			continue
+		}
+		msg := sub[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file := sub[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(m.Dir, file)
+		}
+		lineNo, _ := strconv.Atoi(sub[2])
+		colNo, _ := strconv.Atoi(sub[3])
+		fn := enclosingFunc(m, extents[file], file, lineNo)
+		if fn == nil {
+			continue // allocation in cold code of a hot package
+		}
+		if waived(ann.coldalloc, file, lineNo) {
+			continue
+		}
+		where := funcName(fn)
+		if prov := reached[fn]; prov.via != nil {
+			where += " (reached from " + funcName(prov.root) + ")"
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   token.Position{Filename: file, Line: lineNo, Column: colNo},
+			Check: "escape",
+			Msg:   "hot path: " + where + " heap-allocates: " + msg,
+		})
+	}
+	// A coldalloc waiver that no compiler verdict hit is stale — the
+	// allocation was fixed or moved — and must go.
+	for _, w := range ann.coldalloc {
+		if !w.used {
+			diags = append(diags, Diagnostic{
+				Pos:   m.Fset.Position(w.pos),
+				Check: "escape",
+				Msg:   "//dpi:coldalloc waiver covers no reported heap allocation",
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Msg < b.Msg
+	})
+	return diags, nil
+}
+
+// buildWithEscapeAnalysis compiles pkgs with -gcflags=-m and returns
+// the compiler's combined diagnostic stream. A build *failure* is an
+// error; -m chatter arrives on stderr and is the wanted output.
+func buildWithEscapeAnalysis(dir string, pkgs []string) (string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: go build -gcflags=-m: %w\n%s", err, stderr.String())
+	}
+	return stdout.String() + stderr.String(), nil
+}
+
+// enclosingFunc finds the reachable function whose extent covers
+// file:line, or nil.
+func enclosingFunc(m *Module, exts []funcExtent, file string, line int) *types.Func {
+	for _, e := range exts {
+		start := m.Fset.Position(e.start)
+		end := m.Fset.Position(e.end)
+		if start.Filename == file && start.Line <= line && line <= end.Line {
+			return e.fn
+		}
+	}
+	return nil
+}
+
+// EscapePackages lists the packages CheckEscape would recompile — the
+// ones holding //dpi:hotpath-reachable code — so callers can report
+// scope.
+func EscapePackages(m *Module, ann *Annotations) []string {
+	cg := newCallGraph(m)
+	reached := cg.reachableFrom(hotpathRoots(ann))
+	pkgSet := make(map[string]bool)
+	for fn := range reached {
+		if d, ok := cg.idx[fn]; ok && d.decl.Body != nil {
+			pkgSet[d.pkg.Path] = true
+		}
+	}
+	var pkgs []string
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	return pkgs
+}

@@ -21,6 +21,14 @@ import (
 // struct (flowState.lastUsed) be guarded by the lock of another (the
 // owning shard's mu) without an ownership calculus. The race detector
 // remains the backstop for what a lexical rule cannot see.
+//
+// Two common acquisition shapes are recognized rather than flagged:
+// mu.TryLock()/mu.TryRLock() count as acquisitions (the code guarded by
+// a TryLock is written assuming success — the failure branch returns
+// before touching guarded state), and the RLock→Lock upgrade idiom
+// (RLock, read, RUnlock, Lock, write, Unlock) naturally satisfies the
+// event ledger because read and write acquisitions of one name share a
+// held-count.
 
 // lockEvent is one Lock/Unlock call, ordered by position.
 type lockEvent struct {
@@ -65,7 +73,7 @@ func checkFuncLocks(m *Module, pkg *Package, fd *ast.FuncDecl, fn *types.Func, a
 			deferred[node.Call] = true
 		case *ast.CallExpr:
 			if name, method, ok := isSyncLock(pkg.Info, node); ok {
-				locked := method == "Lock" || method == "RLock"
+				locked := acquiresLock(method)
 				if !locked && deferred[node] {
 					// Deferred unlock: the lock is held until return,
 					// which a lexical scan models as "never released".

@@ -2,8 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
-	"sort"
 )
 
 // The hotpath check enforces per-packet purity: a function annotated
@@ -18,170 +16,19 @@ import (
 //   - acquire any mutex except a shard's or flow's designated "mu"
 //     (the only locks with a bounded, scan-free critical section).
 //
-// Reachability is resolved over the module's static call graph. Calls
-// through interfaces declared in the module (e.g. mpm.Automaton.Scan)
-// fan out to every module implementation; calls through plain func
-// values are invisible to the graph, so hot callbacks — like the
-// scratch emit closure — carry their own //dpi:hotpath annotation.
-
-// declOf locates the AST and package of a module function.
-type declOf struct {
-	decl *ast.FuncDecl
-	pkg  *Package
-}
-
-// funcIndex maps every module function to its declaration.
-func funcIndex(m *Module) map[*types.Func]declOf {
-	idx := make(map[*types.Func]declOf)
-	for _, pkg := range m.Pkgs {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				if fd, ok := d.(*ast.FuncDecl); ok {
-					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-						idx[fn] = declOf{decl: fd, pkg: pkg}
-					}
-				}
-			}
-		}
-	}
-	return idx
-}
-
-// moduleNamedTypes collects every named (non-interface) type declared
-// in the module, for interface-dispatch expansion.
-func moduleNamedTypes(m *Module) []*types.Named {
-	var out []*types.Named
-	for _, pkg := range m.Pkgs {
-		scope := pkg.Pkg.Scope()
-		for _, name := range scope.Names() {
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok || tn.IsAlias() {
-				continue
-			}
-			named, ok := tn.Type().(*types.Named)
-			if !ok {
-				continue
-			}
-			if _, isIface := named.Underlying().(*types.Interface); isIface {
-				continue
-			}
-			out = append(out, named)
-		}
-	}
-	return out
-}
-
-// moduleInterfaceMethod reports whether fn is a method of an interface
-// type declared inside the module.
-func moduleInterfaceMethod(m *Module, fn *types.Func) (*types.Interface, bool) {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil, false
-	}
-	recv := sig.Recv().Type()
-	iface, ok := recv.Underlying().(*types.Interface)
-	if !ok {
-		return nil, false
-	}
-	if fn.Pkg() == nil {
-		return nil, false
-	}
-	for _, pkg := range m.Pkgs {
-		if pkg.Pkg == fn.Pkg() {
-			return iface, true
-		}
-	}
-	return nil, false
-}
+// Reachability is resolved over the module's static call graph (see
+// callgraph.go). Calls through plain func values are invisible to the
+// graph, so hot callbacks — like the scratch emit closure — carry their
+// own //dpi:hotpath annotation. The -escape mode (escape.go) extends
+// this reachable set with a compiler-verified zero-allocation proof.
 
 func checkHotpath(m *Module, ann *Annotations) []Diagnostic {
-	idx := funcIndex(m)
-	namedTypes := moduleNamedTypes(m)
-
-	// implementersOf resolves an interface method to the corresponding
-	// concrete methods of every module type satisfying the interface.
-	implementersOf := func(iface *types.Interface, name string) []*types.Func {
-		var out []*types.Func
-		for _, named := range namedTypes {
-			ptr := types.NewPointer(named)
-			if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
-				continue
-			}
-			obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), name)
-			if fn, ok := obj.(*types.Func); ok {
-				if _, inModule := idx[fn]; inModule {
-					out = append(out, fn)
-				}
-			}
-		}
-		return out
-	}
-
-	// callees returns the module functions a body can call directly.
-	callees := func(d declOf) []*types.Func {
-		var out []*types.Func
-		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			fn := calleeOf(d.pkg.Info, call)
-			if fn == nil {
-				return true
-			}
-			if iface, ok := moduleInterfaceMethod(m, fn); ok {
-				out = append(out, implementersOf(iface, fn.Name())...)
-				return true
-			}
-			if _, inModule := idx[fn]; inModule {
-				out = append(out, fn)
-			}
-			return true
-		})
-		return out
-	}
-
-	// BFS from the annotated roots, recording how each function was
-	// reached so diagnostics can name the responsible entry point.
-	type provenance struct {
-		root *types.Func
-		via  *types.Func // immediate caller, nil at a root
-	}
-	reached := make(map[*types.Func]provenance)
-	var queue []*types.Func
-	var roots []*types.Func
-	for fn, fa := range ann.funcs {
-		if fa.hotpath {
-			roots = append(roots, fn)
-		}
-	}
-	sort.Slice(roots, func(i, j int) bool { return funcName(roots[i]) < funcName(roots[j]) })
-	for _, fn := range roots {
-		if _, ok := idx[fn]; !ok {
-			continue // annotated declaration without a body in this load
-		}
-		reached[fn] = provenance{root: fn}
-		queue = append(queue, fn)
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		d := idx[fn]
-		if d.decl.Body == nil {
-			continue
-		}
-		for _, callee := range callees(d) {
-			if _, seen := reached[callee]; seen {
-				continue
-			}
-			reached[callee] = provenance{root: reached[fn].root, via: fn}
-			queue = append(queue, callee)
-		}
-	}
+	cg := newCallGraph(m)
+	reached := cg.reachableFrom(hotpathRoots(ann))
 
 	var diags []Diagnostic
 	for fn, prov := range reached {
-		d := idx[fn]
+		d := cg.idx[fn]
 		if d.decl.Body == nil {
 			continue
 		}
@@ -204,7 +51,7 @@ func checkHotpath(m *Module, ann *Annotations) []Diagnostic {
 				report(node, "uses defer")
 			case *ast.CallExpr:
 				if name, method, ok := isSyncLock(d.pkg.Info, node); ok {
-					if (method == "Lock" || method == "RLock") && name != "mu" {
+					if acquiresLock(method) && name != "mu" {
 						report(node, "acquires mutex "+name+" (only a shard/flow \"mu\" may be locked per packet)")
 					}
 					return true

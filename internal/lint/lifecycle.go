@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The lifecycle check keeps background goroutines from leaking: the
+// lease monitor, the janitor, worker pools and accept loops must all be
+// stoppable, or a "restart" that rebuilds the world leaves the old
+// world still ticking. Every `go` statement in non-test code (test
+// files never reach the loader) must be tied to a shutdown or
+// completion mechanism, observable in the goroutine's own body — the
+// func literal launched, or the body of the named module function:
+//
+//   - a channel operation: receiving (<-done, select, range over a
+//     work queue that close() drains) ties the goroutine to a quit or
+//     work channel; sending or closing signals completion to a waiter;
+//   - a (*sync.WaitGroup).Done call — the launcher's wg.Wait() joins it;
+//   - a context.Context in scope — cancellation plumbing by
+//     construction (the ctx check keeps the call tree honest about it).
+//
+// For `go f(x)` the named function's body is inspected one level deep
+// (transitive traces would find an unrelated channel in some leaf and
+// make the check vacuous). A goroutine that is deliberately
+// unsupervised — fire-and-forget by design — carries an explicit
+// waiver: //dpi:detached(reason) on the `go` line or the line above.
+// A waiver that covers no go statement is itself reported, so stale
+// waivers cannot accumulate.
+
+func checkLifecycle(m *Module, ann *Annotations) []Diagnostic {
+	cg := newCallGraph(m)
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pos := m.Fset.Position(gs.Pos())
+				if waived(ann.detached, pos.Filename, pos.Line) {
+					return true
+				}
+				if goStmtTied(cg, pkg, gs) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   pos,
+					Check: "lifecycle",
+					Msg: "goroutine has no shutdown mechanism (no channel op, WaitGroup.Done or context in its body); " +
+						"tie it to one, or waive with //dpi:detached(reason) on this line or the line above",
+				})
+				return true
+			})
+		}
+	}
+	// Orphaned waivers: a //dpi:detached that matched no go statement
+	// is stale (the goroutine moved or died) and must go.
+	for _, w := range ann.detached {
+		if !w.used {
+			diags = append(diags, Diagnostic{
+				Pos:   m.Fset.Position(w.pos),
+				Check: "lifecycle",
+				Msg:   "//dpi:detached waiver covers no go statement",
+			})
+		}
+	}
+	return diags
+}
+
+// waived reports whether a waiver comment from list sits on line (or
+// the line above) in file, marking it used.
+func waived(list []*lineWaiver, file string, line int) bool {
+	for _, w := range list {
+		if w.file == file && (w.line == line || w.line == line-1) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// goStmtTied reports whether the launched goroutine's body shows a
+// shutdown or completion mechanism.
+func goStmtTied(cg *callGraph, pkg *Package, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyTied(pkg, lit.Body)
+	}
+	// go f(...) — inspect the named module function's body, one level.
+	for _, fn := range cg.resolve(pkg.Info, gs.Call) {
+		d, ok := cg.idx[fn]
+		if ok && d.decl.Body != nil && bodyTied(d.pkg, d.decl.Body) {
+			return true
+		}
+	}
+	// A goroutine handed a context is cancellable even when the body is
+	// out of module reach (e.g. go srv.Serve with a ctx-carrying conn
+	// is not a pattern here, but go run(ctx) is).
+	for _, arg := range gs.Call.Args {
+		if tv, ok := pkg.Info.Types[arg]; ok && isContextContext(tv.Type) {
+			return true
+		}
+		// Bare identifiers are not reliably in Types; resolve through Uses.
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if obj, ok := pkg.Info.Uses[id].(*types.Var); ok && isContextContext(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyTied scans one body (nested literals included — a goroutine that
+// wires its own children counts) for a lifecycle tie.
+func bodyTied(pkg *Package, body ast.Node) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				tied = true // receive: quit channel or blocking join
+			}
+		case *ast.SendStmt:
+			tied = true // completion signal to a waiting launcher
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true // work queue drained by close()
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pkg.Info, node) || isBuiltinClose(pkg.Info, node) {
+				tied = true
+			}
+		case *ast.Ident:
+			if obj, ok := pkg.Info.Uses[node].(*types.Var); ok && isContextContext(obj.Type()) {
+				tied = true // ctx in scope: cancellation plumbing
+			}
+		}
+		return !tied
+	})
+	return tied
+}
+
+// isWaitGroupDone reports whether call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// isBuiltinClose reports whether call is the close(ch) builtin.
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -13,7 +13,8 @@
 //   - guardedby: struct fields annotated //dpi:guardedby(mu) may only be
 //     touched lexically between mu.Lock() and mu.Unlock(), or inside
 //     functions annotated //dpi:locked(mu) whose contract is that the
-//     caller already holds the lock.
+//     caller already holds the lock. TryLock/TryRLock successes and
+//     RLock→Lock upgrades count as holding the lock.
 //   - atomichygiene: sync/atomic-typed fields are only used through
 //     their methods, and structs containing them travel by pointer —
 //     a by-value copy silently forks the counter.
@@ -22,6 +23,18 @@
 //   - ctx: functions annotated //dpi:ctx — RPC-shaped control-plane
 //     calls — take a context.Context as their first parameter, so every
 //     blocking call is abortable when a peer hangs or dies.
+//   - lockorder: a module-wide lock-acquisition graph — which locks are
+//     taken while which others are held, traced through the static call
+//     graph — must be acyclic, and must respect every declared
+//     //dpi:lockorder(a < b) hierarchy edge.
+//   - lifecycle: every `go` statement must be tied to a shutdown or
+//     completion mechanism (ctx, WaitGroup, channel) or carry an
+//     explicit //dpi:detached(reason) waiver, so background goroutines
+//     cannot silently leak.
+//
+// A seventh analysis, the static allocation proof for //dpi:hotpath
+// code, needs the compiler's escape analysis and runs as a separate
+// mode (CheckEscape, cmd/dpilint -escape).
 //
 // The framework deliberately avoids golang.org/x/tools: packages are
 // enumerated and their compiled dependencies resolved with `go list
@@ -30,6 +43,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -51,6 +65,7 @@ type Package struct {
 type Module struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+	Dir  string // directory the load ran in (go build cwd for -escape)
 }
 
 // Diagnostic is one finding.
@@ -64,6 +79,18 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg)
 }
 
+// MarshalJSON flattens the position so `dpilint -json` output is stable
+// and trivially consumed by CI tooling.
+func (d Diagnostic) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Msg})
+}
+
 // Run executes every check against the module and returns the combined
 // findings sorted by position.
 func Run(m *Module) []Diagnostic {
@@ -75,6 +102,8 @@ func Run(m *Module) []Diagnostic {
 	diags = append(diags, checkAtomicHygiene(m)...)
 	diags = append(diags, checkAPIHygiene(m)...)
 	diags = append(diags, checkCtx(m, ann)...)
+	diags = append(diags, checkLockOrder(m, ann)...)
+	diags = append(diags, checkLifecycle(m, ann)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -140,16 +169,28 @@ func pkgPathOf(fn *types.Func) string {
 	return fn.Pkg().Path()
 }
 
-// isSyncLock reports whether call is m.Lock/RLock/Unlock/RUnlock on a
-// sync.Mutex, sync.RWMutex, or sync.Locker receiver, returning the
-// terminal name of the mutex expression ("mu" in fs.mu.Lock()).
+// acquiresLock reports whether a sync method name acquires the lock
+// (a TryLock that fails acquires nothing, but lexical analysis assumes
+// the guarded branch runs under a successful acquisition).
+func acquiresLock(method string) bool {
+	switch method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// isSyncLock reports whether call is m.Lock/RLock/TryLock/TryRLock/
+// Unlock/RUnlock on a sync.Mutex, sync.RWMutex, or sync.Locker
+// receiver, returning the terminal name of the mutex expression ("mu"
+// in fs.mu.Lock()).
 func isSyncLock(info *types.Info, call *ast.CallExpr) (mutexName, method string, ok bool) {
 	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
 	}
 	switch fun.Sel.Name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
 	default:
 		return "", "", false
 	}

@@ -54,6 +54,9 @@ func TestFixtures(t *testing.T) {
 		if !e.IsDir() {
 			continue
 		}
+		if e.Name() == "escape" {
+			continue // its wants come from CheckEscape: see TestEscapeFixture
+		}
 		t.Run(e.Name(), func(t *testing.T) {
 			m, err := LoadDir(filepath.Join("testdata", "src", e.Name()))
 			if err != nil {
@@ -82,6 +85,71 @@ func TestFixtures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestEscapeFixture drives CheckEscape over its golden fixture. The
+// fixture lives under testdata like the others but must be loaded as a
+// real module package (CheckEscape shells out to `go build`, which
+// needs an import path, not a bare directory).
+func TestEscapeFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture package")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."), "./internal/lint/testdata/src/escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, m)
+	diags, err := CheckEscape(m, Annotate(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		name := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants[name] {
+			if !w.matched && w.line == d.Pos.Line && w.pattern.MatchString(d.Msg) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for name, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", name, w.line, w.pattern)
+			}
+		}
+	}
+}
+
+// TestModuleEscape runs the allocation proof over the repository: no
+// //dpi:hotpath-reachable function may heap-allocate without a waiver.
+// Gated behind DPILINT_ESCAPE because the compiler's verdicts (and
+// inlining decisions that shift their positions) vary across toolchain
+// versions; the CI escape job is the canonical runner.
+func TestModuleEscape(t *testing.T) {
+	if os.Getenv("DPILINT_ESCAPE") == "" {
+		t.Skip("set DPILINT_ESCAPE=1 (escape verdicts are toolchain-dependent; CI runs this in its own job)")
+	}
+	if testing.Short() {
+		t.Skip("recompiles hotpath packages with -gcflags=-m")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckEscape(m, Annotate(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("module not allocation-clean: %s", d)
 	}
 }
 
@@ -148,6 +216,28 @@ func TestModule(t *testing.T) {
 	} {
 		if !ctxed[name] {
 			t.Errorf("expected //dpi:ctx on %s", name)
+		}
+	}
+
+	// The declared lock hierarchy mirrors the acquisition edges that
+	// actually exist across packages; losing a declaration silently
+	// un-pins that ordering.
+	rules := make(map[string]bool)
+	for _, r := range ann.lockorder {
+		rules[r.before+" < "+r.after] = true
+	}
+	for _, rule := range []string{
+		"middlebox.DPINode.mu < reassembly.Assembler.mu",
+		"middlebox.DPINode.mu < core.flowShard.mu",
+		"middlebox.DPINode.mu < netsim.Host.mu",
+		"middlebox.DPINode.mu < obs.Registry.mu",
+		"core.flowShard.mu < core.flowState.mu",
+		"netsim.Network.mu < netsim.Host.mu",
+		"netsim.Network.mu < openflow.Switch.mu",
+		"sdn.TSA.mu < openflow.Switch.mu",
+	} {
+		if !rules[rule] {
+			t.Errorf("expected //dpi:lockorder(%s) declaration", rule)
 		}
 	}
 }

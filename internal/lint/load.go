@@ -148,7 +148,11 @@ func LoadModule(dir string, patterns ...string) (*Module, error) {
 	}
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
-	m := &Module{Fset: fset}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		absDir = dir
+	}
+	m := &Module{Fset: fset, Dir: absDir}
 	// go list -deps emits dependencies before dependents, so each
 	// package's module imports are already in imp.module when its turn
 	// comes.
@@ -220,5 +224,9 @@ func LoadDir(dir string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Module{Fset: fset, Pkgs: []*Package{pkg}}, nil
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	return &Module{Fset: fset, Pkgs: []*Package{pkg}, Dir: abs}, nil
 }

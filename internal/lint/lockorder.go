@@ -1,0 +1,493 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The lockorder check builds a module-wide lock-acquisition graph: an
+// edge A → B means some execution path acquires lock B while lock A is
+// held, either directly in one function body or by calling (through the
+// static call graph, interface dispatch included) a function that
+// acquires B. Two properties are enforced on that graph:
+//
+//   - acyclicity: a cycle A → … → A is a potential deadlock — two
+//     goroutines entering the cycle at different points can each hold
+//     the lock the other needs. The diagnostic prints the acquisition
+//     path, call site by call site.
+//   - declared hierarchy: //dpi:lockorder(a < b) pins a to be acquired
+//     strictly before b; any edge b → a is a violation even before it
+//     closes a cycle, so the hierarchy catches drift early.
+//
+// Lock identity is the owning type: x.mu on a *flowShard receiver is
+// "core.flowShard.mu" no matter which shard instance x names. That
+// collapses all instances of one type onto one node, which is the
+// granularity deadlock reasoning needs — two different shards' locks
+// are interchangeable for ordering purposes — at the cost of a
+// self-edge (A → A) when code nests two instances of the same lock.
+// Self-edges are reported too: nesting same-type locks needs an
+// instance order (address, shard index) the graph cannot see.
+//
+// Goroutine boundaries are respected: a func literal launched by `go`
+// does not inherit the launcher's held set (the goroutine runs on its
+// own schedule), and locks acquired inside it do not count as
+// acquisitions of the enclosing function; the literal is analyzed as
+// its own root with an empty held set.
+
+// lockAcq is one direct lock acquisition, with the labels already held
+// at that point in the lexical replay.
+type lockAcq struct {
+	label string
+	held  []string
+	pos   token.Pos
+}
+
+// lockCall is one resolvable module call, with the labels held at the
+// call site (possibly none).
+type lockCall struct {
+	held    []string
+	callees []*types.Func
+	pos     token.Pos
+}
+
+// scanUnit is one analyzed body: a function declaration, or a func
+// literal launched by a go statement (which starts lock-free).
+type scanUnit struct {
+	fn    *types.Func // nil for go-literal units
+	label string      // diagnostic name, e.g. "core.Engine.Inspect"
+	acqs  []lockAcq
+	calls []lockCall
+}
+
+// lockLabel names the mutex behind expr x (the receiver of a
+// Lock/Unlock call): field locks by owning type, package-level locks by
+// package, function-local locks by enclosing function.
+func lockLabel(pkg *Package, fnLabel string, x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[e].(*types.Var); ok && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + e.Name
+			}
+			return fnLabel + "." + e.Name
+		}
+	}
+	return pkg.Pkg.Name() + "." + types.ExprString(x)
+}
+
+// scanLockBody walks one body lexically — the same discipline the
+// guardedby check uses — recording every lock acquisition with the held
+// set in force, and every resolvable module call with the held set at
+// the call site. Go statements are excluded wholesale (their literals
+// become separate units; their callees run on another goroutine);
+// deferred unlocks never release.
+func scanLockBody(cg *callGraph, pkg *Package, fnLabel string, body ast.Node) (acqs []lockAcq, calls []lockCall) {
+	type event struct {
+		pos     token.Pos
+		label   string
+		kind    int // 0 lock, 1 unlock, 2 call
+		callees []*types.Func
+	}
+	var events []event
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			deferred[node.Call] = true
+		case *ast.CallExpr:
+			if _, method, ok := isSyncLock(pkg.Info, node); ok {
+				sel := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+				label := lockLabel(pkg, fnLabel, sel.X)
+				if acquiresLock(method) {
+					events = append(events, event{pos: node.Pos(), label: label, kind: 0})
+				} else if !deferred[node] {
+					events = append(events, event{pos: node.Pos(), label: label, kind: 1})
+				}
+				return true
+			}
+			if callees := cg.resolve(pkg.Info, node); len(callees) > 0 {
+				events = append(events, event{pos: node.Pos(), kind: 2, callees: callees})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var held []string
+	snapshot := func() []string { return append([]string(nil), held...) }
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			acqs = append(acqs, lockAcq{label: ev.label, held: snapshot(), pos: ev.pos})
+			held = append(held, ev.label)
+		case 1:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == ev.label {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+		case 2:
+			calls = append(calls, lockCall{held: snapshot(), callees: ev.callees, pos: ev.pos})
+		}
+	}
+	return acqs, calls
+}
+
+// transAcquire is one lock a function may acquire transitively, with a
+// one-step witness for path reconstruction.
+type transAcquire struct {
+	pos token.Pos   // acquisition or call position inside fn
+	via *types.Func // nil: fn acquires it directly at pos
+}
+
+// lockEdge is A → B with a witness path for the diagnostic.
+type lockEdge struct {
+	from, to string
+	witness  string
+	pos      token.Pos
+}
+
+func checkLockOrder(m *Module, ann *Annotations) []Diagnostic {
+	cg := newCallGraph(m)
+	position := func(p token.Pos) string {
+		pos := m.Fset.Position(p)
+		return shortPath(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+	}
+
+	// Pass 1: per-unit lexical facts. Go-literal bodies are their own
+	// lock-free roots, analyzed alongside the declared functions.
+	var units []*scanUnit
+	byFn := make(map[*types.Func]*scanUnit)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				label := pkg.Pkg.Name() + "." + fd.Name.Name
+				if fn != nil {
+					label = funcName(fn)
+				}
+				u := &scanUnit{fn: fn, label: label}
+				u.acqs, u.calls = scanLockBody(cg, pkg, label, fd.Body)
+				units = append(units, u)
+				if fn != nil {
+					byFn[fn] = u
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+						gu := &scanUnit{label: label + " (go statement)"}
+						gu.acqs, gu.calls = scanLockBody(cg, pkg, label, lit.Body)
+						units = append(units, gu)
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 2: fixpoint — the set of locks each function may acquire
+	// through any chain of module calls. Recursion converges because
+	// the sets only grow; iteration order is sorted so the stored
+	// witnesses are stable run to run.
+	var fns []*types.Func
+	for fn := range byFn {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return funcName(fns[i]) < funcName(fns[j]) })
+	trans := make(map[*types.Func]map[string]transAcquire)
+	for _, fn := range fns {
+		set := make(map[string]transAcquire)
+		for _, a := range byFn[fn].acqs {
+			if _, ok := set[a.label]; !ok {
+				set[a.label] = transAcquire{pos: a.pos}
+			}
+		}
+		trans[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			set := trans[fn]
+			for _, c := range byFn[fn].calls {
+				for _, callee := range c.callees {
+					for label := range trans[callee] {
+						if _, ok := set[label]; !ok {
+							set[label] = transAcquire{pos: c.pos, via: callee}
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// chainTo renders the witness path from fn down to the direct
+	// acquisition of label.
+	var chainTo func(fn *types.Func, label string, depth int) string
+	chainTo = func(fn *types.Func, label string, depth int) string {
+		ta, ok := trans[fn][label]
+		if !ok || depth > 16 {
+			return funcName(fn) + " … acquires " + label
+		}
+		if ta.via == nil {
+			return funcName(fn) + " acquires " + label + " at " + position(ta.pos)
+		}
+		return funcName(fn) + " calls " + funcName(ta.via) + " at " + position(ta.pos) + ", " + chainTo(ta.via, label, depth+1)
+	}
+
+	// Pass 3: edges. Sorted unit order keeps the first — and therefore
+	// reported — witness per edge deterministic.
+	sort.Slice(units, func(i, j int) bool { return units[i].label < units[j].label })
+	edges := make(map[[2]string]lockEdge)
+	addEdge := func(from, to, witness string, pos token.Pos) {
+		key := [2]string{from, to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = lockEdge{from: from, to: to, witness: witness, pos: pos}
+		}
+	}
+	for _, u := range units {
+		for _, a := range u.acqs {
+			for _, h := range a.held {
+				if h == a.label {
+					addEdge(h, a.label, u.label+" acquires a second "+a.label+" at "+position(a.pos)+" while one is held", a.pos)
+				} else {
+					addEdge(h, a.label, u.label+" acquires "+a.label+" at "+position(a.pos)+" while holding "+h, a.pos)
+				}
+			}
+		}
+		for _, c := range u.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, callee := range c.callees {
+				for label := range trans[callee] {
+					for _, h := range c.held {
+						addEdge(h, label, u.label+" holds "+h+" and calls "+funcName(callee)+" at "+position(c.pos)+", "+chainTo(callee, label, 0), c.pos)
+					}
+				}
+			}
+		}
+	}
+
+	var diags []Diagnostic
+
+	// Declared hierarchy: //dpi:lockorder(a < b) rules, closed
+	// transitively, forbid any b → a edge.
+	before := make(map[[2]string]token.Pos)
+	for _, r := range ann.lockorder {
+		key := [2]string{r.before, r.after}
+		if _, dup := before[key]; !dup {
+			before[key] = r.pos
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for ab, pos := range before {
+			for bc := range before {
+				if ab[1] != bc[0] {
+					continue
+				}
+				key := [2]string{ab[0], bc[1]}
+				if _, ok := before[key]; !ok {
+					before[key] = pos
+					changed = true
+				}
+			}
+		}
+	}
+	for ab, pos := range before {
+		if ab[0] == ab[1] {
+			diags = append(diags, Diagnostic{
+				Pos:   m.Fset.Position(pos),
+				Check: "lockorder",
+				Msg:   "declared lock order is cyclic: " + ab[0] + " < … < " + ab[0],
+			})
+		}
+	}
+	for _, e := range edges {
+		if e.to == e.from {
+			continue // reported as a self-edge below
+		}
+		if _, declared := before[[2]string{e.to, e.from}]; declared {
+			diags = append(diags, Diagnostic{
+				Pos:   m.Fset.Position(e.pos),
+				Check: "lockorder",
+				Msg:   "acquisition violates declared lock order " + e.to + " < " + e.from + ": " + e.witness,
+			})
+		}
+	}
+
+	// Self-edges and cycles.
+	adj := make(map[string][]string)
+	labels := make(map[string]bool)
+	for key := range edges {
+		if key[0] != key[1] {
+			adj[key[0]] = append(adj[key[0]], key[1])
+		}
+		labels[key[0]], labels[key[1]] = true, true
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	for key, e := range edges {
+		if key[0] == key[1] {
+			diags = append(diags, Diagnostic{
+				Pos:   m.Fset.Position(e.pos),
+				Check: "lockorder",
+				Msg:   "potential deadlock: " + e.from + " may be acquired while another " + e.from + " is held: " + e.witness,
+			})
+		}
+	}
+	for _, comp := range sccs(labels, adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		sort.Strings(comp)
+		cycle := shortestCycle(comp[0], comp, adj)
+		var parts []string
+		var pos token.Pos
+		for i := 0; i < len(cycle); i++ {
+			e := edges[[2]string{cycle[i], cycle[(i+1)%len(cycle)]}]
+			if i == 0 {
+				pos = e.pos
+			}
+			parts = append(parts, e.witness)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   m.Fset.Position(pos),
+			Check: "lockorder",
+			Msg: "potential deadlock: lock-order cycle " + strings.Join(cycle, " → ") + " → " + cycle[0] +
+				" (" + strings.Join(parts, " | ") + ")",
+		})
+	}
+	return diags
+}
+
+// sccs returns the strongly connected components of the label graph
+// (iterative Tarjan, deterministic order).
+func sccs(labels map[string]bool, adj map[string][]string) [][]string {
+	var order []string
+	for l := range labels {
+		order = append(order, l)
+	}
+	sort.Strings(order)
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		next++
+		index[v], low[v] = next, next
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// shortestCycle finds a shortest cycle through start restricted to
+// comp's nodes (BFS back to start).
+func shortestCycle(start string, comp []string, adj map[string][]string) []string {
+	in := make(map[string]bool, len(comp))
+	for _, c := range comp {
+		in[c] = true
+	}
+	parent := make(map[string]string)
+	queue := []string{start}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !in[w] {
+				continue
+			}
+			if w == start {
+				path := []string{start}
+				var rev []string
+				for u := v; u != start; u = parent[u] {
+					rev = append(rev, u)
+				}
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return path
+			}
+			if !visited[w] {
+				visited[w] = true
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return []string{start}
+}
+
+// shortPath trims an absolute filename to its last two segments for
+// diagnostic-sized witnesses.
+func shortPath(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		if j := strings.LastIndex(name[:i], "/"); j >= 0 {
+			return name[j+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,55 @@
+// Package escape exercises the -escape static allocation proof: the
+// compiler's own escape analysis is the oracle, and any heap allocation
+// in a function reachable from a //dpi:hotpath root is a finding unless
+// a //dpi:coldalloc waiver accounts for it.
+package escape
+
+var sink []byte
+
+// Leaky returns a fresh buffer, so the make cannot stay on the stack.
+//
+//dpi:hotpath
+func Leaky(p []byte) []byte {
+	buf := make([]byte, len(p)) // want "heap-allocates"
+	copy(buf, p)
+	return buf
+}
+
+// Clean touches only its argument and the stack.
+//
+//dpi:hotpath
+func Clean(p []byte) int {
+	n := 0
+	for _, b := range p {
+		if b == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Amortized allocates on a declared cold branch: the waiver on the line
+// above the make absorbs the verdict.
+//
+//dpi:hotpath
+func Amortized() {
+	if sink == nil {
+		//dpi:coldalloc(fixture: one-time setup, reused afterwards)
+		sink = make([]byte, 4096)
+	}
+}
+
+// escapesViaCallee heap-allocates in an unannotated helper that is
+// reachable from a hot root, which is just as much a finding.
+//
+//dpi:hotpath
+func EscapesViaCallee(p []byte) []byte {
+	return duplicate(p)
+}
+
+//go:noinline
+func duplicate(p []byte) []byte {
+	out := make([]byte, len(p)) // want "heap-allocates"
+	copy(out, p)
+	return out
+}

@@ -42,6 +42,37 @@ func (t *table) afterUnlock(k string) int {
 	return v
 }
 
+// TryLock counts as an acquisition: code inside the success branch is
+// written assuming the lock is held.
+func (t *table) try(k string) (int, bool) {
+	if !t.mu.TryLock() {
+		return 0, false
+	}
+	v := t.entries[k]
+	t.mu.Unlock()
+	return v, true
+}
+
+// rwtable exercises the RLock→Lock upgrade idiom on an RWMutex.
+type rwtable struct {
+	mu sync.RWMutex
+	//dpi:guardedby(mu)
+	entries map[string]int
+}
+
+func (t *rwtable) upgrade(k string) {
+	t.mu.RLock()
+	v := t.entries[k] // read under the read lock
+	t.mu.RUnlock()
+	t.mu.Lock()
+	t.entries[k] = v + 1 // write under the upgraded write lock
+	t.mu.Unlock()
+}
+
+func (t *rwtable) readUnlocked(k string) int {
+	return t.entries[k] // want "field entries is guarded by mu, which is not held here"
+}
+
 // sibling guarded by another struct's mu: name-based matching accepts
 // any lexically held lock called mu, as core's shard/flow split needs.
 type entry struct {

@@ -23,7 +23,7 @@ func (s *shard) scan(data []byte) int {
 	s.n++
 	s.mu.Unlock()
 	defer trace()                    // want "uses defer"
-	go trace()                       // want "starts a goroutine"
+	go trace()                       // want "starts a goroutine" want "no shutdown mechanism"
 	_ = fmt.Sprintf("%d", len(data)) // want "calls fmt.Sprintf"
 	_ = reflect.TypeOf(data)         // want "calls reflect.TypeOf"
 	_ = time.Now()                   // want "calls time.Now"

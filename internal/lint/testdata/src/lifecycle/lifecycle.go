@@ -1,0 +1,82 @@
+// Package lifecycle exercises the goroutine lifecycle check: every go
+// statement must be tied to a shutdown mechanism (channel operation,
+// WaitGroup.Done, or a context in its body), or carry an explicit
+// //dpi:detached waiver. Stale waivers are themselves findings.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leak launches a goroutine nothing can stop or join.
+func leak() {
+	go work() // want "no shutdown mechanism"
+}
+
+// waived is the same launch with a declared reason; the waiver on the
+// line above covers it.
+func waived() {
+	//dpi:detached(fixture: fire-and-forget by design)
+	go work()
+}
+
+// wgTied joins through a WaitGroup.
+func wgTied(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// quitTied stops on a quit channel receive.
+func quitTied(quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+
+// rangeTied drains a channel: closing jobs terminates it.
+func rangeTied(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// sendTied blocks on a channel send, so the receiver paces and
+// ultimately releases it.
+func sendTied(done chan struct{}) {
+	go func() {
+		work()
+		done <- struct{}{}
+	}()
+}
+
+// named launches a module function whose body is inspected one level
+// deep: run's ctx.Done receive ties it.
+func named(ctx context.Context) {
+	go run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// ctxArg passes a context to a callee whose body shows no tie at all:
+// the context argument alone proves cancellability.
+func ctxArg(ctx context.Context) {
+	go poll(ctx)
+}
+
+func poll(context.Context) {}
+
+// stale waivers rot silently unless reported: this one covers no go
+// statement.
+func stale() {
+	//dpi:detached(fixture: nothing launched here) // want "covers no go statement"
+	work()
+}

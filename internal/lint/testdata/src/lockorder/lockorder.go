@@ -1,0 +1,93 @@
+// Package lockorder exercises the module-wide lock-acquisition graph:
+// nested acquisitions build edges (directly and through calls), cycles
+// and declared-order violations fire, same-type nesting is a self-edge,
+// and a `go` statement cuts the held set.
+package lockorder
+
+import "sync"
+
+//dpi:lockorder(lockorder.A.mu < lockorder.B.mu)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+// good respects the declared order — but because bad() below also
+// acquires the reverse order, the A↔B cycle is reported here, at the
+// first edge of the cycle.
+func good(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// bad acquires against the declared hierarchy.
+func bad(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "violates declared lock order"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockCThenD reaches D's lock through a call while holding C's: the
+// deferred unlock holds C to the end, so the call edge C → D forms
+// here. Together with lockDThenC it closes a cycle with no declared
+// hierarchy at all.
+func lockCThenD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	grabD(d) // want "lock-order cycle"
+}
+
+func grabD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockDThenC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Self-edge: two instances of one lock type nested — needs an instance
+// order the graph cannot see, so it is flagged.
+type node struct {
+	mu   sync.Mutex
+	peer *node
+}
+
+func link(n *node) {
+	n.mu.Lock()
+	n.peer.mu.Lock() // want "while another lockorder.node.mu is held"
+	n.peer.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// spawn launches a goroutine while holding B's lock; the goroutine
+// acquires A's. No B → A edge forms — the goroutine starts lock-free —
+// so the declared order is not violated.
+func spawn(a *A, b *B, quit chan struct{}) {
+	b.mu.Lock()
+	go func() {
+		<-quit
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+	b.mu.Unlock()
+}
+
+// sequential acquisitions never overlap: unlocking before the next
+// lock keeps the held set empty, so no edges and no findings.
+func sequential(c *C, d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

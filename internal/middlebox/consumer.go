@@ -128,27 +128,39 @@ func (n *ConsumerNode) handleFrame(frame []byte) {
 	// Marked: hold until the result packet arrives.
 	n.mu.Lock()
 	key := uint32(sum.IPID)
+	var evicted pending
+	hasEvicted := false
 	if len(n.waiting) >= maxWaiting {
-		n.evictOldestLocked()
+		evicted, hasEvicted = n.evictOldestLocked()
 	}
 	n.waiting[key] = pending{frame: frame, tuple: sum.Tuple, at: time.Now()}
 	n.order = append(n.order, key)
 	n.mu.Unlock()
+	// Degrade outside the lock: it forwards or drops a frame, which
+	// must never run under mu. Handing the evicted entry out (instead
+	// of the old unlock-degrade-relock dance inside evictOldestLocked)
+	// keeps the critical section contiguous, so the capacity check and
+	// the insert can no longer interleave with another handleFrame.
+	if hasEvicted {
+		n.degrade(evicted)
+	}
 }
 
-func (n *ConsumerNode) evictOldestLocked() {
+// evictOldestLocked pops the oldest live entry from the pairing buffer
+// and returns it for the caller to degrade after releasing mu.
+//
+//dpi:locked(mu)
+func (n *ConsumerNode) evictOldestLocked() (pending, bool) {
 	for len(n.order) > 0 {
 		k := n.order[0]
 		n.order = n.order[1:]
 		if p, ok := n.waiting[k]; ok {
 			delete(n.waiting, k)
 			n.Unpaired.Add(1)
-			n.mu.Unlock()
-			n.degrade(p)
-			n.mu.Lock()
-			return
+			return p, true
 		}
 	}
+	return pending{}, false
 }
 
 // LossPolicyValue reports the node's current degraded mode.

@@ -30,6 +30,15 @@ import (
 // Switch Big Tap). Chain tags must stay below it.
 const ResultOnlyBit = packet.VLANResultOnlyBit
 
+// The node's mu is the outermost lock of the data plane: it may be held
+// across calls into the reassembler, the engine's flow table, the
+// metrics registry and the simulated NIC — never the reverse.
+//
+//dpi:lockorder(middlebox.DPINode.mu < reassembly.Assembler.mu)
+//dpi:lockorder(middlebox.DPINode.mu < core.flowShard.mu)
+//dpi:lockorder(middlebox.DPINode.mu < netsim.Host.mu)
+//dpi:lockorder(middlebox.DPINode.mu < obs.Registry.mu)
+
 // DPINode is a DPI service instance attached to the network: it scans
 // each tagged packet once with the merged engine and communicates the
 // results downstream.

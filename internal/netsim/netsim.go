@@ -80,6 +80,13 @@ func (p *Port) Send(frame []byte) bool {
 // Stats reports frames sent and dropped on this direction.
 func (p *Port) Stats() (sent, drops uint64) { return p.sent.Load(), p.drops.Load() }
 
+// The network lock is held while wiring nodes (Connect starts pump
+// goroutines that touch host and switch queues), so it sits above the
+// per-node locks in the hierarchy.
+//
+//dpi:lockorder(netsim.Network.mu < netsim.Host.mu)
+//dpi:lockorder(netsim.Network.mu < openflow.Switch.mu)
+
 // Network owns nodes and links.
 type Network struct {
 	mu      sync.Mutex

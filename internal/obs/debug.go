@@ -45,24 +45,33 @@ func NewDebugMux(reg *Registry, healthy func() bool) *http.ServeMux {
 
 // DebugServer is a running debug HTTP listener.
 type DebugServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve loop returns
 }
 
 // StartDebugServer listens on addr (host:port; port 0 picks a free
-// one) and serves handler in a background goroutine.
+// one) and serves handler in a background goroutine that Close joins.
 func StartDebugServer(addr string, handler http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: handler}
-	go srv.Serve(ln)
-	return &DebugServer{ln: ln, srv: srv}, nil
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: handler}, done: make(chan struct{})}
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(ln)
+	}()
+	return d, nil
 }
 
 // Addr returns the listener's host:port.
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the listener and any active connections.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close stops the listener and any active connections, then waits for
+// the serve loop to exit so no goroutine outlives the server.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}

@@ -45,6 +45,12 @@ type ChainSpec struct {
 // TSA is the traffic steering application, controlling one switch. The
 // paper's experimental topology attaches all hosts to a single switch
 // (Section 6.1); richer fabrics would run one TSA per switch with
+// PacketIn consults the switch's port map while holding the TSA lock,
+// so the application lock precedes the switch lock; a switch callback
+// must never call back into a TSA method that locks.
+//
+//dpi:lockorder(sdn.TSA.mu < openflow.Switch.mu)
+
 // identical chain state.
 type TSA struct {
 	sw     *openflow.Switch
