@@ -42,7 +42,7 @@ func main() {
 		advers   = flag.Bool("adversarial", false, "use the attack-mix corpus (high prefilter hit rate) for all experiments")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|prefilter|ablations|all> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: dpibench [flags] <fig8|table2|fig9a|fig9b|fig10a|fig10b|fig11|slowdown|parallel|prefilter|ablations|wire|all> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +64,7 @@ func main() {
 		"parallel":  runParallel,
 		"prefilter": runPrefilter,
 		"ablations": runAblations,
+		"wire":      runWire,
 	}
 	var names []string
 	for _, name := range flag.Args() {
@@ -144,6 +145,17 @@ func main() {
 		}
 		fmt.Println("no regressions beyond threshold")
 	}
+}
+
+func runWire(opt bench.Options) error {
+	fmt.Println("== Wire transport: end-to-end data plane over loopback UDP vs netsim ==")
+	rows, err := bench.Wire(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatWire(rows))
+	fmt.Println()
+	return nil
 }
 
 func runFig8(opt bench.Options) error {

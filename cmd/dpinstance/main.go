@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	dpinstance [-controller addr] [-data addr] [-id name] [-dedicated]
-//	           [-lease interval] [-debug-addr addr]
+//	dpinstance [-controller addr] [-data addr] [-listen addr] [-verdicts addr]
+//	           [-id name] [-dedicated] [-lease interval] [-debug-addr addr]
 package main
 
 import (
@@ -33,7 +33,9 @@ import (
 func main() {
 	var (
 		ctlAddr    = flag.String("controller", "127.0.0.1:9090", "DPI controller address")
-		dataAddr   = flag.String("data", "127.0.0.1:9191", "data-plane listen address")
+		dataAddr   = flag.String("data", "127.0.0.1:9191", "framed-TCP data-plane listen address")
+		wireAddr   = flag.String("listen", "", "batched-UDP wire data-plane listen address (empty disables)")
+		verdicts   = flag.String("verdicts", "", "wire address of a middlebox verdict consumer; non-empty match reports are forwarded there (empty disables)")
 		id         = flag.String("id", "dpi-1", "instance identifier")
 		dedicated  = flag.Bool("dedicated", false, "run as an MCA2 dedicated instance (compact automaton)")
 		telEvery   = flag.Duration("telemetry", 10*time.Second, "telemetry export interval (0 disables)")
@@ -78,6 +80,14 @@ func main() {
 		log.Fatalf("dpinstance: data listen: %v", err)
 	}
 	log.Printf("dpinstance %s: data plane on %s", *id, ln.Addr())
+
+	var stopWire func()
+	if *wireAddr != "" {
+		stopWire, err = startWire(*wireAddr, *verdicts, *id, init, &eng, reg)
+		if err != nil {
+			log.Fatalf("dpinstance: wire: %v", err)
+		}
+	}
 
 	if *debugAddr != "" {
 		mux := obs.NewDebugMux(reg, func() bool { return eng.Load() != nil })
@@ -126,6 +136,9 @@ func main() {
 	<-sig
 	close(stop)
 	ln.Close()
+	if stopWire != nil {
+		stopWire()
+	}
 	cl.Close()
 	wg.Wait()
 	s := eng.Load().Snapshot()

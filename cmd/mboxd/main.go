@@ -9,6 +9,12 @@
 //	mboxd -id ids-1 -type ids [-rules file.rules | -clamav file.ndb | -synthetic N]
 //	      [-stateful] [-readonly] [-stop N] [-inherit other-mbox]
 //	      [-on-dpi-loss fail-open|fail-closed] [-chain mbox1,mbox2,...]
+//	      [-listen addr] [-debug-addr addr]
+//
+// With -listen, mboxd stays running as a wire-transport verdict
+// consumer: DPI instances connect over batched UDP and push every
+// non-empty match report for this middlebox's chains, authenticated by
+// controller-issued session tokens.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		inherit   = flag.String("inherit", "", "inherit the pattern set of this registered middlebox")
 		onLoss    = flag.String("on-dpi-loss", "", "degraded mode when DPI results stop arriving: fail-open (pass unscanned) or fail-closed (drop); default: fail-open if -readonly, else fail-closed")
 		chain     = flag.String("chain", "", "comma-separated middlebox IDs to report as a policy chain")
+		listen    = flag.String("listen", "", "stay running as a wire verdict consumer on this UDP address (empty: register and exit)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /healthz on this address (empty disables)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -69,7 +77,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	setIdx, err := cl.Register(ctx, ctlproto.Register{
+	ack, err := cl.RegisterFull(ctx, ctlproto.Register{
 		MboxID: *id, Name: *id, Type: *typ,
 		Stateful: *stateful, ReadOnly: *readonly, StopAfter: *stopAfter,
 		InheritFrom: *inherit, FailMode: *onLoss,
@@ -77,7 +85,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("mboxd: register: %v", err)
 	}
-	log.Printf("mboxd %s: registered, pattern set %d", *id, setIdx)
+	log.Printf("mboxd %s: registered, pattern set %d", *id, ack.Set)
 
 	if set != nil {
 		var defs []ctlproto.PatternDef
@@ -107,6 +115,12 @@ func main() {
 			log.Fatalf("mboxd: chain: %v", err)
 		}
 		log.Printf("mboxd %s: chain %v assigned tag %d", *id, members, defs[0].Tag)
+	}
+
+	if *listen != "" {
+		if err := serveVerdicts(*id, *listen, *debugAddr, ack.WireKey); err != nil {
+			log.Fatalf("mboxd: %v", err)
+		}
 	}
 }
 

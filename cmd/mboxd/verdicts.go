@@ -1,0 +1,63 @@
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpiservice/internal/obs"
+	"dpiservice/internal/packet"
+	"dpiservice/internal/wire"
+)
+
+// serveVerdicts runs the middlebox's wire-transport verdict consumer
+// until SIGINT/SIGTERM: DPI instances connect with controller-issued
+// tokens (validated against the cluster key from RegisterAck) and push
+// every non-empty match report for this middlebox's chains.
+func serveVerdicts(id, listen, debugAddr string, key uint64) error {
+	reg := obs.NewRegistry()
+	met := wire.NewMetrics(reg)
+	verdicts := reg.Counter("mbox.verdicts")
+	verdictBytes := reg.Counter("mbox.verdict_bytes")
+	matches := reg.Counter("mbox.matches")
+	badReports := reg.Counter("mbox.bad_reports")
+
+	tr, err := wire.ListenUDP(listen)
+	if err != nil {
+		return err
+	}
+	srv := wire.NewServer(tr, key, wire.Config{}, met)
+	srv.SetLogf(log.Printf)
+	// Handlers run on the server's single receive goroutine; the decode
+	// scratch is reused across verdicts.
+	var rep packet.Report
+	srv.OnVerdict(func(s *wire.Session, tag uint16, tuple packet.FiveTuple, report []byte) {
+		verdicts.Inc()
+		verdictBytes.Add(uint64(len(report)))
+		if _, err := packet.DecodeReport(report, &rep); err != nil {
+			badReports.Inc()
+			return
+		}
+		matches.Add(uint64(len(rep.Sections)))
+	})
+	srv.Start()
+	defer srv.Close()
+	log.Printf("mboxd %s: verdict consumer on %s", id, srv.LocalAddr().String())
+
+	if debugAddr != "" {
+		mux := obs.NewDebugMux(reg, nil)
+		dbg, err := obs.StartDebugServer(debugAddr, mux)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("mboxd %s: debug endpoints on http://%s", id, dbg.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("mboxd %s: done — %d verdicts, %d matches", id, verdicts.Value(), matches.Value())
+	return nil
+}

@@ -7,6 +7,7 @@
 //
 //	trafficgen -target 127.0.0.1:9191 -tag 1 [-mix http|campus|attack]
 //	           [-bytes N] [-flows N] [-match 0.08] [-inject N]
+//	trafficgen -connect 127.0.0.1:9292 -controller 127.0.0.1:9090 [-mix ...]
 //	trafficgen -out payloads.bin [-mix ...] [-bytes N]
 package main
 
@@ -19,6 +20,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"time"
 
 	"dpiservice/internal/ctlproto"
@@ -30,7 +32,11 @@ import (
 
 func main() {
 	var (
-		target  = flag.String("target", "", "dpinstance data address to drive")
+		target  = flag.String("target", "", "dpinstance framed-TCP data address to drive")
+		connect = flag.String("connect", "", "dpinstance batched-UDP wire address to drive")
+		ctlAddr = flag.String("controller", "", "controller address for fetching a wire session token (wire mode)")
+		peer    = flag.String("peer", "trafficgen", "peer identity announced on the wire session")
+		tokStr  = flag.String("token", "", "explicit wire session token (hex/decimal; overrides -controller)")
 		out     = flag.String("out", "", "write length-prefixed payloads to this file instead")
 		pcapOut = flag.String("pcap", "", "write full Ethernet frames to this pcap file instead")
 		replay  = flag.String("replay", "", "replay payloads from this pcap file toward -target")
@@ -54,13 +60,13 @@ func main() {
 		return
 	}
 	modes := 0
-	for _, m := range []string{*target, *out, *pcapOut} {
+	for _, m := range []string{*target, *connect, *out, *pcapOut} {
 		if m != "" {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "trafficgen: exactly one of -target, -out or -pcap is required")
+		fmt.Fprintln(os.Stderr, "trafficgen: exactly one of -target, -connect, -out or -pcap is required")
 		os.Exit(2)
 	}
 
@@ -96,6 +102,23 @@ func main() {
 		return
 	}
 
+	if *connect != "" {
+		var explicit uint64
+		if *tokStr != "" {
+			var err error
+			if explicit, err = strconv.ParseUint(*tokStr, 0, 64); err != nil {
+				log.Fatalf("trafficgen: bad -token: %v", err)
+			}
+		}
+		token, err := wireToken(explicit, *ctlAddr, *peer)
+		if err != nil {
+			log.Fatalf("trafficgen: %v", err)
+		}
+		if err := driveWire(*connect, *peer, token, uint16(*tag), corpus, *flows); err != nil {
+			log.Fatalf("trafficgen: %v", err)
+		}
+		return
+	}
 	if err := drive(*target, uint16(*tag), corpus, *flows); err != nil {
 		log.Fatalf("trafficgen: %v", err)
 	}

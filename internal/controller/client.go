@@ -189,18 +189,48 @@ func (c *Client) call(ctx context.Context, typ ctlproto.MsgType, body any, idemp
 //
 //dpi:ctx
 func (c *Client) Register(ctx context.Context, reg ctlproto.Register) (int, error) {
+	ack, err := c.RegisterFull(ctx, reg)
+	return ack.Set, err
+}
+
+// RegisterFull registers a middlebox and returns the whole ack,
+// including the wire session token and cluster key a middlebox needs
+// to speak the wire transport.
+//
+//dpi:ctx
+func (c *Client) RegisterFull(ctx context.Context, reg ctlproto.Register) (ctlproto.RegisterAck, error) {
 	env, err := c.call(ctx, ctlproto.TypeRegister, reg, true)
 	if err != nil {
-		return 0, err
+		return ctlproto.RegisterAck{}, err
 	}
 	if env.Type != ctlproto.TypeRegisterAck {
-		return 0, errors.New("controller: unexpected reply " + string(env.Type))
+		return ctlproto.RegisterAck{}, errors.New("controller: unexpected reply " + string(env.Type))
 	}
 	var ack ctlproto.RegisterAck
 	if err := env.Decode(&ack); err != nil {
+		return ctlproto.RegisterAck{}, err
+	}
+	return ack, nil
+}
+
+// NewSession requests a wire session token for an unregistered peer (a
+// traffic source or benchmark driver). Tokens are stable per peer ID,
+// so retries are safe.
+//
+//dpi:ctx
+func (c *Client) NewSession(ctx context.Context, peerID string) (uint64, error) {
+	env, err := c.call(ctx, ctlproto.TypeSession, ctlproto.Session{PeerID: peerID}, true)
+	if err != nil {
 		return 0, err
 	}
-	return ack.Set, nil
+	if env.Type != ctlproto.TypeSessionAck {
+		return 0, errors.New("controller: unexpected reply " + string(env.Type))
+	}
+	var ack ctlproto.SessionAck
+	if err := env.Decode(&ack); err != nil {
+		return 0, err
+	}
+	return ack.WireToken, nil
 }
 
 // Deregister removes a middlebox registration. Not retried: a repeat

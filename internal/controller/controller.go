@@ -20,6 +20,7 @@ import (
 	"dpiservice/internal/mpm"
 	"dpiservice/internal/obs"
 	"dpiservice/internal/patterns"
+	"dpiservice/internal/wire"
 )
 
 // Errors returned by the controller.
@@ -46,6 +47,14 @@ type Controller struct {
 	nextTag uint16
 
 	instances map[string]*instanceRecord
+
+	// wireKey is the cluster key under which wire-transport session
+	// tokens are minted (generated at construction, persisted with the
+	// state so tokens survive a controller restart). wireIDs maps each
+	// peer to its stable 32-bit session id.
+	wireKey    uint64
+	wireIDs    map[string]uint32
+	nextWireID uint32
 
 	version uint64 // bumped on any change affecting instance configs
 
@@ -114,15 +123,18 @@ func NewWithMetrics(reg *obs.Registry) *Controller {
 		reg = obs.NewRegistry()
 	}
 	return &Controller{
-		mboxes:    make(map[string]*mboxRecord),
-		sets:      make(map[string]*setRecord),
-		global:    make(map[string]*globalPattern),
-		chains:    make(map[uint16][]string),
-		nextTag:   1,
-		instances: make(map[string]*instanceRecord),
-		lease:     DefaultLeaseConfig,
-		now:       time.Now,
-		met:       newCtlMetrics(reg),
+		mboxes:     make(map[string]*mboxRecord),
+		sets:       make(map[string]*setRecord),
+		global:     make(map[string]*globalPattern),
+		chains:     make(map[uint16][]string),
+		nextTag:    1,
+		instances:  make(map[string]*instanceRecord),
+		wireKey:    wire.NewClusterKey(),
+		wireIDs:    make(map[string]uint32),
+		nextWireID: 1,
+		lease:      DefaultLeaseConfig,
+		now:        time.Now,
+		met:        newCtlMetrics(reg),
 	}
 }
 
@@ -357,6 +369,34 @@ func (c *Controller) Version() uint64 {
 	return c.version
 }
 
+// WireKey reports the cluster key under which wire-transport session
+// tokens are minted. Wire servers (DPI instances, verdict consumers)
+// receive it over the control channel and validate tokens locally.
+func (c *Controller) WireKey() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wireKey
+}
+
+// IssueWireToken mints (or returns the previously-minted) wire session
+// token for the named peer. Tokens are stable per peer ID, so retried
+// registrations and restarted daemons get the same token back.
+func (c *Controller) IssueWireToken(peerID string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wireTokenLocked(peerID)
+}
+
+func (c *Controller) wireTokenLocked(peerID string) uint64 {
+	sid, ok := c.wireIDs[peerID]
+	if !ok {
+		sid = c.nextWireID
+		c.nextWireID++
+		c.wireIDs[peerID] = sid
+	}
+	return wire.IssueToken(c.wireKey, sid)
+}
+
 // InstanceConfig derives the engine configuration for a DPI service
 // instance serving the given chain tags — the deployment-grouping
 // mechanism of Section 4.3 (nil means all chains). Only middleboxes
@@ -456,7 +496,10 @@ func (c *Controller) InstanceInitMsg(instanceID string, tags []uint16, compact b
 	if err != nil {
 		return ctlproto.InstanceInit{}, err
 	}
-	msg := ctlproto.InstanceInit{InstanceID: instanceID, Compact: compact, Decompress: cfg.Decompress, Version: c.Version()}
+	msg := ctlproto.InstanceInit{
+		InstanceID: instanceID, Compact: compact, Decompress: cfg.Decompress,
+		Version: c.Version(), WireKey: c.WireKey(), WireToken: c.IssueWireToken(instanceID),
+	}
 	for _, p := range cfg.Profiles {
 		pd := ctlproto.ProfileDef{
 			Set: p.ID, Name: p.Name, Stateful: p.Stateful,

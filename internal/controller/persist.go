@@ -29,6 +29,18 @@ type stateFile struct {
 	NextTag   uint16          `json:"next_tag"`
 	NextSet   int             `json:"next_set"`
 	Instances []stateInstance `json:"instances"`
+	// WireKey and the session-id table make controller-issued wire
+	// tokens survive a restart: daemons holding old tokens keep
+	// working against servers that reload the same key. Zero WireKey
+	// (a pre-wire snapshot) keeps the freshly-generated key.
+	WireKey    uint64        `json:"wire_key,omitempty"`
+	NextWireID uint32        `json:"next_wire_id,omitempty"`
+	WireIDs    []stateWireID `json:"wire_ids,omitempty"`
+}
+
+type stateWireID struct {
+	PeerID  string `json:"peer_id"`
+	Session uint32 `json:"session"`
 }
 
 type stateMbox struct {
@@ -76,7 +88,14 @@ var (
 // SaveState writes a snapshot of the controller's configuration.
 func (c *Controller) SaveState(w io.Writer) error {
 	c.mu.Lock()
-	st := stateFile{Version: stateVersion, NextTag: c.nextTag, NextSet: c.nextSet}
+	st := stateFile{
+		Version: stateVersion, NextTag: c.nextTag, NextSet: c.nextSet,
+		WireKey: c.wireKey, NextWireID: c.nextWireID,
+	}
+	for id, sid := range c.wireIDs {
+		st.WireIDs = append(st.WireIDs, stateWireID{PeerID: id, Session: sid})
+	}
+	sort.Slice(st.WireIDs, func(i, j int) bool { return st.WireIDs[i].PeerID < st.WireIDs[j].PeerID })
 	for id, rec := range c.mboxes {
 		st.Mboxes = append(st.Mboxes, stateMbox{
 			MboxID: id, Name: rec.reg.Name, Type: rec.reg.Type,
@@ -196,6 +215,15 @@ func (c *Controller) LoadState(r io.Reader) error {
 	}
 	c.nextTag = st.NextTag
 	c.nextSet = st.NextSet
+	if st.WireKey != 0 {
+		c.wireKey = st.WireKey
+		if st.NextWireID > 0 {
+			c.nextWireID = st.NextWireID
+		}
+		for _, w := range st.WireIDs {
+			c.wireIDs[w.PeerID] = w.Session
+		}
+	}
 	// Restored state bypassed the mutation paths; resync the size gauges.
 	c.met.mboxes.Set(int64(len(c.mboxes)))
 	c.met.globalPatterns.Set(int64(len(c.global)))

@@ -118,7 +118,11 @@ func (s *Server) dispatch(conn net.Conn, env *ctlproto.Envelope) error {
 			return err
 		}
 		return ctlproto.WriteMsg(conn, ctlproto.TypeRegisterAck, env.Seq,
-			ctlproto.RegisterAck{MboxID: reg.MboxID, Set: set})
+			ctlproto.RegisterAck{
+				MboxID: reg.MboxID, Set: set,
+				WireToken: s.ctl.IssueWireToken(reg.MboxID),
+				WireKey:   s.ctl.WireKey(),
+			})
 
 	case ctlproto.TypeDeregister:
 		var msg ctlproto.Deregister
@@ -197,6 +201,17 @@ func (s *Server) dispatch(conn net.Conn, env *ctlproto.Envelope) error {
 			TTLMillis:  s.ctl.LeaseTTL().Milliseconds(),
 			Version:    s.ctl.Version(),
 		})
+
+	case ctlproto.TypeSession:
+		var req ctlproto.Session
+		if err := env.Decode(&req); err != nil {
+			return err
+		}
+		if req.PeerID == "" {
+			return errors.New("session request with empty peer ID")
+		}
+		return ctlproto.WriteMsg(conn, ctlproto.TypeSessionAck, env.Seq,
+			ctlproto.SessionAck{PeerID: req.PeerID, WireToken: s.ctl.IssueWireToken(req.PeerID)})
 
 	case ctlproto.TypeTelemetry:
 		var tel ctlproto.Telemetry

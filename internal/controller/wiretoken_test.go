@@ -1,0 +1,97 @@
+package controller
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"dpiservice/internal/ctlproto"
+	"dpiservice/internal/wire"
+)
+
+func TestWireTokenIssuance(t *testing.T) {
+	c := New()
+	key := c.WireKey()
+	if key == 0 {
+		t.Fatal("cluster key is zero")
+	}
+	tok := c.IssueWireToken("mbox-1")
+	if !wire.ValidToken(key, tok) {
+		t.Fatalf("issued token %#x fails validation", tok)
+	}
+	if again := c.IssueWireToken("mbox-1"); again != tok {
+		t.Fatalf("token not stable: %#x then %#x", tok, again)
+	}
+	tok2 := c.IssueWireToken("mbox-2")
+	if tok2 == tok || wire.TokenID(tok2) == wire.TokenID(tok) {
+		t.Fatalf("distinct peers share a session id: %#x %#x", tok, tok2)
+	}
+}
+
+func TestWireKeyPersists(t *testing.T) {
+	c := New()
+	if _, err := c.Register(ctlproto.Register{MboxID: "ids-1", Type: "ids"}); err != nil {
+		t.Fatal(err)
+	}
+	key := c.WireKey()
+	tok := c.IssueWireToken("ids-1")
+
+	var buf bytes.Buffer
+	if err := c.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New()
+	if err := c2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if c2.WireKey() != key {
+		t.Fatalf("restored key %#x, want %#x", c2.WireKey(), key)
+	}
+	if got := c2.IssueWireToken("ids-1"); got != tok {
+		t.Fatalf("restored token %#x, want %#x", got, tok)
+	}
+	// New peers after restore must not collide with persisted ids.
+	fresh := c2.IssueWireToken("ids-2")
+	if wire.TokenID(fresh) == wire.TokenID(tok) {
+		t.Fatalf("session id reused after restore: %#x", fresh)
+	}
+}
+
+func TestServerIssuesWireCredentials(t *testing.T) {
+	ctl, srv := startServer(t)
+	cl := dial(t, srv)
+
+	ack, err := cl.RegisterFull(context.Background(), ctlproto.Register{MboxID: "ids-1", Type: "ids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.WireKey != ctl.WireKey() {
+		t.Fatalf("ack key %#x, want %#x", ack.WireKey, ctl.WireKey())
+	}
+	if !wire.ValidToken(ack.WireKey, ack.WireToken) {
+		t.Fatalf("ack token %#x invalid under key", ack.WireToken)
+	}
+
+	tok, err := cl.NewSession(context.Background(), "trafficgen-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wire.ValidToken(ctl.WireKey(), tok) {
+		t.Fatalf("session token %#x invalid", tok)
+	}
+	if again, err := cl.NewSession(context.Background(), "trafficgen-0"); err != nil || again != tok {
+		t.Fatalf("session token not stable: %#x/%v then %#x", tok, err, again)
+	}
+	if _, err := cl.NewSession(context.Background(), ""); err == nil {
+		t.Fatal("empty peer ID accepted")
+	}
+
+	// Instance init carries the key and the instance's own token.
+	init, err := ctl.InstanceInitMsg("dpi-1", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if init.WireKey != ctl.WireKey() || !wire.ValidToken(init.WireKey, init.WireToken) {
+		t.Fatalf("instance init credentials: key %#x token %#x", init.WireKey, init.WireToken)
+	}
+}

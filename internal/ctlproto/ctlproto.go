@@ -33,6 +33,8 @@ const (
 	TypeTelemetry      MsgType = "telemetry"
 	TypeLease          MsgType = "lease"
 	TypeLeaseAck       MsgType = "lease_ack"
+	TypeSession        MsgType = "session"
+	TypeSessionAck     MsgType = "session_ack"
 	TypeMigrateFlows   MsgType = "migrate_flows"
 	TypeAck            MsgType = "ack"
 	TypeError          MsgType = "error"
@@ -109,6 +111,13 @@ type RegisterAck struct {
 	// Set is the pattern-set index assigned by the controller; match
 	// report sections for this middlebox carry it.
 	Set int `json:"set"`
+	// WireToken is the controller-issued session token the middlebox
+	// presents when dialing wire-transport servers (DPI instances).
+	WireToken uint64 `json:"wire_token,omitempty"`
+	// WireKey is the cluster key for validating wire session tokens; a
+	// middlebox that runs its own wire server (a verdict consumer)
+	// needs it to authenticate connecting instances.
+	WireKey uint64 `json:"wire_key,omitempty"`
 }
 
 // PatternDef describes one pattern in add/remove messages. Content is
@@ -188,6 +197,12 @@ type InstanceInit struct {
 	// was derived from; an instance re-requesting its configuration
 	// can skip rebuilding when it is unchanged.
 	Version uint64 `json:"version"`
+	// WireKey is the cluster key the instance's wire-transport server
+	// uses to validate session tokens on incoming data frames.
+	WireKey uint64 `json:"wire_key,omitempty"`
+	// WireToken is the instance's own session token, presented when it
+	// dials middlebox verdict consumers over the wire transport.
+	WireToken uint64 `json:"wire_token,omitempty"`
 }
 
 // FlowKey identifies one flow in telemetry and migration messages.
@@ -234,6 +249,20 @@ type LeaseAck struct {
 	// should renew well within it (the daemons renew at TTL/3).
 	TTLMillis int64  `json:"ttl_ms"`
 	Version   uint64 `json:"version"`
+}
+
+// Session requests a wire-transport session token for a peer that is
+// neither a registered middlebox nor a DPI instance (a traffic source,
+// a benchmark driver). Tokens are stable per peer ID, so lost-ack
+// retries are safe.
+type Session struct {
+	PeerID string `json:"peer_id"`
+}
+
+// SessionAck carries the issued token back.
+type SessionAck struct {
+	PeerID    string `json:"peer_id"`
+	WireToken uint64 `json:"wire_token"`
 }
 
 // MigrateFlows instructs an instance to hand the given flows to another

@@ -57,7 +57,7 @@ func EnableMetrics(reg *obs.Registry) {
 		TypeRegister, TypeRegisterAck, TypeDeregister,
 		TypeAddPatterns, TypeRemovePatterns, TypePolicyChains,
 		TypeInstanceHello, TypeInstanceInit, TypeTelemetry,
-		TypeLease, TypeLeaseAck,
+		TypeLease, TypeLeaseAck, TypeSession, TypeSessionAck,
 		TypeMigrateFlows, TypeAck, TypeError,
 	} {
 		m.perType[t] = reg.Counter("ctlproto.msg." + string(t))

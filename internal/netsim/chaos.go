@@ -21,6 +21,10 @@ type Fault struct {
 	// DupProb is the probability in [0,1] that a frame is delivered
 	// twice (duplication happens after the drop decision).
 	DupProb float64
+	// ReorderProb is the probability in [0,1] that a frame is held back
+	// and delivered after its successor on the same direction — a pure
+	// transposition, no loss.
+	ReorderProb float64
 	// ExtraLatency is added to every delivered frame.
 	ExtraLatency time.Duration
 	// Partition drops every frame, as a severed cable would.
@@ -32,6 +36,7 @@ type ChaosStats struct {
 	Dropped    uint64 // frames discarded (faults and crashed nodes)
 	Duplicated uint64 // extra copies delivered
 	Delayed    uint64 // frames held back by ExtraLatency
+	Reordered  uint64 // frames swapped with their successor
 }
 
 // chaosState lives inside Network, zero-valued until a fault is
@@ -108,39 +113,44 @@ func (n *Network) ChaosStats() ChaosStats {
 	return n.chaos.stats
 }
 
-// chaosVerdict decides one delivery: drop it, duplicate it, and/or
-// delay it. Called from link goroutines.
-func (n *Network) chaosVerdict(src, dst string) (drop, dup bool, delay time.Duration) {
+// chaosVerdict decides one delivery: drop it, duplicate it, hold it
+// back behind its successor, and/or delay it. Called from link
+// goroutines.
+func (n *Network) chaosVerdict(src, dst string) (drop, dup, reorder bool, delay time.Duration) {
 	c := &n.chaos
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.down[src] || c.down[dst] {
 		c.stats.Dropped++
-		return true, false, 0
+		return true, false, false, 0
 	}
 	f, ok := c.faults[[2]string{src, dst}]
 	if !ok {
-		return false, false, 0
+		return false, false, false, 0
 	}
 	if f.Partition {
 		c.stats.Dropped++
-		return true, false, 0
+		return true, false, false, 0
 	}
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(1))
 	}
 	if f.DropProb > 0 && c.rng.Float64() < f.DropProb {
 		c.stats.Dropped++
-		return true, false, 0
+		return true, false, false, 0
 	}
 	if f.DupProb > 0 && c.rng.Float64() < f.DupProb {
 		dup = true
 		c.stats.Duplicated++
 	}
+	if f.ReorderProb > 0 && c.rng.Float64() < f.ReorderProb {
+		reorder = true
+		c.stats.Reordered++
+	}
 	if f.ExtraLatency > 0 {
 		c.stats.Delayed++
 	}
-	return false, dup, f.ExtraLatency
+	return false, dup, reorder, f.ExtraLatency
 }
 
 // chaosActive cheaply reports whether any fault or crash is installed,

@@ -158,6 +158,10 @@ func (n *Network) startDirection(src, dst Node, opts LinkOpts) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
+		// held is a frame the chaos layer transposed: it is delivered
+		// right after the next frame on this direction.
+		var held []byte
+		hasHeld := false
 		for {
 			select {
 			case frame := <-p.ch:
@@ -168,7 +172,7 @@ func (n *Network) startDirection(src, dst Node, opts LinkOpts) {
 					time.Sleep(time.Duration(int64(len(frame)) * 8 * int64(time.Second) / opts.RateBps))
 				}
 				if n.chaosActive() {
-					drop, dup, delay := n.chaosVerdict(srcName, dstName)
+					drop, dup, reorder, delay := n.chaosVerdict(srcName, dstName)
 					if drop {
 						continue
 					}
@@ -180,8 +184,16 @@ func (n *Network) startDirection(src, dst Node, opts LinkOpts) {
 						// before the original is handed over.
 						dst.Recv(dstPort, append([]byte(nil), frame...))
 					}
+					if reorder && !hasHeld {
+						held, hasHeld = frame, true
+						continue
+					}
 				}
 				dst.Recv(dstPort, frame)
+				if hasHeld {
+					dst.Recv(dstPort, held)
+					held, hasHeld = nil, false
+				}
 			case <-n.done:
 				return
 			}

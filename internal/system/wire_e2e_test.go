@@ -1,0 +1,325 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWireE2E is the multi-process end-to-end test: it builds the real
+// daemon binaries and runs a full deployment — dpictl, two dpinstance
+// processes, an mboxd verdict consumer — as separate OS processes
+// exchanging batched UDP over loopback, then drives traffic with
+// trafficgen and asserts results, wire metrics and SIGKILL failover.
+//
+// Gated behind DPI_WIRE_E2E=1 (it builds binaries and binds real
+// sockets); CI runs it in the wire-e2e job. Logs land in the test temp
+// dir and are dumped when the test fails.
+func TestWireE2E(t *testing.T) {
+	if os.Getenv("DPI_WIRE_E2E") != "1" {
+		t.Skip("set DPI_WIRE_E2E=1 to run the multi-process wire e2e test")
+	}
+	bin := buildDaemons(t)
+	dir := t.TempDir()
+
+	var (
+		ctlPort      = freePort(t)
+		ctlDebugPort = freePort(t)
+		mboxPort     = freePort(t)
+		mboxDebug    = freePort(t)
+		wire1Port    = freePort(t)
+		wire2Port    = freePort(t)
+		inst1Debug   = freePort(t)
+		inst2Debug   = freePort(t)
+		data1Port    = freePort(t)
+		data2Port    = freePort(t)
+	)
+	ctlAddr := hostPort(ctlPort)
+
+	// Controller first: everything else registers with it.
+	dpictl := startDaemon(t, dir, "dpictl", bin["dpictl"],
+		"-listen", ctlAddr,
+		"-debug-addr", hostPort(ctlDebugPort),
+		"-lease-ttl", "2s", "-lease-sweep", "1s",
+		"-state", filepath.Join(dir, "dpictl.state"),
+	)
+	waitHealthy(t, ctlDebugPort, "dpictl")
+
+	// The middlebox registers its synthetic pattern set, reports the
+	// policy chain, and stays up as the wire verdict consumer.
+	startDaemon(t, dir, "mboxd", bin["mboxd"],
+		"-controller", ctlAddr, "-id", "ids-1", "-type", "ids",
+		"-synthetic", "256", "-seed", "1", "-chain", "ids-1",
+		"-listen", hostPort(mboxPort), "-debug-addr", hostPort(mboxDebug),
+	)
+	waitHealthy(t, mboxDebug, "mboxd")
+
+	// Two DPI instances serve the chain; both forward verdicts to the
+	// middlebox.
+	inst1 := startDaemon(t, dir, "dpinstance-1", bin["dpinstance"],
+		"-controller", ctlAddr, "-id", "dpi-1",
+		"-data", hostPort(data1Port), "-listen", hostPort(wire1Port),
+		"-verdicts", hostPort(mboxPort), "-debug-addr", hostPort(inst1Debug),
+		"-lease", "500ms",
+	)
+	waitHealthy(t, inst1Debug, "dpinstance-1")
+	startDaemon(t, dir, "dpinstance-2", bin["dpinstance"],
+		"-controller", ctlAddr, "-id", "dpi-2",
+		"-data", hostPort(data2Port), "-listen", hostPort(wire2Port),
+		"-verdicts", hostPort(mboxPort), "-debug-addr", hostPort(inst2Debug),
+		"-lease", "500ms",
+	)
+	waitHealthy(t, inst2Debug, "dpinstance-2")
+
+	// Drive traffic at instance 1 over the wire transport. The injected
+	// patterns are the first 64 of the middlebox's synthetic set (same
+	// generator, same seed), so a healthy fraction of packets match and
+	// verdicts must flow to mboxd.
+	runTrafficgen(t, dir, "trafficgen-1", bin["trafficgen"],
+		"-connect", hostPort(wire1Port), "-controller", ctlAddr,
+		"-peer", "tg-1", "-tag", "1", "-bytes", strconv.Itoa(2<<20),
+		"-inject", "64", "-seed", "1", "-match", "0.3",
+	)
+
+	// Wire counters on the instance and the verdict consumer.
+	m1 := fetchMetrics(t, inst1Debug)
+	if m1["wire.frames_in"] == 0 || m1["wire.frames_out"] == 0 {
+		t.Errorf("dpi-1 wire counters: frames_in=%d frames_out=%d, want nonzero",
+			m1["wire.frames_in"], m1["wire.frames_out"])
+	}
+	if m1["wire.batches_in"] == 0 {
+		t.Errorf("dpi-1 wire.batches_in = 0, want nonzero")
+	}
+	mv := fetchMetrics(t, mboxDebug)
+	if mv["mbox.verdicts"] == 0 || mv["mbox.matches"] == 0 {
+		t.Errorf("mboxd verdict counters: verdicts=%d matches=%d, want nonzero",
+			mv["mbox.verdicts"], mv["mbox.matches"])
+	}
+	if mv["mbox.bad_reports"] != 0 {
+		t.Errorf("mboxd decoded %d bad reports", mv["mbox.bad_reports"])
+	}
+
+	// SIGKILL instance 1 — no cleanup, no FIN, the hard failure mode.
+	// Traffic re-steered to the survivor must flow immediately, and the
+	// controller must declare the corpse dead once its lease lapses.
+	if err := inst1.Process.Kill(); err != nil {
+		t.Fatalf("kill dpi-1: %v", err)
+	}
+	runTrafficgen(t, dir, "trafficgen-2", bin["trafficgen"],
+		"-connect", hostPort(wire2Port), "-controller", ctlAddr,
+		"-peer", "tg-2", "-tag", "1", "-bytes", strconv.Itoa(1<<20),
+		"-inject", "64", "-seed", "1", "-match", "0.3",
+	)
+	waitInstanceHealth(t, ctlDebugPort, "dpi-1", "dead", 15*time.Second)
+
+	// The controller survives a SIGTERM cycle with its state (including
+	// the wire cluster key) intact — tokens issued before the restart
+	// keep validating after it.
+	if err := dpictl.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("stop dpictl: %v", err)
+	}
+	if err := dpictl.Wait(); err != nil {
+		t.Fatalf("dpictl exit: %v", err)
+	}
+	startDaemon(t, dir, "dpictl-2", bin["dpictl"],
+		"-listen", ctlAddr,
+		"-debug-addr", hostPort(ctlDebugPort),
+		"-lease-ttl", "2s", "-lease-sweep", "1s",
+		"-state", filepath.Join(dir, "dpictl.state"),
+	)
+	waitHealthy(t, ctlDebugPort, "dpictl-2")
+	runTrafficgen(t, dir, "trafficgen-3", bin["trafficgen"],
+		"-connect", hostPort(wire2Port), "-controller", ctlAddr,
+		"-peer", "tg-3", "-tag", "1", "-bytes", strconv.Itoa(1<<20),
+		"-inject", "64", "-seed", "1", "-match", "0.3",
+	)
+}
+
+// buildDaemons compiles the real binaries once into a shared temp dir.
+func buildDaemons(t *testing.T) map[string]string {
+	t.Helper()
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	bin := make(map[string]string)
+	for _, name := range []string{"dpictl", "dpinstance", "mboxd", "trafficgen"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = root
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		bin[name] = out
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func hostPort(port int) string { return "127.0.0.1:" + strconv.Itoa(port) }
+
+// freePort reserves an ephemeral TCP port and releases it for the
+// daemon to claim. The small race window is acceptable on a loopback
+// test host.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// startDaemon launches one binary with its stderr+stdout teed to a log
+// file, killing it (and dumping the log on failure) at test end.
+func startDaemon(t *testing.T, dir, name, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	logPath := filepath.Join(dir, name+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		t.Fatalf("start %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		logFile.Close()
+		if t.Failed() {
+			dumpLog(t, name, logPath)
+		}
+	})
+	return cmd
+}
+
+// runTrafficgen executes one trafficgen run to completion and fails the
+// test (with the log) if it exits nonzero.
+func runTrafficgen(t *testing.T, dir, name, bin string, args ...string) {
+	t.Helper()
+	logPath := filepath.Join(dir, name+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Run(); err != nil {
+		dumpLog(t, name, logPath)
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+func dumpLog(t *testing.T, name, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Logf("== %s log unreadable: %v", name, err)
+		return
+	}
+	t.Logf("== %s log ==\n%s", name, data)
+}
+
+// waitHealthy polls a daemon's /healthz until it answers 200.
+func waitHealthy(t *testing.T, debugPort int, name string) {
+	t.Helper()
+	url := fmt.Sprintf("http://127.0.0.1:%d/healthz", debugPort)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy at %s", name, url)
+}
+
+// fetchMetrics reads a daemon's /metrics?format=text into a name ->
+// value map.
+func fetchMetrics(t *testing.T, debugPort int) map[string]uint64 {
+	t.Helper()
+	url := fmt.Sprintf("http://127.0.0.1:%d/metrics?format=text", debugPort)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("fetch %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	out := make(map[string]uint64)
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+			out[fields[0]] = v
+		}
+	}
+	return out
+}
+
+// waitInstanceHealth polls the controller's /instances view until the
+// named instance reports the wanted health state.
+func waitInstanceHealth(t *testing.T, ctlDebugPort int, id, want string, timeout time.Duration) {
+	t.Helper()
+	url := fmt.Sprintf("http://127.0.0.1:%d/instances", ctlDebugPort)
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			var snaps []struct {
+				ID     string `json:"ID"`
+				Health string `json:"Health"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&snaps)
+			resp.Body.Close()
+			if err == nil {
+				for _, s := range snaps {
+					if s.ID == id {
+						if strings.EqualFold(s.Health, want) {
+							return
+						}
+						last = s.Health
+					}
+				}
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	t.Fatalf("instance %s never reached health %q (last seen %q)", id, want, last)
+}

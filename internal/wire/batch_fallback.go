@@ -1,0 +1,15 @@
+//go:build !linux || !(amd64 || arm64)
+
+package wire
+
+import "net"
+
+// batchIO is unavailable on this platform: newBatchIO returns nil and
+// UDPTransport falls back to the portable per-datagram loop. The
+// methods exist only to satisfy references from udp.go.
+type batchIO struct{}
+
+func newBatchIO(conn *net.UDPConn, connected bool) *batchIO { return nil }
+
+func (b *batchIO) readBatch(dgs []Datagram) (int, error)  { panic("unreachable") }
+func (b *batchIO) writeBatch(dgs []Datagram) (int, error) { panic("unreachable") }

@@ -1,0 +1,228 @@
+//go:build linux && (amd64 || arm64)
+
+package wire
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// Real batch I/O: sendmmsg(2)/recvmmsg(2) move up to DefaultBatch
+// datagrams per syscall, so the transport's per-packet syscall cost is
+// ~1/batch of the portable loop's — without this, kernel crossings
+// would erase the per-packet wins of the batched scan path (PR 6).
+// Restricted to linux on little-endian 64-bit, where the
+// syscall.Msghdr layout below and the raw sockaddr byte order are
+// known; every other platform uses the portable loop in udp.go.
+//
+// The structures are prepared once and reused: the only per-call work
+// is pointer/length fixup, the syscall itself, and sockaddr decoding.
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// transferred-byte count.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+const (
+	sizeofSockaddrInet4 = 16
+	sizeofSockaddrInet6 = 28
+	sockaddrBufLen      = 128 // sockaddr_storage
+
+	afInet  = 2
+	afInet6 = 10
+)
+
+// batchIO owns the reusable mmsg scratch for one socket. Read and
+// write sides are independent, matching Transport's one-reader +
+// one-writer contract.
+type batchIO struct {
+	rc        syscall.RawConn
+	connected bool
+
+	rhs    []mmsghdr
+	riov   []syscall.Iovec
+	rnames [][sockaddrBufLen]byte
+
+	whs    []mmsghdr
+	wiov   []syscall.Iovec
+	wnames [][sockaddrBufLen]byte
+}
+
+// newBatchIO prepares batch state for conn; nil when the raw conn is
+// unavailable.
+func newBatchIO(conn *net.UDPConn, connected bool) *batchIO {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	b := &batchIO{rc: rc, connected: connected}
+	b.rhs = make([]mmsghdr, DefaultBatch)
+	b.riov = make([]syscall.Iovec, DefaultBatch)
+	b.rnames = make([][sockaddrBufLen]byte, DefaultBatch)
+	b.whs = make([]mmsghdr, DefaultBatch)
+	b.wiov = make([]syscall.Iovec, DefaultBatch)
+	b.wnames = make([][sockaddrBufLen]byte, DefaultBatch)
+	return b
+}
+
+// readBatch fills dgs via one (or, under contention, a few) recvmmsg
+// calls: it blocks via the runtime poller until at least one datagram
+// is ready, then drains up to len(dgs) in the single syscall.
+func (b *batchIO) readBatch(dgs []Datagram) (int, error) {
+	n := len(dgs)
+	if n > len(b.rhs) {
+		n = len(b.rhs)
+	}
+	for i := 0; i < n; i++ {
+		buf := dgs[i].Buf[:cap(dgs[i].Buf)]
+		b.riov[i].Base = &buf[0]
+		b.riov[i].Len = uint64(len(buf))
+		h := &b.rhs[i].hdr
+		h.Name = &b.rnames[i][0]
+		h.Namelen = sockaddrBufLen
+		h.Iov = &b.riov[i]
+		h.Iovlen = 1
+		h.Control = nil
+		h.Controllen = 0
+		h.Flags = 0
+		b.rhs[i].n = 0
+	}
+	var got int
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		r1, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.rhs[0])), uintptr(n),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park until readable, then retry
+		}
+		got, errno = int(r1), e
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	for i := 0; i < got; i++ {
+		dgs[i].Buf = dgs[i].Buf[:cap(dgs[i].Buf)][:b.rhs[i].n]
+		dgs[i].Addr = Addr{AP: decodeSockaddr(&b.rnames[i], b.rhs[i].hdr.Namelen)}
+	}
+	return got, nil
+}
+
+// writeBatch sends all of dgs, looping sendmmsg over partial sends.
+func (b *batchIO) writeBatch(dgs []Datagram) (int, error) {
+	sent := 0
+	for sent < len(dgs) {
+		n := len(dgs) - sent
+		if n > len(b.whs) {
+			n = len(b.whs)
+		}
+		for i := 0; i < n; i++ {
+			dg := &dgs[sent+i]
+			b.wiov[i].Base = &dg.Buf[0]
+			b.wiov[i].Len = uint64(len(dg.Buf))
+			h := &b.whs[i].hdr
+			h.Iov = &b.wiov[i]
+			h.Iovlen = 1
+			h.Control = nil
+			h.Controllen = 0
+			h.Flags = 0
+			if b.connected || !dg.Addr.AP.IsValid() {
+				h.Name = nil
+				h.Namelen = 0
+			} else {
+				h.Name = &b.wnames[i][0]
+				h.Namelen = encodeSockaddr(&b.wnames[i], dg.Addr.AP)
+			}
+			b.whs[i].n = 0
+		}
+		var wrote int
+		var errno syscall.Errno
+		err := b.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&b.whs[0])), uintptr(n),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			wrote, errno = int(r1), e
+			return true
+		})
+		if err != nil {
+			return sent, err
+		}
+		if errno != 0 {
+			return sent, errno
+		}
+		if wrote <= 0 {
+			return sent, syscall.EIO
+		}
+		sent += wrote
+	}
+	return sent, nil
+}
+
+// decodeSockaddr converts a raw kernel sockaddr to netip. The host is
+// little-endian (build tag), sin_port network order.
+func decodeSockaddr(raw *[sockaddrBufLen]byte, namelen uint32) netip.AddrPort {
+	if namelen < 4 {
+		return netip.AddrPort{}
+	}
+	family := uint16(raw[0]) | uint16(raw[1])<<8
+	port := uint16(raw[2])<<8 | uint16(raw[3])
+	switch family {
+	case afInet:
+		if namelen < sizeofSockaddrInet4 {
+			return netip.AddrPort{}
+		}
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte(raw[4:8])), port)
+	case afInet6:
+		if namelen < sizeofSockaddrInet6 {
+			return netip.AddrPort{}
+		}
+		a := netip.AddrFrom16([16]byte(raw[8:24]))
+		if a.Is4In6() {
+			a = a.Unmap()
+		}
+		return netip.AddrPortFrom(a, port)
+	}
+	return netip.AddrPort{}
+}
+
+// encodeSockaddr writes ap as a raw sockaddr and returns its length.
+func encodeSockaddr(raw *[sockaddrBufLen]byte, ap netip.AddrPort) uint32 {
+	port := ap.Port()
+	if ap.Addr().Is4() || ap.Addr().Is4In6() {
+		a4 := ap.Addr().Unmap().As4()
+		raw[0] = afInet
+		raw[1] = 0
+		raw[2] = byte(port >> 8)
+		raw[3] = byte(port)
+		copy(raw[4:8], a4[:])
+		for i := 8; i < sizeofSockaddrInet4; i++ {
+			raw[i] = 0
+		}
+		return sizeofSockaddrInet4
+	}
+	a16 := ap.Addr().As16()
+	raw[0] = afInet6
+	raw[1] = 0
+	raw[2] = byte(port >> 8)
+	raw[3] = byte(port)
+	for i := 4; i < 8; i++ {
+		raw[i] = 0 // flowinfo
+	}
+	copy(raw[8:24], a16[:])
+	for i := 24; i < sizeofSockaddrInet6; i++ {
+		raw[i] = 0 // scope id
+	}
+	return sizeofSockaddrInet6
+}

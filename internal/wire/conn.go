@@ -1,0 +1,379 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"dpiservice/internal/packet"
+)
+
+// ErrTimeout reports an expired wait (hello handshake, WaitIdle).
+var ErrTimeout = errors.New("wire: timed out")
+
+// coalesceBudget is the soft datagram size for frame coalescing: small
+// frames (acks, results) pack together up to this size before a new
+// datagram is opened. A single frame larger than the budget still gets
+// its own datagram (up to MaxFramePayload).
+const coalesceBudget = 1400
+
+// stager coalesces emitted frames into datagrams and hands full
+// batches to its write function. All buffers are preallocated; staging
+// is allocation free. Owners serialize access under their own mutex.
+type stager struct {
+	dgs   []Datagram
+	n     int // datagrams staged; dgs[n-1] is open for coalescing
+	addr  Addr
+	met   *Metrics
+	write func(dgs []Datagram)
+}
+
+func newStager(addr Addr, met *Metrics, write func([]Datagram)) *stager {
+	//dpi:coldalloc(session setup: all staging buffers preallocated once per peer)
+	s := &stager{addr: addr, met: met, write: write}
+	//dpi:coldalloc(session setup: all staging buffers preallocated once per peer)
+	s.dgs = make([]Datagram, DefaultBatch)
+	for i := range s.dgs {
+		//dpi:coldalloc(session setup: all staging buffers preallocated once per peer)
+		s.dgs[i].Buf = make([]byte, 0, MaxDatagram)
+	}
+	return s
+}
+
+// stage appends one frame, opening a new datagram when the current one
+// is at budget and writing the whole batch out when all slots fill.
+//
+//dpi:hotpath
+func (s *stager) stage(h Header, payload []byte) {
+	need := HeaderLen + len(payload)
+	if s.n == 0 || len(s.dgs[s.n-1].Buf)+need > coalesceBudget {
+		if s.n == len(s.dgs) {
+			s.flush()
+		}
+		s.n++
+		cur := &s.dgs[s.n-1]
+		cur.Buf = cur.Buf[:0]
+		cur.Addr = s.addr
+	}
+	cur := &s.dgs[s.n-1]
+	cur.Buf = AppendFrame(cur.Buf, h, payload)
+	s.met.addFramesOut(1, uint64(HeaderLen+len(payload)))
+}
+
+// flush writes every staged datagram.
+//
+//dpi:hotpath
+func (s *stager) flush() {
+	if s.n == 0 {
+		return
+	}
+	s.write(s.dgs[:s.n])
+	s.n = 0
+}
+
+// Conn is the client side of a wire session: it dials a Transport,
+// performs the Hello handshake with the controller-issued session
+// token, and then exchanges reliable frames with the server. Two
+// goroutines service it — a receive loop draining transport batches
+// and a ticker driving retransmission — while callers block on
+// SendData/SendVerdict under window backpressure.
+type Conn struct {
+	tr    Transport
+	cfg   Config
+	met   *Metrics
+	id    string
+	token uint64
+
+	clockBase time.Time
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	// onResult receives each in-order TResult: the echoed data seq and
+	// the report bytes (valid only during the call). Runs on the receive
+	// goroutine; set before Start.
+	onResult func(dataSeq uint32, report []byte)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ep      *Endpoint
+	st      *stager
+	emit    Emit
+	helloOK bool
+	closed  bool
+	err     error
+	ackBuf  []byte
+	scratch []byte // frame payload assembly (data subheader + app bytes)
+}
+
+// NewConn wraps an already-dialed transport as a client session
+// authenticated by token. cfg zero-values select defaults; met may be
+// nil. Call Start to handshake.
+func NewConn(tr Transport, token uint64, id string, cfg Config, met *Metrics) *Conn {
+	cfg.defaults()
+	c := &Conn{
+		tr:        tr,
+		cfg:       cfg,
+		met:       met,
+		id:        id,
+		token:     token,
+		clockBase: time.Now(),
+		done:      make(chan struct{}),
+		ackBuf:    make([]byte, SackBytes(cfg.Window)),
+		scratch:   make([]byte, 0, MaxFramePayload),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.ep = NewEndpoint(token, cfg, met)
+	c.st = newStager(Addr{}, met, c.writeOut)
+	c.emit = c.st.stage
+	return c
+}
+
+// OnResult registers the result callback. Must be called before Start.
+func (c *Conn) OnResult(fn func(dataSeq uint32, report []byte)) { c.onResult = fn }
+
+// now returns session-relative monotonic nanoseconds.
+func (c *Conn) now() int64 { return int64(time.Since(c.clockBase)) }
+
+// writeOut is the stager's sink; a transport error poisons the conn.
+func (c *Conn) writeOut(dgs []Datagram) {
+	if _, err := c.tr.WriteBatch(dgs); err != nil && c.err == nil && !c.closed {
+		c.err = err
+	}
+	c.met.addBatchOut()
+}
+
+// Start launches the service goroutines and performs the Hello
+// handshake, retrying until the server acks or timeout expires.
+func (c *Conn) Start(timeout time.Duration) error {
+	c.met.sessionDelta(1)
+	c.wg.Add(2)
+	go c.recvLoop()
+	go c.tickLoop()
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		if c.helloOK {
+			c.mu.Unlock()
+			return nil
+		}
+		if err := c.stateErr(); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		c.st.stage(Header{Type: THello, Token: c.token}, []byte(c.id))
+		c.st.flush()
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// stateErr returns the sticky failure, if any. Caller holds mu.
+func (c *Conn) stateErr() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// recvLoop drains transport batches into the endpoint.
+func (c *Conn) recvLoop() {
+	defer c.wg.Done()
+	dgs := make([]Datagram, DefaultBatch)
+	for i := range dgs {
+		dgs[i].Buf = make([]byte, 0, MaxDatagram)
+	}
+	for {
+		n, err := c.tr.ReadBatch(dgs)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		now := c.now()
+		c.mu.Lock()
+		c.met.addBatchIn(uint64(n))
+		for i := 0; i < n; i++ {
+			c.handleDatagram(dgs[i].Buf, now)
+		}
+		if c.ep.AckDue() {
+			c.ep.BuildAck(c.ackBuf, c.emit)
+		}
+		c.st.flush()
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}
+}
+
+// handleDatagram walks the frames packed in one datagram. Caller holds
+// mu.
+//
+//dpi:hotpath
+func (c *Conn) handleDatagram(buf []byte, now int64) {
+	for len(buf) > 0 {
+		h, payload, rest, err := NextFrame(buf)
+		if err != nil {
+			c.met.addBadFrame()
+			return
+		}
+		buf = rest
+		c.met.addFramesIn(1, uint64(HeaderLen+len(payload)))
+		if h.Token != c.token {
+			c.met.addBadToken()
+			continue
+		}
+		switch h.Type {
+		case THelloAck:
+			c.helloOK = true
+		case TAck:
+			c.ep.HandleAck(h.Ack, payload, now, c.emit)
+		case TData, TResult, TVerdict:
+			c.ep.HandleFrame(h, payload, now, c.deliver, c.emit)
+		}
+	}
+}
+
+// deliver dispatches in-order reliable frames; clients only consume
+// results.
+//
+//dpi:hotpath
+func (c *Conn) deliver(t Type, seq uint32, payload []byte) {
+	if t != TResult || c.onResult == nil || len(payload) < ResultHdrLen {
+		return
+	}
+	dataSeq := binary.BigEndian.Uint32(payload[:ResultHdrLen])
+	c.onResult(dataSeq, payload[ResultHdrLen:])
+}
+
+// tickLoop drives retransmission and pending acks.
+func (c *Conn) tickLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.RTOBase / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			now := c.now()
+			c.mu.Lock()
+			alive := c.ep.Tick(now, c.emit)
+			if c.ep.AckDue() {
+				c.ep.BuildAck(c.ackBuf, c.emit)
+			}
+			c.st.flush()
+			if !alive && c.err == nil {
+				c.err = ErrSessionDead
+			}
+			c.mu.Unlock()
+			c.cond.Broadcast()
+		}
+	}
+}
+
+// fail records a terminal error (unless the conn is closing).
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil && !c.closed {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// SendData queues one packet (chain tag, five-tuple, payload) on the
+// reliable channel, blocking while the send window is full. It returns
+// the frame seq, which the matching TResult echoes.
+func (c *Conn) SendData(tag uint16, tuple packet.FiveTuple, payload []byte) (uint32, error) {
+	return c.sendReliable(TData, tag, tuple, payload)
+}
+
+// SendVerdict queues one match verdict (instance → middlebox
+// consumer) on the reliable channel.
+func (c *Conn) SendVerdict(tag uint16, tuple packet.FiveTuple, report []byte) error {
+	_, err := c.sendReliable(TVerdict, tag, tuple, report)
+	return err
+}
+
+// sendReliable assembles tag+tuple+body and submits it, waiting out
+// window backpressure.
+func (c *Conn) sendReliable(t Type, tag uint16, tuple packet.FiveTuple, body []byte) (uint32, error) {
+	c.mu.Lock()
+	for {
+		if err := c.stateErr(); err != nil {
+			c.mu.Unlock()
+			return 0, err
+		}
+		c.scratch = AppendData(c.scratch[:0], tag, tuple, body)
+		seq, err := c.ep.Send(t, c.scratch, c.now(), c.emit)
+		if err == ErrWindowFull {
+			c.cond.Wait()
+			continue
+		}
+		c.mu.Unlock()
+		return seq, err
+	}
+}
+
+// Flush pushes any staged frames to the transport immediately.
+func (c *Conn) Flush() {
+	c.mu.Lock()
+	c.st.flush()
+	c.mu.Unlock()
+}
+
+// WaitIdle blocks until every sent frame has been acked, the session
+// fails, or timeout expires.
+func (c *Conn) WaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.ep.InFlight() > 0 || c.st.n > 0 {
+		if err := c.stateErr(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	return c.err
+}
+
+// Stats snapshots the endpoint protocol counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ep.Stats()
+}
+
+// Err returns the sticky failure, if any.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close shuts the conn down and waits for its goroutines.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.tr.Close()
+	c.wg.Wait()
+	c.met.sessionDelta(-1)
+	return nil
+}

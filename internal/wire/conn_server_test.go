@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/packet"
+)
+
+// testKey is the fixed cluster key of the in-process tests.
+const testKey = uint64(0xfeedfacecafebeef)
+
+// testCfg shrinks timers so loss recovery happens in test time.
+var testCfg = Config{RTOBase: 10 * time.Millisecond, RTOMax: 100 * time.Millisecond, JitterSeed: 7}
+
+var testTuple = packet.FiveTuple{
+	Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{198, 51, 100, 7},
+	SrcPort: 40000, DstPort: 80, Protocol: 6,
+}
+
+// resultSink collects results concurrently with the receive loop.
+type resultSink struct {
+	mu      sync.Mutex
+	results map[uint32]string
+}
+
+func newResultSink() *resultSink { return &resultSink{results: make(map[uint32]string)} }
+
+func (r *resultSink) add(seq uint32, report []byte) {
+	r.mu.Lock()
+	r.results[seq] = string(report)
+	r.mu.Unlock()
+}
+
+func (r *resultSink) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.results)
+}
+
+func (r *resultSink) get(seq uint32) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.results[seq]
+	return s, ok
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// echoServer answers every TData with a TResult echoing the payload
+// uppercased-by-position (cheap but position-sensitive, so corruption
+// or mispairing shows).
+func echoServer(t *testing.T, tr Transport, met *Metrics) *Server {
+	t.Helper()
+	srv := NewServer(tr, testKey, testCfg, met)
+	srv.OnData(func(s *Session, seq uint32, tag uint16, tuple packet.FiveTuple, payload []byte) {
+		if tuple != testTuple {
+			t.Errorf("tuple = %+v", tuple)
+		}
+		report := []byte(fmt.Sprintf("match:%d:%s", tag, payload))
+		if err := s.SendResult(seq, report); err != nil {
+			t.Errorf("SendResult: %v", err)
+		}
+	})
+	srv.Start()
+	return srv
+}
+
+// runExchange pushes n packets through the client and asserts every
+// one's result arrives and pairs correctly.
+func runExchange(t *testing.T, c *Conn, n int, sink *resultSink, seqs map[int]uint32) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq, err := c.SendData(3, testTuple, []byte(fmt.Sprintf("pkt-%05d", i)))
+		if err != nil {
+			t.Fatalf("SendData %d: %v", i, err)
+		}
+		seqs[i] = seq
+	}
+	c.Flush()
+	if err := c.WaitIdle(20 * time.Second); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	waitFor(t, 20*time.Second, "all results", func() bool { return sink.len() >= n })
+	for i := 0; i < n; i++ {
+		got, ok := sink.get(seqs[i])
+		want := fmt.Sprintf("match:3:pkt-%05d", i)
+		if !ok || got != want {
+			t.Fatalf("result %d = %q (ok=%v), want %q", i, got, ok, want)
+		}
+	}
+}
+
+func newNetsimPair(t *testing.T) (*Conn, *Server, *resultSink, *netsim.Network) {
+	t.Helper()
+	nw := netsim.NewNetwork()
+	ct := NewNetsimTransport("client")
+	st := NewNetsimTransport("server")
+	if err := nw.AddNode(ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Connect(ct, st, netsim.LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := echoServer(t, st, nil)
+	sink := newResultSink()
+	c := NewConn(ct, IssueToken(testKey, 1), "tg-1", testCfg, nil)
+	c.OnResult(sink.add)
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		nw.Stop()
+	})
+	return c, srv, sink, nw
+}
+
+func TestWireOverNetsim(t *testing.T) {
+	c, srv, sink, _ := newNetsimPair(t)
+	if err := c.Start(5 * time.Second); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	waitFor(t, 5*time.Second, "server session", func() bool { return srv.SessionCount() == 1 })
+	runExchange(t, c, 200, sink, make(map[int]uint32))
+	if st := c.Stats(); st.Delivered == 0 || st.Sent != 200 {
+		t.Fatalf("client stats = %+v", st)
+	}
+}
+
+func TestWireOverNetsimChaos(t *testing.T) {
+	c, _, sink, nw := newNetsimPair(t)
+	nw.SetChaosSeed(1234)
+	fault := netsim.Fault{DropProb: 0.05, DupProb: 0.05, ReorderProb: 0.1}
+	nw.SetLinkFault("client", "server", fault)
+	nw.SetLinkFault("server", "client", fault)
+	if err := c.Start(10 * time.Second); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	runExchange(t, c, 300, sink, make(map[int]uint32))
+	cs := nw.ChaosStats()
+	if cs.Dropped == 0 || cs.Reordered == 0 {
+		t.Fatalf("chaos never fired: %+v", cs)
+	}
+	if st := c.Stats(); st.Retransmits == 0 {
+		t.Fatalf("no retransmits despite %d drops: %+v", cs.Dropped, st)
+	}
+}
+
+func TestWireOverUDP(t *testing.T) {
+	st, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := echoServer(t, st, nil)
+	ct, err := DialUDP(st.LocalAddr().AP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newResultSink()
+	c := NewConn(ct, IssueToken(testKey, 2), "tg-udp", testCfg, nil)
+	c.OnResult(sink.add)
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+	})
+	if err := c.Start(5 * time.Second); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	runExchange(t, c, 500, sink, make(map[int]uint32))
+}
+
+func TestWireVerdictPath(t *testing.T) {
+	// The instance→middlebox direction: a client forwards verdicts, the
+	// server (mboxd) consumes them.
+	st, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type verdict struct {
+		tag    uint16
+		tuple  packet.FiveTuple
+		report string
+	}
+	var mu sync.Mutex
+	var got []verdict
+	srv := NewServer(st, testKey, testCfg, nil)
+	srv.OnVerdict(func(s *Session, tag uint16, tuple packet.FiveTuple, report []byte) {
+		mu.Lock()
+		got = append(got, verdict{tag, tuple, string(report)})
+		mu.Unlock()
+	})
+	srv.Start()
+
+	ct, err := DialUDP(st.LocalAddr().AP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(ct, IssueToken(testKey, 9), "inst-1", testCfg, nil)
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+	})
+	if err := c.Start(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.SendVerdict(uint16(i), testTuple, []byte(fmt.Sprintf("rule-%d", i))); err != nil {
+			t.Fatalf("SendVerdict %d: %v", i, err)
+		}
+	}
+	c.Flush()
+	if err := c.WaitIdle(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "verdicts", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 50
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v.tag != uint16(i) || v.tuple != testTuple || v.report != fmt.Sprintf("rule-%d", i) {
+			t.Fatalf("verdict %d = %+v", i, v)
+		}
+	}
+}
+
+func TestWireBadTokenRejected(t *testing.T) {
+	st, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st, testKey, testCfg, nil)
+	srv.Start()
+	ct, err := DialUDP(st.LocalAddr().AP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Token minted under the wrong key: hello must never complete.
+	c := NewConn(ct, IssueToken(testKey^1, 1), "intruder", testCfg, nil)
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+	})
+	if err := c.Start(300 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("Start with forged token = %v, want ErrTimeout", err)
+	}
+	if n := srv.SessionCount(); n != 0 {
+		t.Fatalf("server accepted %d forged sessions", n)
+	}
+}
+
+func TestWireSessionRestartReplaces(t *testing.T) {
+	// A client restarting on the same source address with a fresh token
+	// must take the session over (the SIGKILL-and-restart case), not be
+	// mistaken for the old peer.
+	st, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := echoServer(t, st, nil)
+	t.Cleanup(func() { srv.Close() })
+	ra, err := net.ResolveUDPAddr("udp", st.LocalAddr().AP.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn1, err := net.DialUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}, ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientPort := conn1.LocalAddr().(*net.UDPAddr).Port
+	sink1 := newResultSink()
+	c1 := NewConn(newUDPTransport(conn1, true), IssueToken(testKey, 11), "tg-a", testCfg, nil)
+	c1.OnResult(sink1.add)
+	if err := c1.Start(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	runExchange(t, c1, 10, sink1, make(map[int]uint32))
+	c1.Close() // releases the port
+
+	conn2, err := net.DialUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: clientPort}, ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2 := newResultSink()
+	c2 := NewConn(newUDPTransport(conn2, true), IssueToken(testKey, 12), "tg-a-reborn", testCfg, nil)
+	c2.OnResult(sink2.add)
+	t.Cleanup(func() { c2.Close() })
+	if err := c2.Start(5 * time.Second); err != nil {
+		t.Fatalf("restarted client handshake: %v", err)
+	}
+	runExchange(t, c2, 10, sink2, make(map[int]uint32))
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("sessions = %d, want 1 (takeover, not a duplicate)", n)
+	}
+}

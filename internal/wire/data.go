@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"dpiservice/internal/packet"
+)
+
+// PutDataHdr encodes the chain tag and five-tuple into b, which must
+// hold DataHdrLen bytes.
+//
+//dpi:hotpath
+func PutDataHdr(b []byte, tag uint16, tuple packet.FiveTuple) {
+	_ = b[DataHdrLen-1]
+	binary.BigEndian.PutUint16(b[0:2], tag)
+	copy(b[2:6], tuple.Src[:])
+	copy(b[6:10], tuple.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], tuple.SrcPort)
+	binary.BigEndian.PutUint16(b[12:14], tuple.DstPort)
+	b[14] = tuple.Protocol
+}
+
+// ParseDataHdr decodes a TData (or TVerdict) subheader; rest aliases b.
+//
+//dpi:hotpath
+func ParseDataHdr(b []byte) (tag uint16, tuple packet.FiveTuple, rest []byte, err error) {
+	if len(b) < DataHdrLen {
+		return 0, tuple, nil, ErrShortFrame
+	}
+	tag = binary.BigEndian.Uint16(b[0:2])
+	copy(tuple.Src[:], b[2:6])
+	copy(tuple.Dst[:], b[6:10])
+	tuple.SrcPort = binary.BigEndian.Uint16(b[10:12])
+	tuple.DstPort = binary.BigEndian.Uint16(b[12:14])
+	tuple.Protocol = b[14]
+	return tag, tuple, b[DataHdrLen:], nil
+}
+
+// AppendData builds a TData frame payload: subheader plus packet bytes.
+//
+//dpi:hotpath
+func AppendData(dst []byte, tag uint16, tuple packet.FiveTuple, payload []byte) []byte {
+	var hdr [DataHdrLen]byte
+	PutDataHdr(hdr[:], tag, tuple)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

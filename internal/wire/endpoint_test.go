@@ -1,0 +1,416 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The endpoint tests drive the reliability state machine under a
+// virtual clock: emitted frames are captured in slices and shuttled
+// (or deliberately dropped, duplicated, reordered) by hand, so every
+// loss schedule is exact and no sockets or timers are involved.
+
+type emittedFrame struct {
+	h       Header
+	payload []byte
+}
+
+// collect returns an Emit that snapshots frames (payloads are copied —
+// the endpoint owns its buffers).
+func collect(out *[]emittedFrame) Emit {
+	return func(h Header, payload []byte) {
+		*out = append(*out, emittedFrame{h, append([]byte(nil), payload...)})
+	}
+}
+
+// delivered records in-order deliveries.
+type delivered struct {
+	typ     Type
+	seq     uint32
+	payload string
+}
+
+func sink(out *[]delivered) Deliver {
+	return func(t Type, seq uint32, payload []byte) {
+		*out = append(*out, delivered{t, seq, string(payload)})
+	}
+}
+
+const ms = int64(time.Millisecond)
+
+func TestEndpointInOrderDelivery(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	b := NewEndpoint(7, Config{}, nil)
+
+	var aOut []emittedFrame
+	var got []delivered
+	emit := collect(&aOut)
+	for i := 0; i < 10; i++ {
+		seq, err := a.Send(TData, []byte(fmt.Sprintf("pkt-%d", i)), 0, emit)
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if seq != uint32(i+1) {
+			t.Fatalf("send %d: seq = %d, want %d", i, seq, i+1)
+		}
+	}
+	if a.InFlight() != 10 {
+		t.Fatalf("InFlight = %d, want 10", a.InFlight())
+	}
+
+	var bOut []emittedFrame
+	for _, f := range aOut {
+		b.HandleFrame(f.h, f.payload, 0, sink(&got), collect(&bOut))
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d frames, want 10", len(got))
+	}
+	for i, d := range got {
+		if d.seq != uint32(i+1) || d.payload != fmt.Sprintf("pkt-%d", i) {
+			t.Fatalf("delivery %d = %+v", i, d)
+		}
+	}
+
+	// Ack back: everything releases.
+	if !b.AckDue() {
+		t.Fatal("receiver owes an ack")
+	}
+	ackBuf := make([]byte, SackBytes(256))
+	var acks []emittedFrame
+	b.BuildAck(ackBuf, collect(&acks))
+	if len(acks) != 1 || acks[0].h.Type != TAck {
+		t.Fatalf("ack frames = %+v", acks)
+	}
+	a.HandleAck(acks[0].h.Ack, acks[0].payload, 0, emit)
+	if a.InFlight() != 0 {
+		t.Fatalf("InFlight after ack = %d, want 0", a.InFlight())
+	}
+}
+
+func TestEndpointLossAndTimedRetransmit(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	b := NewEndpoint(7, Config{}, nil)
+
+	var aOut []emittedFrame
+	var got []delivered
+	emit := collect(&aOut)
+	for i := 0; i < 5; i++ {
+		if _, err := a.Send(TResult, []byte{byte(i)}, 0, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Frame 3 is lost; the rest arrive.
+	var bOut []emittedFrame
+	for _, f := range aOut {
+		if f.h.Seq == 3 {
+			continue
+		}
+		b.HandleFrame(f.h, f.payload, 0, sink(&got), collect(&bOut))
+	}
+	if len(got) != 2 { // 1, 2 delivered; 4, 5 buffered
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+
+	// The selective ack marks 4 and 5 so only 3 retransmits.
+	ackBuf := make([]byte, SackBytes(256))
+	var acks []emittedFrame
+	b.BuildAck(ackBuf, collect(&acks))
+	if acks[0].h.Ack != 3 {
+		t.Fatalf("cumulative ack = %d, want 3", acks[0].h.Ack)
+	}
+	a.HandleAck(acks[0].h.Ack, acks[0].payload, 0, emit)
+	if a.InFlight() != 3 { // 3, 4, 5 unreleased (4, 5 sacked but held)
+		t.Fatalf("InFlight = %d, want 3", a.InFlight())
+	}
+
+	// Before the RTO nothing fires; after it, exactly seq 3.
+	aOut = aOut[:0]
+	if !a.Tick(10*ms, emit) {
+		t.Fatal("session died prematurely")
+	}
+	if len(aOut) != 0 {
+		t.Fatalf("retransmitted %d frames before RTO", len(aOut))
+	}
+	if !a.Tick(100*ms, emit) {
+		t.Fatal("session died prematurely")
+	}
+	if len(aOut) != 1 || aOut[0].h.Seq != 3 {
+		t.Fatalf("retransmits = %+v, want exactly seq 3", aOut)
+	}
+	if a.Stats().Retransmits != 1 {
+		t.Fatalf("Retransmits = %d, want 1", a.Stats().Retransmits)
+	}
+
+	// Delivery of the retransmitted 3 releases the buffered run.
+	b.HandleFrame(aOut[0].h, aOut[0].payload, 100*ms, sink(&got), collect(&bOut))
+	if len(got) != 5 {
+		t.Fatalf("delivered %d, want 5", len(got))
+	}
+	for i, d := range got {
+		if d.seq != uint32(i+1) || !bytes.Equal([]byte(d.payload), []byte{byte(i)}) {
+			t.Fatalf("delivery %d = %+v", i, d)
+		}
+	}
+	acks = acks[:0]
+	b.BuildAck(ackBuf, collect(&acks))
+	a.HandleAck(acks[0].h.Ack, acks[0].payload, 100*ms, emit)
+	if a.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", a.InFlight())
+	}
+}
+
+func TestEndpointFastRetransmitOnDupAcks(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	var aOut []emittedFrame
+	emit := collect(&aOut)
+	for i := 0; i < 4; i++ {
+		if _, err := a.Send(TData, []byte{byte(i)}, 0, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aOut = aOut[:0]
+
+	// Four cumulative acks at 1 (first sets the baseline, three dups):
+	// the receiver is stuck missing seq 1.
+	for i := 0; i < 4; i++ {
+		a.HandleAck(1, nil, 0, emit)
+	}
+	if len(aOut) != 1 || aOut[0].h.Seq != 1 {
+		t.Fatalf("fast retransmit frames = %+v, want seq 1", aOut)
+	}
+	if a.Stats().FastRetransmits != 1 {
+		t.Fatalf("FastRetransmits = %d, want 1", a.Stats().FastRetransmits)
+	}
+	// Well before the RTO: the timer alone would not have fired.
+	aOut = aOut[:0]
+	a.Tick(1*ms, emit)
+	if len(aOut) != 0 {
+		t.Fatalf("timer retransmitted %d frames at 1ms", len(aOut))
+	}
+}
+
+func TestEndpointReorderWindowOverflow(t *testing.T) {
+	cfg := Config{Window: 4}
+	a := NewEndpoint(7, cfg, nil)
+	b := NewEndpoint(7, cfg, nil)
+
+	var aOut []emittedFrame
+	var got []delivered
+	var bOut []emittedFrame
+	emit := collect(&aOut)
+
+	// Fill the window: seqs 1..4.
+	for i := 0; i < 4; i++ {
+		if _, err := a.Send(TData, []byte{byte(i)}, 0, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Send(TData, nil, 0, emit); err != ErrWindowFull {
+		t.Fatalf("Send beyond window = %v, want ErrWindowFull", err)
+	}
+
+	// Seq 5 (forged far-ahead arrival) overflows receiver seq space
+	// 1..4 and must be dropped un-acked.
+	far := Header{Type: TData, Token: 7, Seq: 5, Ack: 1}
+	b.HandleFrame(far, []byte{9}, 0, sink(&got), collect(&bOut))
+	if b.Stats().OverflowDrops != 1 {
+		t.Fatalf("OverflowDrops = %d, want 1", b.Stats().OverflowDrops)
+	}
+	if len(got) != 0 {
+		t.Fatalf("delivered %d, want 0", len(got))
+	}
+
+	// The in-window frames deliver normally.
+	for _, f := range aOut {
+		b.HandleFrame(f.h, f.payload, 0, sink(&got), collect(&bOut))
+	}
+	if len(got) != 4 {
+		t.Fatalf("delivered %d, want 4", len(got))
+	}
+}
+
+func TestEndpointDuplicateFramesDiscarded(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	b := NewEndpoint(7, Config{}, nil)
+	var aOut []emittedFrame
+	var got []delivered
+	var bOut []emittedFrame
+	a.Send(TData, []byte("x"), 0, collect(&aOut))
+
+	b.HandleFrame(aOut[0].h, aOut[0].payload, 0, sink(&got), collect(&bOut))
+	b.HandleFrame(aOut[0].h, aOut[0].payload, 0, sink(&got), collect(&bOut))
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1 (duplicate suppressed)", len(got))
+	}
+	if b.Stats().Dups != 1 {
+		t.Fatalf("Dups = %d, want 1", b.Stats().Dups)
+	}
+	if !b.AckDue() {
+		t.Fatal("duplicate must schedule a re-ack")
+	}
+}
+
+func TestEndpointRetransmitLimitKillsSession(t *testing.T) {
+	a := NewEndpoint(7, Config{MaxRetries: 3}, nil)
+	var aOut []emittedFrame
+	emit := collect(&aOut)
+	if _, err := a.Send(TData, []byte("x"), 0, emit); err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	alive := true
+	for i := 0; i < 50 && alive; i++ {
+		now += int64(2 * time.Second)
+		alive = a.Tick(now, emit)
+	}
+	if alive || !a.Dead() {
+		t.Fatal("session survived past the retransmit limit")
+	}
+	if got := a.Stats().Retransmits; got != 3 {
+		t.Fatalf("Retransmits = %d, want 3", got)
+	}
+	if _, err := a.Send(TData, nil, now, emit); err != ErrSessionDead {
+		t.Fatalf("Send on dead session = %v, want ErrSessionDead", err)
+	}
+}
+
+func TestEndpointRetransmitBackoffAndJitter(t *testing.T) {
+	a := NewEndpoint(7, Config{JitterSeed: 42}, nil)
+	var aOut []emittedFrame
+	emit := collect(&aOut)
+	a.Send(TData, []byte("x"), 0, emit)
+	aOut = aOut[:0]
+
+	// First retry fires within [RTOBase, RTOBase*1.5); the second only
+	// after roughly twice that.
+	a.Tick(39*ms, emit)
+	if len(aOut) != 0 {
+		t.Fatal("retransmitted before RTOBase")
+	}
+	a.Tick(61*ms, emit)
+	if len(aOut) != 1 {
+		t.Fatalf("first retry: %d frames, want 1", len(aOut))
+	}
+	a.Tick(100*ms, emit) // < 61ms + 80ms backoff
+	if len(aOut) != 1 {
+		t.Fatal("second retry fired before doubled RTO")
+	}
+	a.Tick(200*ms, emit)
+	if len(aOut) != 2 {
+		t.Fatalf("second retry missing: %d frames", len(aOut))
+	}
+}
+
+func TestEndpointSackSuppressesRetransmit(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	var aOut []emittedFrame
+	emit := collect(&aOut)
+	for i := 0; i < 3; i++ {
+		a.Send(TData, []byte{byte(i)}, 0, emit)
+	}
+	aOut = aOut[:0]
+
+	// Receiver has 2 and 3 but not 1: cum ack 1, sack bits 0 and 1.
+	a.HandleAck(1, []byte{0b11}, 0, emit)
+	a.Tick(2_000*ms, emit)
+	// Only seq 1 retries; 2 and 3 are sacked.
+	if len(aOut) != 1 || aOut[0].h.Seq != 1 {
+		t.Fatalf("retransmits = %+v, want only seq 1", aOut)
+	}
+}
+
+func TestEndpointAckBeyondSentIgnored(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	var aOut []emittedFrame
+	emit := collect(&aOut)
+	a.Send(TData, []byte("x"), 0, emit)
+	a.HandleAck(99, nil, 0, emit) // forged: nothing sent that far
+	if a.InFlight() != 1 {
+		t.Fatalf("forged ack released frames: InFlight = %d", a.InFlight())
+	}
+}
+
+func TestEndpointPayloadTooLarge(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	var aOut []emittedFrame
+	big := make([]byte, MaxFramePayload+1)
+	if _, err := a.Send(TData, big, 0, collect(&aOut)); err != ErrPayloadSplit {
+		t.Fatalf("oversized Send = %v, want ErrPayloadSplit", err)
+	}
+}
+
+func TestSackBitmapRoundTrip(t *testing.T) {
+	b := NewEndpoint(7, Config{}, nil)
+	var got []delivered
+	var bOut []emittedFrame
+	// Receive 2, 4, 65, 66 (1 missing): bitmap marks offsets 0, 2, 63.
+	for _, seq := range []uint32{2, 4, 65} {
+		h := Header{Type: TData, Token: 7, Seq: seq, Ack: 1}
+		b.HandleFrame(h, nil, 0, sink(&got), collect(&bOut))
+	}
+	ackBuf := make([]byte, SackBytes(256))
+	var acks []emittedFrame
+	b.BuildAck(ackBuf, collect(&acks))
+	if acks[0].h.Ack != 1 {
+		t.Fatalf("cum ack = %d, want 1", acks[0].h.Ack)
+	}
+	sack := acks[0].payload
+	if len(sack) != SackBytes(256) {
+		t.Fatalf("sack bitmap = %d bytes, want %d", len(sack), SackBytes(256))
+	}
+	// LSB-first: bit i covers seq cum+1+i.
+	if sack[0] != 1<<0|1<<2 {
+		t.Fatalf("sack[0] = %#08b, want bits 0 and 2 (seqs 2 and 4)", sack[0])
+	}
+	if sack[7] != 1<<7 {
+		t.Fatalf("sack[7] = %#08b, want bit 7 (seq 65)", sack[7])
+	}
+	for i, by := range sack {
+		if i != 0 && i != 7 && by != 0 {
+			t.Fatalf("sack[%d] = %#08b, want 0", i, by)
+		}
+	}
+}
+
+// TestEndpointWindowWrap pushes the seq space through several window
+// revolutions to exercise the int32 wraparound comparisons.
+func TestEndpointWindowWrap(t *testing.T) {
+	cfg := Config{Window: 8}
+	a := NewEndpoint(7, cfg, nil)
+	b := NewEndpoint(7, cfg, nil)
+	var got []delivered
+	ackBuf := make([]byte, SackBytes(256))
+
+	next := byte(0)
+	for round := 0; round < 100; round++ {
+		var aOut []emittedFrame
+		emit := collect(&aOut)
+		for i := 0; i < 8; i++ {
+			if _, err := a.Send(TData, []byte{next}, 0, emit); err != nil {
+				t.Fatalf("round %d send %d: %v", round, i, err)
+			}
+			next++
+		}
+		var bOut []emittedFrame
+		for _, f := range aOut {
+			b.HandleFrame(f.h, f.payload, 0, sink(&got), collect(&bOut))
+		}
+		var acks []emittedFrame
+		b.BuildAck(ackBuf, collect(&acks))
+		a.HandleAck(acks[0].h.Ack, acks[0].payload, 0, emit)
+		if a.InFlight() != 0 {
+			t.Fatalf("round %d: InFlight = %d", round, a.InFlight())
+		}
+	}
+	if len(got) != 800 {
+		t.Fatalf("delivered %d, want 800", len(got))
+	}
+	for i, d := range got {
+		if d.payload != string([]byte{byte(i)}) {
+			t.Fatalf("delivery %d out of order", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"dpiservice/internal/packet"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	h := Header{Type: TData, Flags: 0, Token: 0xdeadbeefcafe, Seq: 42, Ack: 17}
+	payload := []byte("hello dpi")
+	buf := AppendFrame(nil, h, payload)
+	if len(buf) != HeaderLen+len(payload) {
+		t.Fatalf("frame length = %d", len(buf))
+	}
+	got, gotPayload, rest, err := NextFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TData || got.Token != h.Token || got.Seq != 42 || got.Ack != 17 {
+		t.Fatalf("header = %+v", got)
+	}
+	if !bytes.Equal(gotPayload, payload) || len(rest) != 0 {
+		t.Fatalf("payload = %q rest = %d", gotPayload, len(rest))
+	}
+}
+
+func TestFrameCoalescing(t *testing.T) {
+	// Several frames in one buffer iterate cleanly.
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		buf = AppendFrame(buf, Header{Type: TAck, Token: 1, Seq: uint32(i)}, []byte{byte(i)})
+	}
+	for i := 0; i < 5; i++ {
+		h, payload, rest, err := NextFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if h.Seq != uint32(i) || payload[0] != byte(i) {
+			t.Fatalf("frame %d: h=%+v payload=%v", i, h, payload)
+		}
+		buf = rest
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := AppendFrame(nil, Header{Type: TData, Token: 1, Seq: 1}, []byte("x"))
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"short header", func(b []byte) []byte { return b[:HeaderLen-1] }, ErrShortFrame},
+		{"bad version", func(b []byte) []byte { b[0] = 99; return b }, ErrBadVersion},
+		{"zero type", func(b []byte) []byte { b[1] = 0; return b }, ErrBadType},
+		{"high type", func(b []byte) []byte { b[1] = byte(TAck) + 1; return b }, ErrBadType},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrShortFrame},
+		{"oversized length", func(b []byte) []byte {
+			b[20], b[21], b[22], b[23] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}, ErrFrameTooBig},
+	}
+	for _, tc := range cases {
+		buf := tc.mut(append([]byte(nil), good...))
+		if _, _, _, err := NextFrame(buf); err != tc.want {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDataHdrRoundTrip(t *testing.T) {
+	tuple := packet.FiveTuple{
+		Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+		SrcPort: 1234, DstPort: 80, Protocol: 6,
+	}
+	buf := AppendData(nil, 7, tuple, []byte("payload"))
+	tag, got, rest, err := ParseDataHdr(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 7 || got != tuple || string(rest) != "payload" {
+		t.Fatalf("tag=%d tuple=%+v rest=%q", tag, got, rest)
+	}
+	if _, _, _, err := ParseDataHdr(buf[:DataHdrLen-1]); err != ErrShortFrame {
+		t.Fatalf("short subheader err = %v", err)
+	}
+}
+
+// FuzzWireDecode asserts the decoder never panics on arbitrary bytes
+// and that whatever it accepts re-encodes to a frame it parses back
+// identically (semantic round-trip).
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, Header{Type: THello, Token: 1, Seq: 0}, []byte("mbox-1")))
+	f.Add(AppendFrame(nil, Header{Type: TData, Token: 0xabcdef, Seq: 9, Ack: 3}, make([]byte, DataHdrLen+32)))
+	two := AppendFrame(nil, Header{Type: TAck, Token: 2, Ack: 5}, make([]byte, 8))
+	f.Add(AppendFrame(two, Header{Type: TResult, Token: 2, Seq: 1}, []byte{0, 0, 0, 1}))
+	f.Add([]byte{Version, byte(TData), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0xff, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, rest, err := NextFrame(data)
+		if err != nil {
+			return
+		}
+		if len(payload) != int(h.Length) {
+			t.Fatalf("payload %d bytes, header says %d", len(payload), h.Length)
+		}
+		if len(rest) != len(data)-HeaderLen-len(payload) {
+			t.Fatalf("rest %d bytes of %d", len(rest), len(data))
+		}
+		// Re-encode and re-parse: all semantic fields survive.
+		re := AppendFrame(nil, h, payload)
+		h2, p2, r2, err := NextFrame(re)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if h2.Type != h.Type || h2.Flags != h.Flags || h2.Token != h.Token ||
+			h2.Seq != h.Seq || h2.Ack != h.Ack || h2.Length != h.Length {
+			t.Fatalf("header changed: %+v -> %+v", h, h2)
+		}
+		if !bytes.Equal(p2, payload) || len(r2) != 0 {
+			t.Fatal("payload changed across re-encode")
+		}
+		// The nested decoders must not panic either.
+		if h.Type == TData || h.Type == TVerdict {
+			ParseDataHdr(payload)
+		}
+	})
+}

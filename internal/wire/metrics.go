@@ -1,0 +1,125 @@
+package wire
+
+import "dpiservice/internal/obs"
+
+// Metrics folds wire-transport counters into an obs registry. All add
+// paths are nil-receiver safe so library code instruments
+// unconditionally and only daemons that opt in pay the pointer
+// indirection; obs counter updates themselves are lock- and
+// allocation-free, safe on the hot send/recv path.
+type Metrics struct {
+	framesIn    *obs.Counter // frames decoded from the transport
+	framesOut   *obs.Counter // frames handed to the transport
+	batchesIn   *obs.Counter // ReadBatch calls that returned datagrams
+	batchesOut  *obs.Counter // WriteBatch calls
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	retransmits *obs.Counter // reliable frames re-emitted
+	acks        *obs.Counter // TAck frames built
+	dups        *obs.Counter // duplicate reliable frames discarded
+	overflow    *obs.Counter // reorder-window overflow drops
+	badToken    *obs.Counter // frames rejected for an invalid session token
+	badFrame    *obs.Counter // frames rejected by the codec
+	sessions    *obs.Gauge   // live sessions (server side)
+}
+
+// NewMetrics registers the wire instruments in reg (nil returns nil,
+// which disables counting).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		framesIn:    reg.Counter("wire.frames_in"),
+		framesOut:   reg.Counter("wire.frames_out"),
+		batchesIn:   reg.Counter("wire.batches_in"),
+		batchesOut:  reg.Counter("wire.batches_out"),
+		bytesIn:     reg.Counter("wire.bytes_in"),
+		bytesOut:    reg.Counter("wire.bytes_out"),
+		retransmits: reg.Counter("wire.retransmits"),
+		acks:        reg.Counter("wire.acks_sent"),
+		dups:        reg.Counter("wire.dup_frames"),
+		overflow:    reg.Counter("wire.reorder_overflow_drops"),
+		badToken:    reg.Counter("wire.bad_token_drops"),
+		badFrame:    reg.Counter("wire.bad_frame_drops"),
+		sessions:    reg.Gauge("wire.sessions"),
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addFramesIn(n, bytes uint64) {
+	if m != nil {
+		m.framesIn.Add(n)
+		m.bytesIn.Add(bytes)
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addFramesOut(n, bytes uint64) {
+	if m != nil {
+		m.framesOut.Add(n)
+		m.bytesOut.Add(bytes)
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addBatchIn(n uint64) {
+	if m != nil && n > 0 {
+		m.batchesIn.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addBatchOut() {
+	if m != nil {
+		m.batchesOut.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addRetransmit() {
+	if m != nil {
+		m.retransmits.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addAck() {
+	if m != nil {
+		m.acks.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addDup() {
+	if m != nil {
+		m.dups.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addOverflow() {
+	if m != nil {
+		m.overflow.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addBadToken() {
+	if m != nil {
+		m.badToken.Inc()
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) addBadFrame() {
+	if m != nil {
+		m.badFrame.Inc()
+	}
+}
+
+func (m *Metrics) sessionDelta(d int64) {
+	if m != nil {
+		m.sessions.Add(d)
+	}
+}

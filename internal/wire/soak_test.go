@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dpiservice/internal/obs"
+)
+
+// soakReport is the artifact the CI soak job uploads: everything
+// needed to audit a run after the fact.
+type soakReport struct {
+	Seed        uint64        `json:"seed"`
+	Packets     int           `json:"packets"`
+	Results     int           `json:"results"`
+	LostResults int           `json:"lost_results"`
+	DurationMS  int64         `json:"duration_ms"`
+	Client      Stats         `json:"client_endpoint"`
+	Proxy       ChaosStats    `json:"proxy"`
+	ServerWire  *obs.Snapshot `json:"server_wire"`
+}
+
+// TestWireSoak drives sustained traffic through a loopback UDP path
+// that actively drops, duplicates and reorders datagrams, and asserts
+// the protocol's core promise: zero lost result frames, with a bounded
+// retransmit bill. The fault schedule is seeded (WIRE_SOAK_SEED) so a
+// failing run reproduces exactly; WIRE_SOAK_SECONDS stretches the run
+// for the CI soak tier and WIRE_SOAK_REPORT writes the JSON artifact.
+func TestWireSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	seed := uint64(1)
+	if s := os.Getenv("WIRE_SOAK_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("WIRE_SOAK_SEED: %v", err)
+		}
+		seed = v
+	}
+	runFor := time.Duration(0) // packet-count mode by default
+	packets := 2000
+	if s := os.Getenv("WIRE_SOAK_SECONDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("WIRE_SOAK_SECONDS: %v", err)
+		}
+		runFor = time.Duration(v) * time.Second
+	}
+
+	reg := obs.NewRegistry()
+	st, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := echoServer(t, st, NewMetrics(reg))
+
+	proxy, err := NewChaosProxy(st.LocalAddr().AP.String(), ChaosConfig{
+		Drop: 0.02, Dup: 0.02, Reorder: 0.05, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct, err := DialUDP(proxy.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newResultSink()
+	c := NewConn(ct, IssueToken(testKey, 77), "soak", testCfg, nil)
+	c.OnResult(sink.add)
+	t.Cleanup(func() {
+		c.Close()
+		proxy.Close()
+		srv.Close()
+	})
+	if err := c.Start(10 * time.Second); err != nil {
+		t.Fatalf("handshake through proxy: %v", err)
+	}
+
+	start := time.Now()
+	seqs := make(map[int]uint32)
+	sent := 0
+	for {
+		if runFor > 0 {
+			if time.Since(start) >= runFor {
+				break
+			}
+		} else if sent >= packets {
+			break
+		}
+		seq, err := c.SendData(1, testTuple, []byte(fmt.Sprintf("soak-%06d", sent)))
+		if err != nil {
+			t.Fatalf("SendData %d: %v", sent, err)
+		}
+		seqs[sent] = seq
+		sent++
+	}
+	c.Flush()
+	if err := c.WaitIdle(60 * time.Second); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	waitFor(t, 60*time.Second, "all soak results", func() bool { return sink.len() >= sent })
+	elapsed := time.Since(start)
+
+	lost := 0
+	for i := 0; i < sent; i++ {
+		got, ok := sink.get(seqs[i])
+		if !ok {
+			lost++
+			continue
+		}
+		want := fmt.Sprintf("match:1:soak-%06d", i)
+		if got != want {
+			t.Errorf("result %d corrupted: %q", i, got)
+		}
+	}
+	cs := c.Stats()
+	ps := proxy.Stats()
+
+	if lost != 0 {
+		t.Errorf("%d result frames lost", lost)
+	}
+	if ps.Dropped == 0 || ps.Reordered == 0 || ps.Duped == 0 {
+		t.Errorf("chaos proxy never fired: %+v", ps)
+	}
+	// Bounded retransmits: with ~2%% datagram loss each direction, the
+	// retransmit bill must stay a small fraction of traffic. A factor-4
+	// margin over the expected ~4%% keeps the assertion loss-schedule
+	// robust while still catching retransmit storms.
+	maxRetr := uint64(sent)/6 + 50
+	if cs.Retransmits > maxRetr {
+		t.Errorf("retransmits = %d, want <= %d for %d packets", cs.Retransmits, maxRetr, sent)
+	}
+
+	rep := soakReport{
+		Seed:        seed,
+		Packets:     sent,
+		Results:     sink.len(),
+		LostResults: lost,
+		DurationMS:  elapsed.Milliseconds(),
+		Client:      cs,
+		Proxy:       ps,
+		ServerWire:  reg.Snapshot(),
+	}
+	t.Logf("soak: %d packets in %v, %d retransmits, proxy %+v", sent, elapsed, cs.Retransmits, ps)
+	if path := os.Getenv("WIRE_SOAK_REPORT"); path != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatalf("writing soak report: %v", err)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package wire
+
+// The frozen stdlib syscall tables predate sendmmsg(2), so the batch
+// syscall numbers are spelled out here per architecture.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

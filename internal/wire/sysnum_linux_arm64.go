@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package wire
+
+// The frozen stdlib syscall tables predate sendmmsg(2), so the batch
+// syscall numbers are spelled out here per architecture.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

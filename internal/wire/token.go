@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// Session tokens (Section 4.1's trust boundary, adapted to a real
+// network): the controller holds a cluster key and issues each sender —
+// middlebox, traffic source, DPI instance — a 64-bit token at
+// registration. A token packs a 32-bit session id with a 32-bit MAC
+// derived from the key, so any service node holding the key validates
+// any controller-issued token with pure arithmetic: no shared state, no
+// registration-order races, nothing allocated per frame. This is an
+// authenticity check against stray or stale traffic, not cryptographic
+// protection (a 32-bit truncated mix is no HMAC); the control channel
+// carrying the key is the trusted path, as in the paper.
+
+// NewClusterKey draws a random cluster key. The controller generates
+// one at startup (persisted with its state) and hands it to DPI
+// instances in InstanceInit.
+func NewClusterKey() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform entropy source is
+		// broken; fall back to a fixed nonzero key rather than abort —
+		// tokens still gate stray traffic, just predictably.
+		return 0x9e3779b97f4a7c15
+	}
+	k := binary.BigEndian.Uint64(b[:])
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed
+// 64-bit mixing function.
+//
+//dpi:hotpath
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// IssueToken mints the token for session id under key.
+func IssueToken(key uint64, id uint32) uint64 {
+	mac := uint32(mix64(key^uint64(id)) >> 32)
+	return uint64(id)<<32 | uint64(mac)
+}
+
+// ValidToken reports whether token was issued under key.
+//
+//dpi:hotpath
+func ValidToken(key, token uint64) bool {
+	id := uint32(token >> 32)
+	return uint32(mix64(key^uint64(id))>>32) == uint32(token)
+}
+
+// TokenID extracts the session id half of a token (diagnostics).
+func TokenID(token uint64) uint32 { return uint32(token >> 32) }

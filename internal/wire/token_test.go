@@ -1,0 +1,53 @@
+package wire
+
+import "testing"
+
+func TestTokenIssueAndValidate(t *testing.T) {
+	key := NewClusterKey()
+	for id := uint32(0); id < 100; id++ {
+		tok := IssueToken(key, id)
+		if !ValidToken(key, tok) {
+			t.Fatalf("token for id %d rejected by its own key", id)
+		}
+		if TokenID(tok) != id {
+			t.Fatalf("TokenID = %d, want %d", TokenID(tok), id)
+		}
+	}
+}
+
+func TestTokenRejectedByOtherKey(t *testing.T) {
+	tok := IssueToken(0x1111, 7)
+	trials, rejected := 0, 0
+	for k := uint64(1); k <= 1000; k++ {
+		if k == 0x1111 {
+			continue
+		}
+		trials++
+		if !ValidToken(k, tok) {
+			rejected++
+		}
+	}
+	// A 32-bit MAC: a forged key passing is a ~2^-32 event per trial.
+	if rejected != trials {
+		t.Fatalf("only %d/%d wrong keys rejected", rejected, trials)
+	}
+}
+
+func TestTokenTamperRejected(t *testing.T) {
+	key := uint64(0xfeedface)
+	tok := IssueToken(key, 42)
+	for bit := 0; bit < 64; bit++ {
+		if ValidToken(key, tok^(1<<uint(bit))) {
+			t.Fatalf("token with bit %d flipped still validates", bit)
+		}
+	}
+}
+
+func TestNewClusterKeyNonZero(t *testing.T) {
+	if NewClusterKey() == 0 {
+		t.Fatal("zero cluster key")
+	}
+	if NewClusterKey() == NewClusterKey() {
+		t.Fatal("cluster keys repeat")
+	}
+}
