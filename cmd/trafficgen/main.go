@@ -9,6 +9,14 @@
 //	           [-bytes N] [-flows N] [-match 0.08] [-inject N]
 //	trafficgen -connect 127.0.0.1:9292 -controller 127.0.0.1:9090 [-mix ...]
 //	trafficgen -out payloads.bin [-mix ...] [-bytes N]
+//	trafficgen -pcap attack.pcap -adversarial [-seed N] [-bytes N] [-flows N]
+//
+// With -adversarial the capture holds evasion traffic: per-flow TCP
+// streams delivered as overlapping segments with conflicting data,
+// bad-checksum/evil-bit/short-TTL poison insertions, retransmission
+// floods, tiny-segment splits and out-of-order storms, with patterns
+// planted in the genuine stream. Replay it against a reassembling
+// instance to measure evasion resistance.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -47,8 +56,13 @@ func main() {
 		matchFr = flag.Float64("match", 0.08, "fraction of packets with injected matches")
 		injectN = flag.Int("inject", 64, "number of synthetic patterns to inject from")
 		seed    = flag.Int64("seed", 1, "generator seed")
+		advr    = flag.Bool("adversarial", false, "generate evasion traffic (overlap conflicts, poison, reordering); requires -pcap")
 	)
 	flag.Parse()
+	if *advr && *pcapOut == "" {
+		fmt.Fprintln(os.Stderr, "trafficgen: -adversarial requires -pcap (full frames carry the attack headers)")
+		os.Exit(2)
+	}
 	if *replay != "" {
 		if *target == "" {
 			fmt.Fprintln(os.Stderr, "trafficgen: -replay requires -target")
@@ -82,6 +96,12 @@ func main() {
 		log.Fatalf("trafficgen: unknown mix %q", *mix)
 	}
 	inject := patterns.SnortLike(*injectN, *seed).Strings()
+	if *advr {
+		if err := writeAdvPcap(*pcapOut, m, *bytesN, *flows, *seed, inject); err != nil {
+			log.Fatalf("trafficgen: %v", err)
+		}
+		return
+	}
 	gen := traffic.NewGenerator(traffic.Config{
 		Seed: *seed, Mix: m, MatchFraction: *matchFr, InjectPatterns: inject,
 	})
@@ -176,6 +196,77 @@ func writePcap(path string, corpus [][]byte, nFlows int) error {
 		ts = ts.Add(time.Microsecond * 50)
 	}
 	return bw.Flush()
+}
+
+// writeAdvPcap stores per-flow adversarial TCP streams as a capture:
+// each flow is a SYN-anchored stream with patterns planted in its
+// genuine content, delivered through the full evasion schedule
+// (conflicting overlaps, checksum/TTL/evil-bit poison, duplication,
+// reordering, gap floods) and closed by a FIN.
+func writeAdvPcap(path string, m traffic.Mix, totalBytes, nFlows int, seed int64, inject []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	w, err := pcap.NewWriter(bw, 0)
+	if err != nil {
+		return err
+	}
+	var fb traffic.FrameBuilder
+	fb.SrcMAC = packet.MAC{2, 0, 0, 0, 0, 1}
+	fb.DstMAC = packet.MAC{2, 0, 0, 0, 0, 2}
+	rng := rand.New(rand.NewSource(seed))
+	gen := traffic.NewGenerator(traffic.Config{Seed: seed, Mix: m})
+	per := totalBytes / nFlows
+	if per < 1024 {
+		per = 1024
+	}
+	ts := time.Unix(1700000000, 0)
+	frames, sites, ambig, poison := 0, 0, 0, 0
+	for i := 0; i < nFlows; i++ {
+		tuple := packet.FiveTuple{
+			Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
+			Dst:      packet.IP4{10, 0, 0, 2},
+			SrcPort:  uint16(1024 + i),
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+		ref := gen.PayloadN(per)
+		sites += len(traffic.Plant(rng, ref, inject, per/512+1))
+		adv := traffic.Adversarial(rng, ref, traffic.AdvConfig{Fin: true})
+		isn := rng.Uint32()
+		if err := w.WritePacket(ts, fb.BuildSyn(tuple, isn)); err != nil {
+			return err
+		}
+		ts = ts.Add(50 * time.Microsecond)
+		frames++
+		for _, seg := range adv.Segments {
+			o := traffic.AdvFrameOpts{Checksum: traffic.ChecksumGood, Fin: seg.Fin}
+			switch {
+			case seg.BadChecksum:
+				o.Checksum = traffic.ChecksumBad
+			case seg.Evil:
+				o.Evil = true
+			case seg.ShortTTL:
+				o.TTL = 2
+			}
+			if err := w.WritePacket(ts, fb.BuildAdv(tuple, isn+1+uint32(seg.Offset), seg.Data, o)); err != nil {
+				return err
+			}
+			ts = ts.Add(50 * time.Microsecond)
+			frames++
+		}
+		ambig += len(adv.Ambiguous)
+		poison += len(adv.Poisoned)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	log.Printf("trafficgen: wrote %d adversarial frames (%d flows) to %s", frames, nFlows, path)
+	log.Printf("trafficgen: %d planted pattern sites, %d ambiguous ranges, %d poisoned ranges", sites, ambig, poison)
+	return nil
 }
 
 // replayPcap reads a capture and drives the instance with the frames'

@@ -57,6 +57,12 @@ type DPINode struct {
 	inline     map[uint16]bool
 	asm        *reassembly.Assembler
 	curTag     uint16 // tag of the segment being fed to the assembler
+	// Packet normalization knobs for the reassembly path: TCP segments
+	// with a present-but-wrong checksum are rejected (the end host
+	// would discard them), and segments with a TTL below normMinTTL or
+	// the IPv4 evil bit set are flagged suspicious to the assembler.
+	normChecksum bool
+	normMinTTL   uint8
 
 	// Scan worker pool (SetWorkers). submitMu guards pool/completions
 	// and makes submission order equal completion-queue order, so the
@@ -103,12 +109,13 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 func NewDPINode(id string, host *netsim.Host, engine *core.Engine) *DPINode {
 	n := &DPINode{
 		Host: host, engine: engine, ID: id,
-		met:        newNodeMetrics(engine.Metrics()),
-		resultOnly: make(map[uint16]bool),
-		reassemble: make(map[uint16]bool),
-		inline:     make(map[uint16]bool),
+		met:          newNodeMetrics(engine.Metrics()),
+		resultOnly:   make(map[uint16]bool),
+		reassemble:   make(map[uint16]bool),
+		inline:       make(map[uint16]bool),
+		normChecksum: true,
 	}
-	n.asm = reassembly.NewAssembler(reassembly.Config{}, n.deliverStream)
+	n.asm = reassembly.NewAssembler(reassembly.Config{Metrics: engine.Metrics()}, n.deliverStream)
 	host.SetHandler(n.handleFrame)
 	return n
 }
@@ -155,6 +162,33 @@ func (n *DPINode) SetReassembly(tag uint16, on bool) {
 	n.reassemble[tag] = on
 }
 
+// SetReassemblyConfig replaces the node's assembler with one built
+// from cfg — the hook for selecting an overlap policy, normalization
+// strictness and resource bounds. Stream state restarts empty; call it
+// at configuration time, not mid-flow. A nil cfg.Metrics defaults to
+// the engine's registry so evasion counters surface at /metrics.
+func (n *DPINode) SetReassemblyConfig(cfg reassembly.Config) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cfg.Metrics == nil {
+		cfg.Metrics = n.engine.Metrics()
+	}
+	n.asm.Close()
+	n.asm = reassembly.NewAssembler(cfg, n.deliverStream)
+}
+
+// SetNormalization configures packet-level normalization on the
+// reassembly path. verifyChecksums rejects TCP segments carrying a
+// present-but-wrong checksum; minTTL flags segments below it as
+// suspicious (0 disables the TTL heuristic). The IPv4 reserved "evil"
+// bit is always flagged suspicious.
+func (n *DPINode) SetNormalization(minTTL uint8, verifyChecksums bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.normMinTTL = minTTL
+	n.normChecksum = verifyChecksums
+}
+
 // SetResultOnly marks a chain as read-only-consumers-only: data packets
 // are diverted directly to their destination under the bypass tag and
 // only result packets traverse the middlebox chain.
@@ -179,6 +213,7 @@ func (n *DPINode) handleFrame(frame []byte) {
 	tag := sum.VLANID
 	n.mu.Lock()
 	reasm := n.reassemble[tag] && sum.Tuple.Protocol == packet.IPProtoTCP
+	minTTL, verify := n.normMinTTL, n.normChecksum
 	n.mu.Unlock()
 	if reasm {
 		// Forward the data immediately; scanning happens on the
@@ -187,13 +222,27 @@ func (n *DPINode) handleFrame(frame []byte) {
 		seq := sum.TCPSeq
 		tuple := sum.Tuple
 		payload := sum.Payload
+		// Normalization verdicts travel with the segment: the end host
+		// discards a bad-checksum segment, and short-TTL or evil-bit
+		// segments are the classic "DPI sees it, host never does"
+		// insertions — the assembler must not let them desynchronize
+		// the scanned stream.
+		var meta reassembly.SegmentMeta
+		if verify {
+			if valid, present := packet.TCPChecksumValid(frame); present && !valid {
+				meta.BadChecksum = true
+			}
+		}
+		if sum.IPEvil || (minTTL > 0 && sum.IPTTL < minTTL) {
+			meta.Suspicious = true
+		}
 		n.Send(frame)
 		n.mu.Lock()
 		n.curTag = tag
 		if sum.TCPFlags&packet.TCPSyn != 0 {
 			n.asm.SYN(tuple, seq)
 		}
-		_ = n.asm.Segment(tuple, seq, payload, fin)
+		_ = n.asm.SegmentWithMeta(tuple, seq, payload, fin, meta)
 		if fin {
 			n.engine.EndFlow(tuple) // n.mu held
 		}

@@ -1,0 +1,138 @@
+package packet
+
+import "encoding/binary"
+
+// This file implements end-to-end TCP checksum handling over raw
+// frames. The virtual fabric serializes TCP with a zero checksum
+// ("not set") because it never corrupts frames; an adversarial sender,
+// however, can inject segments whose checksum is wrong on purpose —
+// the end host discards them, so a DPI reassembler that accepts them
+// is desynchronized from the stream the host reconstructs. The
+// reassembly normalizer uses TCPChecksumValid to reject those
+// insertions before ingest.
+
+// onesSum accumulates the one's-complement sum of b into sum. b must
+// start at an even offset of the checksummed area.
+func onesSum(b []byte, sum uint32) uint32 {
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	return sum
+}
+
+// TCPChecksum computes the TCP checksum over the IPv4 pseudo-header
+// and the TCP segment (header plus payload), treating the segment's
+// checksum field as zero. A computed value of 0 is returned as 0xffff
+// (RFC 1071), preserving this codec's "0 means not set" convention.
+func TCPChecksum(src, dst IP4, seg []byte) uint16 {
+	var ph [12]byte
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = IPProtoTCP
+	binary.BigEndian.PutUint16(ph[10:12], uint16(len(seg)))
+	sum := onesSum(ph[:], 0)
+	if len(seg) >= TCPHeaderLen {
+		sum = onesSum(seg[:16], sum) // up to the checksum field
+		sum = onesSum(seg[18:], sum) // past it (field taken as zero)
+	} else {
+		sum = onesSum(seg, sum)
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	c := ^uint16(sum)
+	if c == 0 {
+		c = 0xffff
+	}
+	return c
+}
+
+// tcpSegment locates the TCP segment (header plus payload) of a raw
+// Ethernet frame, skipping VLAN tags and IPv4 options.
+func tcpSegment(frame []byte) (src, dst IP4, seg []byte, ok bool) {
+	off := ipv4Offset(frame)
+	if off < 0 {
+		return src, dst, nil, false
+	}
+	h := frame[off:]
+	ihl := int(h[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(h) < ihl || h[9] != IPProtoTCP {
+		return src, dst, nil, false
+	}
+	totalLen := int(binary.BigEndian.Uint16(h[2:4]))
+	if totalLen < ihl || totalLen > len(h) {
+		totalLen = len(h)
+	}
+	seg = h[ihl:totalLen]
+	if len(seg) < TCPHeaderLen {
+		return src, dst, nil, false
+	}
+	copy(src[:], h[12:16])
+	copy(dst[:], h[16:20])
+	return src, dst, seg, true
+}
+
+// TCPChecksumValid verifies the TCP checksum of a raw frame. present
+// is false when the frame carries no TCP segment or its checksum field
+// is zero (this codec's "not set" convention); valid is meaningful
+// only when present.
+func TCPChecksumValid(frame []byte) (valid, present bool) {
+	src, dst, seg, ok := tcpSegment(frame)
+	if !ok {
+		return false, false
+	}
+	stored := binary.BigEndian.Uint16(seg[16:18])
+	if stored == 0 {
+		return false, false
+	}
+	return stored == TCPChecksum(src, dst, seg), true
+}
+
+// SetTCPChecksum computes and writes the correct TCP checksum into a
+// raw frame in place.
+func SetTCPChecksum(frame []byte) error {
+	src, dst, seg, ok := tcpSegment(frame)
+	if !ok {
+		return ErrUnknownLayer
+	}
+	binary.BigEndian.PutUint16(seg[16:18], TCPChecksum(src, dst, seg))
+	return nil
+}
+
+// CorruptTCPChecksum writes a deliberately wrong, nonzero TCP checksum
+// into a raw frame in place — the bad-checksum insertion attack the
+// reassembly normalizer must reject.
+func CorruptTCPChecksum(frame []byte) error {
+	src, dst, seg, ok := tcpSegment(frame)
+	if !ok {
+		return ErrUnknownLayer
+	}
+	bad := TCPChecksum(src, dst, seg) ^ 0x5555
+	if bad == 0 {
+		bad = 0x5555
+	}
+	binary.BigEndian.PutUint16(seg[16:18], bad)
+	return nil
+}
+
+// SetEvilBit sets the IPv4 reserved flag (the RFC 3514 "evil bit") in
+// place and repairs the header checksum. Adversarial corpora stamp it
+// on injected attack segments as in-band ground truth.
+func SetEvilBit(frame []byte) error {
+	off := ipv4Offset(frame)
+	if off < 0 {
+		return ErrUnknownLayer
+	}
+	h := frame[off:]
+	ihl := int(h[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(h) < ihl {
+		return ErrTooShort
+	}
+	h[6] |= 0x80
+	h[10], h[11] = 0, 0
+	binary.BigEndian.PutUint16(h[10:12], ipChecksum(h[:ihl]))
+	return nil
+}

@@ -1,0 +1,97 @@
+package packet
+
+import "testing"
+
+func TestTCPChecksumRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, []byte("x"), []byte("hello world"), make([]byte, 1001)} {
+		frame := buildTCPFrame(t, payload)
+		// The fabric serializes with a zero checksum: "not set".
+		if _, present := TCPChecksumValid(frame); present {
+			t.Fatal("zero checksum reported as present")
+		}
+		if err := SetTCPChecksum(frame); err != nil {
+			t.Fatal(err)
+		}
+		valid, present := TCPChecksumValid(frame)
+		if !present || !valid {
+			t.Fatalf("stamped checksum: valid=%v present=%v", valid, present)
+		}
+		// Flipping one payload byte must break it (odd-length payloads
+		// exercise the trailing-byte fold).
+		if len(payload) > 0 {
+			frame[len(frame)-1] ^= 0xFF
+			if valid, _ := TCPChecksumValid(frame); valid {
+				t.Fatal("corrupted payload still validates")
+			}
+		}
+	}
+}
+
+func TestCorruptTCPChecksum(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("poison segment"))
+	if err := CorruptTCPChecksum(frame); err != nil {
+		t.Fatal(err)
+	}
+	valid, present := TCPChecksumValid(frame)
+	if !present {
+		t.Fatal("corrupt checksum must still read as present (nonzero)")
+	}
+	if valid {
+		t.Fatal("corrupt checksum validates")
+	}
+}
+
+func TestSetEvilBit(t *testing.T) {
+	frame := buildTCPFrame(t, []byte("labeled"))
+	var s Summary
+	if err := Summarize(frame, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.IPEvil {
+		t.Fatal("evil bit set on a clean frame")
+	}
+	if s.IPTTL != 64 {
+		t.Fatalf("TTL = %d, want 64", s.IPTTL)
+	}
+	if err := SetEvilBit(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := Summarize(frame, &s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IPEvil {
+		t.Fatal("evil bit not visible in Summary")
+	}
+	// The IP header checksum was repaired in place.
+	var dec IPv4
+	off := EthernetHeaderLen
+	if err := dec.DecodeFromBytes(frame[off:]); err != nil {
+		t.Fatalf("IPv4 reparse after evil bit: %v", err)
+	}
+	if got := ipChecksum(frame[off : off+IPv4HeaderLen]); got != 0 {
+		t.Fatalf("IP checksum not repaired: residual %#x", got)
+	}
+}
+
+func TestChecksumHelpersNonTCP(t *testing.T) {
+	buf := NewSerializeBuffer(64)
+	err := SerializeLayers(buf,
+		&Ethernet{Src: MAC{2, 0, 0, 0, 0, 1}, Dst: MAC{2, 0, 0, 0, 0, 2}, EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoUDP, Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}},
+		&UDP{SrcPort: 53, DstPort: 53},
+		Payload([]byte("dns")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if _, present := TCPChecksumValid(frame); present {
+		t.Fatal("UDP frame reported a TCP checksum")
+	}
+	if err := SetTCPChecksum(frame); err == nil {
+		t.Fatal("SetTCPChecksum accepted a UDP frame")
+	}
+	if err := CorruptTCPChecksum(frame); err == nil {
+		t.Fatal("CorruptTCPChecksum accepted a UDP frame")
+	}
+}

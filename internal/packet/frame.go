@@ -120,6 +120,8 @@ type Summary struct {
 	IsReport   bool   // frame carries a Report shim instead of IPv4
 	IPID       uint16 // IPv4 identification field, pairs data and result packets
 	ECNMarked  bool   // IPv4 ECN is CE — a result packet follows
+	IPTTL      uint8  // IPv4 TTL — short values suggest DPI-only segments
+	IPEvil     bool   // IPv4 reserved flag set (RFC 3514 attack label)
 	TCPFlags   uint8
 	TCPSeq     uint32
 	PayloadOff int // offset of the L7 payload within the frame
@@ -178,6 +180,8 @@ func summarizeIPv4(frame []byte, off int, s *Summary) error {
 	s.Tuple.Protocol = h[9]
 	s.IPID = binary.BigEndian.Uint16(h[4:6])
 	s.ECNMarked = h[1]&0x3 == ECNCE
+	s.IPTTL = h[8]
+	s.IPEvil = h[6]&0x80 != 0
 	totalLen := int(binary.BigEndian.Uint16(h[2:4]))
 	if totalLen < ihl || totalLen > len(h) {
 		totalLen = len(h)

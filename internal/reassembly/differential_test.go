@@ -1,0 +1,209 @@
+package reassembly_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dpiservice/internal/packet"
+	"dpiservice/internal/reassembly"
+	"dpiservice/internal/traffic"
+)
+
+var diffTuple = packet.FiveTuple{
+	Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+	SrcPort: 1000, DstPort: 80, Protocol: packet.IPProtoTCP,
+}
+
+// runSchedule drives an adversarial schedule through one assembler
+// configuration and returns the reconstructed stream. With normalize,
+// poison segments carry their SegmentMeta verdicts (as the DPI node's
+// normalization stage would compute them) and suspicious segments are
+// dropped; a naive run ingests everything.
+func runSchedule(t *testing.T, adv *traffic.AdvStream, isn uint32, p reassembly.Policy, normalize bool) ([]byte, *reassembly.Assembler) {
+	t.Helper()
+	out := make([]byte, len(adv.Ref))
+	covered := 0
+	a := reassembly.NewAssembler(reassembly.Config{
+		Policy:         p,
+		DropSuspicious: normalize,
+	}, func(_ packet.FiveTuple, offset int64, data []byte, skipped int64) {
+		if skipped != 0 {
+			t.Fatalf("unexpected %d-byte skip at offset %d", skipped, offset)
+		}
+		copy(out[offset:], data)
+		covered += len(data)
+	})
+	a.SYN(diffTuple, isn)
+	for _, seg := range adv.Segments {
+		var meta reassembly.SegmentMeta
+		if normalize {
+			meta.BadChecksum = seg.BadChecksum
+			meta.Suspicious = seg.Evil || seg.ShortTTL
+		}
+		seq := isn + 1 + uint32(seg.Offset)
+		err := a.SegmentWithMeta(diffTuple, seq, seg.Data, seg.Fin, meta)
+		switch err {
+		case nil:
+		case reassembly.ErrChecksum, reassembly.ErrSuspicious:
+			if !normalize || !seg.Poison() {
+				t.Fatalf("genuine segment at offset %d rejected: %v", seg.Offset, err)
+			}
+		default:
+			t.Fatalf("segment at offset %d: %v", seg.Offset, err)
+		}
+	}
+	a.Flush(diffTuple)
+	if covered != len(adv.Ref) {
+		t.Fatalf("delivered %d bytes, want %d", covered, len(adv.Ref))
+	}
+	return out, a
+}
+
+// diffRanges returns the byte ranges where a and b differ.
+func diffRanges(a, b []byte) []traffic.Range {
+	var out []traffic.Range
+	for i := 0; i < len(a); i++ {
+		if a[i] == b[i] {
+			continue
+		}
+		j := i
+		for j < len(a) && a[j] != b[j] {
+			j++
+		}
+		out = append(out, traffic.Range{Start: int64(i), End: int64(j)})
+		i = j
+	}
+	return out
+}
+
+func within(rs []traffic.Range, r traffic.Range) bool {
+	for _, x := range rs {
+		if r.Start >= x.Start && r.End <= x.End {
+			return true
+		}
+	}
+	return false
+}
+
+var diffPatterns = []string{"ATTACK-SIGNATURE-ONE", "EVIL/payload.exe", "SELECT * FROM users"}
+
+// TestDifferentialPolicies is the core differential property: one
+// adversarial corpus through every overlap policy. With normalization,
+// policies may disagree with the reference ONLY inside ranges where
+// conflicting same-validity copies were sent, and every planted
+// pattern outside those ranges survives reassembly byte-exact under
+// every policy — zero false negatives.
+func TestDifferentialPolicies(t *testing.T) {
+	// Two anchors: a plain one and one that wraps the 32-bit sequence
+	// space partway through the stream.
+	for _, isn := range []uint32{5000, 0xFFFFF000} {
+		isn := isn
+		t.Run(fmt.Sprintf("isn=%#x", isn), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			ref := traffic.NewGenerator(traffic.Config{Seed: 7, Mix: traffic.HTTPMix}).PayloadN(16 << 10)
+			sites := traffic.Plant(rng, ref, diffPatterns, 24)
+			if len(sites) < 16 {
+				t.Fatalf("only %d pattern sites planted", len(sites))
+			}
+			adv := traffic.Adversarial(rng, ref, traffic.AdvConfig{Fin: true})
+			if len(adv.Ambiguous) == 0 || len(adv.Poisoned) == 0 {
+				t.Fatalf("corpus not adversarial enough: %d ambiguous, %d poisoned ranges",
+					len(adv.Ambiguous), len(adv.Poisoned))
+			}
+
+			outs := map[reassembly.Policy][]byte{}
+			for _, p := range reassembly.Policies() {
+				out, a := runSchedule(t, adv, isn, p, true)
+				outs[p] = out
+				// Normalized runs must reject every checksum poison and
+				// count the conflicts they resolved.
+				if a.OverlapConflicts == 0 {
+					t.Errorf("%v: no overlap conflicts counted", p)
+				}
+				// Divergence from the reference only inside ambiguous
+				// ranges.
+				for _, d := range diffRanges(ref, out) {
+					if !within(adv.Ambiguous, d) {
+						t.Errorf("%v: diverges from ref at [%d,%d) outside ambiguous ranges",
+							p, d.Start, d.End)
+					}
+				}
+				// Zero false negatives: every planted pattern not touched
+				// by an ambiguity is reproduced byte-exact.
+				for _, site := range sites {
+					if traffic.OverlapsAny(adv.Ambiguous, site) {
+						continue
+					}
+					if !bytes.Equal(out[site.Start:site.End], ref[site.Start:site.End]) {
+						t.Errorf("%v: pattern at [%d,%d) corrupted outside ambiguous ranges",
+							p, site.Start, site.End)
+					}
+				}
+			}
+			// Policies must pairwise agree outside ambiguous ranges too
+			// (a stronger form: they can only disagree with EACH OTHER
+			// where conflicting copies coexisted).
+			ps := reassembly.Policies()
+			disagreed := false
+			for i := 0; i < len(ps); i++ {
+				for j := i + 1; j < len(ps); j++ {
+					ds := diffRanges(outs[ps[i]], outs[ps[j]])
+					if len(ds) > 0 {
+						disagreed = true
+					}
+					for _, d := range ds {
+						if !within(adv.Ambiguous, d) {
+							t.Errorf("%v vs %v disagree at [%d,%d) outside ambiguous ranges",
+								ps[i], ps[j], d.Start, d.End)
+						}
+					}
+				}
+			}
+			if !disagreed {
+				t.Error("corpus failed to distinguish any pair of policies")
+			}
+		})
+	}
+}
+
+// TestDifferentialNaive runs the same corpus without normalization: the
+// reassembler ingests poison segments the end host would discard, so
+// divergence may additionally appear inside poisoned ranges — and only
+// there. This quantifies exactly what normalization buys.
+func TestDifferentialNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ref := traffic.NewGenerator(traffic.Config{Seed: 8, Mix: traffic.HTTPMix}).PayloadN(16 << 10)
+	sites := traffic.Plant(rng, ref, diffPatterns, 24)
+	adv := traffic.Adversarial(rng, ref, traffic.AdvConfig{Fin: true})
+	if len(adv.Poisoned) == 0 {
+		t.Fatal("corpus has no poison")
+	}
+	allowed := traffic.MergeRanges(append(append([]traffic.Range{}, adv.Ambiguous...), adv.Poisoned...))
+	poisonMattered := false
+	for _, p := range reassembly.Policies() {
+		out, _ := runSchedule(t, adv, 5000, p, false)
+		for _, d := range diffRanges(ref, out) {
+			if !within(allowed, d) {
+				t.Errorf("%v naive: diverges at [%d,%d) outside ambiguous+poisoned ranges",
+					p, d.Start, d.End)
+			}
+			if !within(adv.Ambiguous, d) {
+				poisonMattered = true
+			}
+		}
+		for _, site := range sites {
+			if traffic.OverlapsAny(allowed, site) {
+				continue
+			}
+			if !bytes.Equal(out[site.Start:site.End], ref[site.Start:site.End]) {
+				t.Errorf("%v naive: pattern at [%d,%d) corrupted outside allowed ranges",
+					p, site.Start, site.End)
+			}
+		}
+	}
+	if !poisonMattered {
+		t.Error("poison segments never changed a naive reconstruction; corpus too weak")
+	}
+}

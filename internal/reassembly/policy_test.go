@@ -1,0 +1,393 @@
+package reassembly
+
+import (
+	"bytes"
+	"testing"
+
+	"dpiservice/internal/obs"
+	"dpiservice/internal/packet"
+)
+
+func TestPolicyNewWins(t *testing.T) {
+	// The three conflict geometries distinguish all four policies
+	// pairwise: "before" separates First from BSD, "after" separates
+	// Last from Linux, "equal" separates BSD from Linux.
+	cases := []struct {
+		name          string
+		newStart, old uint32
+		first, last   bool
+		bsd, linux    bool
+	}{
+		{"new-before-old", 100, 104, false, true, true, true},
+		{"equal-start", 104, 104, false, true, false, true},
+		{"new-after-old", 104, 100, false, true, false, false},
+	}
+	for _, c := range cases {
+		got := map[Policy]bool{
+			PolicyFirst: PolicyFirst.newWins(c.newStart, c.old),
+			PolicyLast:  PolicyLast.newWins(c.newStart, c.old),
+			PolicyBSD:   PolicyBSD.newWins(c.newStart, c.old),
+			PolicyLinux: PolicyLinux.newWins(c.newStart, c.old),
+		}
+		want := map[Policy]bool{
+			PolicyFirst: c.first, PolicyLast: c.last,
+			PolicyBSD: c.bsd, PolicyLinux: c.linux,
+		}
+		for _, p := range Policies() {
+			if got[p] != want[p] {
+				t.Errorf("%s: %v.newWins(%d, %d) = %v, want %v",
+					c.name, p, c.newStart, c.old, got[p], want[p])
+			}
+		}
+	}
+}
+
+type tseg struct {
+	seq  uint32
+	data string
+}
+
+// policyOutcome drives segments through an assembler anchored so the
+// overlap region stays pending (SYN at isn means payload starts at
+// isn+1), then returns the delivered stream.
+func policyOutcome(t *testing.T, p Policy, isn uint32, segs []tseg) (string, *Assembler) {
+	t.Helper()
+	var out bytes.Buffer
+	a := NewAssembler(Config{Policy: p}, func(_ packet.FiveTuple, _ int64, data []byte, _ int64) {
+		out.Write(data)
+	})
+	a.SYN(tpl, isn)
+	for _, s := range segs {
+		if err := a.Segment(tpl, s.seq, []byte(s.data), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush(tpl)
+	return out.String(), a
+}
+
+// TestOverlapPolicies drives conflicting pending overlaps through every
+// policy. The stream is anchored at 100 with a leading gap, so both
+// copies of the contested range are pending when they meet; the gap
+// fill then drains the resolved bytes.
+func TestOverlapPolicies(t *testing.T) {
+	cases := []struct {
+		name string
+		segs []tseg
+		want map[Policy]string
+	}{
+		{
+			name: "equal-start",
+			segs: []tseg{{104, "AAAA"}, {104, "BBBB"}, {100, "gap-"}},
+			want: map[Policy]string{
+				PolicyFirst: "gap-AAAA", PolicyLast: "gap-BBBB",
+				PolicyBSD: "gap-AAAA", PolicyLinux: "gap-BBBB",
+			},
+		},
+		{
+			name: "new-before-old",
+			segs: []tseg{{106, "CCCC"}, {104, "XXXXXX"}, {100, "gap-"}},
+			want: map[Policy]string{
+				PolicyFirst: "gap-XXCCCC", PolicyLast: "gap-XXXXXX",
+				PolicyBSD: "gap-XXXXXX", PolicyLinux: "gap-XXXXXX",
+			},
+		},
+		{
+			name: "new-after-old",
+			segs: []tseg{{104, "AAAAAA"}, {106, "ZZZZ"}, {100, "gap-"}},
+			want: map[Policy]string{
+				PolicyFirst: "gap-AAAAAA", PolicyLast: "gap-AAZZZZ",
+				PolicyBSD: "gap-AAAAAA", PolicyLinux: "gap-AAAAAA",
+			},
+		},
+	}
+	for _, c := range cases {
+		for _, p := range Policies() {
+			got, a := policyOutcome(t, p, 99, c.segs)
+			if got != c.want[p] {
+				t.Errorf("%s/%v: stream = %q, want %q", c.name, p, got, c.want[p])
+			}
+			if a.OverlapConflicts == 0 {
+				t.Errorf("%s/%v: conflict not counted", c.name, p)
+			}
+		}
+	}
+}
+
+// TestDeliveredImmutable: a conflicting retransmission of an
+// already-delivered range is trimmed under EVERY policy — a synchronous
+// scan cannot be rescinded, so policies only ever act on pending bytes.
+// This is what confines policy disagreement to ambiguous regions.
+func TestDeliveredImmutable(t *testing.T) {
+	for _, p := range Policies() {
+		var out bytes.Buffer
+		a := NewAssembler(Config{Policy: p}, func(_ packet.FiveTuple, _ int64, data []byte, _ int64) {
+			out.Write(data)
+		})
+		if err := a.Segment(tpl, 100, []byte("ABCD"), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Segment(tpl, 100, []byte("WXYZ"), false); err != nil {
+			t.Fatal(err)
+		}
+		if got := out.String(); got != "ABCD" {
+			t.Errorf("%v: delivered bytes mutated: %q", p, got)
+		}
+		if a.OverlapConflicts != 0 {
+			t.Errorf("%v: trim of delivered range counted as conflict", p)
+		}
+		if a.Overlapped != 4 {
+			t.Errorf("%v: Overlapped = %d, want 4", p, a.Overlapped)
+		}
+	}
+}
+
+// TestLRAEviction: when the stream table fills, the victim is the
+// stream that went longest without delivering a byte — a gap-flooding
+// no-progress flow — never one that is actively advancing.
+func TestLRAEviction(t *testing.T) {
+	a := NewAssembler(Config{MaxStreams: 2}, nil)
+	active := tpl
+	stuck := tpl
+	stuck.SrcPort = 2000
+	third := tpl
+	third.SrcPort = 3000
+
+	// active delivers (forward progress refreshes its position).
+	if err := a.Segment(active, 0, []byte("go"), false); err != nil {
+		t.Fatal(err)
+	}
+	// stuck only buffers behind a gap: no progress, stays evictable.
+	a.SYN(stuck, 0)
+	if err := a.Segment(stuck, 500, []byte("held"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Segment(active, 2, []byte("es"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Table is full; the newcomer must evict stuck, not active.
+	if err := a.Segment(third, 0, []byte("new"), false); err != nil {
+		t.Fatal(err)
+	}
+	if a.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", a.Evictions)
+	}
+	if a.ShedBytes != 4 {
+		t.Errorf("ShedBytes = %d, want stuck's 4 buffered bytes", a.ShedBytes)
+	}
+	// active survived: its next in-order byte continues the old stream.
+	before := a.Delivered
+	if err := a.Segment(active, 4, []byte("!"), false); err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != before+1 {
+		t.Errorf("active stream lost its state after eviction pass")
+	}
+	if a.ActiveStreams() != 2 {
+		t.Errorf("ActiveStreams = %d, want 2", a.ActiveStreams())
+	}
+}
+
+// TestGlobalBufferShed: the cross-stream bound discards the backlog of
+// the least-recently-advanced stream without delivering it.
+func TestGlobalBufferShed(t *testing.T) {
+	var delivered int
+	a := NewAssembler(Config{MaxBufferedTotal: 64}, func(_ packet.FiveTuple, _ int64, data []byte, _ int64) {
+		delivered += len(data)
+	})
+	flood := tpl
+	flood.SrcPort = 2000
+	// The flood stream buffers 60 bytes behind a gap it never fills.
+	a.SYN(flood, 0)
+	if err := a.Segment(flood, 1000, bytes.Repeat([]byte{'F'}, 60), false); err != nil {
+		t.Fatal(err)
+	}
+	// A second stream's buffered bytes push the total over 64.
+	a.SYN(tpl, 0)
+	if err := a.Segment(tpl, 1000, bytes.Repeat([]byte{'G'}, 30), false); err != nil {
+		t.Fatal(err)
+	}
+	if a.Buffered > 64 {
+		t.Errorf("Buffered = %d, exceeds global bound", a.Buffered)
+	}
+	if a.ShedBytes == 0 {
+		t.Error("no bytes shed")
+	}
+	if delivered != 0 {
+		t.Errorf("shed bytes were delivered (%d)", delivered)
+	}
+}
+
+func TestSeqJumpClamp(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{MaxSeqJump: 1000}, c.deliver)
+	if err := a.Segment(tpl, 0, []byte("ok"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Segment(tpl, 50000, []byte("far"), false); err != ErrSeqJump {
+		t.Fatalf("jump ahead: err = %v, want ErrSeqJump", err)
+	}
+	if err := a.Segment(tpl, 0xFFFF0000, []byte("behind"), false); err != ErrSeqJump {
+		t.Fatalf("jump behind: err = %v, want ErrSeqJump", err)
+	}
+	if a.DropsSeqJump != 2 {
+		t.Errorf("DropsSeqJump = %d, want 2", a.DropsSeqJump)
+	}
+	// The rejected segments left no trace in the stream.
+	if err := a.Segment(tpl, 2, []byte("!"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "ok!" {
+		t.Errorf("stream = %q", got)
+	}
+	// Negative disables the clamp.
+	a2 := NewAssembler(Config{MaxSeqJump: -1}, nil)
+	if err := a2.Segment(tpl, 0, []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Segment(tpl, 0x40000000, []byte("y"), false); err != nil {
+		t.Fatalf("clamp disabled but rejected: %v", err)
+	}
+}
+
+func TestNormalizationMeta(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	// Bad checksum: rejected before any state exists.
+	err := a.SegmentWithMeta(tpl, 0, []byte("evil"), false, SegmentMeta{BadChecksum: true})
+	if err != ErrChecksum {
+		t.Fatalf("bad checksum: err = %v, want ErrChecksum", err)
+	}
+	if a.TrackedStreams() != 0 {
+		t.Error("rejected segment created stream state")
+	}
+	// Suspicious: counted but ingested by default.
+	if err := a.SegmentWithMeta(tpl, 0, []byte("odd"), false, SegmentMeta{Suspicious: true}); err != nil {
+		t.Fatalf("suspicious (count-only): %v", err)
+	}
+	if a.SuspiciousSeen != 1 || a.DropsSuspicious != 0 {
+		t.Errorf("suspicious counters: seen=%d drops=%d", a.SuspiciousSeen, a.DropsSuspicious)
+	}
+	if c.buf.String() != "odd" {
+		t.Errorf("stream = %q", c.buf.String())
+	}
+	// DropSuspicious: rejected.
+	strict := NewAssembler(Config{DropSuspicious: true}, nil)
+	if err := strict.SegmentWithMeta(tpl, 0, []byte("odd"), false, SegmentMeta{Suspicious: true}); err != ErrSuspicious {
+		t.Fatalf("strict suspicious: err = %v, want ErrSuspicious", err)
+	}
+	if strict.DropsSuspicious != 1 {
+		t.Errorf("DropsSuspicious = %d, want 1", strict.DropsSuspicious)
+	}
+}
+
+// Wraparound suite: every ingest path exercised with streams anchored
+// just below 2^32 so sequence arithmetic crosses zero.
+
+func TestWraparoundTrim(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	start := uint32(0xFFFFFFFC)
+	if err := a.Segment(tpl, start, []byte("abcdefgh"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Full retransmission spanning the wrap: trimmed entirely.
+	if err := a.Segment(tpl, start, []byte("abcdXXXX"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Partial overlap whose delivered prefix crosses the wrap boundary.
+	if err := a.Segment(tpl, 0, []byte("efghIJKL"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "abcdefghIJKL" {
+		t.Errorf("stream = %q", got)
+	}
+	if a.Overlapped != 12 {
+		t.Errorf("Overlapped = %d, want 12", a.Overlapped)
+	}
+}
+
+func TestWraparoundSkipGap(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{MaxBufferedPerStream: 16}, c.deliver)
+	a.SYN(tpl, 0xFFFFFFEF) // payload starts at 0xFFFFFFF0
+	// 32 buffered bytes behind a 24-byte gap that crosses the wrap.
+	big := bytes.Repeat([]byte{'Z'}, 32)
+	if err := a.Segment(tpl, 8, big, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.buf.Bytes(), big) {
+		t.Error("block not delivered after forced skip across wrap")
+	}
+	if c.skips != 24 {
+		t.Errorf("skipped = %d, want the 24-byte wrap-crossing gap", c.skips)
+	}
+	if a.GapsSkipped != 24 {
+		t.Errorf("GapsSkipped = %d, want 24", a.GapsSkipped)
+	}
+}
+
+func TestWraparoundPendingDrain(t *testing.T) {
+	c := &collector{t: t}
+	a := NewAssembler(Config{}, c.deliver)
+	a.SYN(tpl, 0xFFFFFFFB) // payload starts at 0xFFFFFFFC
+	// Pending segment at the other side of the wrap.
+	if err := a.Segment(tpl, 0, []byte("world"), false); err != nil {
+		t.Fatal(err)
+	}
+	if c.buf.Len() != 0 {
+		t.Fatalf("premature delivery: %q", c.buf.String())
+	}
+	// The head makes it contiguous across the boundary.
+	if err := a.Segment(tpl, 0xFFFFFFFC, []byte("hell"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.buf.String(); got != "hellworld" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+// TestWraparoundPendingCarve: a conflicting overlap whose contested
+// range itself crosses the wrap boundary resolves per policy.
+func TestWraparoundPendingCarve(t *testing.T) {
+	want := map[Policy]string{
+		// Old copy at 0xFFFFFFFC ("AAAAAAAA", crossing zero), new copy
+		// at 0xFFFFFFFE ("bbbb") starts after it: only PolicyLast takes
+		// the new bytes.
+		PolicyFirst: "gapgapgpAAAAAAAA",
+		PolicyLast:  "gapgapgpAAbbbbAA",
+		PolicyBSD:   "gapgapgpAAAAAAAA",
+		PolicyLinux: "gapgapgpAAAAAAAA",
+	}
+	for _, p := range Policies() {
+		got, a := policyOutcome(t, p, 0xFFFFFFF3, []tseg{
+			{0xFFFFFFFC, "AAAAAAAA"},
+			{0xFFFFFFFE, "bbbb"},
+			{0xFFFFFFF4, "gapgapgp"},
+		})
+		if got != want[p] {
+			t.Errorf("%v: stream = %q, want %q", p, got, want[p])
+		}
+		if a.OverlapConflicts == 0 {
+			t.Errorf("%v: wrap-crossing conflict not counted", p)
+		}
+	}
+}
+
+// TestMetricsExported: the obs registry the assembler is built with
+// sees its counters, so evasion shows up at /metrics.
+func TestMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAssembler(Config{Metrics: reg}, nil)
+	_ = a.SegmentWithMeta(tpl, 0, []byte("x"), false, SegmentMeta{BadChecksum: true})
+	if err := a.Segment(tpl, 0, []byte("hello"), false); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.Counter("reassembly.drop_bad_checksum"); !ok || v != 1 {
+		t.Errorf("drop_bad_checksum = %d (ok=%v), want 1", v, ok)
+	}
+	if v, ok := snap.Counter("reassembly.delivered_bytes"); !ok || v != 5 {
+		t.Errorf("delivered_bytes = %d (ok=%v), want 5", v, ok)
+	}
+}

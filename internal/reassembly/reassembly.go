@@ -1,30 +1,145 @@
-// Package reassembly implements TCP stream reassembly — the "session
-// reconstruction" the paper's conclusion proposes as the next common
-// middlebox task to turn into a service (Section 7). A stateful DPI
-// scan is only sound if the byte stream it sees is the one the end host
-// will reconstruct; this package orders out-of-order segments, discards
-// retransmitted overlap (first-copy-wins, the policy Snort's
-// stream reassembler defaults to), bounds per-stream buffering against
-// gap-flooding attacks, and delivers contiguous payload runs.
+// Package reassembly implements evasion-resistant TCP stream
+// reassembly — the "session reconstruction" the paper's conclusion
+// proposes as the next common middlebox task to turn into a service
+// (Section 7). A stateful DPI scan is only sound if the byte stream it
+// sees is the one the end host will reconstruct, and real DPI boxes
+// are fingerprinted and evaded precisely through reassembly
+// ambiguities: overlapping segments carrying conflicting data,
+// bad-checksum insertions the end host would discard, TTL-limited
+// segments that never reach the host, and out-of-order floods that
+// exhaust reassembly state.
+//
+// This package therefore makes every ambiguity-resolution decision
+// explicit and observable:
+//
+//   - Overlap policy. Conflicting copies of the same sequence range are
+//     resolved by a selectable Policy (First, Last, BSD, Linux) modeled
+//     on target-based reassembly (Snort's stream5): the operator picks
+//     the policy matching the protected host population, and
+//     differential tests drive the same ambiguous corpus through every
+//     policy to bound where they may disagree.
+//   - Normalization. Callers pass packet-level verdicts (failed TCP
+//     checksum, short-TTL/"evil-bit" suspicion) via SegmentMeta;
+//     bad-checksum segments are rejected before they can poison the
+//     stream, suspicious ones are counted (and optionally dropped), and
+//     absurd sequence jumps are clamped.
+//   - Resource bounds. Per-stream buffering is capped (gap floods force
+//     a declared skip, fail-open like a memory-bounded NIDS), and the
+//     stream table evicts the least-recently-advanced stream first — a
+//     flow that buffers without ever making forward progress (an MCA²
+//     state-exhaustion attack) is the first victim, never a flow that
+//     is actually delivering bytes.
+//
+// Every drop, overlap conflict, gap skip and eviction is counted in an
+// obs registry so evasion attempts are visible at /metrics.
 package reassembly
 
 import (
+	"bytes"
 	"errors"
 	"sort"
 	"sync"
 
+	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 )
 
-// Config bounds the assembler.
+// Policy selects how conflicting copies of an overlapping sequence
+// range are resolved while both copies are still pending (not yet
+// delivered). Bytes already handed to the delivery callback are
+// immutable under every policy — a scan cannot be rescinded — so
+// retransmissions of delivered ranges are always trimmed.
+type Policy int
+
+// Overlap policies, modeled on target-based stream reassembly. The
+// decision compares the starting sequence numbers of the new and the
+// already-pending segment; "new wins" means the newly-arrived bytes
+// replace the pending copy for the overlapped range.
+const (
+	// PolicyFirst keeps the first copy received for every overlapped
+	// byte (Snort's historical default).
+	PolicyFirst Policy = iota
+	// PolicyLast always takes the latest copy received.
+	PolicyLast
+	// PolicyBSD keeps the pending copy unless the new segment starts
+	// strictly before it.
+	PolicyBSD
+	// PolicyLinux keeps the pending copy unless the new segment starts
+	// at or before it.
+	PolicyLinux
+)
+
+// String returns the conventional lowercase policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFirst:
+		return "first"
+	case PolicyLast:
+		return "last"
+	case PolicyBSD:
+		return "bsd"
+	case PolicyLinux:
+		return "linux"
+	default:
+		return "unknown"
+	}
+}
+
+// Policies lists every selectable overlap policy, in a fixed order —
+// the iteration set for differential tests.
+func Policies() []Policy {
+	return []Policy{PolicyFirst, PolicyLast, PolicyBSD, PolicyLinux}
+}
+
+// newWins reports whether a newly-arrived copy of an overlapped range
+// beats the pending copy, given the two segments' starting sequence
+// numbers.
+func (p Policy) newWins(newStart, oldStart uint32) bool {
+	switch p {
+	case PolicyLast:
+		return true
+	case PolicyBSD:
+		return seqLess(newStart, oldStart)
+	case PolicyLinux:
+		return !seqLess(oldStart, newStart)
+	default: // PolicyFirst
+		return false
+	}
+}
+
+// Config bounds and parameterizes the assembler.
 type Config struct {
 	// MaxBufferedPerStream bounds out-of-order bytes held for one
-	// stream; exceeding it drops the stream's oldest gap by skipping
-	// ahead (fail-open, like a memory-bounded NIDS). Default 256 KiB.
+	// stream; exceeding it skips the stream's oldest gap (fail-open,
+	// like a memory-bounded NIDS). Default 256 KiB.
 	MaxBufferedPerStream int
-	// MaxStreams bounds tracked streams; a new stream evicts an
-	// arbitrary old one when full. Default 65536.
+	// MaxBufferedTotal bounds out-of-order bytes across all streams;
+	// exceeding it sheds (discards without delivery) the backlog of the
+	// least-recently-advanced stream. 0 disables the global bound.
+	MaxBufferedTotal int
+	// MaxStreams bounds tracked streams; a new stream evicts the
+	// least-recently-advanced one when full. Default 65536.
 	MaxStreams int
+	// Policy resolves conflicting overlaps among pending segments.
+	// The zero value is PolicyFirst, the historical behavior.
+	Policy Policy
+	// MaxSeqJump rejects a segment whose sequence number is more than
+	// this many bytes away from the stream's next expected byte in
+	// either direction — a desynchronization/gap-flood clamp. Default
+	// 16 MiB; negative disables the check.
+	MaxSeqJump int
+	// DropSuspicious drops (rather than just counts) segments the
+	// caller flagged Suspicious in SegmentMeta.
+	DropSuspicious bool
+	// TombstoneTicks retains a closed stream for this many subsequent
+	// assembler operations so post-FIN segments are rejected with
+	// ErrClosed and counted instead of silently resurrecting the
+	// stream. Default 256; negative disables tombstones (a post-FIN
+	// segment then starts a fresh stream immediately).
+	TombstoneTicks int
+	// Metrics receives the assembler's instruments; nil uses a private
+	// registry (counters still maintained, just not exported).
+	Metrics *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -34,43 +149,151 @@ func (c *Config) defaults() {
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 1 << 16
 	}
+	if c.MaxSeqJump == 0 {
+		c.MaxSeqJump = 16 << 20
+	}
+	if c.TombstoneTicks == 0 {
+		c.TombstoneTicks = 256
+	}
+}
+
+// SegmentMeta carries the caller's packet-level normalization verdicts
+// into the assembler. The assembler never sees raw frames, so checksum
+// validation and TTL/evil-bit heuristics are computed by the caller
+// (see packet.TCPChecksumValid) and passed down as hints.
+type SegmentMeta struct {
+	// BadChecksum marks a segment whose TCP checksum failed
+	// verification: the end host will discard it, so ingesting it would
+	// desynchronize the scanned stream from the delivered one. Always
+	// rejected.
+	BadChecksum bool
+	// Suspicious marks a segment the caller considers unlikely to reach
+	// the end host (short TTL) or attack-labeled (IPv4 reserved "evil"
+	// bit). Counted always, rejected when Config.DropSuspicious is set.
+	Suspicious bool
 }
 
 // DeliverFunc receives contiguous stream payload for one direction of a
 // flow. offset is the byte offset of data within the reassembled
 // stream (0 at the first byte seen). skipped is non-zero when the
 // assembler had to jump over an unrecoverable gap of that many bytes
-// (buffer bound or explicit flush).
+// (buffer bound or explicit flush). The callback runs synchronously
+// under the assembler's lock.
 type DeliverFunc func(tuple packet.FiveTuple, offset int64, data []byte, skipped int64)
+
+// metrics are the assembler's obs instruments; every ambiguity or
+// resource decision increments one so evasion attempts show up at
+// /metrics.
+type metrics struct {
+	delivered      *obs.Counter
+	overlapBytes   *obs.Counter
+	conflicts      *obs.Counter
+	conflictBytes  *obs.Counter
+	gapBytes       *obs.Counter
+	dropChecksum   *obs.Counter
+	suspicious     *obs.Counter
+	dropSuspicious *obs.Counter
+	dropSeqJump    *obs.Counter
+	postFinDrops   *obs.Counter
+	evictions      *obs.Counter
+	shedBytes      *obs.Counter
+	buffered       *obs.Gauge
+	streams        *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		delivered:      reg.Counter("reassembly.delivered_bytes"),
+		overlapBytes:   reg.Counter("reassembly.overlap_bytes"),
+		conflicts:      reg.Counter("reassembly.overlap_conflicts"),
+		conflictBytes:  reg.Counter("reassembly.overlap_conflict_bytes"),
+		gapBytes:       reg.Counter("reassembly.gap_skipped_bytes"),
+		dropChecksum:   reg.Counter("reassembly.drop_bad_checksum"),
+		suspicious:     reg.Counter("reassembly.suspicious_segments"),
+		dropSuspicious: reg.Counter("reassembly.drop_suspicious"),
+		dropSeqJump:    reg.Counter("reassembly.drop_seq_jump"),
+		postFinDrops:   reg.Counter("reassembly.post_fin_drops"),
+		evictions:      reg.Counter("reassembly.evictions"),
+		shedBytes:      reg.Counter("reassembly.shed_bytes"),
+		buffered:       reg.Gauge("reassembly.buffered_bytes"),
+		streams:        reg.Gauge("reassembly.streams_active"),
+	}
+}
 
 // Assembler reassembles many unidirectional TCP streams.
 type Assembler struct {
 	cfg     Config
 	deliver DeliverFunc
+	met     *metrics
 
 	mu sync.Mutex
 	//dpi:guardedby(mu)
 	streams map[packet.FiveTuple]*stream
+	// front/back are the ends of an intrusive list of streams ordered
+	// by forward progress: front is the least-recently-advanced stream
+	// (first eviction victim), back the most recent. A stream moves to
+	// the back only when it delivers bytes — buffering alone never
+	// refreshes it, so gap-flooding streams drift to the front.
+	//dpi:guardedby(mu)
+	front *stream
+	//dpi:guardedby(mu)
+	back *stream
+	// tick is a logical clock advanced on every SYN/Segment call; it
+	// ages tombstones deterministically without wall-clock time.
+	//dpi:guardedby(mu)
+	tick uint64
+	//dpi:guardedby(mu)
+	tombstones int
 
-	// Counters.
+	// Counters (mirrored into the obs registry).
 	//dpi:guardedby(mu)
 	Delivered int64 // bytes handed to the callback
 	//dpi:guardedby(mu)
 	Buffered int64 // bytes currently held out of order
 	//dpi:guardedby(mu)
-	Overlapped int64 // duplicate bytes discarded
+	Overlapped int64 // duplicate bytes discarded or superseded
 	//dpi:guardedby(mu)
 	GapsSkipped int64 // bytes skipped over
+	//dpi:guardedby(mu)
+	OverlapConflicts int64 // overlap events whose copies disagreed
+	//dpi:guardedby(mu)
+	OverlapConflictBytes int64 // bytes over which copies disagreed
+	//dpi:guardedby(mu)
+	DropsBadChecksum int64 // segments rejected for a failed checksum
+	//dpi:guardedby(mu)
+	SuspiciousSeen int64 // segments flagged suspicious by the caller
+	//dpi:guardedby(mu)
+	DropsSuspicious int64 // suspicious segments rejected
+	//dpi:guardedby(mu)
+	DropsSeqJump int64 // segments rejected for an absurd sequence jump
+	//dpi:guardedby(mu)
+	PostFINDrops int64 // segments rejected on a tombstoned stream
+	//dpi:guardedby(mu)
+	Evictions int64 // streams evicted by the MaxStreams bound
+	//dpi:guardedby(mu)
+	ShedBytes int64 // buffered bytes discarded by eviction or shedding
 }
 
 type stream struct {
+	tuple   packet.FiveTuple
 	nextSeq uint32
 	started bool
-	closed  bool
 	offset  int64 // stream offset corresponding to nextSeq
-	// pending holds out-of-order segments sorted by sequence.
+	// pending holds out-of-order segments sorted by sequence, pairwise
+	// non-overlapping (overlaps are resolved at insert time).
 	pending  []segment
 	buffered int
+
+	// Tombstone state: a closed stream is retained briefly so post-FIN
+	// segments are rejected and counted instead of resurrecting it.
+	closed     bool
+	closedTick uint64
+
+	// Intrusive eviction-list links (least-recently-advanced order).
+	prev, next *stream
 }
 
 type segment struct {
@@ -78,13 +301,30 @@ type segment struct {
 	data []byte
 }
 
-// ErrClosed is returned for segments on a stream already closed by FIN.
-var ErrClosed = errors.New("reassembly: stream closed")
+// Errors returned for rejected segments.
+var (
+	// ErrClosed is returned for segments on a stream recently closed by
+	// FIN (within the tombstone window).
+	ErrClosed = errors.New("reassembly: stream closed")
+	// ErrChecksum is returned for segments whose TCP checksum failed.
+	ErrChecksum = errors.New("reassembly: bad TCP checksum")
+	// ErrSuspicious is returned for caller-flagged suspicious segments
+	// when Config.DropSuspicious is set.
+	ErrSuspicious = errors.New("reassembly: suspicious segment dropped")
+	// ErrSeqJump is returned for segments too far from the next
+	// expected sequence number.
+	ErrSeqJump = errors.New("reassembly: sequence jump out of window")
+)
 
 // NewAssembler creates an assembler invoking deliver for in-order data.
 func NewAssembler(cfg Config, deliver DeliverFunc) *Assembler {
 	cfg.defaults()
-	return &Assembler{cfg: cfg, deliver: deliver, streams: make(map[packet.FiveTuple]*stream)}
+	return &Assembler{
+		cfg:     cfg,
+		deliver: deliver,
+		met:     newMetrics(cfg.Metrics),
+		streams: make(map[packet.FiveTuple]*stream),
+	}
 }
 
 // seqLess reports a < b in 32-bit sequence space.
@@ -93,20 +333,19 @@ func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
 // SYN anchors a stream at its initial sequence number (the SYN
 // consumes one sequence number, so payload starts at seq+1). Without a
 // SYN, the assembler anchors at the first data segment seen, which
-// mis-orders a flow whose very first segments arrive out of order.
+// mis-orders a flow whose very first segments arrive out of order. A
+// SYN on a tombstoned stream starts a fresh connection (port reuse).
 func (a *Assembler) SYN(tuple packet.FiveTuple, seq uint32) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.tick++
 	s := a.streams[tuple]
+	if s != nil && s.closed {
+		a.forget(s)
+		s = nil
+	}
 	if s == nil {
-		if len(a.streams) >= a.cfg.MaxStreams {
-			for k := range a.streams {
-				delete(a.streams, k)
-				break
-			}
-		}
-		s = &stream{}
-		a.streams[tuple] = s
+		s = a.newStream(tuple)
 	}
 	if !s.started {
 		s.started = true
@@ -114,24 +353,60 @@ func (a *Assembler) SYN(tuple packet.FiveTuple, seq uint32) {
 	}
 }
 
-// Segment feeds one TCP segment. fin marks the last segment of the
-// stream. Delivery callbacks run synchronously on the caller.
+// Segment feeds one TCP segment with no normalization hints. fin marks
+// the last segment of the stream. Delivery callbacks run synchronously
+// on the caller.
 func (a *Assembler) Segment(tuple packet.FiveTuple, seq uint32, data []byte, fin bool) error {
+	return a.SegmentWithMeta(tuple, seq, data, fin, SegmentMeta{})
+}
+
+// SegmentWithMeta feeds one TCP segment together with the caller's
+// packet-level normalization verdicts. Rejected segments return a
+// typed error and are counted; they never touch stream state (a forged
+// segment cannot tear down or desynchronize a stream).
+func (a *Assembler) SegmentWithMeta(tuple packet.FiveTuple, seq uint32, data []byte, fin bool, meta SegmentMeta) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	s := a.streams[tuple]
-	if s == nil {
-		if len(a.streams) >= a.cfg.MaxStreams {
-			for k := range a.streams {
-				delete(a.streams, k)
-				break
-			}
-		}
-		s = &stream{}
-		a.streams[tuple] = s
+	a.tick++
+
+	// Normalization stage: validate before any state is created.
+	if meta.BadChecksum {
+		a.DropsBadChecksum++
+		a.met.dropChecksum.Inc()
+		return ErrChecksum
 	}
-	if s.closed {
-		return ErrClosed
+	if meta.Suspicious {
+		a.SuspiciousSeen++
+		a.met.suspicious.Inc()
+		if a.cfg.DropSuspicious {
+			a.DropsSuspicious++
+			a.met.dropSuspicious.Inc()
+			return ErrSuspicious
+		}
+	}
+
+	s := a.streams[tuple]
+	if s != nil && s.closed {
+		if a.cfg.TombstoneTicks >= 0 && a.tick-s.closedTick <= uint64(a.cfg.TombstoneTicks) {
+			a.PostFINDrops++
+			a.met.postFinDrops.Inc()
+			return ErrClosed
+		}
+		// Tombstone expired: the segment starts a fresh stream.
+		a.forget(s)
+		s = nil
+	}
+	if s != nil && s.started && a.cfg.MaxSeqJump >= 0 {
+		// Clamp absurd sequence jumps relative to the next expected
+		// byte — a desynchronization attack, not plausible reordering.
+		if d := int64(int32(seq - s.nextSeq)); d > int64(a.cfg.MaxSeqJump) || d < -int64(a.cfg.MaxSeqJump) {
+			a.DropsSeqJump++
+			a.met.dropSeqJump.Inc()
+			return ErrSeqJump
+		}
+	}
+	if s == nil {
+		s = a.newStream(tuple)
 	}
 	if !s.started {
 		s.started = true
@@ -142,50 +417,216 @@ func (a *Assembler) Segment(tuple packet.FiveTuple, seq uint32, data []byte, fin
 		a.ingest(tuple, s, seq, data)
 	}
 	if fin {
-		// Flush whatever is pending (skipping gaps) and forget the
-		// stream.
-		a.flushAll(tuple, s)
-		s.closed = true
-		delete(a.streams, tuple)
+		a.finish(tuple, s)
 	}
 	return nil
+}
+
+// newStream allocates a tracked stream, evicting the
+// least-recently-advanced one when the table is full.
+//
+//dpi:locked(mu)
+func (a *Assembler) newStream(tuple packet.FiveTuple) *stream {
+	if len(a.streams) >= a.cfg.MaxStreams {
+		a.evictOne()
+	}
+	s := &stream{tuple: tuple}
+	a.streams[tuple] = s
+	a.pushBack(s)
+	a.met.streams.Add(1)
+	return s
+}
+
+// evictOne removes the stream at the front of the progress list — the
+// one that went longest without delivering a byte. Under an MCA²-style
+// state-exhaustion attack the flood's own no-progress streams sit at
+// the front, so they are evicted before any flow that is actually
+// advancing. Buffered bytes are discarded, not delivered.
+//
+//dpi:locked(mu)
+func (a *Assembler) evictOne() {
+	s := a.front
+	if s == nil {
+		return
+	}
+	a.Evictions++
+	a.met.evictions.Inc()
+	a.forget(s)
+}
+
+// forget drops a stream and its backlog from the table.
+//
+//dpi:locked(mu)
+func (a *Assembler) forget(s *stream) {
+	if s.buffered > 0 {
+		a.ShedBytes += int64(s.buffered)
+		a.met.shedBytes.Add(uint64(s.buffered))
+		a.addBuffered(s, -s.buffered)
+	}
+	if s.closed {
+		a.tombstones--
+	}
+	a.unlink(s)
+	delete(a.streams, s.tuple)
+	a.met.streams.Add(-1)
+}
+
+// finish flushes a stream at FIN and leaves a tombstone so late
+// segments are rejected rather than resurrecting the stream.
+//
+//dpi:locked(mu)
+func (a *Assembler) finish(tuple packet.FiveTuple, s *stream) {
+	a.flushAll(tuple, s)
+	if a.cfg.TombstoneTicks < 0 {
+		a.forget(s)
+		return
+	}
+	if !s.closed {
+		s.closed = true
+		a.tombstones++
+	}
+	s.closedTick = a.tick
+	s.pending = nil
+	a.moveFront(s) // tombstones are the preferred eviction victims
 }
 
 // ingest merges one data segment and delivers any newly contiguous run.
 //
 //dpi:locked(mu)
 func (a *Assembler) ingest(tuple packet.FiveTuple, s *stream, seq uint32, data []byte) {
-	// Trim the part already delivered (retransmission / overlap).
+	// Trim the part already delivered. Delivered bytes are immutable
+	// under every policy: the scanner saw them, and a scan cannot be
+	// rescinded — exactly what the end host does with data it already
+	// ACKed to the application.
 	if seqLess(seq, s.nextSeq) {
 		trim := s.nextSeq - seq // sequence-space distance
 		if uint32(len(data)) <= trim {
-			a.Overlapped += int64(len(data))
+			a.overlapped(int64(len(data)))
 			return
 		}
-		a.Overlapped += int64(trim)
+		a.overlapped(int64(trim))
 		data = data[trim:]
 		seq = s.nextSeq
 	}
-	if seq == s.nextSeq {
+	// Fast path: in-order data touching no pending segment is delivered
+	// without a copy.
+	if seq == s.nextSeq && !s.overlapsPending(seq, len(data)) {
 		a.deliverRun(tuple, s, data, 0)
 		a.drainPending(tuple, s)
 		return
 	}
-	// Out of order: buffer a copy (the caller owns its slice).
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	s.pending = append(s.pending, segment{seq: seq, data: cp})
-	sort.Slice(s.pending, func(i, j int) bool { return seqLess(s.pending[i].seq, s.pending[j].seq) })
-	s.buffered += len(cp)
-	a.Buffered += int64(len(cp))
+	a.insertPending(s, seq, data)
+	a.drainPending(tuple, s)
 	// Bound the buffer: skip to the first pending segment, declaring
 	// the gap lost.
 	if s.buffered > a.cfg.MaxBufferedPerStream {
 		a.skipGap(tuple, s)
 	}
+	if a.cfg.MaxBufferedTotal > 0 && a.Buffered > int64(a.cfg.MaxBufferedTotal) {
+		a.shedTotal()
+	}
 }
 
-// deliverRun hands contiguous bytes up and advances the stream.
+// overlapsPending reports whether [seq, seq+n) intersects any pending
+// segment.
+func (s *stream) overlapsPending(seq uint32, n int) bool {
+	if len(s.pending) == 0 || n == 0 {
+		return false
+	}
+	i := sort.Search(len(s.pending), func(i int) bool {
+		p := &s.pending[i]
+		return seqLess(seq, p.seq+uint32(len(p.data)))
+	})
+	return i < len(s.pending) && seqLess(s.pending[i].seq, seq+uint32(n))
+}
+
+// insertPending merges a segment into the pending set, resolving every
+// overlap against already-buffered copies under the configured policy.
+// Pending segments stay sorted and pairwise non-overlapping: when the
+// new copy wins an overlap its bytes are written over the pending copy
+// in place, and only the non-overlapped remainder is inserted.
+//
+//dpi:locked(mu)
+func (a *Assembler) insertPending(s *stream, seq uint32, data []byte) {
+	newStart := seq
+	cur := data
+	i := sort.Search(len(s.pending), func(i int) bool {
+		p := &s.pending[i]
+		return seqLess(seq, p.seq+uint32(len(p.data)))
+	})
+	var added []segment
+	for len(cur) > 0 && i < len(s.pending) {
+		ex := &s.pending[i]
+		if seqLess(seq, ex.seq) {
+			// Leading piece before ex does not overlap anything.
+			n := int(ex.seq - seq)
+			if n >= len(cur) {
+				break
+			}
+			added = append(added, segment{seq: seq, data: cloneBytes(cur[:n])})
+			seq += uint32(n)
+			cur = cur[n:]
+		}
+		// cur now starts inside ex.
+		off := int(seq - ex.seq)
+		n := len(ex.data) - off
+		if n > len(cur) {
+			n = len(cur)
+		}
+		a.overlapped(int64(n))
+		if !bytes.Equal(cur[:n], ex.data[off:off+n]) {
+			// The ambiguity real stacks are fingerprinted by: two
+			// copies of the same range with different content.
+			a.OverlapConflicts++
+			a.OverlapConflictBytes += int64(n)
+			a.met.conflicts.Inc()
+			a.met.conflictBytes.Add(uint64(n))
+			if a.cfg.Policy.newWins(newStart, ex.seq) {
+				copy(ex.data[off:off+n], cur[:n])
+			}
+		}
+		seq += uint32(n)
+		cur = cur[n:]
+		i++
+	}
+	if len(cur) > 0 {
+		added = append(added, segment{seq: seq, data: cloneBytes(cur)})
+	}
+	if len(added) == 0 {
+		return
+	}
+	for _, g := range added {
+		a.addBuffered(s, len(g.data))
+	}
+	s.pending = append(s.pending, added...)
+	sort.Slice(s.pending, func(i, j int) bool { return seqLess(s.pending[i].seq, s.pending[j].seq) })
+}
+
+func cloneBytes(b []byte) []byte {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
+}
+
+// addBuffered adjusts the per-stream and global buffered accounting.
+//
+//dpi:locked(mu)
+func (a *Assembler) addBuffered(s *stream, delta int) {
+	s.buffered += delta
+	a.Buffered += int64(delta)
+	a.met.buffered.Add(int64(delta))
+}
+
+// overlapped counts duplicate/superseded overlap bytes.
+//
+//dpi:locked(mu)
+func (a *Assembler) overlapped(n int64) {
+	a.Overlapped += n
+	a.met.overlapBytes.Add(uint64(n))
+}
+
+// deliverRun hands contiguous bytes up and advances the stream. Forward
+// progress refreshes the stream's position in the eviction list.
 //
 //dpi:locked(mu)
 func (a *Assembler) deliverRun(tuple packet.FiveTuple, s *stream, data []byte, skipped int64) {
@@ -193,6 +634,8 @@ func (a *Assembler) deliverRun(tuple packet.FiveTuple, s *stream, data []byte, s
 	s.nextSeq += uint32(len(data))
 	s.offset += int64(len(data)) + skipped
 	a.Delivered += int64(len(data))
+	a.met.delivered.Add(uint64(len(data)))
+	a.moveBack(s)
 	if a.deliver != nil {
 		a.deliver(tuple, off+skipped, data, skipped)
 	}
@@ -208,16 +651,15 @@ func (a *Assembler) drainPending(tuple packet.FiveTuple, s *stream) {
 			return // still a gap
 		}
 		s.pending = s.pending[1:]
-		s.buffered -= len(head.data)
-		a.Buffered -= int64(len(head.data))
+		a.addBuffered(s, -len(head.data))
 		data := head.data
 		if seqLess(head.seq, s.nextSeq) {
 			trim := s.nextSeq - head.seq
 			if uint32(len(data)) <= trim {
-				a.Overlapped += int64(len(data))
+				a.overlapped(int64(len(data)))
 				continue
 			}
-			a.Overlapped += int64(trim)
+			a.overlapped(int64(trim))
 			data = data[trim:]
 		}
 		a.deliverRun(tuple, s, data, 0)
@@ -234,12 +676,36 @@ func (a *Assembler) skipGap(tuple packet.FiveTuple, s *stream) {
 	head := s.pending[0]
 	gap := int64(head.seq - s.nextSeq)
 	a.GapsSkipped += gap
+	a.met.gapBytes.Add(uint64(gap))
 	s.pending = s.pending[1:]
-	s.buffered -= len(head.data)
-	a.Buffered -= int64(len(head.data))
+	a.addBuffered(s, -len(head.data))
 	s.nextSeq = head.seq
 	a.deliverRun(tuple, s, head.data, gap)
 	a.drainPending(tuple, s)
+}
+
+// shedTotal enforces the global buffer bound by discarding (without
+// delivery) the backlog of least-recently-advanced streams until back
+// under the cap.
+//
+//dpi:locked(mu)
+func (a *Assembler) shedTotal() {
+	for a.Buffered > int64(a.cfg.MaxBufferedTotal) {
+		var victim *stream
+		for s := a.front; s != nil; s = s.next {
+			if s.buffered > 0 {
+				victim = s
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		a.ShedBytes += int64(victim.buffered)
+		a.met.shedBytes.Add(uint64(victim.buffered))
+		a.addBuffered(victim, -victim.buffered)
+		victim.pending = nil
+	}
 }
 
 // flushAll skips every remaining gap of a stream (used at FIN).
@@ -260,9 +726,85 @@ func (a *Assembler) Flush(tuple packet.FiveTuple) {
 	}
 }
 
-// ActiveStreams reports the number of tracked streams.
+// Close drops every tracked stream and its backlog, releasing the
+// assembler's gauge contributions. Buffered bytes are discarded.
+func (a *Assembler) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for s := a.front; s != nil; {
+		next := s.next
+		a.forget(s)
+		s = next
+	}
+}
+
+// ActiveStreams reports the number of live (non-tombstoned) streams.
 func (a *Assembler) ActiveStreams() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return len(a.streams) - a.tombstones
+}
+
+// TrackedStreams reports all table entries including tombstones.
+func (a *Assembler) TrackedStreams() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return len(a.streams)
+}
+
+// Intrusive progress-list operations.
+
+//dpi:locked(mu)
+func (a *Assembler) unlink(s *stream) {
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else {
+		a.front = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else {
+		a.back = s.prev
+	}
+	s.prev, s.next = nil, nil
+}
+
+//dpi:locked(mu)
+func (a *Assembler) pushBack(s *stream) {
+	s.prev, s.next = a.back, nil
+	if a.back != nil {
+		a.back.next = s
+	} else {
+		a.front = s
+	}
+	a.back = s
+}
+
+//dpi:locked(mu)
+func (a *Assembler) pushFront(s *stream) {
+	s.prev, s.next = nil, a.front
+	if a.front != nil {
+		a.front.prev = s
+	} else {
+		a.back = s
+	}
+	a.front = s
+}
+
+//dpi:locked(mu)
+func (a *Assembler) moveBack(s *stream) {
+	if a.back == s {
+		return
+	}
+	a.unlink(s)
+	a.pushBack(s)
+}
+
+//dpi:locked(mu)
+func (a *Assembler) moveFront(s *stream) {
+	if a.front == s {
+		return
+	}
+	a.unlink(s)
+	a.pushFront(s)
 }

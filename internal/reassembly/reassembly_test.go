@@ -116,15 +116,55 @@ func TestFINFlushesAndCloses(t *testing.T) {
 	if a.ActiveStreams() != 0 {
 		t.Errorf("stream not forgotten after FIN")
 	}
-	// A late segment after FIN starts a brand-new stream at offset 0
-	// rather than resurrecting the closed one.
+	// A late segment inside the tombstone window is rejected and
+	// counted — a forged post-FIN segment must not resurrect the stream
+	// or start a fresh one the scanner would treat as new data.
+	if err := a.Segment(tpl, 100, []byte("late"), false); err != ErrClosed {
+		t.Fatalf("post-FIN segment: err = %v, want ErrClosed", err)
+	}
+	if a.PostFINDrops != 1 {
+		t.Errorf("PostFINDrops = %d, want 1", a.PostFINDrops)
+	}
+}
+
+func TestTombstoneExpiry(t *testing.T) {
+	a := NewAssembler(Config{TombstoneTicks: 3}, nil)
+	if err := a.Segment(tpl, 0, []byte("data"), true); err != nil {
+		t.Fatal(err)
+	}
+	// Within the window: rejected.
+	if err := a.Segment(tpl, 100, []byte("late"), false); err != ErrClosed {
+		t.Fatalf("within window: err = %v, want ErrClosed", err)
+	}
+	// Age the tombstone past the window with unrelated traffic.
+	other := tpl
+	other.SrcPort = 4000
+	for i := 0; i < 4; i++ {
+		if err := a.Segment(other, uint32(i), []byte("x"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Past the window: a fresh stream starts at offset 0 (port reuse).
 	var lateOff int64 = -1
-	a.deliver = func(_ packet.FiveTuple, offset int64, _ []byte, _ int64) { lateOff = offset }
-	if err := a.Segment(tpl, 100, []byte("late"), false); err != nil {
-		t.Fatalf("unexpected error: %v", err)
+	a.deliver = func(tu packet.FiveTuple, offset int64, _ []byte, _ int64) {
+		if tu == tpl {
+			lateOff = offset
+		}
+	}
+	if err := a.Segment(tpl, 500, []byte("new flow"), false); err != nil {
+		t.Fatalf("post-expiry segment: %v", err)
 	}
 	if lateOff != 0 {
-		t.Errorf("post-FIN delivery at offset %d, want a fresh stream at 0", lateOff)
+		t.Errorf("post-expiry delivery at offset %d, want fresh stream at 0", lateOff)
+	}
+	// A SYN on a tombstone also starts fresh immediately.
+	a2 := NewAssembler(Config{}, nil)
+	if err := a2.Segment(tpl, 0, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	a2.SYN(tpl, 999)
+	if err := a2.Segment(tpl, 1000, []byte("y"), false); err != nil {
+		t.Fatalf("segment after SYN on tombstone: %v", err)
 	}
 }
 

@@ -1,0 +1,345 @@
+package traffic
+
+// This file generates the evasion traffic real DPI boxes are
+// fingerprinted with: overlapping TCP segments carrying conflicting
+// data, bad-checksum insertions the end host would discard, short-TTL
+// and evil-bit-labeled segments, retransmission floods, gap floods,
+// tiny-segment splits, and out-of-order storms — all deterministic in
+// their seed. A schedule is produced relative to a reference stream so
+// differential tests know exactly which byte ranges are legitimately
+// ambiguous (conflicting same-validity copies were sent) and which are
+// only poisoned for a reassembler that skips normalization.
+
+import (
+	"math/rand"
+
+	"dpiservice/internal/packet"
+)
+
+// Range is a half-open [Start, End) interval of stream byte offsets.
+type Range struct{ Start, End int64 }
+
+// Overlaps reports whether two ranges intersect.
+func (r Range) Overlaps(o Range) bool { return r.Start < o.End && o.Start < r.End }
+
+// OverlapsAny reports whether r intersects any range in rs.
+func OverlapsAny(rs []Range, r Range) bool {
+	for _, x := range rs {
+		if x.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// AdvSegment is one scheduled TCP segment of an adversarial stream.
+// Offset is the byte offset of Data[0] within the stream (seq =
+// ISN+1+Offset once anchored by a SYN).
+type AdvSegment struct {
+	Offset int64
+	Data   []byte
+	Fin    bool
+	// BadChecksum marks a poison segment to be sent under a wrong,
+	// nonzero TCP checksum: the end host discards it, so only a
+	// reassembler that skips checksum validation ingests it.
+	BadChecksum bool
+	// Evil marks a poison segment stamped with the IPv4 reserved
+	// ("evil") flag — the in-band attack label of adversarial corpora.
+	Evil bool
+	// ShortTTL marks a poison segment sent with a TTL too small to
+	// reach the end host (it expires between the DPI and the host).
+	ShortTTL bool
+}
+
+// Poison reports whether the segment is one a normalizing reassembler
+// rejects before ingest.
+func (s AdvSegment) Poison() bool { return s.BadChecksum || s.Evil || s.ShortTTL }
+
+// AdvStream is a complete adversarial delivery schedule for one flow.
+type AdvStream struct {
+	// Ref is the genuine stream: what the end host reconstructs after
+	// discarding poison and resolving its own overlap policy. Every
+	// byte of Ref is covered by at least one genuine segment.
+	Ref []byte
+	// Segments is the schedule in send order.
+	Segments []AdvSegment
+	// Ambiguous lists ranges where conflicting same-validity copies
+	// were sent: overlap policies may legitimately deliver different
+	// bytes there, and pattern matches inside them are best-effort.
+	Ambiguous []Range
+	// Poisoned lists ranges covered by conflicting poison segments:
+	// ambiguous only for a reassembler that skips normalization.
+	Poisoned []Range
+}
+
+// AdvConfig tunes the adversarial scheduler; zero values get defaults.
+// Probabilities are per genuine segment. A probability of -1 disables
+// that attack entirely (0 means "default").
+type AdvConfig struct {
+	MeanSeg       int     // mean genuine segment size (default 160)
+	TinyProb      float64 // tiny-segment episode (1–4 B splits), default 0.1
+	ReorderWindow int     // out-of-order shuffle window in segments, default 8
+	DupProb       float64 // retransmission flood, default 0.2
+	ConflictProb  float64 // conflicting-overlap injection, default 0.1
+	PoisonProb    float64 // bad-checksum/evil/short-TTL insertion, default 0.1
+	GapFloodProb  float64 // segment held back to the end, default 0.05
+	Fin           bool    // append a FIN segment at the very end
+}
+
+func prob(v, def float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func (c *AdvConfig) defaults() {
+	if c.MeanSeg <= 0 {
+		c.MeanSeg = 160
+	}
+	if c.ReorderWindow <= 0 {
+		c.ReorderWindow = 8
+	}
+	c.TinyProb = prob(c.TinyProb, 0.1)
+	c.DupProb = prob(c.DupProb, 0.2)
+	c.ConflictProb = prob(c.ConflictProb, 0.1)
+	c.PoisonProb = prob(c.PoisonProb, 0.1)
+	c.GapFloodProb = prob(c.GapFloodProb, 0.05)
+}
+
+// Plant copies patterns from pats into ref at n rng-chosen,
+// non-overlapping sites and returns the sites. Patterns longer than
+// ref are skipped. The returned ranges are the ground truth for
+// no-false-negative assertions.
+func Plant(rng *rand.Rand, ref []byte, pats []string, n int) []Range {
+	var sites []Range
+	for planted := 0; planted < n; planted++ {
+		p := pats[rng.Intn(len(pats))]
+		if len(p) == 0 || len(p) > len(ref) {
+			continue
+		}
+		var site Range
+		ok := false
+		for try := 0; try < 32; try++ {
+			off := int64(rng.Intn(len(ref) - len(p) + 1))
+			site = Range{Start: off, End: off + int64(len(p))}
+			if !OverlapsAny(sites, site) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		copy(ref[site.Start:site.End], p)
+		sites = append(sites, site)
+	}
+	return sites
+}
+
+// Adversarial builds a seeded adversarial schedule delivering ref.
+// Genuine segments cover every byte of ref; attack segments are woven
+// around them.
+func Adversarial(rng *rand.Rand, ref []byte, cfg AdvConfig) *AdvStream {
+	cfg.defaults()
+	adv := &AdvStream{Ref: ref}
+
+	// 1. Split ref into genuine segments, with tiny-segment episodes.
+	var plan []advSched
+	tiny := 0
+	for off := 0; off < len(ref); {
+		var n int
+		if tiny > 0 {
+			n = 1 + rng.Intn(4)
+			tiny--
+		} else if rng.Float64() < cfg.TinyProb {
+			tiny = 4 + rng.Intn(12) // enter a tiny-split episode
+			continue
+		} else {
+			n = 1 + rng.Intn(2*cfg.MeanSeg)
+		}
+		if off+n > len(ref) {
+			n = len(ref) - off
+		}
+		plan = append(plan, advSched{seg: AdvSegment{Offset: int64(off), Data: ref[off : off+n]}})
+		off += n
+	}
+
+	// 2. Weave attacks around each genuine segment.
+	var attacks []advSched
+	for i := range plan {
+		g := plan[i].seg
+		// Retransmission flood: exact duplicates are harmless content-
+		// wise but stress dedup and buffering.
+		if rng.Float64() < cfg.DupProb {
+			for k := 1 + rng.Intn(3); k > 0; k-- {
+				attacks = append(attacks, advSched{seg: AdvSegment{Offset: g.Offset, Data: g.Data}, key: int64(i)})
+			}
+		}
+		// Conflicting overlap: a same-validity copy of a subrange with
+		// different content — the core reassembly ambiguity. Overlap
+		// policies may legitimately disagree inside it.
+		if rng.Float64() < cfg.ConflictProb {
+			r := subrange(rng, g)
+			attacks = append(attacks, advSched{seg: AdvSegment{Offset: r.Start, Data: conflict(ref[r.Start:r.End])}, key: int64(i)})
+			adv.Ambiguous = append(adv.Ambiguous, r)
+		}
+		// Poison insertion: conflicting content under a failed checksum,
+		// an evil-bit label, or a TTL that expires before the host. A
+		// normalizing reassembler rejects these, so the range is only
+		// ambiguous for a naive one.
+		if rng.Float64() < cfg.PoisonProb {
+			r := subrange(rng, g)
+			seg := AdvSegment{Offset: r.Start, Data: conflict(ref[r.Start:r.End])}
+			switch rng.Intn(3) {
+			case 0:
+				seg.BadChecksum = true
+			case 1:
+				seg.Evil = true
+			default:
+				seg.ShortTTL = true
+			}
+			attacks = append(attacks, advSched{seg: seg, key: int64(i)})
+			adv.Poisoned = append(adv.Poisoned, r)
+		}
+	}
+
+	// 3. Reorder: jitter genuine segments within the reorder window,
+	// hold gap-flood victims back to the end, and let attack segments
+	// land anywhere in their window.
+	last := int64(len(plan))
+	for i := range plan {
+		if rng.Float64() < cfg.GapFloodProb {
+			plan[i].key = last + int64(rng.Intn(len(plan)+1)) // long-lived gap
+		} else {
+			plan[i].key = int64(i) + int64(rng.Intn(cfg.ReorderWindow)) - int64(cfg.ReorderWindow/2)
+		}
+	}
+	for i := range attacks {
+		attacks[i].key += int64(rng.Intn(cfg.ReorderWindow)) - int64(cfg.ReorderWindow/2)
+	}
+	plan = append(plan, attacks...)
+	// Deterministic order: stable sort by key, ties broken by arrival
+	// construction order.
+	sortSchedule(plan)
+	for _, p := range plan {
+		adv.Segments = append(adv.Segments, p.seg)
+	}
+	if cfg.Fin {
+		adv.Segments = append(adv.Segments, AdvSegment{Offset: int64(len(ref)), Fin: true})
+	}
+	adv.Ambiguous = MergeRanges(adv.Ambiguous)
+	adv.Poisoned = MergeRanges(adv.Poisoned)
+	return adv
+}
+
+// subrange picks a nonempty subrange of a genuine segment.
+func subrange(rng *rand.Rand, g AdvSegment) Range {
+	n := 1 + rng.Intn(len(g.Data))
+	off := rng.Intn(len(g.Data) - n + 1)
+	return Range{Start: g.Offset + int64(off), End: g.Offset + int64(off+n)}
+}
+
+// conflict returns a copy of b guaranteed to differ at every byte.
+func conflict(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[i] = c ^ 0xA5
+	}
+	return out
+}
+
+// advSched pairs a segment with its schedule sort key.
+type advSched struct {
+	seg AdvSegment
+	key int64
+}
+
+// sortSchedule stable-sorts by key (insertion sort is stable, so ties
+// keep construction order and schedules stay deterministic).
+func sortSchedule(plan []advSched) {
+	for i := 1; i < len(plan); i++ {
+		for j := i; j > 0 && plan[j].key < plan[j-1].key; j-- {
+			plan[j], plan[j-1] = plan[j-1], plan[j]
+		}
+	}
+}
+
+// MergeRanges sorts and coalesces overlapping or adjacent ranges.
+func MergeRanges(rs []Range) []Range {
+	if len(rs) < 2 {
+		return rs
+	}
+	sorted := make([]Range, len(rs))
+	copy(sorted, rs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Start < sorted[j-1].Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := sorted[:1]
+	for _, r := range sorted[1:] {
+		if r.Start <= out[len(out)-1].End {
+			if r.End > out[len(out)-1].End {
+				out[len(out)-1].End = r.End
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ChecksumMode selects the TCP checksum stamped on a built frame.
+type ChecksumMode int
+
+// Checksum modes for BuildAdv.
+const (
+	// ChecksumNone leaves the field zero (this codec's "not set").
+	ChecksumNone ChecksumMode = iota
+	// ChecksumGood stamps the correct checksum.
+	ChecksumGood
+	// ChecksumBad stamps a deliberately wrong, nonzero checksum.
+	ChecksumBad
+)
+
+// AdvFrameOpts controls the evasion-relevant header fields of a built
+// frame.
+type AdvFrameOpts struct {
+	TTL      uint8 // 0 means the default 64
+	Evil     bool  // set the IPv4 reserved ("evil") flag
+	Checksum ChecksumMode
+	Fin      bool
+}
+
+// BuildAdv serializes a TCP frame with adversarial header control:
+// explicit TTL, the IPv4 evil bit, and a good or deliberately bad TCP
+// checksum.
+func (fb *FrameBuilder) BuildAdv(tuple packet.FiveTuple, seq uint32, payload []byte, o AdvFrameOpts) []byte {
+	flags := packet.TCPAck
+	if o.Fin {
+		flags |= packet.TCPFin
+	}
+	ttl := o.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	var ipFlags uint8
+	if o.Evil {
+		ipFlags = 0x4 // the reserved high bit of the 3-bit flags field
+	}
+	frame := fb.buildFull(tuple, payload, flags, seq, ttl, ipFlags)
+	if frame == nil {
+		return nil
+	}
+	switch o.Checksum {
+	case ChecksumGood:
+		_ = packet.SetTCPChecksum(frame)
+	case ChecksumBad:
+		_ = packet.CorruptTCPChecksum(frame)
+	}
+	return frame
+}

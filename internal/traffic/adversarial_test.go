@@ -1,0 +1,150 @@
+package traffic
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dpiservice/internal/packet"
+)
+
+func TestPlantSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := NewGenerator(Config{Seed: 2, Mix: HTTPMix}).PayloadN(4096)
+	pats := []string{"NEEDLE-ALPHA", "NEEDLE-BRAVO"}
+	sites := Plant(rng, ref, pats, 10)
+	if len(sites) == 0 {
+		t.Fatal("no sites planted")
+	}
+	for i, s := range sites {
+		got := string(ref[s.Start:s.End])
+		if got != pats[0] && got != pats[1] {
+			t.Errorf("site %d: ref[%d:%d] = %q, not a pattern", i, s.Start, s.End, got)
+		}
+		for j, o := range sites {
+			if i != j && s.Overlaps(o) {
+				t.Errorf("sites %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestAdversarialDeterministic(t *testing.T) {
+	ref := NewGenerator(Config{Seed: 3, Mix: CampusMix}).PayloadN(8192)
+	a := Adversarial(rand.New(rand.NewSource(9)), ref, AdvConfig{Fin: true})
+	b := Adversarial(rand.New(rand.NewSource(9)), ref, AdvConfig{Fin: true})
+	if !reflect.DeepEqual(a.Segments, b.Segments) ||
+		!reflect.DeepEqual(a.Ambiguous, b.Ambiguous) ||
+		!reflect.DeepEqual(a.Poisoned, b.Poisoned) {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+// TestAdversarialCoverage: genuine (non-poison) segments cover every
+// byte, and outside the declared ambiguous ranges every genuine copy of
+// a byte agrees with the reference.
+func TestAdversarialCoverage(t *testing.T) {
+	ref := NewGenerator(Config{Seed: 4, Mix: HTTPMix}).PayloadN(8192)
+	adv := Adversarial(rand.New(rand.NewSource(10)), ref, AdvConfig{Fin: true})
+	covered := make([]bool, len(ref))
+	sawFin := false
+	for _, seg := range adv.Segments {
+		if seg.Fin {
+			sawFin = true
+		}
+		if seg.Poison() {
+			// Poison content must stay inside a declared poisoned range.
+			r := Range{Start: seg.Offset, End: seg.Offset + int64(len(seg.Data))}
+			if !OverlapsAny(adv.Poisoned, r) {
+				t.Errorf("poison segment [%d,%d) outside declared poisoned ranges", r.Start, r.End)
+			}
+			continue
+		}
+		for i, b := range seg.Data {
+			off := seg.Offset + int64(i)
+			covered[off] = true
+			if b != ref[off] && !OverlapsAny(adv.Ambiguous, Range{Start: off, End: off + 1}) {
+				t.Fatalf("genuine segment disagrees with ref at %d outside ambiguous ranges", off)
+			}
+		}
+	}
+	if !sawFin {
+		t.Error("Fin requested but no FIN segment scheduled")
+	}
+	for off, ok := range covered {
+		if !ok {
+			t.Fatalf("byte %d not covered by any genuine segment", off)
+		}
+	}
+	if len(adv.Ambiguous) == 0 || len(adv.Poisoned) == 0 {
+		t.Errorf("defaults produced %d ambiguous and %d poisoned ranges; want both nonzero",
+			len(adv.Ambiguous), len(adv.Poisoned))
+	}
+}
+
+// TestAdversarialClean: with conflicts and poison disabled every
+// scheduled segment is verbatim reference content.
+func TestAdversarialClean(t *testing.T) {
+	ref := NewGenerator(Config{Seed: 5, Mix: HTTPMix}).PayloadN(4096)
+	adv := Adversarial(rand.New(rand.NewSource(11)), ref, AdvConfig{ConflictProb: -1, PoisonProb: -1})
+	if len(adv.Ambiguous) != 0 || len(adv.Poisoned) != 0 {
+		t.Fatalf("disabled attacks still declared ranges: %v %v", adv.Ambiguous, adv.Poisoned)
+	}
+	for _, seg := range adv.Segments {
+		if seg.Poison() {
+			t.Fatal("poison segment scheduled with poison disabled")
+		}
+		if !bytes.Equal(seg.Data, ref[seg.Offset:seg.Offset+int64(len(seg.Data))]) {
+			t.Fatalf("segment at %d is not verbatim reference content", seg.Offset)
+		}
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	got := MergeRanges([]Range{{10, 20}, {30, 40}, {15, 25}, {25, 30}})
+	want := []Range{{10, 40}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeRanges = %v, want %v", got, want)
+	}
+	if out := MergeRanges(nil); len(out) != 0 {
+		t.Errorf("MergeRanges(nil) = %v", out)
+	}
+}
+
+func TestBuildAdvFrames(t *testing.T) {
+	fb := &FrameBuilder{SrcMAC: packet.MAC{2, 0, 0, 0, 0, 1}, DstMAC: packet.MAC{2, 0, 0, 0, 0, 2}}
+	tuple := packet.FiveTuple{
+		Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+		SrcPort: 1234, DstPort: 80, Protocol: packet.IPProtoTCP,
+	}
+	payload := []byte("adversarial payload")
+
+	good := fb.BuildAdv(tuple, 1000, payload, AdvFrameOpts{Checksum: ChecksumGood})
+	if valid, present := packet.TCPChecksumValid(good); !present || !valid {
+		t.Fatalf("good frame: valid=%v present=%v", valid, present)
+	}
+	bad := fb.BuildAdv(tuple, 1000, payload, AdvFrameOpts{Checksum: ChecksumBad})
+	if valid, present := packet.TCPChecksumValid(bad); !present || valid {
+		t.Fatalf("bad frame: valid=%v present=%v", valid, present)
+	}
+	none := fb.BuildAdv(tuple, 1000, payload, AdvFrameOpts{})
+	if _, present := packet.TCPChecksumValid(none); present {
+		t.Fatal("default frame has a checksum set")
+	}
+
+	var s packet.Summary
+	evil := fb.BuildAdv(tuple, 2000, payload, AdvFrameOpts{TTL: 2, Evil: true, Fin: true})
+	if err := packet.Summarize(evil, &s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IPEvil || s.IPTTL != 2 {
+		t.Errorf("evil frame: IPEvil=%v TTL=%d", s.IPEvil, s.IPTTL)
+	}
+	if s.TCPFlags&packet.TCPFin == 0 {
+		t.Error("Fin option did not set FIN")
+	}
+	if s.TCPSeq != 2000 || !bytes.Equal(s.Payload, payload) {
+		t.Errorf("seq/payload mismatch: seq=%d", s.TCPSeq)
+	}
+}

@@ -275,6 +275,12 @@ func (fb *FrameBuilder) BuildSyn(tuple packet.FiveTuple, isn uint32) []byte {
 }
 
 func (fb *FrameBuilder) buildSeq(tuple packet.FiveTuple, payload []byte, tcpFlags uint8, seq uint32) []byte {
+	return fb.buildFull(tuple, payload, tcpFlags, seq, 64, 0)
+}
+
+// buildFull serializes one frame with explicit IP-level knobs (TTL and
+// the flags field carrying the adversarial "evil" bit).
+func (fb *FrameBuilder) buildFull(tuple packet.FiveTuple, payload []byte, tcpFlags uint8, seq uint32, ttl, ipFlags uint8) []byte {
 	fb.nextID++
 	var l4 packet.SerializableLayer
 	if tuple.Protocol == packet.IPProtoUDP {
@@ -284,7 +290,7 @@ func (fb *FrameBuilder) buildSeq(tuple packet.FiveTuple, payload []byte, tcpFlag
 	}
 	err := packet.SerializeLayers(&fb.buf,
 		&packet.Ethernet{Src: fb.SrcMAC, Dst: fb.DstMAC, EtherType: packet.EtherTypeIPv4},
-		&packet.IPv4{TTL: 64, Protocol: tuple.Protocol, Src: tuple.Src, Dst: tuple.Dst, ID: fb.nextID},
+		&packet.IPv4{TTL: ttl, Flags: ipFlags, Protocol: tuple.Protocol, Src: tuple.Src, Dst: tuple.Dst, ID: fb.nextID},
 		l4,
 		packet.Payload(payload),
 	)
