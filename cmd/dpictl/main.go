@@ -22,6 +22,7 @@ import (
 	"dpiservice/internal/controller"
 	"dpiservice/internal/ctlproto"
 	"dpiservice/internal/obs"
+	"dpiservice/internal/trace"
 )
 
 func main() {
@@ -44,6 +45,15 @@ func main() {
 			log.Fatalf("dpictl: load state: %v", err)
 		}
 	}
+
+	// The controller's flight recorder captures lease transitions and
+	// failover plans so a post-mortem /flight dump shows the failure
+	// history even after logs rotate.
+	fl := trace.NewFlight("ctl", trace.DefaultFlightCapacity)
+	clk := trace.StartClock(0)
+	defer clk.Stop()
+	fl.SetClock(clk)
+	ctl.SetFlight(fl)
 
 	ctl.ConfigureLeases(controller.LeaseConfig{TTL: *leaseTTL})
 	ctl.OnFailover(func(f controller.Failover) {
@@ -70,7 +80,13 @@ func main() {
 	log.Printf("dpictl: controller listening on %s (lease ttl %v, sweep %v)", srv.Addr(), *leaseTTL, sweep)
 
 	if *debugAddr != "" {
-		mux := obs.NewDebugMux(reg, nil)
+		mux := obs.NewDebugMux(reg, obs.Health{
+			Service: "dpictl",
+			Details: func() map[string]any {
+				return map[string]any{"leases": ctl.LeaseSummary()}
+			},
+		})
+		mux.Handle("/flight", fl.Handler())
 		// /instances renders the controller's per-instance load and
 		// health view — the data the MCA² stress monitor and failover
 		// tooling work from.

@@ -28,6 +28,7 @@ import (
 	"dpiservice/internal/core"
 	"dpiservice/internal/ctlproto"
 	"dpiservice/internal/obs"
+	"dpiservice/internal/trace"
 )
 
 func main() {
@@ -51,6 +52,16 @@ func main() {
 	reg := obs.NewRegistry()
 	ctlproto.EnableMetrics(reg)
 
+	// Tracing and flight recording: the tracer holds spans of sampled
+	// packets (the sender decides sampling and marks frames with
+	// FlagTrace); the flight recorder is always on, fed by rare events
+	// (evictions, retransmits, session deaths) across the subsystems.
+	tracer := trace.NewTracer("dpi-"+*id, trace.DefaultSpanCapacity)
+	fl := trace.NewFlight("dpi-"+*id, trace.DefaultFlightCapacity)
+	clk := trace.StartClock(0)
+	defer clk.Stop()
+	fl.SetClock(clk)
+
 	cl, err := controller.Dial(*ctlAddr)
 	if err != nil {
 		log.Fatalf("dpinstance: controller: %v", err)
@@ -68,6 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dpinstance: engine: %v", err)
 	}
+	engine.SetFlight(fl)
 	var eng atomic.Pointer[core.Engine]
 	eng.Store(engine)
 	version := init.Version
@@ -83,14 +95,30 @@ func main() {
 
 	var stopWire func()
 	if *wireAddr != "" {
-		stopWire, err = startWire(*wireAddr, *verdicts, *id, init, &eng, reg)
+		stopWire, err = startWire(*wireAddr, *verdicts, *id, init, &eng, reg, tracer, fl)
 		if err != nil {
 			log.Fatalf("dpinstance: wire: %v", err)
 		}
 	}
 
 	if *debugAddr != "" {
-		mux := obs.NewDebugMux(reg, func() bool { return eng.Load() != nil })
+		mux := obs.NewDebugMux(reg, obs.Health{
+			Service: "dpinstance",
+			Healthy: func() bool { return eng.Load() != nil },
+			Details: func() map[string]any {
+				e := eng.Load()
+				if e == nil {
+					return nil
+				}
+				return map[string]any{
+					"id":           *id,
+					"active_flows": e.ActiveFlows(),
+					"patterns":     e.NumPatterns(),
+				}
+			},
+		})
+		mux.Handle("/trace", tracer.Handler())
+		mux.Handle("/flight", fl.Handler())
 		dbg, err := obs.StartDebugServer(*debugAddr, mux)
 		if err != nil {
 			log.Fatalf("dpinstance: debug listen: %v", err)
@@ -105,7 +133,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			exportAndRefresh(cl, *id, *dedicated, reg, &eng, &version, *telEvery, stop)
+			exportAndRefresh(cl, *id, *dedicated, reg, &eng, fl, &version, *telEvery, stop)
 		}()
 	}
 	if *leaseEvery > 0 {
@@ -279,7 +307,7 @@ func renewLeases(cl *controller.Client, id string, dedicated bool, every time.Du
 // exportAndRefresh periodically ships counters and heavy flows, and
 // re-requests the instance configuration, hot-swapping the engine when
 // the controller's version advanced (the runtime pattern-update path).
-func exportAndRefresh(cl *controller.Client, id string, dedicated bool, reg *obs.Registry, eng *atomic.Pointer[core.Engine], version *uint64, every time.Duration, stop <-chan struct{}) {
+func exportAndRefresh(cl *controller.Client, id string, dedicated bool, reg *obs.Registry, eng *atomic.Pointer[core.Engine], fl *trace.Flight, version *uint64, every time.Duration, stop <-chan struct{}) {
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -303,6 +331,7 @@ func exportAndRefresh(cl *controller.Client, id string, dedicated bool, reg *obs
 			} else if fresh, err := core.NewEngine(cfg); err != nil {
 				log.Printf("dpinstance: rebuild: %v", err)
 			} else {
+				fresh.SetFlight(fl)
 				eng.Store(fresh)
 				*version = init.Version
 				log.Printf("dpinstance %s: applied config v%d (%d patterns)",

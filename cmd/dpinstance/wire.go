@@ -10,6 +10,7 @@ import (
 	"dpiservice/internal/ctlproto"
 	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
+	"dpiservice/internal/trace"
 	"dpiservice/internal/wire"
 )
 
@@ -18,9 +19,13 @@ import (
 // encoded match report, plus an optional verdict-forwarding client
 // that pushes non-empty reports to a middlebox verdict consumer. The
 // cluster key and the instance's own session token both come from
-// InstanceInit. The returned func shuts the data plane down.
-func startWire(listen, verdicts, id string, init ctlproto.InstanceInit, eng *atomic.Pointer[core.Engine], reg *obs.Registry) (func(), error) {
+// InstanceInit. Sampled packets (FlagTrace set by the sender) accrue
+// decode/reassembly/scan/encode spans into tracer and propagate their
+// trace context on the forwarded verdict; fl captures wire-level rare
+// events. The returned func shuts the data plane down.
+func startWire(listen, verdicts, id string, init ctlproto.InstanceInit, eng *atomic.Pointer[core.Engine], reg *obs.Registry, tracer *trace.Tracer, fl *trace.Flight) (func(), error) {
 	met := wire.NewMetrics(reg)
+	met.SetFlight(fl)
 	tr, err := wire.ListenUDP(listen)
 	if err != nil {
 		return nil, err
@@ -48,10 +53,32 @@ func startWire(listen, verdicts, id string, init ctlproto.InstanceInit, eng *ato
 	// encode buffer is reused across packets.
 	var enc []byte
 	srv.OnData(func(s *wire.Session, seq uint32, tag uint16, tuple packet.FiveTuple, payload []byte) {
-		rep, err := eng.Load().InspectTimed(tag, tuple, payload)
+		traceID, pktIdx, traced := s.Trace()
+		var rep *packet.Report
+		var err error
+		if traced {
+			// Decode span: time from the datagram batch read to handler
+			// dispatch (frame parse, reorder, trace-ext strip).
+			decNs := s.SinceRecv()
+			now := time.Now().UnixNano()
+			tracer.Record(traceID, pktIdx, trace.StageDecode, now-decNs, decNs)
+			var prepNs, scanNs int64
+			rep, prepNs, scanNs, err = eng.Load().InspectStaged(tag, tuple, payload)
+			// The engine's prepare stage (flow admission, decompression,
+			// stopping conditions) is the wire pipeline's reassembly
+			// analogue; the rest is the DFA scan.
+			tracer.Record(traceID, pktIdx, trace.StageReassembly, now, prepNs)
+			tracer.Record(traceID, pktIdx, trace.StageScan, now+prepNs, scanNs)
+		} else {
+			rep, err = eng.Load().InspectTimed(tag, tuple, payload)
+		}
 		if err != nil {
 			log.Printf("dpinstance: inspect: %v", err)
 			rep = nil
+		}
+		var encStart int64
+		if traced {
+			encStart = time.Now().UnixNano()
 		}
 		enc = enc[:0]
 		if rep != nil {
@@ -61,9 +88,17 @@ func startWire(listen, verdicts, id string, init ctlproto.InstanceInit, eng *ato
 			log.Printf("dpinstance: result: %v", err)
 		}
 		if len(enc) > 0 && vc != nil {
-			if err := vc.SendVerdict(tag, tuple, enc); err != nil {
+			if traced {
+				err = vc.SendVerdictTraced(tag, tuple, traceID, pktIdx, enc)
+			} else {
+				err = vc.SendVerdict(tag, tuple, enc)
+			}
+			if err != nil {
 				log.Printf("dpinstance: verdict: %v", err)
 			}
+		}
+		if traced {
+			tracer.Record(traceID, pktIdx, trace.StageEncode, encStart, time.Now().UnixNano()-encStart)
 		}
 	})
 	srv.Start()

@@ -5,9 +5,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
+	"dpiservice/internal/trace"
 	"dpiservice/internal/wire"
 )
 
@@ -23,6 +25,16 @@ func serveVerdicts(id, listen, debugAddr string, key uint64) error {
 	matches := reg.Counter("mbox.matches")
 	badReports := reg.Counter("mbox.bad_reports")
 
+	// The consume span closes each sampled packet's trace: verdicts
+	// whose frames carry FlagTrace record their handling time here,
+	// stitched to the upstream spans by trace ID at scrape time.
+	tracer := trace.NewTracer("mbox-"+id, trace.DefaultSpanCapacity)
+	fl := trace.NewFlight("mbox-"+id, trace.DefaultFlightCapacity)
+	clk := trace.StartClock(0)
+	defer clk.Stop()
+	fl.SetClock(clk)
+	met.SetFlight(fl)
+
 	tr, err := wire.ListenUDP(listen)
 	if err != nil {
 		return err
@@ -33,6 +45,11 @@ func serveVerdicts(id, listen, debugAddr string, key uint64) error {
 	// scratch is reused across verdicts.
 	var rep packet.Report
 	srv.OnVerdict(func(s *wire.Session, tag uint16, tuple packet.FiveTuple, report []byte) {
+		traceID, pktIdx, traced := s.Trace()
+		var start int64
+		if traced {
+			start = time.Now().UnixNano()
+		}
 		verdicts.Inc()
 		verdictBytes.Add(uint64(len(report)))
 		if _, err := packet.DecodeReport(report, &rep); err != nil {
@@ -40,13 +57,26 @@ func serveVerdicts(id, listen, debugAddr string, key uint64) error {
 			return
 		}
 		matches.Add(uint64(len(rep.Sections)))
+		if traced {
+			tracer.Record(traceID, pktIdx, trace.StageConsume, start, time.Now().UnixNano()-start)
+		}
 	})
 	srv.Start()
 	defer srv.Close()
 	log.Printf("mboxd %s: verdict consumer on %s", id, srv.LocalAddr().String())
 
 	if debugAddr != "" {
-		mux := obs.NewDebugMux(reg, nil)
+		mux := obs.NewDebugMux(reg, obs.Health{
+			Service: "mboxd",
+			Details: func() map[string]any {
+				return map[string]any{
+					"id":       id,
+					"verdicts": verdicts.Value(),
+				}
+			},
+		})
+		mux.Handle("/trace", tracer.Handler())
+		mux.Handle("/flight", fl.Handler())
 		dbg, err := obs.StartDebugServer(debugAddr, mux)
 		if err != nil {
 			return err

@@ -57,6 +57,7 @@ func main() {
 		injectN = flag.Int("inject", 64, "number of synthetic patterns to inject from")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		advr    = flag.Bool("adversarial", false, "generate evasion traffic (overlap conflicts, poison, reordering); requires -pcap")
+		traceRt = flag.Int("trace-rate", 0, "sample 1 in N flows for end-to-end wire tracing: sampled packets carry in-band trace context and accrue spans at every pipeline stage (0 disables; wire mode only)")
 	)
 	flag.Parse()
 	if *advr && *pcapOut == "" {
@@ -134,7 +135,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("trafficgen: %v", err)
 		}
-		if err := driveWire(*connect, *peer, token, uint16(*tag), corpus, *flows); err != nil {
+		if err := driveWire(*connect, *peer, token, uint16(*tag), corpus, *flows, *traceRt); err != nil {
 			log.Fatalf("trafficgen: %v", err)
 		}
 		return

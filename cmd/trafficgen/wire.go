@@ -5,11 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"dpiservice/internal/controller"
 	"dpiservice/internal/packet"
+	"dpiservice/internal/trace"
 	"dpiservice/internal/wire"
 )
 
@@ -36,7 +39,14 @@ func wireToken(token uint64, ctlAddr, peer string) (uint64, error) {
 // wire transport and waits for every match report, printing throughput
 // and protocol statistics. Unlike the framed-TCP path, results arrive
 // keyed by the data frame's seq, so ordering is irrelevant.
-func driveWire(target, peer string, token uint64, tag uint16, corpus [][]byte, nFlows int) error {
+//
+// With traceRate > 0 every packet of 1-in-traceRate flows (picked by a
+// deterministic tuple hash, so re-runs sample the same flows) is sent
+// with in-band trace context and gets a send-stage span recorded
+// locally; the sampled trace IDs are printed so an operator (or the
+// e2e harness) can stitch them against the /trace dumps of dpinstance
+// and mboxd.
+func driveWire(target, peer string, token uint64, tag uint16, corpus [][]byte, nFlows, traceRate int) error {
 	tr, err := wire.DialUDP(target)
 	if err != nil {
 		return err
@@ -71,11 +81,39 @@ func driveWire(target, peer string, token uint64, tag uint16, corpus [][]byte, n
 		}
 	}
 
+	// Sampling decides at flow granularity: either every packet of a
+	// flow is traced or none is, so a stitched trace shows a coherent
+	// packet sequence. The token seeds the hash so distinct sessions
+	// sample distinct flow subsets.
+	sampler := trace.NewSampler(traceRate, token)
+	var tracer *trace.Tracer
+	var pktIdx []uint32
+	traceIDs := make(map[uint64]struct{})
+	if sampler.Enabled() {
+		tracer = trace.NewTracer(peer, trace.DefaultSpanCapacity)
+		pktIdx = make([]uint32, nFlows)
+	}
+
 	var totalBytes int64
+	var tracedPkts int
 	start := time.Now()
 	for i, p := range corpus {
 		totalBytes += int64(len(p))
-		if _, err := conn.SendData(tag, tuples[i%nFlows], p); err != nil {
+		tuple := tuples[i%nFlows]
+		if sampler.Enabled() && sampler.Sampled(tuple) {
+			id := sampler.TraceID(tuple)
+			idx := pktIdx[i%nFlows]
+			pktIdx[i%nFlows]++
+			sendStart := time.Now().UnixNano()
+			if _, err := conn.SendDataTraced(tag, tuple, id, idx, p); err != nil {
+				return err
+			}
+			tracer.Record(id, idx, trace.StageSend, sendStart, time.Now().UnixNano()-sendStart)
+			traceIDs[id] = struct{}{}
+			tracedPkts++
+			continue
+		}
+		if _, err := conn.SendData(tag, tuple, p); err != nil {
 			return err
 		}
 	}
@@ -102,5 +140,14 @@ func driveWire(target, peer string, token uint64, tag uint16, corpus [][]byte, n
 		pct, mean(reportBytes.Load(), int(withMatches.Load())))
 	log.Printf("trafficgen: wire protocol — %d sent, %d retransmits, %d dups seen, %d acks",
 		st.Sent, st.Retransmits, st.Dups, st.AcksSent)
+	if sampler.Enabled() {
+		ids := make([]string, 0, len(traceIDs))
+		for id := range traceIDs {
+			ids = append(ids, trace.IDString(id))
+		}
+		sort.Strings(ids)
+		log.Printf("trafficgen: traced %d packets across %d flows; trace ids: %s",
+			tracedPkts, len(traceIDs), strings.Join(ids, " "))
+	}
 	return nil
 }

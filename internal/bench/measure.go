@@ -157,16 +157,7 @@ func MeasureAutomaton(name string, a mpm.Automaton, corpus [][]byte, repeat int)
 // throughput.
 func MeasureEngine(name string, e *core.Engine, tag uint16, corpus [][]byte, nFlows, repeat int) Result {
 	r := Result{Name: name, Patterns: e.NumPatterns(), States: e.NumStates(), MemBytes: e.MemoryBytes()}
-	tuples := make([]packet.FiveTuple, nFlows)
-	for i := range tuples {
-		tuples[i] = packet.FiveTuple{
-			Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
-			Dst:      packet.IP4{10, 0, 0, 2},
-			SrcPort:  uint16(1024 + i),
-			DstPort:  80,
-			Protocol: packet.IPProtoTCP,
-		}
-	}
+	tuples := benchTuples(nFlows)
 	m0 := mallocs()
 	start := time.Now()
 	for i := 0; i < repeat; i++ {
@@ -185,6 +176,21 @@ func MeasureEngine(name string, e *core.Engine, tag uint16, corpus [][]byte, nFl
 	r.Matches = s.Matches
 	r.Metrics = e.Metrics().Snapshot()
 	return r
+}
+
+// benchTuples builds the harness's canonical nFlows five-tuples.
+func benchTuples(nFlows int) []packet.FiveTuple {
+	tuples := make([]packet.FiveTuple, nFlows)
+	for i := range tuples {
+		tuples[i] = packet.FiveTuple{
+			Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
+			Dst:      packet.IP4{10, 0, 0, 2},
+			SrcPort:  uint16(1024 + i),
+			DstPort:  80,
+			Protocol: packet.IPProtoTCP,
+		}
+	}
+	return tuples
 }
 
 // minMbps returns the lower of two results' throughputs — the

@@ -40,6 +40,11 @@ type Record struct {
 	PrefilterConfirmPct float64 `json:"prefilter_confirm_pct,omitempty"`
 	PrefilterBailouts   uint64  `json:"prefilter_bailouts,omitempty"`
 	PrefilterPlainScans uint64  `json:"prefilter_plain_scans,omitempty"`
+	// Approximate scan-latency quantiles from the engine's core.scan_ns
+	// histogram; present only when the measured path observed latency
+	// (daemon-style entry points — the raw Inspect loop is clock-free).
+	ScanP50Ns float64 `json:"scan_p50_ns,omitempty"`
+	ScanP99Ns float64 `json:"scan_p99_ns,omitempty"`
 }
 
 // Report is a full dpibench JSON report.
@@ -60,7 +65,7 @@ func recordFrom(experiment, name string, r Result) Record {
 	if name == "" {
 		name = r.Name
 	}
-	return Record{
+	rec := Record{
 		Experiment:          experiment,
 		Name:                name,
 		Patterns:            r.Patterns,
@@ -77,6 +82,13 @@ func recordFrom(experiment, name string, r Result) Record {
 		PrefilterBailouts:   r.PfBailouts,
 		PrefilterPlainScans: r.PfPlain,
 	}
+	if r.Metrics != nil {
+		if h, ok := r.Metrics.Histogram("core.scan_ns"); ok && h.Count > 0 {
+			rec.ScanP50Ns = h.Quantile(0.50)
+			rec.ScanP99Ns = h.Quantile(0.99)
+		}
+	}
+	return rec
 }
 
 // CollectableExperiments lists the experiments Collect supports.

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dpiservice/internal/core"
+	"dpiservice/internal/patterns"
+	"dpiservice/internal/trace"
+)
+
+// StageLatency is one pipeline stage's latency distribution from a
+// fully-traced run of the `trace` experiment.
+type StageLatency struct {
+	Stage  string
+	Count  int
+	P50Ns  int64
+	P99Ns  int64
+	P999Ns int64
+}
+
+// TraceStages drives the corpus through a full engine with every
+// packet traced (rate-1 sampling) and reports per-stage latency
+// percentiles computed from the recorded spans — the observability
+// pipeline measuring itself. Display-only: wall-clock latencies are
+// scheduling-sensitive, so this experiment is not part of the
+// committed benchmark baseline.
+func TraceStages(o Options) ([]StageLatency, error) {
+	o.defaults()
+	nPat := 2000
+	if o.Quick {
+		nPat = 200
+	}
+	set := patterns.SnortLike(nPat, o.Seed)
+	corpus := corpusFor(o, set)
+	eng, tag, err := engineFor(core.AutoFull, set)
+	if err != nil {
+		return nil, err
+	}
+
+	nFlows := 64
+	tuples := benchTuples(nFlows)
+	// Capacity covers the whole run so no span is evicted and the
+	// percentiles see every packet.
+	capacity := len(corpus) * trace.NumStages * o.Repeat
+	tracer := trace.NewTracer("bench", capacity)
+	sampler := trace.NewSampler(1, uint64(o.Seed))
+
+	pktIdx := make([]uint32, nFlows)
+	for rep := 0; rep < o.Repeat; rep++ {
+		for j, p := range corpus {
+			tuple := tuples[j%nFlows]
+			id := sampler.TraceID(tuple)
+			idx := pktIdx[j%nFlows]
+			pktIdx[j%nFlows]++
+			_, prepNs, scanNs, err := eng.InspectStaged(tag, tuple, p)
+			if err != nil {
+				return nil, err
+			}
+			tracer.Record(id, idx, trace.StageReassembly, 0, prepNs)
+			tracer.Record(id, idx, trace.StageScan, prepNs, scanNs)
+		}
+	}
+
+	byStage := make(map[string][]int64)
+	for _, sp := range tracer.Snapshot() {
+		byStage[sp.Stage.String()] = append(byStage[sp.Stage.String()], sp.DurNs)
+	}
+	stages := make([]string, 0, len(byStage))
+	for s := range byStage {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	var out []StageLatency
+	for _, s := range stages {
+		durs := byStage[s]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		out = append(out, StageLatency{
+			Stage:  s,
+			Count:  len(durs),
+			P50Ns:  percentileNs(durs, 0.50),
+			P99Ns:  percentileNs(durs, 0.99),
+			P999Ns: percentileNs(durs, 0.999),
+		})
+	}
+	return out, nil
+}
+
+// percentileNs returns the p-quantile of an ascending-sorted slice by
+// nearest-rank.
+func percentileNs(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// FormatTraceStages renders the trace experiment's per-stage table.
+func FormatTraceStages(rows []StageLatency) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s %12s\n", "stage", "spans", "p50[ns]", "p99[ns]", "p999[ns]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10d %12d %12d %12d\n", r.Stage, r.Count, r.P50Ns, r.P99Ns, r.P999Ns)
+	}
+	return b.String()
+}

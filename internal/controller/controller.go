@@ -20,6 +20,7 @@ import (
 	"dpiservice/internal/mpm"
 	"dpiservice/internal/obs"
 	"dpiservice/internal/patterns"
+	"dpiservice/internal/trace"
 	"dpiservice/internal/wire"
 )
 
@@ -71,6 +72,20 @@ type Controller struct {
 
 	// met caches the obs instruments (set once in New/NewWithMetrics).
 	met *ctlMetrics
+
+	// fl is the optional flight recorder: lease transitions and
+	// failovers are recorded for post-mortem dumps. Set via SetFlight
+	// before the lease monitor starts.
+	fl *trace.Flight
+}
+
+// SetFlight attaches a flight recorder so lease transitions (Suspect,
+// Dead) and failover plans are captured for post-mortem dumps. Call
+// before StartLeaseMonitor; nil disables recording.
+func (c *Controller) SetFlight(f *trace.Flight) {
+	c.mu.Lock()
+	c.fl = f
+	c.mu.Unlock()
 }
 
 type mboxRecord struct {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"dpiservice/internal/trace"
 )
 
 // This file is the controller's failure domain (Section 4 of the
@@ -173,10 +175,12 @@ func (c *Controller) SweepLeases() []Failover {
 		case silent >= c.lease.DeadAfter:
 			rec.health = Dead
 			c.met.leaseExpiries.Inc()
+			c.fl.Record(trace.EvLeaseDead, trace.HashString(id), uint64(silent))
 			failovers = append(failovers, c.failoverLocked(rec))
 		case silent >= c.lease.TTL:
 			if rec.health == Healthy {
 				c.met.leaseMisses.Inc()
+				c.fl.Record(trace.EvLeaseSuspect, trace.HashString(id), uint64(silent))
 			}
 			rec.health = Suspect
 		}
@@ -214,6 +218,7 @@ func (c *Controller) failoverLocked(dead *instanceRecord) Failover {
 	}
 	dead.chains = nil
 	c.met.failovers.Inc()
+	c.fl.Record(trace.EvFailover, uint64(len(f.Reassigned)), uint64(len(f.Unassigned)))
 	return f
 }
 
@@ -273,6 +278,18 @@ func (c *Controller) healthGaugesLocked() {
 	c.met.instancesHealthy.Set(healthy)
 	c.met.instancesSuspect.Set(suspect)
 	c.met.instancesDead.Set(dead)
+}
+
+// LeaseSummary reports the current instance count per liveness state —
+// the controller's /healthz lease-health digest.
+func (c *Controller) LeaseSummary() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{"healthy": 0, "suspect": 0, "dead": 0}
+	for _, rec := range c.instances {
+		out[rec.health.String()]++
+	}
+	return out
 }
 
 // StartLeaseMonitor sweeps leases every interval until the returned

@@ -12,6 +12,7 @@ import (
 	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
 	"dpiservice/internal/regexengine"
+	"dpiservice/internal/trace"
 )
 
 // Engine is one DPI service instance's scanning engine. It is safe for
@@ -57,7 +58,15 @@ type Engine struct {
 	// met caches the obs instruments (Config.Metrics or a private
 	// registry); the hot path updates them through cached pointers.
 	met *engineMetrics
+	// fl is the optional flight recorder; rare events (flow evictions)
+	// land there for post-mortem dumps. Set once before traffic.
+	fl *trace.Flight
 }
+
+// SetFlight attaches a flight recorder so rare engine events (flow
+// evictions) are captured for post-mortem dumps. Call once at setup
+// time, before traffic flows; a nil recorder disables recording.
+func (e *Engine) SetFlight(f *trace.Flight) { e.fl = f }
 
 // StatsSnapshot is a plain-value copy of the engine's cumulative
 // counters: Packets/Bytes presented, BytesScanned fed to the

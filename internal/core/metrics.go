@@ -114,3 +114,35 @@ func (e *Engine) InspectTimed(tag uint16, tuple packet.FiveTuple, payload []byte
 	e.met.scanNs.Observe(uint64(time.Since(start)))
 	return rep, err
 }
+
+// InspectStaged is Inspect with per-stage timing: it reports how long
+// the prepare stage (decompression, flow admission, stopping
+// conditions — the wire pipeline's "reassembly" stage) and the scan
+// stage (DFA traversal plus regex confirmation and flow write-back)
+// each took, for span-level tracing. The clock reads live here,
+// between the //dpi:hotpath-checked stages, so the checked scan path
+// itself stays clock-free and Inspect is unchanged for untraced
+// traffic. The combined duration also feeds core.scan_ns.
+func (e *Engine) InspectStaged(tag uint16, tuple packet.FiveTuple, payload []byte) (rep *packet.Report, prepareNs, scanNs int64, err error) {
+	chain, ok := e.chains[tag]
+	if !ok {
+		return nil, 0, 0, &UnknownChainError{Tag: tag}
+	}
+	s := e.scratchPool.Get().(*scratch)
+	t0 := time.Now()
+	e.prepare(chain, tuple, payload, s)
+	t1 := time.Now()
+	if e.auto != nil && s.ps.limit > 0 {
+		if e.pf != nil {
+			s.ps.state = e.pf.ScanStats(s.ps.scanData[:s.ps.limit], s.ps.state, chain.mask, s.emitFn, &s.pfStats)
+		} else {
+			s.ps.state = e.auto.Scan(s.ps.scanData[:s.ps.limit], s.ps.state, chain.mask, s.emitFn)
+		}
+		e.met.bytesScanned.Add(uint64(s.ps.limit))
+	}
+	rep = e.finish(s)
+	t2 := time.Now()
+	e.scratchPool.Put(s)
+	e.met.scanNs.Observe(uint64(t2.Sub(t0)))
+	return rep, t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds(), nil
+}

@@ -7,6 +7,7 @@ import (
 	"dpiservice/internal/mpm"
 	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
+	"dpiservice/internal/trace"
 )
 
 // The shard lock and a flow's lock are never held together today (flow
@@ -113,5 +114,6 @@ func (sh *flowShard) evictFlow(e *Engine) {
 		delete(sh.flows, victim)
 		e.met.flowsEvicted.Inc()
 		e.met.flowsActive.Add(-1)
+		e.fl.Record(trace.EvFlowEvict, victim.FastHash(), oldest)
 	}
 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dpiservice/internal/trace"
+)
+
+// TestInspectStagedEquivalence runs the same stateful packet sequence
+// through Inspect and InspectStaged on twin engines and asserts the
+// reports are identical — the staged entry point may add timing but
+// must never change scan semantics.
+func TestInspectStagedEquivalence(t *testing.T) {
+	plain, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := NewEngine(twoBoxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payloads := [][]byte{
+		[]byte("GET /etc/passwd HTTP/1.1"),
+		[]byte("nothing interesting here"),
+		[]byte("attack-"), // split across packets: stateful chain must stitch
+		[]byte("sig and malware-body too"),
+		[]byte("evil"),
+	}
+	for i, p := range payloads {
+		want, err := plain.Inspect(1, testTuple, p)
+		if err != nil {
+			t.Fatalf("Inspect %d: %v", i, err)
+		}
+		got, prepNs, scanNs, err := staged.InspectStaged(1, testTuple, p)
+		if err != nil {
+			t.Fatalf("InspectStaged %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(flatten(got), flatten(want)) {
+			t.Errorf("packet %d: staged report = %v, want %v", i, flatten(got), flatten(want))
+		}
+		if prepNs < 0 || scanNs < 0 {
+			t.Errorf("packet %d: negative stage durations %d/%d", i, prepNs, scanNs)
+		}
+	}
+
+	// Unknown chain errors identically.
+	if _, _, _, err := staged.InspectStaged(99, testTuple, []byte("x")); err == nil {
+		t.Error("InspectStaged accepted unknown chain")
+	}
+
+	// The staged path feeds the latency histogram.
+	snap := staged.Metrics().Snapshot()
+	h, ok := snap.Histogram("core.scan_ns")
+	if !ok || h.Count != uint64(len(payloads)) {
+		t.Errorf("scan_ns histogram count = %d (ok=%v), want %d", h.Count, ok, len(payloads))
+	}
+}
+
+// TestFlowEvictFlightRecorder overflows a tiny flow table and asserts
+// evictions land in the attached flight recorder.
+func TestFlowEvictFlightRecorder(t *testing.T) {
+	cfg := twoBoxConfig()
+	cfg.MaxFlows = 8
+	cfg.Shards = 1
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := trace.NewFlight("test", 64)
+	e.SetFlight(fl)
+
+	for i := 0; i < 64; i++ {
+		tuple := testTuple
+		tuple.SrcPort = uint16(1024 + i)
+		if _, err := e.Inspect(1, tuple, []byte(fmt.Sprintf("pkt-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evictions := 0
+	for _, ev := range fl.Snapshot() {
+		if ev.Kind == trace.EvFlowEvict {
+			evictions++
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("no flow evictions recorded in flight recorder")
+	}
+	if got := e.Snapshot().FlowsEvicted; uint64(evictions) > got {
+		t.Fatalf("flight evictions %d > counter %d", evictions, got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dpiservice/internal/packet"
+	"dpiservice/internal/trace"
 )
 
 // LossPolicy selects a consumer middlebox's degraded mode when DPI
@@ -80,6 +81,12 @@ type ConsumerNode struct {
 	// only move while the DPI service is failing this middlebox.
 	Unscanned        atomic.Uint64
 	DroppedUnscanned atomic.Uint64
+
+	// Flight is the optional flight recorder: every degraded packet
+	// (forwarded or dropped unscanned) is recorded so a post-mortem
+	// dump shows which flows lost coverage during a failover. Set once
+	// before traffic.
+	Flight *trace.Flight
 }
 
 type pending struct {
@@ -226,9 +233,11 @@ func (n *ConsumerNode) flushAged(cutoff time.Time) {
 func (n *ConsumerNode) degrade(p pending) {
 	if n.LossPolicyValue() == FailClosed {
 		n.DroppedUnscanned.Add(1)
+		n.Flight.Record(trace.EvUnscanned, p.tuple.FastHash(), 1)
 		return
 	}
 	n.Unscanned.Add(1)
+	n.Flight.Record(trace.EvUnscanned, p.tuple.FastHash(), 0)
 	n.finish(p.tuple, nil, p.frame)
 }
 

@@ -1,20 +1,58 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
+	"time"
 )
+
+// Health describes a daemon's /healthz identity and liveness. The zero
+// value is a valid always-healthy probe with no identity.
+type Health struct {
+	// Service names the daemon ("dpinstance", "mboxd", ...).
+	Service string
+	// Version overrides the build version; empty reads the main
+	// module's version from the embedded build info.
+	Version string
+	// Healthy reports liveness; nil means always healthy.
+	Healthy func() bool
+	// Details, when set, contributes a service-specific summary (e.g.
+	// the controller's lease-health counts) to the healthz body.
+	Details func() map[string]any
+}
+
+// buildVersion resolves the daemon's version string: an explicit
+// override, else the main module version stamped by the toolchain,
+// else "dev".
+func (h Health) buildVersion() string {
+	if h.Version != "" {
+		return h.Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
 
 // NewDebugMux builds the debug/introspection handler served behind the
 // daemons' -debug-addr flag:
 //
 //	/metrics        registry snapshot, JSON (add ?format=text for
-//	                expvar-style "name value" lines)
-//	/healthz        200 "ok" while healthy() reports true (nil means
-//	                always healthy), 503 otherwise
+//	                expvar-style "name value" lines, including
+//	                approximate histogram p50/p99)
+//	/healthz        JSON status document (service, version, uptime,
+//	                optional details); 200 while h.Healthy() reports
+//	                true (nil means always healthy), 503 otherwise
 //	/debug/pprof/   the standard net/http/pprof profile endpoints
-func NewDebugMux(reg *Registry, healthy func() bool) *http.ServeMux {
+//
+// Daemons register additional endpoints (/trace, /flight, /instances)
+// on the returned mux.
+func NewDebugMux(reg *Registry, h Health) *http.ServeMux {
+	start := time.Now()
+	version := h.buildVersion()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
@@ -27,13 +65,30 @@ func NewDebugMux(reg *Registry, healthy func() bool) *http.ServeMux {
 		snap.WriteJSON(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if healthy != nil && !healthy() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("unhealthy\n"))
-			return
+		status := "ok"
+		code := http.StatusOK
+		if h.Healthy != nil && !h.Healthy() {
+			status = "unhealthy"
+			code = http.StatusServiceUnavailable
 		}
-		w.Write([]byte("ok\n"))
+		body := map[string]any{
+			"status":         status,
+			"version":        version,
+			"uptime_seconds": int64(time.Since(start).Seconds()),
+		}
+		if h.Service != "" {
+			body["service"] = h.Service
+		}
+		if h.Details != nil {
+			if d := h.Details(); len(d) > 0 {
+				body["details"] = d
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -30,7 +30,11 @@ func TestDebugServer(t *testing.T) {
 	var healthy atomic.Bool
 	healthy.Store(true)
 
-	srv, err := StartDebugServer("127.0.0.1:0", NewDebugMux(reg, healthy.Load))
+	srv, err := StartDebugServer("127.0.0.1:0", NewDebugMux(reg, Health{
+		Service: "test-daemon",
+		Healthy: healthy.Load,
+		Details: func() map[string]any { return map[string]any{"mode": "unit-test"} },
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,13 +59,29 @@ func TestDebugServer(t *testing.T) {
 	}
 
 	code, body = get(t, base+"/healthz")
-	if code != http.StatusOK || body != "ok\n" {
+	if code != http.StatusOK {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
+	var hz struct {
+		Status  string         `json:"status"`
+		Service string         `json:"service"`
+		Version string         `json:"version"`
+		Uptime  *int64         `json:"uptime_seconds"`
+		Details map[string]any `json:"details"`
+	}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if hz.Status != "ok" || hz.Service != "test-daemon" || hz.Version == "" || hz.Uptime == nil {
+		t.Fatalf("/healthz body = %+v", hz)
+	}
+	if hz.Details["mode"] != "unit-test" {
+		t.Fatalf("/healthz details = %v", hz.Details)
+	}
 	healthy.Store(false)
-	code, _ = get(t, base+"/healthz")
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("/healthz while unhealthy = %d, want 503", code)
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"unhealthy"`) {
+		t.Fatalf("/healthz while unhealthy = %d %q, want 503", code, body)
 	}
 
 	code, body = get(t, base+"/debug/pprof/")

@@ -151,3 +151,52 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", got, workers*n)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []uint64{100, 200, 400})
+	// 100 observations uniformly in (0,100], none elsewhere: every
+	// quantile interpolates inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(uint64(i))
+	}
+	hv, _ := r.Snapshot().Histogram("q")
+	if p := hv.Quantile(0.5); p < 40 || p > 60 {
+		t.Errorf("p50 = %v, want ~50", p)
+	}
+	if p := hv.Quantile(0.99); p < 90 || p > 100 {
+		t.Errorf("p99 = %v, want ~99", p)
+	}
+	if p := hv.Quantile(1); p != 100 {
+		t.Errorf("p100 = %v, want 100", p)
+	}
+
+	// Overflow observations clamp to the last finite bound.
+	h2 := r.Histogram("q2", []uint64{100})
+	h2.Observe(5000)
+	hv2, _ := r.Snapshot().Histogram("q2")
+	if p := hv2.Quantile(0.5); p != 100 {
+		t.Errorf("overflow p50 = %v, want clamp to 100", p)
+	}
+
+	// Empty histogram reports 0.
+	if p := (HistogramValue{}).Quantile(0.5); p != 0 {
+		t.Errorf("empty quantile = %v, want 0", p)
+	}
+}
+
+func TestWriteTextQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{100, 1000})
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lat.p50 ") || !strings.Contains(out, "lat.p99 ") {
+		t.Fatalf("WriteText missing quantile lines:\n%s", out)
+	}
+}

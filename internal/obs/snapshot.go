@@ -35,6 +35,41 @@ type HistogramValue struct {
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
+// Quantile returns an approximation of the p-quantile (0 <= p <= 1) of
+// the observations, assuming a uniform distribution within each bucket
+// (linear interpolation between bucket bounds). Observations that
+// landed in the overflow bucket clamp to the last finite bound — the
+// histogram cannot resolve beyond its range. Returns 0 for an empty
+// histogram.
+func (h HistogramValue) Quantile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum, lower uint64
+	for _, b := range h.Buckets {
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank && b.Count > 0 {
+			if b.Inf {
+				return float64(lower)
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			return float64(lower) + frac*(float64(b.UpperBound)-float64(lower))
+		}
+		if !b.Inf {
+			lower = b.UpperBound
+		}
+	}
+	return float64(lower)
+}
+
 // Snapshot is a point-in-time reading of every instrument in a
 // registry, each section sorted by name. Snapshots are plain data:
 // safe to copy, compare, and marshal.
@@ -128,7 +163,8 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 
 // WriteText renders the snapshot in expvar-style lines, one
 // "name value" pair per line; histograms expand into name.count,
-// name.sum, and per-bucket name.le.<bound> lines.
+// name.sum, approximate name.p50/name.p99 quantiles (when non-empty),
+// and per-bucket name.le.<bound> lines.
 func (s *Snapshot) WriteText(w io.Writer) error {
 	var buf []byte
 	var firstErr error
@@ -156,6 +192,10 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	for _, h := range s.Histograms {
 		line(h.Name+".count", h.Count)
 		line(h.Name+".sum", h.Sum)
+		if h.Count > 0 {
+			line(h.Name+".p50", uint64(h.Quantile(0.50)))
+			line(h.Name+".p99", uint64(h.Quantile(0.99)))
+		}
 		for _, b := range h.Buckets {
 			if b.Inf {
 				line(h.Name+".le.inf", b.Count)

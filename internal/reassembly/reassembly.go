@@ -42,6 +42,7 @@ import (
 
 	"dpiservice/internal/obs"
 	"dpiservice/internal/packet"
+	"dpiservice/internal/trace"
 )
 
 // Policy selects how conflicting copies of an overlapping sequence
@@ -228,6 +229,10 @@ type Assembler struct {
 	cfg     Config
 	deliver DeliverFunc
 	met     *metrics
+	// fl is the optional flight recorder: segment drops, stream
+	// evictions and backlog sheds are recorded for post-mortem dumps.
+	// Set once via SetFlight before traffic.
+	fl *trace.Flight
 
 	mu sync.Mutex
 	//dpi:guardedby(mu)
@@ -327,6 +332,23 @@ func NewAssembler(cfg Config, deliver DeliverFunc) *Assembler {
 	}
 }
 
+// SetFlight attaches a flight recorder; normalization drops, stream
+// evictions and backlog sheds are recorded into it. Call at setup
+// time, before traffic flows; nil disables recording.
+func (a *Assembler) SetFlight(f *trace.Flight) {
+	a.mu.Lock()
+	a.fl = f
+	a.mu.Unlock()
+}
+
+// Flight-event reason codes carried in the B word of EvReassemblyDrop.
+const (
+	dropReasonChecksum   = 1
+	dropReasonSuspicious = 2
+	dropReasonPostFIN    = 3
+	dropReasonSeqJump    = 4
+)
+
 // seqLess reports a < b in 32-bit sequence space.
 func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
 
@@ -373,6 +395,7 @@ func (a *Assembler) SegmentWithMeta(tuple packet.FiveTuple, seq uint32, data []b
 	if meta.BadChecksum {
 		a.DropsBadChecksum++
 		a.met.dropChecksum.Inc()
+		a.fl.Record(trace.EvReassemblyDrop, tuple.FastHash(), dropReasonChecksum)
 		return ErrChecksum
 	}
 	if meta.Suspicious {
@@ -381,6 +404,7 @@ func (a *Assembler) SegmentWithMeta(tuple packet.FiveTuple, seq uint32, data []b
 		if a.cfg.DropSuspicious {
 			a.DropsSuspicious++
 			a.met.dropSuspicious.Inc()
+			a.fl.Record(trace.EvReassemblyDrop, tuple.FastHash(), dropReasonSuspicious)
 			return ErrSuspicious
 		}
 	}
@@ -390,6 +414,7 @@ func (a *Assembler) SegmentWithMeta(tuple packet.FiveTuple, seq uint32, data []b
 		if a.cfg.TombstoneTicks >= 0 && a.tick-s.closedTick <= uint64(a.cfg.TombstoneTicks) {
 			a.PostFINDrops++
 			a.met.postFinDrops.Inc()
+			a.fl.Record(trace.EvReassemblyDrop, tuple.FastHash(), dropReasonPostFIN)
 			return ErrClosed
 		}
 		// Tombstone expired: the segment starts a fresh stream.
@@ -402,6 +427,7 @@ func (a *Assembler) SegmentWithMeta(tuple packet.FiveTuple, seq uint32, data []b
 		if d := int64(int32(seq - s.nextSeq)); d > int64(a.cfg.MaxSeqJump) || d < -int64(a.cfg.MaxSeqJump) {
 			a.DropsSeqJump++
 			a.met.dropSeqJump.Inc()
+			a.fl.Record(trace.EvReassemblyDrop, tuple.FastHash(), dropReasonSeqJump)
 			return ErrSeqJump
 		}
 	}
@@ -451,6 +477,7 @@ func (a *Assembler) evictOne() {
 	}
 	a.Evictions++
 	a.met.evictions.Inc()
+	a.fl.Record(trace.EvStreamEvict, s.tuple.FastHash(), uint64(s.buffered))
 	a.forget(s)
 }
 
@@ -703,6 +730,7 @@ func (a *Assembler) shedTotal() {
 		}
 		a.ShedBytes += int64(victim.buffered)
 		a.met.shedBytes.Add(uint64(victim.buffered))
+		a.fl.Record(trace.EvShed, victim.tuple.FastHash(), uint64(victim.buffered))
 		a.addBuffered(victim, -victim.buffered)
 		victim.pending = nil
 	}

@@ -9,6 +9,7 @@ import (
 	"dpiservice/internal/middlebox"
 	"dpiservice/internal/packet"
 	"dpiservice/internal/sdn"
+	"dpiservice/internal/trace"
 	"dpiservice/internal/traffic"
 )
 
@@ -30,6 +31,16 @@ func TestChaosInstanceDeathFailover(t *testing.T) {
 	}
 	defer tb.Stop()
 	tb.Net.SetChaosSeed(chaosSeed)
+
+	// Always-on flight recorder on the controller: the outage must leave
+	// an event trail, and on failure the window is dumped for post-mortem
+	// (CI uploads it as an artifact).
+	fl := trace.NewFlight("chaos-ctl", trace.DefaultFlightCapacity)
+	clk := trace.StartClock(0)
+	defer clk.Stop()
+	fl.SetClock(clk)
+	tb.DPICtl.SetFlight(fl)
+	dumpFlightOnFailure(t, "chaos-controller-flight", fl)
 
 	idsLogic := middlebox.NewCountLogic()
 	ids, err := tb.AddConsumerMbox("ids-1", "ids", ctlproto.Register{},
@@ -194,6 +205,24 @@ func TestChaosInstanceDeathFailover(t *testing.T) {
 	}
 	if s := tb.Net.ChaosStats(); s.Dropped == 0 {
 		t.Error("chaos layer dropped nothing — the instance never really died")
+	}
+
+	// The flight recorder caught the outage: the lease death and the
+	// failover are in the always-on event window, timestamped.
+	var sawDead, sawFailover bool
+	for _, e := range fl.Snapshot() {
+		switch e.Kind {
+		case trace.EvLeaseDead:
+			sawDead = true
+			if e.TsNs == 0 {
+				t.Error("lease-death flight event has no timestamp")
+			}
+		case trace.EvFailover:
+			sawFailover = true
+		}
+	}
+	if !sawDead || !sawFailover {
+		t.Errorf("flight recorder missed the outage: lease_dead=%v failover=%v", sawDead, sawFailover)
 	}
 }
 

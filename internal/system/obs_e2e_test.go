@@ -64,7 +64,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	defer node.SetWorkers(0)
 
 	reg := node.Engine().Metrics()
-	srv, err := obs.StartDebugServer("127.0.0.1:0", obs.NewDebugMux(reg, func() bool { return true }))
+	srv, err := obs.StartDebugServer("127.0.0.1:0", obs.NewDebugMux(reg, obs.Health{Service: "dpi-node"}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,143 @@
+package system
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpiservice/internal/trace"
+)
+
+// This file holds the trace/flight-recorder side of the e2e harnesses:
+// stitching distributed traces scraped from live daemons, and dumping
+// flight-recorder state when a test fails so CI failures come with the
+// recent-event window attached (uploaded as artifacts by the chaos,
+// wire-e2e and soak jobs — set DPI_FLIGHT_DUMP_DIR to keep the files).
+
+// flightDumpDir returns the directory failure dumps are written to, or
+// "" to log them inline instead.
+func flightDumpDir() string { return os.Getenv("DPI_FLIGHT_DUMP_DIR") }
+
+// writeFailureDump persists one named debug-endpoint body captured at
+// failure time: to a file under DPI_FLIGHT_DUMP_DIR when set (the CI
+// artifact path), to the test log otherwise.
+func writeFailureDump(t *testing.T, name string, body []byte) {
+	t.Helper()
+	if dir := flightDumpDir(); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			path := filepath.Join(dir, name+".json")
+			if err := os.WriteFile(path, body, 0o644); err == nil {
+				t.Logf("flight dump written to %s", path)
+				return
+			}
+		}
+	}
+	t.Logf("== %s ==\n%s", name, body)
+}
+
+// fetchDebug reads one debug endpoint's raw body; best-effort — at
+// failure time the daemon may already be gone.
+func fetchDebug(debugPort int, path string) ([]byte, error) {
+	resp, err := http.Get(fmt.Sprintf("http://127.0.0.1:%d%s", debugPort, path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// dumpDebugOnFailure arranges for a daemon's /flight and /trace state
+// to be captured if the test fails. Registered before the daemons are
+// torn down so the cleanup runs while they are still reachable.
+func dumpDebugOnFailure(t *testing.T, name string, debugPort int) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		for _, ep := range []string{"/flight", "/trace"} {
+			body, err := fetchDebug(debugPort, ep)
+			if err != nil {
+				t.Logf("%s%s unreachable at failure: %v", name, ep, err)
+				continue
+			}
+			writeFailureDump(t, name+strings.ReplaceAll(ep, "/", "-"), body)
+		}
+	})
+}
+
+// dumpFlightOnFailure captures an in-process flight recorder (the chaos
+// tests run the controller in-process, no debug listener) when the test
+// fails.
+func dumpFlightOnFailure(t *testing.T, name string, fl *trace.Flight) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var b strings.Builder
+		if err := fl.WriteJSON(&b); err != nil {
+			t.Logf("flight dump %s: %v", name, err)
+			return
+		}
+		writeFailureDump(t, name, []byte(b.String()))
+	})
+}
+
+// fetchTraceDump scrapes and decodes a daemon's /trace endpoint.
+func fetchTraceDump(t *testing.T, debugPort int) trace.TraceDump {
+	t.Helper()
+	body, err := fetchDebug(debugPort, "/trace")
+	if err != nil {
+		t.Fatalf("fetch /trace on %d: %v", debugPort, err)
+	}
+	var d trace.TraceDump
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("decode /trace on %d: %v\n%s", debugPort, err, body)
+	}
+	return d
+}
+
+// traceIDsFromLog extracts the trace IDs trafficgen printed ("trace
+// ids: <hex> <hex> ...") from its log file.
+func traceIDsFromLog(t *testing.T, logPath string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", logPath, err)
+	}
+	const marker = "trace ids: "
+	ids := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		i := strings.Index(line, marker)
+		if i < 0 {
+			continue
+		}
+		for _, id := range strings.Fields(line[i+len(marker):]) {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+// stageSets joins a set of per-node trace dumps into one id -> stage-set
+// view, keyed by the hex trace ID.
+func stageSets(dumps ...trace.TraceDump) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, d := range dumps {
+		for _, tr := range d.Traces {
+			set := out[tr.ID]
+			if set == nil {
+				set = make(map[string]bool)
+				out[tr.ID] = set
+			}
+			for _, sp := range tr.Spans {
+				set[sp.Stage] = true
+			}
+		}
+	}
+	return out
+}

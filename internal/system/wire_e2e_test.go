@@ -54,6 +54,7 @@ func TestWireE2E(t *testing.T) {
 		"-state", filepath.Join(dir, "dpictl.state"),
 	)
 	waitHealthy(t, ctlDebugPort, "dpictl")
+	dumpDebugOnFailure(t, "dpictl", ctlDebugPort)
 
 	// The middlebox registers its synthetic pattern set, reports the
 	// policy chain, and stays up as the wire verdict consumer.
@@ -63,6 +64,7 @@ func TestWireE2E(t *testing.T) {
 		"-listen", hostPort(mboxPort), "-debug-addr", hostPort(mboxDebug),
 	)
 	waitHealthy(t, mboxDebug, "mboxd")
+	dumpDebugOnFailure(t, "mboxd", mboxDebug)
 
 	// Two DPI instances serve the chain; both forward verdicts to the
 	// middlebox.
@@ -73,6 +75,7 @@ func TestWireE2E(t *testing.T) {
 		"-lease", "500ms",
 	)
 	waitHealthy(t, inst1Debug, "dpinstance-1")
+	dumpDebugOnFailure(t, "dpinstance-1", inst1Debug)
 	startDaemon(t, dir, "dpinstance-2", bin["dpinstance"],
 		"-controller", ctlAddr, "-id", "dpi-2",
 		"-data", hostPort(data2Port), "-listen", hostPort(wire2Port),
@@ -80,15 +83,18 @@ func TestWireE2E(t *testing.T) {
 		"-lease", "500ms",
 	)
 	waitHealthy(t, inst2Debug, "dpinstance-2")
+	dumpDebugOnFailure(t, "dpinstance-2", inst2Debug)
 
 	// Drive traffic at instance 1 over the wire transport. The injected
 	// patterns are the first 64 of the middlebox's synthetic set (same
 	// generator, same seed), so a healthy fraction of packets match and
-	// verdicts must flow to mboxd.
+	// verdicts must flow to mboxd. Every flow is traced (-trace-rate 1)
+	// so the trace-stitching assertions below have spans to join.
 	runTrafficgen(t, dir, "trafficgen-1", bin["trafficgen"],
 		"-connect", hostPort(wire1Port), "-controller", ctlAddr,
 		"-peer", "tg-1", "-tag", "1", "-bytes", strconv.Itoa(2<<20),
 		"-inject", "64", "-seed", "1", "-match", "0.3",
+		"-trace-rate", "1",
 	)
 
 	// Wire counters on the instance and the verdict consumer.
@@ -107,6 +113,38 @@ func TestWireE2E(t *testing.T) {
 	}
 	if mv["mbox.bad_reports"] != 0 {
 		t.Errorf("mboxd decoded %d bad reports", mv["mbox.bad_reports"])
+	}
+
+	// Distributed traces: trafficgen printed the IDs it sampled; the
+	// instance and the verdict consumer each hold spans for them, and at
+	// least one ID must stitch into a single trace covering every
+	// pipeline stage across the three processes (send is recorded by
+	// trafficgen itself and evidenced by the printed ID; the daemons
+	// contribute decode through consume).
+	sentIDs := traceIDsFromLog(t, filepath.Join(dir, "trafficgen-1.log"))
+	if len(sentIDs) == 0 {
+		t.Fatal("trafficgen-1 printed no trace ids despite -trace-rate 1")
+	}
+	stitched := stageSets(fetchTraceDump(t, inst1Debug), fetchTraceDump(t, mboxDebug))
+	wantStages := []string{"decode", "reassembly", "scan", "encode", "consume"}
+	var complete int
+	for id, stages := range stitched {
+		if !sentIDs[id] {
+			t.Errorf("daemons recorded trace %s that trafficgen never sent", id)
+			continue
+		}
+		all := true
+		for _, s := range wantStages {
+			if !stages[s] {
+				all = false
+			}
+		}
+		if all {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Errorf("no stitched trace covers stages %v (saw %d traces)", wantStages, len(stitched))
 	}
 
 	// SIGKILL instance 1 — no cleanup, no FIN, the hard failure mode.

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// The debug-endpoint JSON shapes. Trace IDs render as lowercase hex
+// strings: a uint64 does not survive a round-trip through every JSON
+// consumer, and the wire-e2e stitcher joins on the string form.
+
+type spanJSON struct {
+	Pkt     uint32 `json:"pkt"`
+	Stage   string `json:"stage"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+type traceJSON struct {
+	ID    string     `json:"id"`
+	Spans []spanJSON `json:"spans"`
+}
+
+// TraceDump is the /trace response body.
+type TraceDump struct {
+	Node     string      `json:"node"`
+	Recorded uint64      `json:"recorded"`
+	Capacity int         `json:"capacity"`
+	Traces   []traceJSON `json:"traces"`
+}
+
+// Dump assembles the current stitched-trace view.
+func (t *Tracer) Dump() TraceDump {
+	d := TraceDump{Node: t.Node(), Recorded: t.Recorded(), Capacity: t.Capacity()}
+	for _, tr := range t.Traces() {
+		tj := traceJSON{ID: IDString(tr.ID)}
+		for _, s := range tr.Spans {
+			tj.Spans = append(tj.Spans, spanJSON{
+				Pkt: s.PktIdx, Stage: s.Stage.String(), StartNs: s.StartNs, DurNs: s.DurNs,
+			})
+		}
+		d.Traces = append(d.Traces, tj)
+	}
+	return d
+}
+
+// WriteJSON writes the trace dump as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}
+
+// Handler serves the tracer's /trace endpoint: the current span window
+// grouped into traces, JSON. Safe while traffic is flowing.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteJSON(w)
+	})
+}
+
+type eventJSON struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	A    uint64 `json:"a"`
+	B    uint64 `json:"b"`
+	TsNs int64  `json:"ts_ns,omitempty"`
+}
+
+// FlightDump is the /flight response body.
+type FlightDump struct {
+	Node     string      `json:"node"`
+	Recorded uint64      `json:"recorded"`
+	Capacity int         `json:"capacity"`
+	Events   []eventJSON `json:"events"`
+}
+
+// Dump assembles the current event window.
+func (f *Flight) Dump() FlightDump {
+	d := FlightDump{Node: f.Node(), Recorded: f.Recorded(), Capacity: f.Capacity()}
+	for _, e := range f.Snapshot() {
+		d.Events = append(d.Events, eventJSON{
+			Seq: e.Seq, Kind: e.Kind.String(), A: e.A, B: e.B, TsNs: e.TsNs,
+		})
+	}
+	return d
+}
+
+// WriteJSON writes the flight dump as indented JSON.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Dump())
+}
+
+// Handler serves the recorder's /flight endpoint: the recent-event
+// window in admission order, JSON. Safe while traffic is flowing.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		f.WriteJSON(w)
+	})
+}

@@ -1,0 +1,81 @@
+package trace
+
+import "sync/atomic"
+
+// ring is the shared storage primitive: a fixed, power-of-two array of
+// four-word records written lock-free and read without ever blocking a
+// writer. Each slot is a seqlock with fully atomic fields:
+//
+//	writer: CAS seq even->odd (claim), store the four words, store
+//	        seq+2 (release, even again)
+//	reader: load seq (skip if odd), load the words, re-load seq and
+//	        discard the record if it changed
+//
+// A writer that loses the claim CAS — possible only when another
+// writer laps the whole ring mid-write — drops its record instead of
+// spinning: the ring is a lossy window by design, and the hot path must
+// never wait. Because every field is accessed atomically, concurrent
+// dumps are race-detector-clean and a reader can never observe a torn
+// record: it either sees a fully consistent write or rejects the slot.
+type ring struct {
+	next  atomic.Uint64
+	mask  uint64
+	slots []slot
+}
+
+type slot struct {
+	seq atomic.Uint64 // even = stable, odd = write in progress
+	w0  atomic.Uint64
+	w1  atomic.Uint64
+	w2  atomic.Uint64
+	w3  atomic.Uint64
+}
+
+// newRing rounds n up to a power of two and allocates the slots.
+func newRing(n int) *ring {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &ring{mask: uint64(size - 1), slots: make([]slot, size)}
+}
+
+// put claims the next slot round-robin and writes one record.
+//
+//dpi:hotpath
+func (r *ring) put(w0, w1, w2, w3 uint64) {
+	s := &r.slots[(r.next.Add(1)-1)&r.mask]
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		return // another writer lapped the ring into this slot; drop
+	}
+	s.w0.Store(w0)
+	s.w1.Store(w1)
+	s.w2.Store(w2)
+	s.w3.Store(w3)
+	s.seq.Store(seq + 2)
+}
+
+// snapshot visits every stable, non-empty record (w0 != 0 marks a
+// written slot; both instruments reserve zero in their first word).
+// Records overwritten mid-read are skipped, never observed torn.
+func (r *ring) snapshot(visit func(w0, w1, w2, w3 uint64)) {
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq&1 != 0 {
+			continue
+		}
+		w0 := s.w0.Load()
+		w1 := s.w1.Load()
+		w2 := s.w2.Load()
+		w3 := s.w3.Load()
+		if s.seq.Load() != seq || w0 == 0 {
+			continue
+		}
+		visit(w0, w1, w2, w3)
+	}
+}
+
+// capSlots reports the ring's slot capacity.
+func (r *ring) capSlots() int { return len(r.slots) }

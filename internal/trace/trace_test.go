@@ -1,0 +1,298 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dpiservice/internal/packet"
+)
+
+func tup(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:      packet.IP4{10, 0, byte(i >> 8), byte(i)},
+		Dst:      packet.IP4{10, 0, 0, 2},
+		SrcPort:  uint16(1024 + i),
+		DstPort:  80,
+		Protocol: packet.IPProtoTCP,
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	s := NewSampler(4, 42)
+	sampled := 0
+	for i := 0; i < 4096; i++ {
+		a, b := s.Sampled(tup(i)), s.Sampled(tup(i))
+		if a != b {
+			t.Fatalf("flow %d: sampling decision not deterministic", i)
+		}
+		if a {
+			sampled++
+			if s.TraceID(tup(i)) == 0 {
+				t.Fatalf("flow %d: zero trace ID", i)
+			}
+			if s.TraceID(tup(i)) != s.TraceID(tup(i)) {
+				t.Fatalf("flow %d: trace ID not deterministic", i)
+			}
+		}
+	}
+	// 1-in-4 sampling over 4096 flows: expect roughly a quarter.
+	if sampled < 4096/8 || sampled > 4096/2 {
+		t.Fatalf("sampled %d of 4096 flows at rate 4", sampled)
+	}
+	// A symmetric tuple (reversed direction) samples identically.
+	fwd := tup(7)
+	rev := packet.FiveTuple{Src: fwd.Dst, Dst: fwd.Src, SrcPort: fwd.DstPort, DstPort: fwd.SrcPort, Protocol: fwd.Protocol}
+	if s.Sampled(fwd) != s.Sampled(rev) {
+		t.Fatal("sampling decision differs between flow directions")
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	var zero Sampler
+	if zero.Enabled() || zero.Sampled(tup(1)) {
+		t.Fatal("zero sampler must sample nothing")
+	}
+	off := NewSampler(0, 99)
+	if off.Enabled() || off.Sampled(tup(1)) {
+		t.Fatal("rate-0 sampler must sample nothing")
+	}
+	every := NewSampler(1, 99)
+	for i := 0; i < 64; i++ {
+		if !every.Sampled(tup(i)) {
+			t.Fatalf("rate-1 sampler skipped flow %d", i)
+		}
+	}
+}
+
+func TestTracerRecordAndStitch(t *testing.T) {
+	tr := NewTracer("node-a", 64)
+	stages := []Stage{StageDecode, StageReassembly, StageScan, StageEncode}
+	for pkt := uint32(0); pkt < 3; pkt++ {
+		for i, st := range stages {
+			tr.Record(0xabc, pkt, st, int64(1000*pkt)+int64(i*10), 5)
+		}
+	}
+	tr.Record(0xdef, 0, StageConsume, 50, 7)
+
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	if traces[0].ID != 0xabc || len(traces[0].Spans) != 12 {
+		t.Fatalf("trace[0] = id %x with %d spans", traces[0].ID, len(traces[0].Spans))
+	}
+	// Within one packet, spans are ordered by stage.
+	for i, s := range traces[0].Spans[:4] {
+		if s.PktIdx != 0 || s.Stage != stages[i] {
+			t.Fatalf("span %d = pkt %d stage %v", i, s.PktIdx, s.Stage)
+		}
+	}
+	if got := tr.Recorded(); got != 13 {
+		t.Fatalf("Recorded = %d, want 13", got)
+	}
+}
+
+func TestTracerNilAndZeroID(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, 0, StageScan, 0, 0) // must not panic
+	if len(tr.Snapshot()) != 0 || len(tr.Traces()) != 0 || tr.Recorded() != 0 {
+		t.Fatal("nil tracer must be empty")
+	}
+	live := NewTracer("n", 8)
+	live.Record(0, 0, StageScan, 0, 0) // zero ID is dropped
+	if len(live.Snapshot()) != 0 {
+		t.Fatal("zero trace ID must not be recorded")
+	}
+}
+
+func TestRingBoundedUnderWraparound(t *testing.T) {
+	tr := NewTracer("node-a", 64)
+	capacity := tr.Capacity()
+	for i := 0; i < 50*capacity; i++ {
+		tr.Record(uint64(i)+1, uint32(i), StageScan, int64(i), 1)
+	}
+	if got := len(tr.Snapshot()); got > capacity {
+		t.Fatalf("snapshot holds %d spans, capacity %d", got, capacity)
+	}
+	fl := NewFlight("node-a", 32)
+	for i := 0; i < 50*fl.Capacity(); i++ {
+		fl.Record(EvRetransmit, uint64(i), 0)
+	}
+	if got := len(fl.Snapshot()); got > fl.Capacity() {
+		t.Fatalf("flight snapshot holds %d events, capacity %d", got, fl.Capacity())
+	}
+}
+
+// TestRingNoTornReads hammers one ring from many writers while readers
+// continuously snapshot, and asserts every observed record satisfies
+// the writers' invariant (w3 = w0 ^ w1 ^ w2). Run under -race this also
+// proves the seqlock scheme is data-race-free.
+func TestRingNoTornReads(t *testing.T) {
+	r := newRing(64)
+	const writers, perWriter = 8, 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	torn := make(chan string, 1)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.snapshot(func(w0, w1, w2, w3 uint64) {
+					if w3 != w0^w1^w2 {
+						select {
+						case torn <- "torn record observed":
+						default:
+						}
+					}
+				})
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				w0 := uint64(g*perWriter+i) | 1 // non-zero
+				w1 := splitmix64(w0)
+				w2 := splitmix64(w1)
+				r.put(w0, w1, w2, w0^w1^w2)
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-torn:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestFlightEventOrderAndClock(t *testing.T) {
+	fl := NewFlight("node-b", 32)
+	clk := StartClock(0)
+	defer clk.Stop()
+	fl.SetClock(clk)
+	fl.Record(EvLeaseSuspect, HashString("dpi-1"), 0)
+	fl.Record(EvLeaseDead, HashString("dpi-1"), 0)
+	fl.Record(EvFailover, 3, 1)
+	evs := fl.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+	if evs[0].Kind != EvLeaseSuspect || evs[1].Kind != EvLeaseDead || evs[2].Kind != EvFailover {
+		t.Fatalf("kinds = %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	if evs[0].TsNs == 0 {
+		t.Fatal("clocked event has zero timestamp")
+	}
+	if evs[2].A != 3 || evs[2].B != 1 {
+		t.Fatalf("failover args = %d %d", evs[2].A, evs[2].B)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	tr := NewTracer("node-a", 64)
+	tr.Record(0xbeef, 0, StageDecode, 10, 2)
+	tr.Record(0xbeef, 0, StageScan, 12, 3)
+	fl := NewFlight("node-a", 32)
+	fl.Record(EvFlowEvict, 0x1234, 2)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	var td TraceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+		t.Fatalf("trace dump: %v", err)
+	}
+	if td.Node != "node-a" || len(td.Traces) != 1 || td.Traces[0].ID != "beef" {
+		t.Fatalf("trace dump = %+v", td)
+	}
+	if len(td.Traces[0].Spans) != 2 || td.Traces[0].Spans[1].Stage != "scan" {
+		t.Fatalf("spans = %+v", td.Traces[0].Spans)
+	}
+
+	rec = httptest.NewRecorder()
+	fl.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/flight", nil))
+	var fd FlightDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &fd); err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	if fd.Node != "node-a" || len(fd.Events) != 1 || fd.Events[0].Kind != "flow_evict" {
+		t.Fatalf("flight dump = %+v", fd)
+	}
+}
+
+// TestConcurrentScrape runs writers against both instruments while
+// scraping their HTTP handlers, under -race in CI: no torn reads and
+// bounded memory regardless of scrape timing.
+func TestConcurrentScrape(t *testing.T) {
+	tr := NewTracer("node-a", 256)
+	fl := NewFlight("node-a", 64)
+	clk := StartClock(0)
+	defer clk.Stop()
+	fl.SetClock(clk)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				tr.Record(uint64(g)<<32|i%97+1, uint32(i), Stage(i%6+1), int64(i), 1)
+				if i%13 == 0 {
+					fl.Record(EvRetransmit, i, uint64(g))
+				}
+			}
+		}(g)
+	}
+	for n := 0; n < 50; n++ {
+		rec := httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+		var td TraceDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &td); err != nil {
+			t.Fatalf("scrape %d: %v", n, err)
+		}
+		total := 0
+		for _, tj := range td.Traces {
+			total += len(tj.Spans)
+		}
+		if total > tr.Capacity() {
+			t.Fatalf("scrape %d: %d spans exceed capacity %d", n, total, tr.Capacity())
+		}
+		rec = httptest.NewRecorder()
+		fl.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/flight", nil))
+		var fd FlightDump
+		if err := json.Unmarshal(rec.Body.Bytes(), &fd); err != nil {
+			t.Fatalf("flight scrape %d: %v", n, err)
+		}
+		if len(fd.Events) > fl.Capacity() {
+			t.Fatalf("flight scrape %d: %d events exceed capacity %d", n, len(fd.Events), fl.Capacity())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Span is one recorded pipeline stage of a traced packet: which trace
+// and packet it belongs to, the stage, and wall-clock start/duration in
+// nanoseconds (each process stamps its own clock; stitching relies on
+// the trace ID, not on clock agreement).
+type Span struct {
+	TraceID uint64
+	PktIdx  uint32
+	Stage   Stage
+	StartNs int64
+	DurNs   int64
+}
+
+// Trace is one stitched trace within a node: every span this process
+// recorded under one trace ID, ordered by packet index then stage.
+type Trace struct {
+	ID    uint64
+	Spans []Span
+}
+
+// IDString renders a trace ID the way dumps and the wire e2e stitcher
+// compare them: lowercase hex, no prefix.
+func IDString(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// Tracer records spans for sampled packets into per-shard lossy rings.
+// All methods are nil-receiver safe so instrumented code records
+// unconditionally and only traced deployments pay anything; the record
+// path is lock- and allocation-free.
+type Tracer struct {
+	node     string
+	shards   []*ring
+	mask     uint64
+	recorded atomic.Uint64
+}
+
+// DefaultSpanCapacity is the per-tracer span window when NewTracer is
+// given no explicit size: 4 shards x 2048 spans = 8192 recent spans,
+// about 320 KiB of fixed memory.
+const DefaultSpanCapacity = 8192
+
+// NewTracer builds a tracer identified as node (stamped into dumps).
+// capacity is the total span window, split over power-of-two shards;
+// <= 0 selects DefaultSpanCapacity. Memory is fixed at construction.
+func NewTracer(node string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	const shards = 4
+	per := (capacity + shards - 1) / shards
+	t := &Tracer{node: node, shards: make([]*ring, shards), mask: shards - 1}
+	for i := range t.shards {
+		t.shards[i] = newRing(per)
+	}
+	return t
+}
+
+// Node returns the identity stamped into this tracer's dumps.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Record appends one span. id must be non-zero (zero marks empty ring
+// slots; Sampler.TraceID never returns it). Safe from any goroutine,
+// never blocks, never allocates.
+//
+//dpi:hotpath
+func (t *Tracer) Record(id uint64, pktIdx uint32, stage Stage, startNs, durNs int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	sh := t.shards[splitmix64(id)&t.mask]
+	sh.put(id, uint64(pktIdx)<<32|uint64(stage), uint64(startNs), uint64(durNs))
+	t.recorded.Add(1)
+}
+
+// Recorded returns the number of spans ever recorded (including any
+// that have since been overwritten in the ring window).
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Capacity returns the fixed span window size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range t.shards {
+		n += sh.capSlots()
+	}
+	return n
+}
+
+// Snapshot copies the current span window. Concurrent with Record;
+// spans overwritten mid-read are skipped, never returned torn.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for _, sh := range t.shards {
+		sh.snapshot(func(w0, w1, w2, w3 uint64) {
+			out = append(out, Span{
+				TraceID: w0,
+				PktIdx:  uint32(w1 >> 32),
+				Stage:   Stage(w1 & 0xff),
+				StartNs: int64(w2),
+				DurNs:   int64(w3),
+			})
+		})
+	}
+	return out
+}
+
+// Traces groups the current span window by trace ID, spans ordered by
+// packet index then stage, traces by ID — the /trace dump shape.
+func (t *Tracer) Traces() []Trace {
+	spans := t.Snapshot()
+	byID := make(map[uint64][]Span)
+	for _, s := range spans {
+		byID[s.TraceID] = append(byID[s.TraceID], s)
+	}
+	out := make([]Trace, 0, len(byID))
+	for id, ss := range byID {
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].PktIdx != ss[j].PktIdx {
+				return ss[i].PktIdx < ss[j].PktIdx
+			}
+			if ss[i].Stage != ss[j].Stage {
+				return ss[i].Stage < ss[j].Stage
+			}
+			return ss[i].StartNs < ss[j].StartNs
+		})
+		out = append(out, Trace{ID: id, Spans: ss})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

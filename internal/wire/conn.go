@@ -242,7 +242,7 @@ func (c *Conn) handleDatagram(buf []byte, now int64) {
 // results.
 //
 //dpi:hotpath
-func (c *Conn) deliver(t Type, seq uint32, payload []byte) {
+func (c *Conn) deliver(t Type, seq uint32, flags uint8, payload []byte) {
 	if t != TResult || c.onResult == nil || len(payload) < ResultHdrLen {
 		return
 	}
@@ -290,27 +290,45 @@ func (c *Conn) fail(err error) {
 // reliable channel, blocking while the send window is full. It returns
 // the frame seq, which the matching TResult echoes.
 func (c *Conn) SendData(tag uint16, tuple packet.FiveTuple, payload []byte) (uint32, error) {
-	return c.sendReliable(TData, tag, tuple, payload)
+	return c.sendReliable(TData, 0, tag, tuple, 0, 0, payload)
+}
+
+// SendDataTraced is SendData with in-band trace context: the frame
+// carries FlagTrace and the 12-byte trace extension, so every stage
+// downstream records spans under traceID.
+func (c *Conn) SendDataTraced(tag uint16, tuple packet.FiveTuple, traceID uint64, pktIdx uint32, payload []byte) (uint32, error) {
+	return c.sendReliable(TData, FlagTrace, tag, tuple, traceID, pktIdx, payload)
 }
 
 // SendVerdict queues one match verdict (instance → middlebox
 // consumer) on the reliable channel.
 func (c *Conn) SendVerdict(tag uint16, tuple packet.FiveTuple, report []byte) error {
-	_, err := c.sendReliable(TVerdict, tag, tuple, report)
+	_, err := c.sendReliable(TVerdict, 0, tag, tuple, 0, 0, report)
 	return err
 }
 
-// sendReliable assembles tag+tuple+body and submits it, waiting out
-// window backpressure.
-func (c *Conn) sendReliable(t Type, tag uint16, tuple packet.FiveTuple, body []byte) (uint32, error) {
+// SendVerdictTraced is SendVerdict with in-band trace context, so the
+// consuming middlebox's spans join the packet's trace.
+func (c *Conn) SendVerdictTraced(tag uint16, tuple packet.FiveTuple, traceID uint64, pktIdx uint32, report []byte) error {
+	_, err := c.sendReliable(TVerdict, FlagTrace, tag, tuple, traceID, pktIdx, report)
+	return err
+}
+
+// sendReliable assembles tag+tuple[+trace]+body and submits it, waiting
+// out window backpressure.
+func (c *Conn) sendReliable(t Type, flags uint8, tag uint16, tuple packet.FiveTuple, traceID uint64, pktIdx uint32, body []byte) (uint32, error) {
 	c.mu.Lock()
 	for {
 		if err := c.stateErr(); err != nil {
 			c.mu.Unlock()
 			return 0, err
 		}
-		c.scratch = AppendData(c.scratch[:0], tag, tuple, body)
-		seq, err := c.ep.Send(t, c.scratch, c.now(), c.emit)
+		if flags&FlagTrace != 0 {
+			c.scratch = AppendDataTraced(c.scratch[:0], tag, tuple, traceID, pktIdx, body)
+		} else {
+			c.scratch = AppendData(c.scratch[:0], tag, tuple, body)
+		}
+		seq, err := c.ep.SendEx(t, flags, c.scratch, c.now(), c.emit)
 		if err == ErrWindowFull {
 			c.cond.Wait()
 			continue

@@ -45,3 +45,40 @@ func AppendData(dst []byte, tag uint16, tuple packet.FiveTuple, payload []byte) 
 	dst = append(dst, hdr[:]...)
 	return append(dst, payload...)
 }
+
+// PutTraceExt encodes the in-band trace context into b, which must hold
+// TraceExtLen bytes.
+//
+//dpi:hotpath
+func PutTraceExt(b []byte, traceID uint64, pktIdx uint32) {
+	_ = b[TraceExtLen-1]
+	binary.BigEndian.PutUint64(b[0:8], traceID)
+	binary.BigEndian.PutUint32(b[8:12], pktIdx)
+}
+
+// ParseTraceExt decodes the trace context that follows the data
+// subheader of a FlagTrace frame; rest aliases b.
+//
+//dpi:hotpath
+func ParseTraceExt(b []byte) (traceID uint64, pktIdx uint32, rest []byte, err error) {
+	if len(b) < TraceExtLen {
+		return 0, 0, nil, ErrShortFrame
+	}
+	traceID = binary.BigEndian.Uint64(b[0:8])
+	pktIdx = binary.BigEndian.Uint32(b[8:12])
+	return traceID, pktIdx, b[TraceExtLen:], nil
+}
+
+// AppendDataTraced builds a TData/TVerdict frame payload carrying the
+// trace extension: subheader, trace context, then packet bytes. The
+// matching frame must be sent with FlagTrace so receivers parse the
+// extension.
+//
+//dpi:hotpath
+func AppendDataTraced(dst []byte, tag uint16, tuple packet.FiveTuple, traceID uint64, pktIdx uint32, payload []byte) []byte {
+	var hdr [DataHdrLen + TraceExtLen]byte
+	PutDataHdr(hdr[:DataHdrLen], tag, tuple)
+	PutTraceExt(hdr[DataHdrLen:], traceID, pktIdx)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

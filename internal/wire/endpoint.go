@@ -78,6 +78,7 @@ type sendSlot struct {
 	buf     []byte // frame payload; cap MaxFramePayload, set at setup
 	seq     uint32
 	typ     Type
+	flags   uint8 // header flags, re-emitted on every retransmission
 	sentAt  int64 // nanoseconds of last (re)transmission
 	retries int
 	inUse   bool
@@ -88,6 +89,7 @@ type recvSlot struct {
 	buf     []byte
 	seq     uint32
 	typ     Type
+	flags   uint8
 	present bool
 }
 
@@ -96,8 +98,9 @@ type recvSlot struct {
 type Emit func(h Header, payload []byte)
 
 // Deliver hands one in-order reliable frame up; the payload is owned
-// by the endpoint and valid only during the call.
-type Deliver func(t Type, seq uint32, payload []byte)
+// by the endpoint and valid only during the call. flags are the frame's
+// header flags (FlagTrace marks an in-band trace extension).
+type Deliver func(t Type, seq uint32, flags uint8, payload []byte)
 
 // Endpoint is one side's reliable-channel state for a session.
 type Endpoint struct {
@@ -201,6 +204,15 @@ func (e *Endpoint) rto(retries int) int64 {
 //
 //dpi:hotpath
 func (e *Endpoint) Send(t Type, payload []byte, now int64, emit Emit) (uint32, error) {
+	return e.SendEx(t, 0, payload, now, emit)
+}
+
+// SendEx is Send with explicit header flags. The flags are stored with
+// the send slot, so every retransmission of the frame carries them —
+// an in-band trace extension (FlagTrace) survives loss and recovery.
+//
+//dpi:hotpath
+func (e *Endpoint) SendEx(t Type, flags uint8, payload []byte, now int64, emit Emit) (uint32, error) {
 	if e.dead {
 		return 0, ErrSessionDead
 	}
@@ -216,12 +228,13 @@ func (e *Endpoint) Send(t Type, payload []byte, now int64, emit Emit) (uint32, e
 	s.buf = append(s.buf[:0], payload...)
 	s.seq = seq
 	s.typ = t
+	s.flags = flags
 	s.sentAt = now
 	s.retries = 0
 	s.inUse = true
 	s.sacked = false
 	e.stats.Sent++
-	emit(Header{Type: t, Token: e.token, Seq: seq, Ack: e.recvNext}, s.buf)
+	emit(Header{Type: t, Flags: flags, Token: e.token, Seq: seq, Ack: e.recvNext}, s.buf)
 	return seq, nil
 }
 
@@ -266,7 +279,8 @@ func (e *Endpoint) handleCumAck(ack uint32, now int64, emit Emit, countDup bool)
 				e.stats.Retransmits++
 				e.stats.FastRetransmits++
 				e.met.addRetransmit()
-				emit(Header{Type: s.typ, Token: e.token, Seq: s.seq, Ack: e.recvNext}, s.buf)
+				e.met.flightRetransmit(s.seq, s.retries)
+				emit(Header{Type: s.typ, Flags: s.flags, Token: e.token, Seq: s.seq, Ack: e.recvNext}, s.buf)
 			}
 		}
 		return
@@ -338,6 +352,7 @@ func (e *Endpoint) HandleFrame(h Header, payload []byte, now int64, deliver Deli
 	s.buf = append(s.buf[:0], payload...)
 	s.seq = h.Seq
 	s.typ = h.Type
+	s.flags = h.Flags
 	s.present = true
 	e.ackNeeded = true
 	// Drain the in-order run this frame may have completed.
@@ -349,7 +364,7 @@ func (e *Endpoint) HandleFrame(h Header, payload []byte, now int64, deliver Deli
 		n.present = false
 		e.recvNext++
 		e.stats.Delivered++
-		deliver(n.typ, n.seq, n.buf)
+		deliver(n.typ, n.seq, n.flags, n.buf)
 	}
 }
 
@@ -372,13 +387,15 @@ func (e *Endpoint) Tick(now int64, emit Emit) bool {
 		}
 		if s.retries >= e.cfg.MaxRetries {
 			e.dead = true
+			e.met.flightSessionDead(e.token, true)
 			return false
 		}
 		s.sentAt = now
 		s.retries++
 		e.stats.Retransmits++
 		e.met.addRetransmit()
-		emit(Header{Type: s.typ, Token: e.token, Seq: s.seq, Ack: e.recvNext}, s.buf)
+		e.met.flightRetransmit(s.seq, s.retries)
+		emit(Header{Type: s.typ, Flags: s.flags, Token: e.token, Seq: s.seq, Ack: e.recvNext}, s.buf)
 	}
 	return true
 }

@@ -33,7 +33,7 @@ type delivered struct {
 }
 
 func sink(out *[]delivered) Deliver {
-	return func(t Type, seq uint32, payload []byte) {
+	return func(t Type, seq uint32, flags uint8, payload []byte) {
 		*out = append(*out, delivered{t, seq, string(payload)})
 	}
 }

@@ -182,6 +182,21 @@ func NextFrame(b []byte) (h Header, payload, rest []byte, err error) {
 	return h, b[HeaderLen:end], b[end:], nil
 }
 
+// Frame flag bits (Header.Flags).
+const (
+	// FlagTrace marks a TData/TVerdict frame whose payload carries a
+	// trace extension (TraceExtLen bytes) between the data subheader and
+	// the application bytes: the packet belongs to a sampled flow and
+	// every stage it crosses records spans under the carried trace ID.
+	// The flag is stored per send slot, so retransmissions re-emit it.
+	FlagTrace uint8 = 1 << 0
+)
+
+// TraceExtLen is the in-band trace context size: an 8-byte trace ID
+// followed by a 4-byte per-flow packet index, both big-endian. Present
+// only when FlagTrace is set.
+const TraceExtLen = 12
+
 // Data subheader: chain tag and five-tuple in front of a TData payload,
 // identical to the TCP data plane's framing.
 //

@@ -1,6 +1,9 @@
 package wire
 
-import "dpiservice/internal/obs"
+import (
+	"dpiservice/internal/obs"
+	"dpiservice/internal/trace"
+)
 
 // Metrics folds wire-transport counters into an obs registry. All add
 // paths are nil-receiver safe so library code instruments
@@ -21,6 +24,11 @@ type Metrics struct {
 	badToken    *obs.Counter // frames rejected for an invalid session token
 	badFrame    *obs.Counter // frames rejected by the codec
 	sessions    *obs.Gauge   // live sessions (server side)
+
+	// fl is the optional flight recorder: retransmissions and session
+	// deaths land there so a post-mortem dump shows the wire's last
+	// moments. Set once at daemon setup, before traffic.
+	fl *trace.Flight
 }
 
 // NewMetrics registers the wire instruments in reg (nil returns nil,
@@ -121,5 +129,32 @@ func (m *Metrics) addBadFrame() {
 func (m *Metrics) sessionDelta(d int64) {
 	if m != nil {
 		m.sessions.Add(d)
+	}
+}
+
+// SetFlight attaches a flight recorder; wire-level rare events
+// (retransmits, session deaths and expiries) are recorded into it.
+// Call at setup time, before traffic flows.
+func (m *Metrics) SetFlight(f *trace.Flight) {
+	if m != nil {
+		m.fl = f
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) flightRetransmit(seq uint32, retries int) {
+	if m != nil {
+		m.fl.Record(trace.EvRetransmit, uint64(seq), uint64(retries))
+	}
+}
+
+//dpi:hotpath
+func (m *Metrics) flightSessionDead(token uint64, retransmitLimit bool) {
+	if m != nil {
+		b := uint64(0)
+		if retransmitLimit {
+			b = 1
+		}
+		m.fl.Record(trace.EvSessionDead, token, b)
 	}
 }

@@ -33,6 +33,11 @@ type Session struct {
 	// Reliability is preserved — nothing is dropped — at the cost of
 	// cold-path allocation when a peer stops acking.
 	pending []pendingFrame
+
+	// Trace context of the frame currently being delivered (FlagTrace
+	// frames only); valid in handler context, cleared after dispatch.
+	curTraceID uint64
+	curPktIdx  uint32
 }
 
 type pendingFrame struct {
@@ -49,6 +54,20 @@ func (s *Session) RemoteAddr() Addr { return s.addr }
 // Stats snapshots the session's endpoint counters. Handler context
 // only.
 func (s *Session) Stats() Stats { return s.ep.Stats() }
+
+// Trace returns the in-band trace context of the frame currently being
+// handled: the trace ID and per-flow packet index carried by a
+// FlagTrace frame, or ok=false for untraced traffic. Handler context
+// only.
+func (s *Session) Trace() (traceID uint64, pktIdx uint32, ok bool) {
+	return s.curTraceID, s.curPktIdx, s.curTraceID != 0
+}
+
+// SinceRecv returns the nanoseconds elapsed since the datagram batch
+// carrying the current frame was read from the transport — the wire
+// decode+dispatch latency of the packet being handled. Handler context
+// only.
+func (s *Session) SinceRecv() int64 { return s.srv.now() - s.srv.nowNanos }
 
 // SendResult queues the reliable TResult answering dataSeq. Handler
 // context only.
@@ -340,10 +359,12 @@ func (v *Server) newSession(from Addr, token uint64, id string) *Session {
 	return s
 }
 
-// deliver dispatches one in-order reliable frame to the handlers.
+// deliver dispatches one in-order reliable frame to the handlers,
+// exposing any in-band trace context through Session.Trace for the
+// duration of the dispatch.
 //
 //dpi:hotpath
-func (s *Session) deliver(t Type, seq uint32, payload []byte) {
+func (s *Session) deliver(t Type, seq uint32, flags uint8, payload []byte) {
 	switch t {
 	case TData:
 		if s.srv.onData == nil {
@@ -354,7 +375,16 @@ func (s *Session) deliver(t Type, seq uint32, payload []byte) {
 			s.srv.met.addBadFrame()
 			return
 		}
+		if flags&FlagTrace != 0 {
+			id, idx, body, err := ParseTraceExt(rest)
+			if err != nil {
+				s.srv.met.addBadFrame()
+				return
+			}
+			s.curTraceID, s.curPktIdx, rest = id, idx, body
+		}
 		s.srv.onData(s, seq, tag, tuple, rest)
+		s.curTraceID, s.curPktIdx = 0, 0
 	case TVerdict:
 		if s.srv.onVerdict == nil {
 			return
@@ -364,7 +394,16 @@ func (s *Session) deliver(t Type, seq uint32, payload []byte) {
 			s.srv.met.addBadFrame()
 			return
 		}
+		if flags&FlagTrace != 0 {
+			id, idx, body, err := ParseTraceExt(rest)
+			if err != nil {
+				s.srv.met.addBadFrame()
+				return
+			}
+			s.curTraceID, s.curPktIdx, rest = id, idx, body
+		}
 		s.srv.onVerdict(s, tag, tuple, rest)
+		s.curTraceID, s.curPktIdx = 0, 0
 	}
 }
 
@@ -404,6 +443,7 @@ func (v *Server) tickOnce() {
 		sess := v.sessions[addr]
 		delete(v.sessions, addr)
 		v.met.sessionDelta(-1)
+		v.met.flightSessionDead(sess.ep.Token(), sess.ep.Dead())
 		v.logf("wire server: session %q expired (dead=%v)", sess.id, sess.ep.Dead())
 	}
 	v.mu.Unlock()

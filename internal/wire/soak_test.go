@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"dpiservice/internal/obs"
+	"dpiservice/internal/trace"
 )
 
 // soakReport is the artifact the CI soak job uploads: everything
@@ -57,7 +60,36 @@ func TestWireSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := echoServer(t, st, NewMetrics(reg))
+	// Always-on flight recorder on the server endpoint: a failing soak
+	// run ships its recent retransmit/session events (written to
+	// DPI_FLIGHT_DUMP_DIR when set, the CI artifact path).
+	met := NewMetrics(reg)
+	fl := trace.NewFlight("soak-server", trace.DefaultFlightCapacity)
+	clk := trace.StartClock(0)
+	t.Cleanup(clk.Stop)
+	fl.SetClock(clk)
+	met.SetFlight(fl)
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		var b strings.Builder
+		if err := fl.WriteJSON(&b); err != nil {
+			t.Logf("flight dump: %v", err)
+			return
+		}
+		if dir := os.Getenv("DPI_FLIGHT_DUMP_DIR"); dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err == nil {
+				path := filepath.Join(dir, "wire-soak-flight.json")
+				if os.WriteFile(path, []byte(b.String()), 0o644) == nil {
+					t.Logf("flight dump written to %s", path)
+					return
+				}
+			}
+		}
+		t.Logf("== wire-soak flight ==\n%s", b.String())
+	})
+	srv := echoServer(t, st, met)
 
 	proxy, err := NewChaosProxy(st.LocalAddr().AP.String(), ChaosConfig{
 		Drop: 0.02, Dup: 0.02, Reorder: 0.05, Seed: seed,

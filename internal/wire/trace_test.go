@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dpiservice/internal/netsim"
+	"dpiservice/internal/packet"
+)
+
+// TestTraceExtRoundTrip encodes a traced data frame and parses it back,
+// confirming the 12-byte trace extension sits between the data
+// subheader and the payload and round-trips exactly.
+func TestTraceExtRoundTrip(t *testing.T) {
+	payload := []byte("GET / HTTP/1.1")
+	const traceID = uint64(0xdeadbeefcafe0042)
+	const pktIdx = uint32(7)
+
+	buf := AppendDataTraced(nil, 9, testTuple, traceID, pktIdx, payload)
+	if want := DataHdrLen + TraceExtLen + len(payload); len(buf) != want {
+		t.Fatalf("len = %d, want %d", len(buf), want)
+	}
+
+	tag, tuple, rest, err := ParseDataHdr(buf)
+	if err != nil {
+		t.Fatalf("ParseDataHdr: %v", err)
+	}
+	if tag != 9 || tuple != testTuple {
+		t.Fatalf("tag/tuple = %d/%+v", tag, tuple)
+	}
+	id, idx, body, err := ParseTraceExt(rest)
+	if err != nil {
+		t.Fatalf("ParseTraceExt: %v", err)
+	}
+	if id != traceID || idx != pktIdx {
+		t.Fatalf("trace ctx = %#x/%d, want %#x/%d", id, idx, traceID, pktIdx)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Fatalf("body = %q, want %q", body, payload)
+	}
+
+	// Truncated extension is an error, not a short read.
+	if _, _, _, err := ParseTraceExt(rest[:TraceExtLen-1]); err == nil {
+		t.Fatal("truncated trace ext parsed")
+	}
+}
+
+// TestTraceFlagSurvivesRetransmit drops the first emission of a traced
+// frame and checks that the timer retransmit re-emits the header with
+// FlagTrace still set, and that delivery hands the flag to Deliver.
+func TestTraceFlagSurvivesRetransmit(t *testing.T) {
+	a := NewEndpoint(7, Config{}, nil)
+	b := NewEndpoint(7, Config{}, nil)
+
+	var aOut []emittedFrame
+	emit := collect(&aOut)
+	if _, err := a.SendEx(TData, FlagTrace, []byte("traced"), 0, emit); err != nil {
+		t.Fatalf("SendEx: %v", err)
+	}
+	if len(aOut) != 1 || aOut[0].h.Flags&FlagTrace == 0 {
+		t.Fatalf("first emission flags = %+v", aOut)
+	}
+
+	// Drop the first copy; force a timer retransmit.
+	aOut = nil
+	a.Tick(2_000*ms, emit)
+	if len(aOut) != 1 {
+		t.Fatalf("retransmissions = %d, want 1", len(aOut))
+	}
+	if aOut[0].h.Flags&FlagTrace == 0 {
+		t.Fatalf("retransmitted header lost FlagTrace: %+v", aOut[0].h)
+	}
+
+	// Deliver the retransmitted copy: flags reach the Deliver callback.
+	var gotFlags uint8
+	var gotPayload string
+	deliver := func(typ Type, seq uint32, flags uint8, payload []byte) {
+		gotFlags, gotPayload = flags, string(payload)
+	}
+	var bOut []emittedFrame
+	b.HandleFrame(aOut[0].h, aOut[0].payload, 0, deliver, collect(&bOut))
+	if gotPayload != "traced" || gotFlags&FlagTrace == 0 {
+		t.Fatalf("delivered payload=%q flags=%#x", gotPayload, gotFlags)
+	}
+}
+
+// TestWireTracePropagation runs traced and untraced sends through a
+// real Conn/Server pair over netsim and asserts the handler observes
+// the in-band trace context exactly on the traced frames.
+func TestWireTracePropagation(t *testing.T) {
+	nw := netsim.NewNetwork()
+	ct := NewNetsimTransport("client")
+	st := NewNetsimTransport("server")
+	if err := nw.AddNode(ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddNode(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Connect(ct, st, netsim.LinkOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	type seen struct {
+		id  uint64
+		idx uint32
+		ok  bool
+	}
+	var mu sync.Mutex
+	dataSeen := make(map[string]seen)
+	verdictSeen := make(map[string]seen)
+
+	srv := NewServer(st, testKey, testCfg, nil)
+	srv.OnData(func(s *Session, seq uint32, tag uint16, tuple packet.FiveTuple, payload []byte) {
+		id, idx, ok := s.Trace()
+		mu.Lock()
+		dataSeen[string(payload)] = seen{id, idx, ok}
+		mu.Unlock()
+		if err := s.SendResult(seq, []byte("ok")); err != nil {
+			t.Errorf("SendResult: %v", err)
+		}
+	})
+	srv.OnVerdict(func(s *Session, tag uint16, tuple packet.FiveTuple, report []byte) {
+		id, idx, ok := s.Trace()
+		mu.Lock()
+		verdictSeen[string(report)] = seen{id, idx, ok}
+		mu.Unlock()
+	})
+	srv.Start()
+
+	sink := newResultSink()
+	c := NewConn(ct, IssueToken(testKey, 1), "tg-1", testCfg, nil)
+	c.OnResult(sink.add)
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+		nw.Stop()
+	})
+	if err := c.Start(5e9); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	const traceID = uint64(0x1122334455667788)
+	if _, err := c.SendDataTraced(3, testTuple, traceID, 42, []byte("traced-data")); err != nil {
+		t.Fatalf("SendDataTraced: %v", err)
+	}
+	if _, err := c.SendData(3, testTuple, []byte("plain-data")); err != nil {
+		t.Fatalf("SendData: %v", err)
+	}
+	if err := c.SendVerdictTraced(3, testTuple, traceID, 42, []byte("traced-verdict")); err != nil {
+		t.Fatalf("SendVerdictTraced: %v", err)
+	}
+	if err := c.SendVerdict(3, testTuple, []byte("plain-verdict")); err != nil {
+		t.Fatalf("SendVerdict: %v", err)
+	}
+	c.Flush()
+	if err := c.WaitIdle(20e9); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	waitFor(t, 20e9, "all deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(dataSeen) == 2 && len(verdictSeen) == 2
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if s := dataSeen["traced-data"]; !s.ok || s.id != traceID || s.idx != 42 {
+		t.Fatalf("traced data ctx = %+v", s)
+	}
+	if s := dataSeen["plain-data"]; s.ok || s.id != 0 {
+		t.Fatalf("plain data saw trace ctx: %+v", s)
+	}
+	if s := verdictSeen["traced-verdict"]; !s.ok || s.id != traceID || s.idx != 42 {
+		t.Fatalf("traced verdict ctx = %+v", s)
+	}
+	if s := verdictSeen["plain-verdict"]; s.ok || s.id != 0 {
+		t.Fatalf("plain verdict saw trace ctx: %+v", s)
+	}
+}
